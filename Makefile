@@ -1,0 +1,47 @@
+# Development targets for the pqe reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench experiments experiments-md fuzz loc clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the sampling-heavy property tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# One benchmark per experiment table/figure plus component micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the experiment tables (text).
+experiments:
+	$(GO) run ./cmd/pqebench
+
+# Regenerate the tables in the EXPERIMENTS.md format.
+experiments-md:
+	$(GO) run ./cmd/pqebench -markdown
+
+fuzz:
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/cq/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/pdb/
+	$(GO) test -fuzz='^FuzzParseFact$$' -fuzztime=30s ./internal/pdb/
+
+loc:
+	find . -name '*.go' | xargs wc -l | tail -1
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.pdb")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSafeQuery(t *testing.T) {
+	db := writeDB(t, "R1(h,a) : 1/2\nR2(h,b) : 1/3\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x,y1), R2(x,y2)", "-db", db, "-exact"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "safe: true") {
+		t.Errorf("missing classification: %s", s)
+	}
+	if !strings.Contains(s, "exact") {
+		t.Errorf("safe query not exact: %s", s)
+	}
+	if !strings.Contains(s, "1/6") {
+		t.Errorf("missing brute-force fraction: %s", s)
+	}
+}
+
+func TestRunFPRASQuery(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 1/2\nR3(c,d) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db, "-eps", "0.1", "-seed", "3"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "approximate") {
+		t.Errorf("unsafe query not approximate: %s", out.String())
+	}
+}
+
+func TestRunUniformReliability(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3)", "-db", db, "-ur"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "uniform reliability") {
+		t.Errorf("missing UR output: %s", out.String())
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Error("missing flags accepted")
+	}
+}
+
+func TestRunBadQuery(t *testing.T) {
+	db := writeDB(t, "R(a) : 1/2\n")
+	var out, errOut strings.Builder
+	if err := run([]string{"-query", "R(", "-db", db}, &out, &errOut); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestRunMissingDBFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-query", "R(x)", "-db", "/nonexistent/file"}, &out, &errOut); err == nil {
+		t.Error("missing database file accepted")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 2/3\nR3(c,d) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db, "-explain"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"route:", "decomposition:", "counted tree size"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSampleWorlds(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3)", "-db", db, "-sample", "3"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "world 1:") || !strings.Contains(out.String(), "world 3:") {
+		t.Errorf("missing sampled worlds:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "R1(a,b)") {
+		t.Errorf("world missing forced fact:\n%s", out.String())
+	}
+}

@@ -1,0 +1,64 @@
+// Command pqebench regenerates the experiment tables of the
+// reproduction: the paper's Table 1 landscape plus the derived
+// experiments E2–E11 and ablations A1–A2 (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	pqebench                  # run the full suite, text tables
+//	pqebench -exp E5          # one experiment
+//	pqebench -markdown        # GitHub-flavored markdown (EXPERIMENTS.md)
+//	pqebench -eps 0.05 -seed 7 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pqe/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pqebench:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pqebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp      = fs.String("exp", "all", "experiment ID (T1, E2..E11, A1, A2) or 'all'")
+		eps      = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
+		seed     = fs.Int64("seed", 1, "random seed")
+		quick    = fs.Bool("quick", false, "shrink sweeps for a fast pass")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick}
+	var tables []*experiments.Table
+	if strings.EqualFold(*exp, "all") {
+		tables = experiments.All(opts)
+	} else {
+		f := experiments.ByID(*exp)
+		if f == nil {
+			return fmt.Errorf("unknown experiment %q (known: %s, all)",
+				*exp, strings.Join(experiments.IDs(), ", "))
+		}
+		tables = []*experiments.Table{f(opts)}
+	}
+	for _, t := range tables {
+		if *markdown {
+			t.Markdown(stdout)
+		} else {
+			t.Format(stdout)
+		}
+	}
+	return nil
+}

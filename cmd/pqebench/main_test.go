@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-exp", "A2", "-quick"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "A2 — Augmented-NFTA translation") {
+		t.Errorf("missing table header: %s", out.String())
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-exp", "A1", "-quick", "-markdown"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### A1") || !strings.Contains(out.String(), "| ---") {
+		t.Errorf("not markdown: %s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-exp", "E99"}, &out, &errOut); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Command pqegen generates synthetic probabilistic-database workloads
+// for the query families the paper studies, in the textual format
+// cmd/pqe reads.
+//
+// Usage:
+//
+//	pqegen -family path -len 3 -chains 4 -noise 2 -model rational > data.pdb
+//	pqegen -family layered -len 4 -width 3 -model half
+//	pqegen -family random -query "R(x,y), S(y,z)" -facts 10 -domain 5
+//
+// It also prints the matching query on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pqe/internal/cq"
+	"pqe/internal/gen"
+	"pqe/internal/pdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pqegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pqegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family   = fs.String("family", "path", "workload family: path | layered | random")
+		length   = fs.Int("len", 3, "path query length (path, layered)")
+		chains   = fs.Int("chains", 4, "number of satisfying chains (path)")
+		noise    = fs.Int("noise", 2, "noise edges per relation (path)")
+		width    = fs.Int("width", 3, "layer width (layered)")
+		queryStr = fs.String("query", "", "query for -family random")
+		facts    = fs.Int("facts", 8, "facts per relation (random)")
+		domain   = fs.Int("domain", 5, "constant pool size (random)")
+		model    = fs.String("model", "half", "probability model: half | rational | high")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pm gen.ProbModel
+	switch *model {
+	case "half":
+		pm = gen.ProbHalf
+	case "rational":
+		pm = gen.ProbRandomRational
+	case "high":
+		pm = gen.ProbHigh
+	default:
+		return fmt.Errorf("unknown probability model %q", *model)
+	}
+
+	var (
+		h *pdb.Probabilistic
+		q *cq.Query
+	)
+	switch *family {
+	case "path":
+		q = cq.PathQuery("R", *length)
+		h = gen.SparsePathInstance(q, *chains, *noise, pm, *seed)
+	case "layered":
+		q = cq.PathQuery("R", *length)
+		h = gen.LayeredPathInstance(q, *width, pm, *seed)
+	case "random":
+		if *queryStr == "" {
+			return fmt.Errorf("-family random needs -query")
+		}
+		var err error
+		q, err = cq.Parse(*queryStr)
+		if err != nil {
+			return err
+		}
+		h = gen.Instance(q, gen.Config{
+			FactsPerRelation: *facts,
+			DomainSize:       *domain,
+			Model:            pm,
+			Seed:             *seed,
+		})
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+
+	if err := pdb.Format(stdout, h); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "query: %s\n", q)
+	fmt.Fprintf(stderr, "facts: %d\n", h.Size())
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pqe/internal/pdb"
+)
+
+func TestRunPathFamily(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-family", "path", "-len", "2", "-chains", "2", "-noise", "1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	h, err := pdb.ParseString(out.String())
+	if err != nil {
+		t.Fatalf("output does not parse back: %v", err)
+	}
+	if h.Size() == 0 {
+		t.Error("empty workload")
+	}
+	if !strings.Contains(errOut.String(), "query: R1(x1,x2), R2(x2,x3)") {
+		t.Errorf("stderr missing query: %s", errOut.String())
+	}
+}
+
+func TestRunLayeredFamily(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-family", "layered", "-len", "2", "-width", "2", "-model", "rational"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	h, err := pdb.ParseString(out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 8 { // width² × len
+		t.Errorf("layered size = %d, want 8", h.Size())
+	}
+}
+
+func TestRunRandomFamily(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-family", "random", "-query", "R(x,y), S(y)", "-facts", "3", "-model", "high"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.ParseString(out.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-family", "random"}, &out, &errOut); err == nil {
+		t.Error("random without query accepted")
+	}
+	if err := run([]string{"-family", "bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run([]string{"-model", "bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-family", "random", "-query", "R("}, &out, &errOut); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b, errOut strings.Builder
+	if err := run([]string{"-seed", "9"}, &a, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9"}, &b, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}

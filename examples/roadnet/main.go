@@ -1,0 +1,85 @@
+// Probabilistic road network: edges (road segments) are open with some
+// probability — snow closures, maintenance — and the question is the
+// probability that a staged route of a fixed number of legs exists.
+// Leg l uses the "leg-l" segment relation, so the route question is a
+// self-join-free path query; its exact evaluation is #P-hard, and its
+// lineage grows as (segments per leg)^legs. This example shows the
+// growth concretely and answers the query with the FPRAS while the
+// brute-force oracle is still feasible for cross-checking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"pqe"
+)
+
+func main() {
+	const legs = 4
+	// Stops per stage; every consecutive pair of stages is fully
+	// connected, so witnesses = stops^(legs+1) while |D| = stops²·legs.
+	const stops = 2
+
+	db := pqe.NewDatabase()
+	node := func(stage, i int) string { return fmt.Sprintf("c%d_%d", stage, i) }
+	probs := []*big.Rat{
+		big.NewRat(9, 10), big.NewRat(3, 4), big.NewRat(1, 2), big.NewRat(4, 5),
+	}
+	pi := 0
+	for l := 0; l < legs; l++ {
+		rel := fmt.Sprintf("Leg%d", l+1)
+		for a := 0; a < stops; a++ {
+			for b := 0; b < stops; b++ {
+				if err := db.AddFact(rel, probs[pi%len(probs)], node(l, a), node(l+1, b)); err != nil {
+					log.Fatal(err)
+				}
+				pi++
+			}
+		}
+	}
+
+	q := pqe.MustParseQuery("Leg1(x1,x2), Leg2(x2,x3), Leg3(x3,x4), Leg4(x4,x5)")
+	fmt.Printf("road network: %d segments, route of %d legs\nquery: %s\n\n", db.Size(), legs, q)
+
+	// The lineage (route enumeration) grows exponentially with legs.
+	lin, err := pqe.Lineage(q, db, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("possible routes (lineage clauses): %d — stops^(legs+1) = %d\n",
+		lin.Clauses, pow(stops, legs+1))
+
+	res, err := pqe.Probability(q, db, &pqe.Options{Epsilon: 0.05, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pr(an open route exists) ≈ %.6f (%s)\n", res.Probability, res.Method)
+
+	exact, err := pqe.BruteForceProbability(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := exact.Float64()
+	fmt.Printf("exact (brute force over 2^%d subinstances): %.6f\n", db.Size(), f)
+	fmt.Printf("relative error: %+.4f\n\n", res.Probability/f-1)
+
+	// The uniform-reliability view: in how many of the 2^|D| closure
+	// patterns is some route open?
+	urQ := q
+	count, err := pqe.UniformReliability(urQ, db, &pqe.Options{Epsilon: 0.05, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closure patterns with an open route ≈ %s of 2^%d\n",
+		count.Text('g', 8), db.Size())
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

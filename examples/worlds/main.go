@@ -1,0 +1,74 @@
+// Conditional world sampling: beyond computing Pr(Q), the counting
+// machinery supports *generation* — drawing possible worlds conditioned
+// on the query being true, approximately according to Pr_H(· | Q).
+// This is the uniform-generation facet of the approximate counter the
+// paper builds on, and the basis of "explain this query" workflows:
+// which facts tend to be present when the query holds?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"sort"
+
+	"pqe"
+)
+
+func main() {
+	// An intrusion-detection-style chain: a flagged host connects to a
+	// relay which exfiltrates to a sink. Every event is uncertain.
+	q := pqe.MustParseQuery("Flagged(h), Connect(h,r), Exfil(r,s)")
+
+	db := pqe.NewDatabase()
+	add := func(rel string, num, den int64, args ...string) {
+		if err := db.AddFact(rel, big.NewRat(num, den), args...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add("Flagged", 3, 4, "h1")
+	add("Flagged", 1, 4, "h2")
+	add("Connect", 9, 10, "h1", "r1")
+	add("Connect", 1, 2, "h2", "r1")
+	add("Connect", 1, 3, "h2", "r2")
+	add("Exfil", 2, 3, "r1", "sink")
+	add("Exfil", 1, 5, "r2", "sink")
+
+	res, err := pqe.Probability(q, db, &pqe.Options{Epsilon: 0.05, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\nPr(attack chain exists) ≈ %.5f\n\n", q, res.Probability)
+
+	// Draw worlds conditioned on the chain existing and tabulate how
+	// often each event participates — the posterior inclusion
+	// probability of each fact given the alert fired.
+	const draws = 400
+	counts := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		w, err := pqe.SampleWorld(q, db, &pqe.Options{Epsilon: 0.2, Seed: int64(i + 1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if w == nil {
+			log.Fatal("query has probability 0")
+		}
+		for _, f := range w.Facts() {
+			counts[f]++
+		}
+	}
+	type fc struct {
+		fact string
+		freq float64
+	}
+	var rows []fc
+	for f, c := range counts {
+		rows = append(rows, fc{f, float64(c) / draws})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].freq > rows[j].freq })
+	fmt.Println("posterior inclusion frequency given the chain exists:")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %.3f\n", r.fact, r.freq)
+	}
+	fmt.Println("\n(compare with the priors: conditioning pulls the chain facts up)")
+}

@@ -1,0 +1,3 @@
+module pqe
+
+go 1.22

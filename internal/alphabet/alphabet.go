@@ -1,0 +1,51 @@
+// Package alphabet provides a string↔int symbol interner shared by the
+// string- and tree-automaton packages. Automaton alphabets in the
+// reductions are sets of fact literals ("R(a,b)", "¬R(a,b)") plus the
+// binary digits of the multiplier gadgets; interning keeps transition
+// tables compact and comparisons O(1).
+package alphabet
+
+import "fmt"
+
+// Interner assigns dense non-negative IDs to symbol names.
+type Interner struct {
+	byName map[string]int
+	names  []string
+}
+
+// New returns an empty interner.
+func New() *Interner {
+	return &Interner{byName: make(map[string]int)}
+}
+
+// Intern returns the ID for name, assigning a fresh one if needed.
+func (in *Interner) Intern(name string) int {
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	id := len(in.names)
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the ID for name and whether it is known.
+func (in *Interner) Lookup(name string) (int, bool) {
+	id, ok := in.byName[name]
+	return id, ok
+}
+
+// Name returns the name for an ID. It panics on an unknown ID.
+func (in *Interner) Name(id int) string {
+	if id < 0 || id >= len(in.names) {
+		panic(fmt.Sprintf("alphabet: unknown symbol id %d", id))
+	}
+	return in.names[id]
+}
+
+// Size returns the number of interned symbols.
+func (in *Interner) Size() int { return len(in.names) }
+
+// Names returns all names indexed by ID. The caller must not modify the
+// returned slice.
+func (in *Interner) Names() []string { return in.names }

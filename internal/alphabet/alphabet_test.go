@@ -1,0 +1,53 @@
+package alphabet
+
+import "testing"
+
+func TestInternAndLookup(t *testing.T) {
+	in := New()
+	a := in.Intern("R(a,b)")
+	b := in.Intern("¬R(a,b)")
+	if a == b {
+		t.Error("distinct names share an ID")
+	}
+	if again := in.Intern("R(a,b)"); again != a {
+		t.Errorf("re-interning changed the ID: %d vs %d", again, a)
+	}
+	if id, ok := in.Lookup("R(a,b)"); !ok || id != a {
+		t.Errorf("Lookup = %d, %v", id, ok)
+	}
+	if _, ok := in.Lookup("missing"); ok {
+		t.Error("unknown name resolved")
+	}
+	if in.Name(a) != "R(a,b)" || in.Name(b) != "¬R(a,b)" {
+		t.Error("Name round trip failed")
+	}
+	if in.Size() != 2 {
+		t.Errorf("Size = %d", in.Size())
+	}
+	names := in.Names()
+	if len(names) != 2 || names[0] != "R(a,b)" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestNamePanicsOnUnknownID(t *testing.T) {
+	in := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown ID")
+		}
+	}()
+	in.Name(3)
+}
+
+func TestDenseIDs(t *testing.T) {
+	in := New()
+	for i := 0; i < 100; i++ {
+		if got := in.Intern(string(rune('a' + i%26))); got > 25 {
+			t.Fatalf("IDs not dense: %d", got)
+		}
+	}
+	if in.Size() != 26 {
+		t.Errorf("Size = %d", in.Size())
+	}
+}

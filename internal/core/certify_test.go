@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/gen"
+)
+
+// TestCertificationSweep is the broad end-to-end accuracy certification:
+// across query shapes (paths, stars, branches, cycles, snowflakes, H₀)
+// and random instances, both UREstimate and PQEEstimate must stay inside
+// a generous envelope of the brute-force oracle. Gated behind -short
+// because it runs the full pipeline ~dozens of times.
+func TestCertificationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping certification sweep in -short mode")
+	}
+	shapes := []struct {
+		name string
+		q    *cq.Query
+	}{
+		{"path2", cq.PathQuery("R", 2)},
+		{"path3", cq.PathQuery("R", 3)},
+		{"path4", cq.PathQuery("R", 4)},
+		{"star3", cq.StarQuery("S", 3)},
+		{"branch", cq.MustParse("R1(x,y), R2(y,z), R3(y,w)")},
+		{"triangle", cq.CycleQuery("C", 3)},
+		{"square", cq.CycleQuery("C", 4)},
+		{"snowflake", cq.SnowflakeQuery("F", 2, 1)},
+		{"h0", cq.MustParse("A(x), B(x,y), Cc(y)")},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				seed := rng.Int63()
+				h := gen.Instance(shape.q, gen.Config{
+					FactsPerRelation: 2, DomainSize: 2 + trial%2,
+					Model: gen.ProbRandomRational, Seed: seed,
+				})
+				d := h.DB()
+				if d.Size() > 16 {
+					continue
+				}
+				label := fmt.Sprintf("trial %d seed %d", trial, seed)
+
+				wantUR := exact.UR(shape.q, d)
+				gotUR, err := UREstimate(shape.q, d, Options{Epsilon: 0.1, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s: UREstimate: %v", label, err)
+				}
+				if wantUR.Sign() == 0 {
+					if !gotUR.IsZero() {
+						t.Errorf("%s: UR 0, estimate %v", label, gotUR)
+					}
+				} else {
+					wantF, _ := new(big.Float).SetInt(wantUR).Float64()
+					if r := gotUR.Float() / wantF; r < 0.7 || r > 1.3 {
+						t.Errorf("%s: UR estimate %v vs %v", label, gotUR, wantUR)
+					}
+				}
+
+				wantP, _ := exact.PQE(shape.q, h).Float64()
+				gotP, err := PQEEstimate(shape.q, h, Options{Epsilon: 0.1, Seed: seed + 1})
+				if err != nil {
+					t.Fatalf("%s: PQEEstimate: %v", label, err)
+				}
+				if wantP == 0 {
+					if gotP != 0 {
+						t.Errorf("%s: Pr 0, estimate %v", label, gotP)
+					}
+				} else if r := gotP / wantP; r < 0.7 || r > 1.3 {
+					t.Errorf("%s: Pr estimate %v vs %v", label, gotP, wantP)
+				}
+			}
+		})
+	}
+}

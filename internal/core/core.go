@@ -1,0 +1,238 @@
+// Package core realizes the paper's three algorithms end to end:
+//
+//	PathEstimate (Theorem 2): uniform reliability of self-join-free path
+//	    queries via the Section 3 NFA construction and CountNFA;
+//	UREstimate (Theorem 3): uniform reliability of self-join-free
+//	    bounded-hypertree-width queries via the Proposition 1 augmented
+//	    NFTA and CountNFTA;
+//	PQEEstimate (Theorem 1): probabilistic query evaluation via the
+//	    Section 5 multiplier construction.
+//
+// It also classifies queries along the axes of Table 1 (bounded
+// hypertree width, self-join-freeness, safety) and routes evaluation
+// accordingly: safe queries go to the exact Dalvi–Suciu safe plan,
+// unsafe bounded-width SJF queries to the FPRAS, and everything else is
+// reported as open (exactly the open cells of Table 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pqe/internal/count"
+	"pqe/internal/cq"
+	"pqe/internal/efloat"
+	"pqe/internal/hypertree"
+	"pqe/internal/nfa"
+	"pqe/internal/pdb"
+	"pqe/internal/reduction"
+	"pqe/internal/safeplan"
+)
+
+// Options configures the estimators.
+type Options struct {
+	// Epsilon is the target relative error, in (0,1). Default 0.1.
+	Epsilon float64
+	// Trials is the number of independent estimates whose median is
+	// taken. Default 5.
+	Trials int
+	// Samples overrides the per-overlap sample count (0 = derived from
+	// Epsilon).
+	Samples int
+	// Seed makes the estimators deterministic. Default 1.
+	Seed int64
+	// MaxWidth caps the hypertree width searched for. 0 means |Q|.
+	MaxWidth int
+	// ForceFPRAS disables safe-plan routing in Evaluate, forcing the
+	// automaton pipeline even for safe queries.
+	ForceFPRAS bool
+	// Parallel runs the counters' independent trials concurrently.
+	Parallel bool
+}
+
+func (o Options) countOptions() count.Options {
+	return count.Options{
+		Epsilon:  o.Epsilon,
+		Trials:   o.Trials,
+		Samples:  o.Samples,
+		Seed:     o.seed(),
+		Parallel: o.Parallel,
+	}
+}
+
+func (o Options) nfaOptions() nfa.CountOptions {
+	return nfa.CountOptions{
+		Epsilon:  o.Epsilon,
+		Trials:   o.Trials,
+		Samples:  o.Samples,
+		Seed:     o.seed(),
+		Parallel: o.Parallel,
+	}
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// ErrUnsupported is returned for queries outside the paper's FPRAS
+// class (self-joins, or no decomposition within the width cap) — the
+// open cells of Table 1.
+var ErrUnsupported = errors.New("core: query outside the supported class (Table 1 open cell)")
+
+// Classification places a query in the Table 1 landscape.
+type Classification struct {
+	SelfJoinFree bool
+	Width        int  // minimal (generalized) hypertree width found, 0 if not decomposed
+	BoundedHW    bool // decomposition found within the width cap
+	Safe         bool // hierarchical (for SJF queries ⇔ safe)
+	Path         bool
+}
+
+// Classify computes the Table 1 coordinates of a query.
+func Classify(q *cq.Query, maxWidth int) Classification {
+	c := Classification{
+		SelfJoinFree: q.SelfJoinFree(),
+		Safe:         safeplan.IsSafe(q),
+		Path:         q.IsPath(),
+	}
+	if maxWidth <= 0 {
+		maxWidth = q.Len()
+	}
+	if dec, err := hypertree.Decompose(q); err == nil && dec.Width() <= maxWidth {
+		c.Width = dec.Width()
+		c.BoundedHW = true
+	}
+	return c
+}
+
+// PathEstimate approximates UR(Q, D) for a self-join-free path query
+// over a database of binary facts (Theorem 2), within (1±ε) with high
+// probability, in time poly(|Q|, |D|, 1/ε).
+func PathEstimate(q *cq.Query, d *pdb.Database, opts Options) (efloat.E, error) {
+	if !q.IsPath() || !q.SelfJoinFree() {
+		return efloat.Zero, fmt.Errorf("core: PathEstimate needs a self-join-free path query, got %q", q)
+	}
+	proj := d.Project(q.RelationSet())
+	m, err := reduction.PathNFA(q, proj)
+	if err != nil {
+		return efloat.Zero, err
+	}
+	c := nfa.Count(m.Trim(), proj.Size(), opts.nfaOptions())
+	// UR(Q, D) = UR(Q, D') · 2^(|D|−|D'|): facts over relations outside
+	// the query are free to be present or absent.
+	return c.Mul(efloat.Pow2(int64(d.Size() - proj.Size()))), nil
+}
+
+// UREstimate approximates UR(Q, D) for a self-join-free conjunctive
+// query of bounded hypertree width (Theorem 3).
+func UREstimate(q *cq.Query, d *pdb.Database, opts Options) (efloat.E, error) {
+	red, proj, err := buildUR(q, d, opts)
+	if err != nil {
+		return efloat.Zero, err
+	}
+	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions())
+	return c.Mul(efloat.Pow2(int64(d.Size() - proj.Size()))), nil
+}
+
+func buildUR(q *cq.Query, d *pdb.Database, opts Options) (*reduction.URReduction, *pdb.Database, error) {
+	if !q.SelfJoinFree() {
+		return nil, nil, fmt.Errorf("%w: query %q has self-joins", ErrUnsupported, q)
+	}
+	maxWidth := opts.MaxWidth
+	if maxWidth <= 0 {
+		maxWidth = q.Len()
+	}
+	dec, err := hypertree.Decompose(q)
+	if err != nil || dec.Width() > maxWidth {
+		return nil, nil, fmt.Errorf("%w: no decomposition of width ≤ %d for %q", ErrUnsupported, maxWidth, q)
+	}
+	proj := d.Project(q.RelationSet())
+	red, err := reduction.BuildUR(q, proj, dec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return red, proj, nil
+}
+
+// PQEEstimate approximates Pr_H(Q) for a self-join-free conjunctive
+// query of bounded hypertree width over a probabilistic database with
+// rational probabilities (Theorem 1), within (1±ε) with high
+// probability, in time poly(|Q|, |H|, 1/ε).
+func PQEEstimate(q *cq.Query, h *pdb.Probabilistic, opts Options) (float64, error) {
+	// Facts over relations outside the query marginalize to 1.
+	proj := h.Project(q.RelationSet())
+	red, _, err := buildUR(q, proj.DB(), opts)
+	if err != nil {
+		return 0, err
+	}
+	weighted, err := reduction.WeightUR(red, proj)
+	if err != nil {
+		return 0, err
+	}
+	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions())
+	den := efloat.FromBigInt(weighted.DenProduct)
+	return c.Ratio(den), nil
+}
+
+// PathPQEEstimate approximates Pr_H(Q) for a self-join-free path query
+// over binary relations using the string-automaton pipeline: the
+// Section 3 NFA with string multiplier gadgets (footnote 2 of §5.1) and
+// CountNFA. Functionally equivalent to PQEEstimate on path queries; it
+// exists because paths need no tree machinery at all, and serves as the
+// E10 ablation.
+func PathPQEEstimate(q *cq.Query, h *pdb.Probabilistic, opts Options) (float64, error) {
+	if !q.IsPath() || !q.SelfJoinFree() {
+		return 0, fmt.Errorf("core: PathPQEEstimate needs a self-join-free path query, got %q", q)
+	}
+	proj := h.Project(q.RelationSet())
+	red, err := reduction.BuildPathPQE(q, proj)
+	if err != nil {
+		return 0, err
+	}
+	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions())
+	return c.Ratio(efloat.FromBigInt(red.DenProduct)), nil
+}
+
+// Method identifies how Evaluate computed its answer.
+type Method string
+
+const (
+	MethodSafePlan  Method = "safe-plan (exact, Dalvi–Suciu)"
+	MethodFPRASTree Method = "fpras (NFTA, Theorem 1)"
+)
+
+// Result is the outcome of Evaluate.
+type Result struct {
+	Probability float64
+	Exact       bool
+	Method      Method
+	Class       Classification
+}
+
+// Evaluate routes a query to the best applicable algorithm, mirroring
+// Table 1: safe SJF queries get the exact safe plan; unsafe SJF queries
+// of bounded width get the combined-complexity FPRAS; the rest is
+// unsupported (open).
+func Evaluate(q *cq.Query, h *pdb.Probabilistic, opts Options) (Result, error) {
+	class := Classify(q, opts.MaxWidth)
+	if class.Safe && !opts.ForceFPRAS {
+		p, err := safeplan.Evaluate(q, h)
+		if err != nil {
+			return Result{}, err
+		}
+		f, _ := p.Float64()
+		return Result{Probability: f, Exact: true, Method: MethodSafePlan, Class: class}, nil
+	}
+	if !class.SelfJoinFree || !class.BoundedHW {
+		return Result{Class: class}, fmt.Errorf("%w: %q (self-join-free=%v, bounded-width=%v)",
+			ErrUnsupported, q, class.SelfJoinFree, class.BoundedHW)
+	}
+	p, err := PQEEstimate(q, h, opts)
+	if err != nil {
+		return Result{Class: class}, err
+	}
+	return Result{Probability: p, Method: MethodFPRASTree, Class: class}, nil
+}

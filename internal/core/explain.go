@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pqe/internal/cq"
+	"pqe/internal/hypertree"
+	"pqe/internal/pdb"
+	"pqe/internal/reduction"
+)
+
+// Report describes how a query would be evaluated, without running the
+// (potentially expensive) counting stage: the Table 1 classification,
+// the chosen route, and — for the FPRAS route — the decomposition and
+// the sizes of every constructed automaton. It is the "query plan" of
+// this system.
+type Report struct {
+	Query         string
+	Class         Classification
+	Route         Method
+	Decomposition string // pretty-printed, FPRAS route only
+	// Automaton sizes (FPRAS route only).
+	AugSize          int // augmented NFTA encoding size
+	AutoStates       int // λ-free NFTA states (trimmed)
+	AutoTransitions  int
+	FinalStates      int // after multiplier expansion (trimmed)
+	FinalTransitions int
+	TreeSize         int // the counted tree size |D| + Σ Kᵢ
+	DigitNodes       int // Σ Kᵢ
+	DenominatorBits  int // bit length of ∏ dᵢ
+}
+
+// Explain builds the evaluation plan for the query over the instance.
+func Explain(q *cq.Query, h *pdb.Probabilistic, opts Options) (*Report, error) {
+	class := Classify(q, opts.MaxWidth)
+	r := &Report{Query: q.String(), Class: class}
+	if class.Safe && !opts.ForceFPRAS {
+		r.Route = MethodSafePlan
+		return r, nil
+	}
+	if !class.SelfJoinFree || !class.BoundedHW {
+		return r, fmt.Errorf("%w: %q", ErrUnsupported, q)
+	}
+	r.Route = MethodFPRASTree
+
+	proj := h.Project(q.RelationSet())
+	dec, err := hypertree.Decompose(q)
+	if err != nil {
+		return r, err
+	}
+	red, err := reduction.BuildUR(q, proj.DB(), dec)
+	if err != nil {
+		return r, err
+	}
+	r.Decomposition = red.Dec.String()
+	r.AugSize = red.Aug.Size()
+	r.AutoStates = red.Auto.NumStates()
+	r.AutoTransitions = red.Auto.NumTransitions()
+
+	weighted, err := reduction.WeightUR(red, proj)
+	if err != nil {
+		return r, err
+	}
+	r.FinalStates = weighted.Auto.NumStates()
+	r.FinalTransitions = weighted.Auto.NumTransitions()
+	r.TreeSize = weighted.TreeSize
+	r.DigitNodes = weighted.TreeSize - proj.Size()
+	r.DenominatorBits = weighted.DenProduct.BitLen()
+	return r, nil
+}
+
+// String renders the report for humans.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:   %s\n", r.Query)
+	fmt.Fprintf(&b, "class:   self-join-free=%v  width=%d (bounded=%v)  safe=%v  path=%v\n",
+		r.Class.SelfJoinFree, r.Class.Width, r.Class.BoundedHW, r.Class.Safe, r.Class.Path)
+	fmt.Fprintf(&b, "route:   %s\n", r.Route)
+	if r.Route == MethodSafePlan {
+		fmt.Fprintf(&b, "         (exact: independent project/join rules; no automaton is built)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "decomposition:\n")
+	for _, line := range strings.Split(strings.TrimRight(r.Decomposition, "\n"), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	fmt.Fprintf(&b, "augmented NFTA size:      %d\n", r.AugSize)
+	fmt.Fprintf(&b, "λ-free NFTA (trimmed):    %d states, %d transitions\n", r.AutoStates, r.AutoTransitions)
+	fmt.Fprintf(&b, "weighted NFTA (trimmed):  %d states, %d transitions\n", r.FinalStates, r.FinalTransitions)
+	fmt.Fprintf(&b, "counted tree size:        %d (= |D| + %d digit nodes)\n", r.TreeSize, r.DigitNodes)
+	fmt.Fprintf(&b, "denominator ∏dᵢ:          %d bits\n", r.DenominatorBits)
+	return b.String()
+}

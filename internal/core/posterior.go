@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// PosteriorInclusion approximates Pr(f ∈ W | W ⊨ Q), the probability
+// that a fact is present given that the query holds — the quantity
+// behind "why did this query fire?" explanations. It uses the identity
+//
+//	Pr(f ∧ Q) = π(f) · Pr_{H[π(f):=1]}(Q)
+//
+// and two FPRAS invocations, so a single call carries roughly a
+// (1±2ε) guarantee. The fact must be in the database; facts over
+// relations outside the query are independent of the event and their
+// posterior equals their prior.
+func PosteriorInclusion(q *cq.Query, h *pdb.Probabilistic, f pdb.Fact, opts Options) (float64, error) {
+	if h.DB().IndexOf(f) < 0 {
+		return 0, fmt.Errorf("core: fact %v not in database", f)
+	}
+	prior := h.Prob(f).Float()
+	if !q.RelationSet()[f.Relation] {
+		return prior, nil
+	}
+	denom, err := PQEEstimate(q, h, opts)
+	if err != nil {
+		return 0, err
+	}
+	if denom == 0 {
+		return 0, fmt.Errorf("core: Pr(Q) = 0; posterior undefined")
+	}
+	if prior == 0 {
+		return 0, nil
+	}
+	conditioned := h.WithProb(f, pdb.ProbOne)
+	numer, err := PQEEstimate(q, conditioned, opts)
+	if err != nil {
+		return 0, err
+	}
+	post := prior * numer / denom
+	// Estimation noise can push the ratio slightly past 1.
+	if post > 1 {
+		post = 1
+	}
+	return post, nil
+}

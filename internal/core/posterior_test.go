@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/pdb"
+)
+
+// exactPosterior computes Pr(f | Q) by brute force.
+func exactPosterior(q *cq.Query, h *pdb.Probabilistic, f pdb.Fact) float64 {
+	idx := h.DB().IndexOf(f)
+	prQ := exact.PQE(q, h)
+	joint := new(big.Rat)
+	n := h.Size()
+	mask := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		if mask[idx] && cq.Satisfies(h.DB().Subinstance(mask), q) {
+			joint.Add(joint, h.SubinstanceProb(mask))
+		}
+	}
+	post := new(big.Rat).Quo(joint, prQ)
+	v, _ := post.Float64()
+	return v
+}
+
+func TestPosteriorInclusionAgainstBruteForce(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, 4))
+	h.Add(pdb.NewFact("R2", "b", "d"), pdb.NewProb(3, 4))
+	for _, f := range h.DB().Facts() {
+		want := exactPosterior(q, h, f)
+		got, err := PosteriorInclusion(q, h, f, Options{Epsilon: 0.05, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if r := got / want; r < 0.85 || r > 1.15 {
+			t.Errorf("posterior(%v) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestPosteriorInclusionForcedFact(t *testing.T) {
+	// The only R1 fact must be present whenever Q holds: posterior 1.
+	q := cq.PathQuery("R", 2)
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, 3))
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, 2))
+	got, err := PosteriorInclusion(q, h, pdb.NewFact("R1", "a", "b"), Options{Epsilon: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.9 || got > 1.0 {
+		t.Errorf("posterior of a forced fact = %v, want ≈ 1", got)
+	}
+}
+
+func TestPosteriorInclusionFreeFact(t *testing.T) {
+	// Facts outside the query keep their prior.
+	q := cq.MustParse("R(x)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.ProbHalf)
+	h.Add(pdb.NewFact("Z", "q"), pdb.NewProb(2, 7))
+	got, err := PosteriorInclusion(q, h, pdb.NewFact("Z", "q"), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 7.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("free-fact posterior = %v, want prior %v", got, want)
+	}
+}
+
+func TestPosteriorInclusionErrors(t *testing.T) {
+	q := cq.MustParse("R(x)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.NewProb(0, 1))
+	if _, err := PosteriorInclusion(q, h, pdb.NewFact("R", "missing"), Options{Seed: 1}); err == nil {
+		t.Error("unknown fact accepted")
+	}
+	// Pr(Q) = 0: posterior undefined.
+	if _, err := PosteriorInclusion(q, h, pdb.NewFact("R", "a"), Options{Seed: 1}); err == nil {
+		t.Error("undefined posterior accepted")
+	}
+}
+
+func TestPosteriorZeroProbabilityFact(t *testing.T) {
+	q := cq.MustParse("R(x)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.ProbHalf)
+	h.Add(pdb.NewFact("R", "z"), pdb.NewProb(0, 1))
+	got, err := PosteriorInclusion(q, h, pdb.NewFact("R", "z"), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("posterior of impossible fact = %v", got)
+	}
+}

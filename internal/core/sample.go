@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pqe/internal/count"
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+	"pqe/internal/reduction"
+)
+
+// SampleSatisfying draws a near-uniform satisfying subinstance of D for
+// Q (a "possible world" conditioned on the query holding), using the
+// uniform-generation facet of the CountNFTA machinery: a near-uniform
+// accepted tree of the Proposition 1 automaton is sampled and decoded
+// back through the bijection. Facts over relations outside the query
+// are included independently with probability ½ (they are free in the
+// uniform-reliability distribution).
+//
+// It returns nil with no error when no satisfying subinstance exists.
+func SampleSatisfying(q *cq.Query, d *pdb.Database, opts Options) ([]bool, error) {
+	red, proj, err := buildUR(q, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	tree := count.SampleTree(red.Auto, red.TreeSize, opts.countOptions())
+	if tree == nil {
+		return nil, nil
+	}
+	projMask, err := red.DecodeTree(tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampled tree failed to decode: %w", err)
+	}
+	rng := opts.rng()
+	return liftMask(d, proj, projMask, func(pdb.Fact) bool {
+		return rng.Intn(2) == 0
+	}), nil
+}
+
+// SampleWorld draws a possible world of the probabilistic database
+// conditioned on Q being satisfied, approximately according to the
+// conditional distribution Pr_H(· | Q): an accepted tree of the
+// weighted (Theorem 1) automaton is sampled near-uniformly — the
+// multiplier gadgets replicate each subinstance's trees proportionally
+// to its weight, so a near-uniform tree is a near-conditionally-
+// distributed world — and decoded. Facts over relations outside the
+// query are included independently with their own probabilities (they
+// are independent of the conditioning event).
+//
+// It returns nil with no error when Pr_H(Q) = 0.
+func SampleWorld(q *cq.Query, h *pdb.Probabilistic, opts Options) ([]bool, error) {
+	proj := h.Project(q.RelationSet())
+	red, _, err := buildUR(q, proj.DB(), opts)
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := reduction.WeightUR(red, proj)
+	if err != nil {
+		return nil, err
+	}
+	tree := count.SampleTree(weighted.Auto, weighted.TreeSize, opts.countOptions())
+	if tree == nil {
+		return nil, nil
+	}
+	projMask, err := red.DecodeTree(tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampled tree failed to decode: %w", err)
+	}
+	rng := opts.rng()
+	return liftMask(h.DB(), proj.DB(), projMask, func(f pdb.Fact) bool {
+		return rng.Float64() < h.Prob(f).Float()
+	}), nil
+}
+
+// liftMask expands a mask over the projected database to a mask over
+// the full database, drawing each free (projected-away) fact with the
+// supplied coin.
+func liftMask(full, proj *pdb.Database, projMask []bool, coin func(pdb.Fact) bool) []bool {
+	mask := make([]bool, full.Size())
+	for i, f := range full.Facts() {
+		if j := proj.IndexOf(f); j >= 0 {
+			mask[i] = projMask[j]
+		} else {
+			mask[i] = coin(f)
+		}
+	}
+	return mask
+}
+
+func (o Options) rng() *rand.Rand {
+	return rand.New(rand.NewSource(o.seed() + 0x9e3779b9))
+}

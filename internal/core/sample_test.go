@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/pdb"
+)
+
+func TestSampleSatisfyingAlwaysSatisfies(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R1", "a", "c"),
+		pdb.NewFact("R2", "b", "d"),
+		pdb.NewFact("R2", "c", "d"),
+		pdb.NewFact("Zed", "z", "z"), // free fact outside the query
+	)
+	for i := 0; i < 40; i++ {
+		mask, err := SampleSatisfying(q, d, Options{Epsilon: 0.2, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask == nil {
+			t.Fatal("nil sample from satisfiable instance")
+		}
+		if !cq.Satisfies(d.Subinstance(mask), q) {
+			t.Errorf("sample %v does not satisfy the query", mask)
+		}
+	}
+}
+
+func TestSampleSatisfyingApproxUniform(t *testing.T) {
+	// R1(a,b) with two R2 successors: satisfying subinstances are
+	// {1,2}, {1,3}, {1,2,3} — each should appear ≈ 1/3 of the time.
+	q := cq.PathQuery("R", 2)
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R2", "b", "c"),
+		pdb.NewFact("R2", "b", "d"),
+	)
+	if got := exact.UR(q, d).Int64(); got != 3 {
+		t.Fatalf("UR = %d, want 3", got)
+	}
+	counts := make(map[string]int)
+	draws := 900
+	for i := 0; i < draws; i++ {
+		mask, err := SampleSatisfying(q, d, Options{Epsilon: 0.2, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ""
+		for _, b := range mask {
+			if b {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		counts[key]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("support = %v, want 3 subinstances", counts)
+	}
+	for k, c := range counts {
+		frac := float64(c) / float64(draws)
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("subinstance %s frequency %.3f, want ≈ 1/3", k, frac)
+		}
+	}
+}
+
+func TestSampleSatisfyingEmpty(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	d := pdb.FromFacts(pdb.NewFact("R1", "a", "b")) // R2 empty: unsatisfiable
+	mask, err := SampleSatisfying(q, d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != nil {
+		t.Errorf("sample from unsatisfiable instance: %v", mask)
+	}
+}
+
+func TestSampleWorldSatisfiesAndTracksConditional(t *testing.T) {
+	// One forced chain with asymmetric probabilities: conditional
+	// distribution concentrates on worlds containing the chain.
+	q := cq.PathQuery("R", 2)
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, 4))
+	h.Add(pdb.NewFact("R2", "b", "d"), pdb.NewProb(3, 4))
+	counts := make(map[string]int)
+	draws := 1200
+	for i := 0; i < draws; i++ {
+		mask, err := SampleWorld(q, h, Options{Epsilon: 0.2, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask == nil {
+			t.Fatal("nil sample")
+		}
+		if !cq.Satisfies(h.DB().Subinstance(mask), q) {
+			t.Fatalf("sampled world does not satisfy the query")
+		}
+		key := ""
+		for _, b := range mask {
+			if b {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		counts[key]++
+	}
+	// Compare empirical frequencies to the exact conditional
+	// distribution Pr(world)/Pr(Q).
+	prQ := exact.PQE(q, h)
+	n := h.Size()
+	mask := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		key := ""
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+			if mask[i] {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if !cq.Satisfies(h.DB().Subinstance(mask), q) {
+			if counts[key] > 0 {
+				t.Errorf("non-satisfying world %s sampled %d times", key, counts[key])
+			}
+			continue
+		}
+		cond := new(big.Rat).Quo(h.SubinstanceProb(mask), prQ)
+		want, _ := cond.Float64()
+		got := float64(counts[key]) / float64(draws)
+		if got < want-0.12 || got > want+0.12 {
+			t.Errorf("world %s frequency %.3f, conditional probability %.3f", key, got, want)
+		}
+	}
+}
+
+func TestSampleWorldZeroProbabilityQuery(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(0, 1)) // forced absent
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.ProbHalf)
+	mask, err := SampleWorld(q, h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != nil {
+		t.Errorf("sampled a world although Pr(Q) = 0: %v", mask)
+	}
+}
+
+func TestSampleWorldFreeFactsFollowProbabilities(t *testing.T) {
+	// A free fact with probability 9/10 must appear ≈ 90% of the time.
+	q := cq.MustParse("R(x)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.ProbOne)
+	h.Add(pdb.NewFact("Free", "z"), pdb.NewProb(9, 10))
+	present := 0
+	draws := 800
+	for i := 0; i < draws; i++ {
+		mask, err := SampleWorld(q, h, Options{Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask[1] {
+			present++
+		}
+	}
+	frac := float64(present) / float64(draws)
+	if frac < 0.82 || frac > 0.97 {
+		t.Errorf("free fact present with frequency %.3f, want ≈ 0.9", frac)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// EvaluateUnion computes the probability of a union of conjunctive
+// queries Q₁ ∨ … ∨ Q_k whose disjuncts use pairwise-disjoint relation
+// sets. Under tuple independence, disjoint vocabularies make the
+// disjunct events independent, so
+//
+//	Pr(∨ᵢ Qᵢ) = 1 − ∏ᵢ (1 − Pr(Qᵢ))
+//
+// with each Pr(Qᵢ) computed by Evaluate (exact safe plan or FPRAS).
+//
+// This is a deliberately restricted UCQ layer: the Dalvi–Suciu
+// dichotomy [11] covers arbitrary UCQs, but disjuncts sharing
+// relations correlate through shared facts — evaluating those is
+// effectively the self-join problem, an open cell of Table 1 — so
+// overlapping vocabularies are rejected.
+func EvaluateUnion(qs []*cq.Query, h *pdb.Probabilistic, opts Options) (float64, error) {
+	if len(qs) == 0 {
+		return 0, fmt.Errorf("core: empty union")
+	}
+	seen := make(map[string]int)
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			return 0, err
+		}
+		for r := range q.RelationSet() {
+			if j, ok := seen[r]; ok {
+				return 0, fmt.Errorf("%w: disjuncts %d and %d share relation %s (correlated disjuncts are the self-join problem)",
+					ErrUnsupported, j, i, r)
+			}
+			seen[r] = i
+		}
+	}
+	miss := 1.0
+	for _, q := range qs {
+		res, err := Evaluate(q, h, opts)
+		if err != nil {
+			return 0, err
+		}
+		miss *= 1 - res.Probability
+	}
+	return 1 - miss, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/gen"
+	"pqe/internal/pdb"
+)
+
+func TestEvaluateUnionAgainstBruteForce(t *testing.T) {
+	// One safe star disjunct + one unsafe path disjunct over disjoint
+	// vocabularies.
+	q1 := cq.StarQuery("S", 2)
+	q2 := cq.PathQuery("R", 3)
+	h := pdb.Empty()
+	add := func(g *pdb.Probabilistic) {
+		for i, f := range g.DB().Facts() {
+			h.Add(f, g.ProbAt(i))
+		}
+	}
+	add(gen.Instance(q1, gen.Config{FactsPerRelation: 2, DomainSize: 2, Model: gen.ProbRandomRational, Seed: 3}))
+	add(gen.SparsePathInstance(q2, 1, 1, gen.ProbRandomRational, 4))
+
+	want, _ := exact.PQEUnion([]*cq.Query{q1, q2}, h).Float64()
+	got, err := EvaluateUnion([]*cq.Query{q1, q2}, h, Options{Epsilon: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("degenerate union instance")
+	}
+	if r := got / want; r < 0.85 || r > 1.15 {
+		t.Errorf("union estimate %v vs exact %v", got, want)
+	}
+}
+
+func TestEvaluateUnionRejectsSharedRelations(t *testing.T) {
+	q1 := cq.MustParse("R(x,y)")
+	q2 := cq.MustParse("R(x,y), S(y)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a", "b"), pdb.ProbHalf)
+	h.Add(pdb.NewFact("S", "b"), pdb.ProbHalf)
+	if _, err := EvaluateUnion([]*cq.Query{q1, q2}, h, Options{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestEvaluateUnionEmpty(t *testing.T) {
+	if _, err := EvaluateUnion(nil, pdb.Empty(), Options{}); err == nil {
+		t.Error("empty union accepted")
+	}
+}
+
+func TestEvaluateUnionSingleDisjunctMatchesEvaluate(t *testing.T) {
+	q := cq.StarQuery("S", 2)
+	h := gen.Instance(q, gen.Config{FactsPerRelation: 2, DomainSize: 2, Model: gen.ProbRandomRational, Seed: 5})
+	u, err := EvaluateUnion([]*cq.Query{q}, h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Evaluate(q, h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := u - single.Probability; d > 1e-12 || d < -1e-12 {
+		t.Errorf("union %v != single %v", u, single.Probability)
+	}
+}

@@ -1,0 +1,471 @@
+// Package count implements CountNFTA: a randomized approximation scheme
+// for |L_n(T)|, the number of distinct labelled trees of size n accepted
+// by a non-deterministic finite tree automaton. It follows the
+// structure of the FPRAS of Arenas, Croquevielle, Jayaram and Riveros
+// ("When is approximate counting for conjunctive queries tractable?",
+// STOC 2021), the black box that Theorems 1 and 3 of the paper invoke:
+//
+//   - for every (state q, size n), the set T(q, n) of accepted trees
+//     decomposes by root symbol (disjoint) and then into a union over
+//     transitions, whose overlap is estimated by drawing near-uniform
+//     samples and testing membership in earlier branches (tree
+//     acceptance is polynomial-time);
+//   - forests F((q₁,…,q_k), m) decompose as a *disjoint* union over the
+//     size of the first tree of products T(q₁, j) × F((q₂,…,q_k), m−j),
+//     so their cardinalities combine exactly with no extra sampling
+//     error;
+//   - samplers mirror the estimates: symbol and split choices are drawn
+//     proportionally to estimated cardinalities, and transition overlap
+//     is resolved by canonical-first rejection, which makes the draw
+//     uniform over the union when the component samplers are uniform.
+//
+// Sample sizes default to a practical polynomial in 1/ε rather than the
+// constants of the theoretical analysis (which the paper itself calls
+// impractical, §6); accuracy is validated against exact counters in the
+// test suite and experiment harness.
+package count
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pqe/internal/efloat"
+	"pqe/internal/nfta"
+)
+
+// Options configures the estimator. The zero value gets sensible
+// defaults.
+type Options struct {
+	// Epsilon is the target relative error of a single trial, in (0,1).
+	// Default 0.1.
+	Epsilon float64
+	// Trials is the number of independent estimates whose median is
+	// returned. Default 5.
+	Trials int
+	// Samples is the number of samples per overlap term; 0 derives
+	// max(24, ⌈6/ε²⌉).
+	Samples int
+	// MaxRetry bounds canonical-rejection retries; 0 derives a default.
+	MaxRetry int
+	// Seed seeds the deterministic PRNG (ignored when Rng is set).
+	Seed int64
+	// Rng supplies randomness when non-nil.
+	Rng *rand.Rand
+	// Parallel runs the independent trials on separate goroutines. The
+	// result is identical to the sequential run with the same seed
+	// (per-trial seeds are drawn up front).
+	Parallel bool
+	// Stats, when non-nil, accumulates estimator effort counters across
+	// all trials (for observability and the experiment harness).
+	Stats *Stats
+}
+
+// Stats reports how much work the estimator did.
+type Stats struct {
+	// TreeKeys and ForestKeys are memo-table sizes: distinct (state,
+	// size) and (tuple, size) cells computed.
+	TreeKeys, ForestKeys int
+	// UnionSamples is the number of forests drawn for overlap
+	// estimation.
+	UnionSamples int
+	// Rejections counts canonical-rejection retries during sampling.
+	Rejections int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		o.Epsilon = 0.1
+	}
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	if o.Samples <= 0 {
+		o.Samples = int(math.Max(24, math.Ceil(6/(o.Epsilon*o.Epsilon))))
+	}
+	if o.Rng == nil {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		o.Rng = rand.New(rand.NewSource(seed))
+	}
+	return o
+}
+
+// Trees approximates |L_n(T)| for a λ-free NFTA, within relative error ε
+// with high probability (median of independent trials).
+func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
+	if a.HasLambda() {
+		panic("count: automaton has λ-transitions; run EliminateLambda first")
+	}
+	opts = opts.withDefaults()
+	results := make([]efloat.E, opts.Trials)
+	seeds := make([]int64, opts.Trials)
+	for t := range seeds {
+		seeds[t] = opts.Rng.Int63()
+	}
+	stats := make([]*estimator, opts.Trials)
+	runTrial := func(t int) {
+		e := newEstimatorSeeded(a, opts, seeds[t])
+		results[t] = e.treeEst(a.Initial(), n)
+		stats[t] = e
+	}
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for t := range results {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				runTrial(t)
+			}(t)
+		}
+		wg.Wait()
+	} else {
+		for t := range results {
+			runTrial(t)
+		}
+	}
+	if opts.Stats != nil {
+		for _, e := range stats {
+			opts.Stats.TreeKeys += len(e.trees)
+			opts.Stats.ForestKeys += len(e.forests)
+			opts.Stats.UnionSamples += e.unionSamples
+			opts.Stats.Rejections += e.rejections
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
+	return results[len(results)/2]
+}
+
+// SampleTree draws one near-uniform tree from L_n(T), or nil if the
+// language is (estimated) empty.
+func SampleTree(a *nfta.NFTA, n int, opts Options) *nfta.Tree {
+	if a.HasLambda() {
+		panic("count: automaton has λ-transitions; run EliminateLambda first")
+	}
+	opts = opts.withDefaults()
+	e := newEstimator(a, opts)
+	if e.treeEst(a.Initial(), n).IsZero() {
+		return nil
+	}
+	return e.sampleTree(a.Initial(), n)
+}
+
+type qnKey struct{ q, n int }
+type qsnKey struct{ q, sym, n int }
+type tupleKey struct {
+	tuple int // interned children tuple
+	m     int
+}
+
+type estimator struct {
+	a        *nfta.NFTA
+	rng      *rand.Rand
+	samples  int
+	maxRetry int
+
+	trees   map[qnKey]efloat.E
+	unions  map[qsnKey]efloat.E
+	forests map[tupleKey]efloat.E
+
+	unionSamples int
+	rejections   int
+
+	tupleIDs map[string]int
+	tuples   [][]int
+
+	// transBySym[q] groups q's outgoing transitions by symbol, each as a
+	// list of interned children tuples, in a fixed (canonical) order.
+	transBySym []map[int][]int
+	symsOf     [][]int // sorted symbols with transitions out of q
+}
+
+func newEstimator(a *nfta.NFTA, opts Options) *estimator {
+	return newEstimatorSeeded(a, opts, opts.Rng.Int63())
+}
+
+func newEstimatorSeeded(a *nfta.NFTA, opts Options, seed int64) *estimator {
+	e := &estimator{
+		a:        a,
+		rng:      rand.New(rand.NewSource(seed)),
+		samples:  opts.Samples,
+		maxRetry: opts.MaxRetry,
+		trees:    make(map[qnKey]efloat.E),
+		unions:   make(map[qsnKey]efloat.E),
+		forests:  make(map[tupleKey]efloat.E),
+		tupleIDs: make(map[string]int),
+	}
+	e.transBySym = make([]map[int][]int, a.NumStates())
+	e.symsOf = make([][]int, a.NumStates())
+	for q := 0; q < a.NumStates(); q++ {
+		e.transBySym[q] = make(map[int][]int)
+		for _, tr := range a.From(q) {
+			id := e.internTuple(tr.Children)
+			e.transBySym[q][tr.Sym] = append(e.transBySym[q][tr.Sym], id)
+		}
+		for sym := range e.transBySym[q] {
+			e.symsOf[q] = append(e.symsOf[q], sym)
+		}
+		sort.Ints(e.symsOf[q])
+	}
+	return e
+}
+
+func (e *estimator) internTuple(children []int) int {
+	var b strings.Builder
+	for _, c := range children {
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte(',')
+	}
+	k := b.String()
+	if id, ok := e.tupleIDs[k]; ok {
+		return id
+	}
+	id := len(e.tuples)
+	e.tupleIDs[k] = id
+	e.tuples = append(e.tuples, append([]int(nil), children...))
+	return id
+}
+
+// treeEst returns the (memoized) estimate of |T(q, n)|.
+func (e *estimator) treeEst(q, n int) efloat.E {
+	if n <= 0 {
+		return efloat.Zero
+	}
+	key := qnKey{q, n}
+	if v, ok := e.trees[key]; ok {
+		return v
+	}
+	// Guard against reentrancy: with n ≥ 1 the recursion strictly
+	// decreases sizes (forests of n−1 < n), so plain memoization
+	// suffices; pre-store zero to be safe against pathological input.
+	e.trees[key] = efloat.Zero
+	total := efloat.Zero
+	for _, sym := range e.symsOf[q] {
+		total = total.Add(e.symbolUnion(q, sym, n))
+	}
+	e.trees[key] = total
+	return total
+}
+
+// symbolUnion estimates (and memoizes) the number of trees of size n,
+// root label sym, accepted from q: the union over transitions (q, sym,
+// c) of the sym-rooted trees with child forest in F(c, n−1).
+// Memoization matters: the samplers consult these estimates at every
+// recursion level, and re-estimating a union re-runs its sampling loop.
+func (e *estimator) symbolUnion(q, sym, n int) efloat.E {
+	tuples := e.transBySym[q][sym]
+	switch len(tuples) {
+	case 0:
+		return efloat.Zero
+	case 1:
+		return e.forestEst(tuples[0], n-1)
+	}
+	key := qsnKey{q, sym, n}
+	if v, ok := e.unions[key]; ok {
+		return v
+	}
+	e.unions[key] = efloat.Zero
+	total := efloat.Zero
+	for j, tid := range tuples {
+		cj := e.forestEst(tid, n-1)
+		if cj.IsZero() {
+			continue
+		}
+		if j == 0 {
+			total = total.Add(cj)
+			continue
+		}
+		fresh := 0
+		for s := 0; s < e.samples; s++ {
+			e.unionSamples++
+			f := e.sampleForest(tid, n-1)
+			if f == nil {
+				continue
+			}
+			if e.firstAccepting(tuples[:j], f) < 0 {
+				fresh++
+			}
+		}
+		total = total.Add(cj.MulFloat(float64(fresh) / float64(e.samples)))
+	}
+	e.unions[key] = total
+	return total
+}
+
+// firstAccepting returns the index of the first tuple accepting the
+// forest, or -1. Acceptance sets per forest tree are computed once.
+func (e *estimator) firstAccepting(tuples []int, forest []*nfta.Tree) int {
+	sets := make([]map[int]bool, len(forest))
+	for i, t := range forest {
+		sets[i] = e.a.AcceptingStates(t)
+	}
+	for j, tid := range tuples {
+		tuple := e.tuples[tid]
+		if len(tuple) != len(forest) {
+			continue
+		}
+		ok := true
+		for i, q := range tuple {
+			if !sets[i][q] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return j
+		}
+	}
+	return -1
+}
+
+// forestEst returns the (memoized) estimate of |F(tuple, m)|, combining
+// first-tree-size splits exactly (disjoint union of products).
+func (e *estimator) forestEst(tid, m int) efloat.E {
+	tuple := e.tuples[tid]
+	if len(tuple) == 0 {
+		if m == 0 {
+			return efloat.One
+		}
+		return efloat.Zero
+	}
+	if len(tuple) == 1 {
+		return e.treeEst(tuple[0], m)
+	}
+	key := tupleKey{tid, m}
+	if v, ok := e.forests[key]; ok {
+		return v
+	}
+	restID := e.internTuple(tuple[1:])
+	total := efloat.Zero
+	for j := 1; j <= m-(len(tuple)-1); j++ {
+		head := e.treeEst(tuple[0], j)
+		if head.IsZero() {
+			continue
+		}
+		total = total.Add(head.Mul(e.forestEst(restID, m-j)))
+	}
+	e.forests[key] = total
+	return total
+}
+
+// sampleTree draws a near-uniform tree from T(q, n), or nil if empty.
+func (e *estimator) sampleTree(q, n int) *nfta.Tree {
+	if e.treeEst(q, n).IsZero() {
+		return nil
+	}
+	syms := e.symsOf[q]
+	weights := make([]efloat.E, len(syms))
+	for i, sym := range syms {
+		weights[i] = e.symbolUnion(q, sym, n)
+	}
+	i := e.pick(weights)
+	if i < 0 {
+		return nil
+	}
+	sym := syms[i]
+	tuples := e.transBySym[q][sym]
+	if len(tuples) == 1 {
+		f := e.sampleForest(tuples[0], n-1)
+		if f == nil {
+			return nil
+		}
+		return &nfta.Tree{Sym: sym, Children: f}
+	}
+	tw := make([]efloat.E, len(tuples))
+	for j, tid := range tuples {
+		tw[j] = e.forestEst(tid, n-1)
+	}
+	maxRetry := e.maxRetry
+	if maxRetry <= 0 {
+		maxRetry = 32 * len(tuples)
+	}
+	var last *nfta.Tree
+	for r := 0; r < maxRetry; r++ {
+		j := e.pick(tw)
+		if j < 0 {
+			return nil
+		}
+		f := e.sampleForest(tuples[j], n-1)
+		if f == nil {
+			continue
+		}
+		last = &nfta.Tree{Sym: sym, Children: f}
+		if j == 0 || e.firstAccepting(tuples[:j], f) < 0 {
+			return last
+		}
+		e.rejections++
+	}
+	// Retry budget exhausted: return the latest draw (slightly biased
+	// towards multiply-covered trees; the budget makes this path rare).
+	return last
+}
+
+// sampleForest draws a near-uniform forest from F(tuple, m), or nil if
+// empty. Splits are disjoint, so no rejection is needed.
+func (e *estimator) sampleForest(tid, m int) []*nfta.Tree {
+	tuple := e.tuples[tid]
+	if len(tuple) == 0 {
+		if m == 0 {
+			return []*nfta.Tree{}
+		}
+		return nil
+	}
+	if len(tuple) == 1 {
+		t := e.sampleTree(tuple[0], m)
+		if t == nil {
+			return nil
+		}
+		return []*nfta.Tree{t}
+	}
+	restID := e.internTuple(tuple[1:])
+	maxHead := m - (len(tuple) - 1)
+	if maxHead < 1 {
+		return nil
+	}
+	weights := make([]efloat.E, maxHead)
+	for j := 1; j <= maxHead; j++ {
+		weights[j-1] = e.treeEst(tuple[0], j).Mul(e.forestEst(restID, m-j))
+	}
+	i := e.pick(weights)
+	if i < 0 {
+		return nil
+	}
+	j := i + 1
+	head := e.sampleTree(tuple[0], j)
+	if head == nil {
+		return nil
+	}
+	rest := e.sampleForest(restID, m-j)
+	if rest == nil {
+		return nil
+	}
+	return append([]*nfta.Tree{head}, rest...)
+}
+
+// pick returns an index with probability proportional to the weights, or
+// -1 if all are zero.
+func (e *estimator) pick(weights []efloat.E) int {
+	total := efloat.Sum(weights...)
+	if total.IsZero() {
+		return -1
+	}
+	target := total.MulFloat(e.rng.Float64())
+	acc := efloat.Zero
+	last := -1
+	for i, w := range weights {
+		if w.IsZero() {
+			continue
+		}
+		last = i
+		acc = acc.Add(w)
+		if target.Less(acc) {
+			return i
+		}
+	}
+	return last
+}

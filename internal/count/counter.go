@@ -1,0 +1,52 @@
+package count
+
+import (
+	"sort"
+
+	"pqe/internal/efloat"
+	"pqe/internal/nfta"
+)
+
+// Counter is a reusable counting session over one automaton: repeated
+// Count calls share the per-trial memo tables, so sweeping |L_n(T)|
+// over many sizes costs little more than the largest size alone (the
+// tables are indexed by (state, size) and smaller sizes are subproblems
+// of larger ones).
+type Counter struct {
+	a      *nfta.NFTA
+	trials []*estimator
+}
+
+// NewCounter prepares a counting session with opts.Trials independent
+// trial estimators.
+func NewCounter(a *nfta.NFTA, opts Options) *Counter {
+	if a.HasLambda() {
+		panic("count: automaton has λ-transitions; run EliminateLambda first")
+	}
+	opts = opts.withDefaults()
+	c := &Counter{a: a}
+	for t := 0; t < opts.Trials; t++ {
+		c.trials = append(c.trials, newEstimatorSeeded(a, opts, opts.Rng.Int63()))
+	}
+	return c
+}
+
+// Count approximates |L_n(T)| (median across the session's trials).
+func (c *Counter) Count(n int) efloat.E {
+	results := make([]efloat.E, len(c.trials))
+	for t, e := range c.trials {
+		results[t] = e.treeEst(c.a.Initial(), n)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
+	return results[len(results)/2]
+}
+
+// Sample draws a near-uniform tree of size n using the first trial's
+// tables, or nil if the language at that size is (estimated) empty.
+func (c *Counter) Sample(n int) *nfta.Tree {
+	e := c.trials[0]
+	if e.treeEst(c.a.Initial(), n).IsZero() {
+		return nil
+	}
+	return e.sampleTree(c.a.Initial(), n)
+}

@@ -1,0 +1,64 @@
+package cq
+
+import "pqe/internal/pdb"
+
+// CanonicalDatabase returns the canonical (frozen) database of the
+// query: one fact per atom, with each variable frozen to a constant
+// named after it. By the Chandra–Merlin theorem, D ⊨ Q' for the
+// canonical database of Q iff there is a homomorphism Q' → Q.
+//
+// The paper's "Key Ideas" section traces its approach to the
+// Kolaitis–Vardi connection between conjunctive-query containment and
+// constraint satisfaction; this is the classical object underlying
+// that connection, provided here both for completeness of the CQ
+// substrate and for query-minimization utilities.
+func (q *Query) CanonicalDatabase() *pdb.Database {
+	d := pdb.NewDatabase()
+	for _, a := range q.Atoms {
+		args := make([]string, len(a.Vars))
+		for i, v := range a.Vars {
+			args[i] = "⟨" + v + "⟩"
+		}
+		d.Add(pdb.Fact{Relation: a.Relation, Args: args})
+	}
+	return d
+}
+
+// ContainedIn reports whether q ⊆ q2: every database satisfying q also
+// satisfies q2. By Chandra–Merlin this holds iff q2 maps
+// homomorphically into the canonical database of q. NP-complete in
+// general; fine for the short queries this library targets.
+func (q *Query) ContainedIn(q2 *Query) bool {
+	return Satisfies(q.CanonicalDatabase(), q2)
+}
+
+// Equivalent reports whether the two queries are logically equivalent
+// (mutual containment).
+func (q *Query) Equivalent(q2 *Query) bool {
+	return q.ContainedIn(q2) && q2.ContainedIn(q)
+}
+
+// Minimize returns the core of the query: a minimal subset of atoms
+// equivalent to the original (unique up to isomorphism). Redundant
+// atoms are those whose removal leaves an equivalent query; evaluating
+// a minimized query is never harder, and for self-join-free queries
+// minimization is the identity (no atom is redundant when every
+// relation occurs once, unless two atoms are syntactically forced).
+func (q *Query) Minimize() *Query {
+	atoms := append([]Atom(nil), q.Atoms...)
+	for i := 0; i < len(atoms); {
+		if len(atoms) == 1 {
+			break
+		}
+		reduced := make([]Atom, 0, len(atoms)-1)
+		reduced = append(reduced, atoms[:i]...)
+		reduced = append(reduced, atoms[i+1:]...)
+		candidate := New(reduced...)
+		if candidate.Equivalent(q) {
+			atoms = reduced
+		} else {
+			i++
+		}
+	}
+	return New(atoms...)
+}

@@ -1,0 +1,75 @@
+package cq
+
+import "testing"
+
+func TestCanonicalDatabase(t *testing.T) {
+	q := MustParse("R(x,y), S(y,z)")
+	d := q.CanonicalDatabase()
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if !Satisfies(d, q) {
+		t.Error("query does not hold on its own canonical database")
+	}
+}
+
+func TestContainedIn(t *testing.T) {
+	cases := []struct {
+		q1, q2 string
+		want   bool
+	}{
+		// Fewer atoms are weaker: R(x,y),S(y,z) ⊆ R(x,y).
+		{"R(x,y), S(y,z)", "R(x,y)", true},
+		{"R(x,y)", "R(x,y), S(y,z)", false},
+		// Variable renaming preserves equivalence.
+		{"R(x,y)", "R(u,v)", true},
+		// A more specific pattern is contained in a more general one.
+		{"R(x,x)", "R(x,y)", true},
+		{"R(x,y)", "R(x,x)", false},
+		// Self-join chains: R(x,y),R(y,z) ⊆ R(u,v).
+		{"R(x,y), R(y,z)", "R(u,v)", true},
+		{"R(u,v)", "R(x,y), R(y,z)", false},
+	}
+	for _, c := range cases {
+		q1, q2 := MustParse(c.q1), MustParse(c.q2)
+		if got := q1.ContainedIn(q2); got != c.want {
+			t.Errorf("(%s) ⊆ (%s) = %v, want %v", c.q1, c.q2, got, c.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := MustParse("R(x,y), S(y,z)")
+	b := MustParse("S(v,w), R(u,v)")
+	if !a.Equivalent(b) {
+		t.Error("renamed/reordered query not equivalent")
+	}
+	c := MustParse("R(x,y), S(z,w)")
+	if a.Equivalent(c) {
+		t.Error("decoupled query reported equivalent")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// R(x,y), R(u,v): the second atom is subsumed by the first.
+	q := MustParse("R(x,y), R(u,v)")
+	m := q.Minimize()
+	if m.Len() != 1 {
+		t.Errorf("Minimize left %d atoms: %s", m.Len(), m)
+	}
+	if !m.Equivalent(q) {
+		t.Error("minimized query not equivalent")
+	}
+	// A self-join-free path query is already a core.
+	p := PathQuery("R", 3)
+	if got := p.Minimize(); got.Len() != 3 {
+		t.Errorf("SJF path minimized to %d atoms", got.Len())
+	}
+	// R(x,y), R(y,z), R(u,v): the third atom is redundant, the chain is
+	// not.
+	q2 := MustParse("R(x,y), R(y,z), R(u,v)")
+	m2 := q2.Minimize()
+	if m2.Len() != 2 {
+		t.Errorf("Minimize(%s) = %s", q2, m2)
+	}
+}

@@ -1,0 +1,414 @@
+// Package cq implements Boolean conjunctive queries (Section 2 of the
+// paper): existentially quantified, constant-free first-order sentences
+// Q = R₁(x̄₁), …, R_n(x̄_n), together with the syntactic properties the
+// paper's results hinge on (self-join-freeness, path shape, the
+// hierarchical property characterizing safety for SJF CQs) and
+// deterministic query evaluation D ⊨ Q.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pqe/internal/pdb"
+)
+
+// Atom is a query atom R(x₁,…,x_k) whose arguments are variables.
+// The paper's queries are constant-free, so arguments are always
+// variable names.
+type Atom struct {
+	Relation string
+	Vars     []string
+}
+
+// NewAtom constructs an atom.
+func NewAtom(relation string, vars ...string) Atom {
+	return Atom{Relation: relation, Vars: vars}
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Vars) }
+
+// String renders the atom as R(x,y).
+func (a Atom) String() string {
+	return a.Relation + "(" + strings.Join(a.Vars, ",") + ")"
+}
+
+// VarSet returns the set of variables occurring in the atom.
+func (a Atom) VarSet() map[string]bool {
+	s := make(map[string]bool, len(a.Vars))
+	for _, v := range a.Vars {
+		s[v] = true
+	}
+	return s
+}
+
+// HasVar reports whether the variable occurs in the atom.
+func (a Atom) HasVar(v string) bool {
+	for _, w := range a.Vars {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Query is a Boolean conjunctive query: a conjunction of atoms. The
+// length of the query |Q| is the number of atoms.
+type Query struct {
+	Atoms []Atom
+}
+
+// New constructs a query from atoms.
+func New(atoms ...Atom) *Query {
+	return &Query{Atoms: atoms}
+}
+
+// Len returns |Q|, the number of atoms.
+func (q *Query) Len() int { return len(q.Atoms) }
+
+// String renders the query as a comma-separated atom list.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Vars returns vars(Q), sorted for determinism.
+func (q *Query) Vars() []string {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VarSet returns vars(Q) as a set.
+func (q *Query) VarSet() map[string]bool {
+	s := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			s[v] = true
+		}
+	}
+	return s
+}
+
+// Relations returns the multiset-free list of relation names in Q,
+// sorted.
+func (q *Query) Relations() []string {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		seen[a.Relation] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationSet returns the relation names of Q as a set.
+func (q *Query) RelationSet() map[string]bool {
+	s := make(map[string]bool)
+	for _, a := range q.Atoms {
+		s[a.Relation] = true
+	}
+	return s
+}
+
+// SelfJoinFree reports whether no relation name repeats across atoms.
+func (q *Query) SelfJoinFree() bool {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if seen[a.Relation] {
+			return false
+		}
+		seen[a.Relation] = true
+	}
+	return true
+}
+
+// AtomsWithVar returns the indices of the atoms containing the variable.
+func (q *Query) AtomsWithVar(v string) []int {
+	var out []int
+	for i, a := range q.Atoms {
+		if a.HasVar(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsPath reports whether Q is a path query in the paper's sense:
+// binary atoms R₁(x₁,x₂), R₂(x₂,x₃), …, R_n(x_n,x_{n+1}) with all chain
+// variables distinct. The atoms must appear in chain order.
+func (q *Query) IsPath() bool {
+	if len(q.Atoms) == 0 {
+		return false
+	}
+	seen := make(map[string]bool)
+	for i, a := range q.Atoms {
+		if a.Arity() != 2 {
+			return false
+		}
+		if a.Vars[0] == a.Vars[1] {
+			return false
+		}
+		if i > 0 && a.Vars[0] != q.Atoms[i-1].Vars[1] {
+			return false
+		}
+		if seen[a.Vars[1]] {
+			return false
+		}
+		if i == 0 {
+			if seen[a.Vars[0]] {
+				return false
+			}
+			seen[a.Vars[0]] = true
+		}
+		seen[a.Vars[1]] = true
+	}
+	return true
+}
+
+// Hierarchical reports whether Q is hierarchical: for every pair of
+// variables x, y, the atom sets at(x) and at(y) are either disjoint or
+// comparable under inclusion. For self-join-free conjunctive queries,
+// non-hierarchicality is equivalent to #P-hardness of PQE in data
+// complexity (Dalvi–Suciu), i.e. hierarchical ⇔ safe.
+func (q *Query) Hierarchical() bool {
+	vars := q.Vars()
+	at := make(map[string]map[int]bool, len(vars))
+	for _, v := range vars {
+		set := make(map[int]bool)
+		for _, i := range q.AtomsWithVar(v) {
+			set[i] = true
+		}
+		at[v] = set
+	}
+	for i, x := range vars {
+		for _, y := range vars[i+1:] {
+			ax, ay := at[x], at[y]
+			if !disjoint(ax, ay) && !subset(ax, ay) && !subset(ay, ax) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func disjoint(a, b map[int]bool) bool {
+	for k := range a {
+		if b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func subset(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Components partitions the atoms of Q into connected components of the
+// variable-sharing graph: two atoms are connected if they share a
+// variable. Each component is returned as a sorted slice of atom indices.
+// Atoms with no variables form singleton components.
+func (q *Query) Components() [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+
+	byVar := make(map[string]int)
+	for i, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if j, ok := byVar[v]; ok {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range q.Atoms {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// SubQuery returns the query restricted to the given atom indices.
+func (q *Query) SubQuery(idx []int) *Query {
+	atoms := make([]Atom, len(idx))
+	for i, j := range idx {
+		atoms[i] = q.Atoms[j]
+	}
+	return New(atoms...)
+}
+
+// Validate checks well-formedness: at least one atom, consistent arities
+// per relation name, and valid identifiers.
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("cq: empty query")
+	}
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		if a.Relation == "" {
+			return fmt.Errorf("cq: atom with empty relation name")
+		}
+		if prev, ok := arity[a.Relation]; ok && prev != a.Arity() {
+			return fmt.Errorf("cq: relation %s used with arities %d and %d", a.Relation, prev, a.Arity())
+		}
+		arity[a.Relation] = a.Arity()
+		for _, v := range a.Vars {
+			if v == "" {
+				return fmt.Errorf("cq: atom %s has an empty variable", a)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps query variables to constants.
+type Assignment map[string]string
+
+// Satisfies reports whether D ⊨ Q under the usual semantics: there is an
+// assignment of vars(Q) to constants such that every atom maps to a fact
+// of D. It uses backtracking over atoms ordered to maximize join
+// connectivity.
+func Satisfies(db *pdb.Database, q *Query) bool {
+	return FindWitness(db, q) != nil
+}
+
+// FindWitness returns one satisfying assignment, or nil if D ⊭ Q.
+func FindWitness(db *pdb.Database, q *Query) Assignment {
+	byRel := make(map[string][]pdb.Fact)
+	for _, r := range q.Relations() {
+		byRel[r] = db.FactsOf(r)
+		if len(byRel[r]) == 0 {
+			return nil
+		}
+	}
+	order := joinOrder(q)
+	asg := make(Assignment)
+	if satisfy(byRel, q, order, 0, asg) {
+		return asg
+	}
+	return nil
+}
+
+// joinOrder orders atom indices so each atom (after the first) shares a
+// variable with an earlier one when possible, which prunes the
+// backtracking search.
+func joinOrder(q *Query) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best := -1
+		bestShared := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			shared := 0
+			for _, v := range q.Atoms[i].Vars {
+				if bound[v] {
+					shared++
+				}
+			}
+			if shared > bestShared {
+				best, bestShared = i, shared
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range q.Atoms[best].Vars {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+func satisfy(byRel map[string][]pdb.Fact, q *Query, order []int, pos int, asg Assignment) bool {
+	if pos == len(order) {
+		return true
+	}
+	atom := q.Atoms[order[pos]]
+	for _, f := range byRel[atom.Relation] {
+		added, ok := bind(atom, f, asg)
+		if !ok {
+			continue
+		}
+		if satisfy(byRel, q, order, pos+1, asg) {
+			return true
+		}
+		for _, v := range added {
+			delete(asg, v)
+		}
+	}
+	return false
+}
+
+// bind extends asg so atom maps to fact f. It returns the variables it
+// newly bound and whether the binding succeeded; on failure asg is left
+// untouched.
+func bind(atom Atom, f pdb.Fact, asg Assignment) ([]string, bool) {
+	if len(atom.Vars) != len(f.Args) {
+		return nil, false
+	}
+	var added []string
+	for i, v := range atom.Vars {
+		if c, ok := asg[v]; ok {
+			if c != f.Args[i] {
+				for _, w := range added {
+					delete(asg, w)
+				}
+				return nil, false
+			}
+			continue
+		}
+		asg[v] = f.Args[i]
+		added = append(added, v)
+	}
+	return added, true
+}

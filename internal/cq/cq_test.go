@@ -1,0 +1,372 @@
+package cq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pqe/internal/pdb"
+)
+
+func TestParse(t *testing.T) {
+	q, err := Parse("R(x,y), S(y,z), T(z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.String() != "R(x,y), S(y,z), T(z)" {
+		t.Errorf("String = %q", q.String())
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("Vars = %v", got)
+	}
+	if got := q.Relations(); !reflect.DeepEqual(got, []string{"R", "S", "T"}) {
+		t.Errorf("Relations = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"R(x",
+		"R(x),",
+		"R(x) S(y)",
+		"R(x,,y)",
+		"1R(x)",
+		"R(x), R(x,y)", // inconsistent arity
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSelfJoinFree(t *testing.T) {
+	if !MustParse("R(x,y), S(y,z)").SelfJoinFree() {
+		t.Error("SJF query reported as having self-joins")
+	}
+	if MustParse("R(x,y), R(y,z)").SelfJoinFree() {
+		t.Error("self-join query reported as SJF")
+	}
+}
+
+func TestIsPath(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"R(x,y)", true},
+		{"R1(x1,x2), R2(x2,x3)", true},
+		{"R1(x1,x2), R2(x2,x3), R3(x3,x4)", true},
+		{"R(x,y), S(z,w)", false},         // not chained
+		{"R(x,y), S(y,x)", false},         // revisits x
+		{"R(x,x)", false},                 // self-loop variable
+		{"R(x,y,z)", false},               // not binary
+		{"R(x,y), S(y,z), T(z,x)", false}, // cycle
+		{"R(x,y), S(y,z), T(y,w)", false}, // branches
+	}
+	for _, c := range cases {
+		if got := MustParse(c.q).IsPath(); got != c.want {
+			t.Errorf("IsPath(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPathStarCycleBuilders(t *testing.T) {
+	p := PathQuery("R", 3)
+	if p.String() != "R1(x1,x2), R2(x2,x3), R3(x3,x4)" {
+		t.Errorf("PathQuery = %s", p)
+	}
+	if !p.IsPath() || !p.SelfJoinFree() {
+		t.Error("PathQuery not a SJF path")
+	}
+	s := StarQuery("S", 3)
+	if !s.Hierarchical() {
+		t.Errorf("StarQuery %s not hierarchical", s)
+	}
+	c := CycleQuery("C", 3)
+	if c.String() != "C1(x1,x2), C2(x2,x3), C3(x3,x1)" {
+		t.Errorf("CycleQuery = %s", c)
+	}
+	if c.IsPath() {
+		t.Error("cycle reported as path")
+	}
+}
+
+func TestHierarchical(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		// Every query in 3Path is non-hierarchical (paper §1.1), but
+		// paths of length < 3 are hierarchical.
+		{"R1(x1,x2)", true},
+		{"R1(x1,x2), R2(x2,x3)", true},
+		{"R1(x1,x2), R2(x2,x3), R3(x3,x4)", false},
+		{"R(x,y), S(x,z)", true},      // star
+		{"R(x,y), S(y)", true},        // nested
+		{"R(x), S(x,y), T(y)", false}, // the classic unsafe H₀ shape
+	}
+	for _, c := range cases {
+		if got := MustParse(c.q).Hierarchical(); got != c.want {
+			t.Errorf("Hierarchical(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func Test3PathFamilyNonHierarchical(t *testing.T) {
+	// Corollary 1 requires every Q_i with i ≥ 3 to be non-hierarchical.
+	for i := 3; i <= 10; i++ {
+		if PathQuery("R", i).Hierarchical() {
+			t.Errorf("Q_%d reported hierarchical", i)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	q := MustParse("R(x,y), S(y,z), T(u,v), U(w)")
+	got := q.Components()
+	want := [][]int{{0, 1}, {2}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Components = %v, want %v", got, want)
+	}
+	sub := q.SubQuery(got[0])
+	if sub.String() != "R(x,y), S(y,z)" {
+		t.Errorf("SubQuery = %s", sub)
+	}
+}
+
+func db(facts ...pdb.Fact) *pdb.Database { return pdb.FromFacts(facts...) }
+
+func TestSatisfies(t *testing.T) {
+	d := db(
+		pdb.NewFact("R", "a", "b"),
+		pdb.NewFact("S", "b", "c"),
+		pdb.NewFact("S", "x", "y"),
+	)
+	if !Satisfies(d, MustParse("R(x,y), S(y,z)")) {
+		t.Error("satisfiable query reported unsatisfied")
+	}
+	if Satisfies(d, MustParse("S(x,y), R(y,z)")) {
+		t.Error("unsatisfiable join reported satisfied")
+	}
+	if Satisfies(d, MustParse("R(x,y), T(y)")) {
+		t.Error("query over missing relation reported satisfied")
+	}
+	// Repeated variable within an atom must bind consistently.
+	if Satisfies(d, MustParse("R(x,x)")) {
+		t.Error("R(x,x) reported satisfied with no loop fact")
+	}
+	d2 := db(pdb.NewFact("R", "a", "a"))
+	if !Satisfies(d2, MustParse("R(x,x)")) {
+		t.Error("R(x,x) unsatisfied despite loop fact")
+	}
+}
+
+func TestFindWitness(t *testing.T) {
+	d := db(
+		pdb.NewFact("R", "a", "b"),
+		pdb.NewFact("S", "b", "c"),
+	)
+	q := MustParse("R(x,y), S(y,z)")
+	w := FindWitness(d, q)
+	if w == nil {
+		t.Fatal("no witness found")
+	}
+	if w["x"] != "a" || w["y"] != "b" || w["z"] != "c" {
+		t.Errorf("witness = %v", w)
+	}
+	facts := WitnessFacts(q, w)
+	if facts[0].Key() != "R(a,b)" || facts[1].Key() != "S(b,c)" {
+		t.Errorf("WitnessFacts = %v", facts)
+	}
+}
+
+func TestEnumerateWitnesses(t *testing.T) {
+	d := db(
+		pdb.NewFact("R", "a", "b"),
+		pdb.NewFact("R", "a", "c"),
+		pdb.NewFact("S", "b", "d"),
+		pdb.NewFact("S", "c", "d"),
+		pdb.NewFact("S", "z", "w"),
+	)
+	q := MustParse("R(x,y), S(y,z)")
+	seen := make(map[string]bool)
+	EnumerateWitnesses(d, q, func(a Assignment) bool {
+		seen[a.Key()] = true
+		return true
+	})
+	if len(seen) != 2 {
+		t.Errorf("found %d witnesses, want 2: %v", len(seen), seen)
+	}
+	if got := CountWitnesses(d, q, 0); got != 2 {
+		t.Errorf("CountWitnesses = %d", got)
+	}
+	if got := CountWitnesses(d, q, 1); got != 1 {
+		t.Errorf("CountWitnesses with limit = %d", got)
+	}
+}
+
+func TestWitnessCountCrossProduct(t *testing.T) {
+	// Disconnected query: witness count is the product of per-component
+	// counts (|R| × |S|). This is the Θ(|D|^i) lineage growth seed.
+	d := pdb.NewDatabase()
+	for _, c := range []string{"a", "b", "c"} {
+		d.Add(pdb.NewFact("R", c))
+		d.Add(pdb.NewFact("S", c))
+	}
+	q := MustParse("R(x), S(y)")
+	if got := CountWitnesses(d, q, 0); got != 9 {
+		t.Errorf("CountWitnesses = %d, want 9", got)
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := Assignment{"x": "1", "y": "2"}
+	b := Assignment{"y": "2", "z": "3"}
+	c := Assignment{"y": "9"}
+	if !a.Consistent(b) {
+		t.Error("consistent assignments reported inconsistent")
+	}
+	if a.Consistent(c) {
+		t.Error("inconsistent assignments reported consistent")
+	}
+	clone := a.Clone()
+	clone["x"] = "changed"
+	if a["x"] != "1" {
+		t.Error("Clone aliases original")
+	}
+	r := a.Restrict([]string{"x", "missing"})
+	if len(r) != 1 || r["x"] != "1" {
+		t.Errorf("Restrict = %v", r)
+	}
+	if a.Key() != "x=1;y=2;" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Error("empty query validated")
+	}
+	ok := New(NewAtom("R", "x"), NewAtom("S", "x", "y"))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+// Property: Satisfies agrees with brute-force assignment enumeration on
+// random small instances.
+func TestQuickSatisfiesAgainstBruteForce(t *testing.T) {
+	queries := []*Query{
+		MustParse("R(x,y), S(y,z)"),
+		MustParse("R(x,y), S(y,x)"),
+		MustParse("R(x,x)"),
+		MustParse("R(x,y), S(y,z), T(z,x)"),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := pdb.NewDatabase()
+		consts := []string{"a", "b", "c"}
+		for _, rel := range []string{"R", "S", "T"} {
+			for i := 0; i < rng.Intn(4); i++ {
+				d.Add(pdb.NewFact(rel, consts[rng.Intn(3)], consts[rng.Intn(3)]))
+			}
+		}
+		for _, q := range queries {
+			if Satisfies(d, q) != bruteForceSatisfies(d, q, consts) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForceSatisfies tries every assignment of vars(Q) to the constant
+// pool.
+func bruteForceSatisfies(d *pdb.Database, q *Query, consts []string) bool {
+	vars := q.Vars()
+	asg := make(Assignment)
+	var try func(int) bool
+	try = func(i int) bool {
+		if i == len(vars) {
+			for _, a := range q.Atoms {
+				args := make([]string, len(a.Vars))
+				for j, v := range a.Vars {
+					args[j] = asg[v]
+				}
+				if !d.Contains(pdb.Fact{Relation: a.Relation, Args: args}) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range consts {
+			asg[vars[i]] = c
+			if try(i + 1) {
+				return true
+			}
+		}
+		delete(asg, vars[i])
+		return false
+	}
+	return try(0)
+}
+
+// Property: witness enumeration yields exactly the assignments that
+// satisfy the query, without duplicates.
+func TestQuickWitnessesDistinctAndValid(t *testing.T) {
+	q := MustParse("R(x,y), S(y,z)")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := pdb.NewDatabase()
+		consts := []string{"a", "b", "c", "d"}
+		for i := 0; i < rng.Intn(8); i++ {
+			d.Add(pdb.NewFact("R", consts[rng.Intn(4)], consts[rng.Intn(4)]))
+		}
+		for i := 0; i < rng.Intn(8); i++ {
+			d.Add(pdb.NewFact("S", consts[rng.Intn(4)], consts[rng.Intn(4)]))
+		}
+		seen := make(map[string]bool)
+		valid := true
+		EnumerateWitnesses(d, q, func(a Assignment) bool {
+			k := a.Key()
+			if seen[k] {
+				valid = false
+			}
+			seen[k] = true
+			for _, fct := range WitnessFacts(q, a) {
+				if !d.Contains(fct) {
+					valid = false
+				}
+			}
+			return true
+		})
+		return valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnowflakeQuery(t *testing.T) {
+	q := SnowflakeQuery("S", 3, 2)
+	if q.Len() != 1+3*2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if !q.SelfJoinFree() {
+		t.Error("snowflake has self-joins")
+	}
+	if q.Hierarchical() {
+		t.Error("snowflake with depth 2 reported hierarchical")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

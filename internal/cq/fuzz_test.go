@@ -1,0 +1,44 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the query parser never panics and that
+// accepted queries render and re-parse to an equal query.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R(x,y)",
+		"R(x,y), S(y,z)",
+		"R1(x1,x2), R2(x2,x3), R3(x3,x4)",
+		"A(), B(x)",
+		"R(x,,y)",
+		"R(x",
+		"",
+		" R ( x , y ) , S ( y ) ",
+		"R(x)),(",
+		strings.Repeat("R(x),", 50) + "S(y)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("rendered query %q does not re-parse: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip changed query: %q -> %q", q.String(), q2.String())
+		}
+		// Exercise the analyzers; none may panic.
+		_ = q.SelfJoinFree()
+		_ = q.IsPath()
+		_ = q.Hierarchical()
+		_ = q.Components()
+		_ = q.Vars()
+	})
+}

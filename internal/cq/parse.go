@@ -1,0 +1,156 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a conjunctive query written as a comma-separated atom
+// list, e.g. "R(x,y), S(y,z), T(z)". Arguments are variable names
+// (queries are constant-free, per the paper).
+func Parse(s string) (*Query, error) {
+	var atoms []Atom
+	rest := strings.TrimSpace(s)
+	if rest == "" {
+		return nil, fmt.Errorf("cq: empty query string")
+	}
+	for len(rest) > 0 {
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return nil, fmt.Errorf("cq: expected '(' in %q", rest)
+		}
+		closing := strings.IndexByte(rest, ')')
+		if closing < open {
+			return nil, fmt.Errorf("cq: unbalanced parentheses in %q", rest)
+		}
+		rel := strings.TrimSpace(rest[:open])
+		if !validIdent(rel) {
+			return nil, fmt.Errorf("cq: invalid relation name %q", rel)
+		}
+		inner := strings.TrimSpace(rest[open+1 : closing])
+		var vars []string
+		if inner != "" {
+			for _, part := range strings.Split(inner, ",") {
+				v := strings.TrimSpace(part)
+				if !validIdent(v) {
+					return nil, fmt.Errorf("cq: invalid variable %q in atom %s", v, rel)
+				}
+				vars = append(vars, v)
+			}
+		}
+		atoms = append(atoms, Atom{Relation: rel, Vars: vars})
+		rest = strings.TrimSpace(rest[closing+1:])
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return nil, fmt.Errorf("cq: expected ',' between atoms near %q", rest)
+		}
+		rest = strings.TrimSpace(rest[1:])
+		if rest == "" {
+			return nil, fmt.Errorf("cq: trailing comma")
+		}
+	}
+	q := New(atoms...)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// PathQuery builds the self-join-free path query
+// Q_n = R₁(x₁,x₂), …, R_n(x_n,x_{n+1}) from Section 1.1's 3Path family,
+// with relation names prefix+"1", …, prefix+"n".
+func PathQuery(prefix string, n int) *Query {
+	atoms := make([]Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = Atom{
+			Relation: fmt.Sprintf("%s%d", prefix, i+1),
+			Vars:     []string{fmt.Sprintf("x%d", i+1), fmt.Sprintf("x%d", i+2)},
+		}
+	}
+	return New(atoms...)
+}
+
+// StarQuery builds the hierarchical (safe) star query
+// R₁(x,y₁), …, R_n(x,y_n): every atom shares the hub variable x.
+func StarQuery(prefix string, n int) *Query {
+	atoms := make([]Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = Atom{
+			Relation: fmt.Sprintf("%s%d", prefix, i+1),
+			Vars:     []string{"x", fmt.Sprintf("y%d", i+1)},
+		}
+	}
+	return New(atoms...)
+}
+
+// SnowflakeQuery builds an acyclic star-of-chains query in the shape of
+// a snowflake schema: a central fact atom C(h₁,…,h_arms) with one
+// dimension chain of the given depth hanging off each position:
+//
+//	C(h1,…,hk), D1_1(h1,v1_1), D1_2(v1_1,v1_2), …, Dk_depth(…)
+//
+// Snowflakes are the textbook low-hypertree-width analytics queries the
+// paper's motivation cites ([17]: real-world benchmark queries have
+// width ≤ 3); they are acyclic (width 1), self-join-free, and
+// non-hierarchical once depth ≥ 1 and arms ≥ 2.
+func SnowflakeQuery(prefix string, arms, depth int) *Query {
+	hub := make([]string, arms)
+	for i := range hub {
+		hub[i] = fmt.Sprintf("h%d", i+1)
+	}
+	atoms := []Atom{{Relation: prefix + "C", Vars: hub}}
+	for i := 1; i <= arms; i++ {
+		prev := fmt.Sprintf("h%d", i)
+		for j := 1; j <= depth; j++ {
+			v := fmt.Sprintf("v%d_%d", i, j)
+			atoms = append(atoms, Atom{
+				Relation: fmt.Sprintf("%sD%d_%d", prefix, i, j),
+				Vars:     []string{prev, v},
+			})
+			prev = v
+		}
+	}
+	return New(atoms...)
+}
+
+// CycleQuery builds the cyclic query R₁(x₁,x₂), …, R_n(x_n,x₁), which is
+// not acyclic and has (generalized) hypertree width 2 for n ≥ 3.
+func CycleQuery(prefix string, n int) *Query {
+	atoms := make([]Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = Atom{
+			Relation: fmt.Sprintf("%s%d", prefix, i+1),
+			Vars:     []string{fmt.Sprintf("x%d", i+1), fmt.Sprintf("x%d", (i+1)%n+1)},
+		}
+	}
+	return New(atoms...)
+}

@@ -1,0 +1,127 @@
+package cq
+
+import (
+	"sort"
+
+	"pqe/internal/pdb"
+)
+
+// EnumerateWitnesses calls yield once for every satisfying assignment
+// (homomorphism) of Q into D, in a deterministic order. Enumeration
+// stops early if yield returns false. The number of witnesses can be as
+// large as |D|^|Q| — this combinatorial explosion is precisely the
+// lineage blow-up the paper's FPRAS avoids — so callers should bound
+// their use.
+//
+// The yielded assignment is reused between calls; yield must copy it if
+// it needs to retain it.
+func EnumerateWitnesses(db *pdb.Database, q *Query, yield func(Assignment) bool) {
+	byRel := make(map[string][]pdb.Fact)
+	for _, r := range q.Relations() {
+		byRel[r] = db.FactsOf(r)
+		if len(byRel[r]) == 0 {
+			return
+		}
+	}
+	order := joinOrder(q)
+	asg := make(Assignment)
+	enumerate(byRel, q, order, 0, asg, yield)
+}
+
+func enumerate(byRel map[string][]pdb.Fact, q *Query, order []int, pos int, asg Assignment, yield func(Assignment) bool) bool {
+	if pos == len(order) {
+		return yield(asg)
+	}
+	atom := q.Atoms[order[pos]]
+	for _, f := range byRel[atom.Relation] {
+		added, ok := bind(atom, f, asg)
+		if !ok {
+			continue
+		}
+		cont := enumerate(byRel, q, order, pos+1, asg, yield)
+		for _, v := range added {
+			delete(asg, v)
+		}
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// CountWitnesses returns the number of satisfying assignments of Q in D,
+// stopping at limit if limit > 0.
+func CountWitnesses(db *pdb.Database, q *Query, limit int) int {
+	n := 0
+	EnumerateWitnesses(db, q, func(Assignment) bool {
+		n++
+		return limit <= 0 || n < limit
+	})
+	return n
+}
+
+// WitnessFacts maps an assignment back to the multiset of facts it uses:
+// one fact per atom, in atom order.
+func WitnessFacts(q *Query, asg Assignment) []pdb.Fact {
+	facts := make([]pdb.Fact, len(q.Atoms))
+	for i, a := range q.Atoms {
+		args := make([]string, len(a.Vars))
+		for j, v := range a.Vars {
+			args[j] = asg[v]
+		}
+		facts[i] = pdb.Fact{Relation: a.Relation, Args: args}
+	}
+	return facts
+}
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Consistent reports whether two assignments agree on every shared
+// variable (the paper's consistency notion for tuple assignments).
+func (a Assignment) Consistent(b Assignment) bool {
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for k, v := range small {
+		if w, ok := large[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Restrict returns the assignment restricted to the given variables.
+func (a Assignment) Restrict(vars []string) Assignment {
+	out := make(Assignment, len(vars))
+	for _, v := range vars {
+		if c, ok := a[v]; ok {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string for the assignment, usable as a map key.
+func (a Assignment) Key() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for _, k := range keys {
+		b = append(b, k...)
+		b = append(b, '=')
+		b = append(b, a[k]...)
+		b = append(b, ';')
+	}
+	return string(b)
+}

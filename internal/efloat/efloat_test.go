@@ -1,0 +1,284 @@
+package efloat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-12*scale
+}
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, 2, 0.5, 3.25, 1e300, 1e-300, 123456789.123} {
+		if got := FromFloat(f).Float(); !almostEqual(got, f) {
+			t.Errorf("FromFloat(%v).Float() = %v", f, got)
+		}
+	}
+}
+
+func TestZeroBehaviour(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if got := Zero.Add(One); got.Cmp(One) != 0 {
+		t.Errorf("0+1 = %v", got)
+	}
+	if got := One.Sub(One); !got.IsZero() {
+		t.Errorf("1-1 = %v", got)
+	}
+	if got := Zero.Mul(FromFloat(5)); !got.IsZero() {
+		t.Errorf("0*5 = %v", got)
+	}
+	if got := Zero.Float(); got != 0 {
+		t.Errorf("Zero.Float() = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromFloat(3)
+	b := FromFloat(4)
+	if got := a.Add(b).Float(); !almostEqual(got, 7) {
+		t.Errorf("3+4 = %v", got)
+	}
+	if got := a.Mul(b).Float(); !almostEqual(got, 12) {
+		t.Errorf("3*4 = %v", got)
+	}
+	if got := b.Div(a).Float(); !almostEqual(got, 4.0/3.0) {
+		t.Errorf("4/3 = %v", got)
+	}
+	if got := b.Sub(a).Float(); !almostEqual(got, 1) {
+		t.Errorf("4-3 = %v", got)
+	}
+	if got := a.Sub(b); !got.IsZero() {
+		t.Errorf("3-4 clamps to zero, got %v", got)
+	}
+	if got := a.MulFloat(2.5).Float(); !almostEqual(got, 7.5) {
+		t.Errorf("3*2.5 = %v", got)
+	}
+}
+
+func TestHugeValues(t *testing.T) {
+	// 2^5000 is far beyond float64 range but must be exactly representable.
+	x := Pow2(5000)
+	if got := x.Log2(); got != 5000 {
+		t.Errorf("log2(2^5000) = %v", got)
+	}
+	y := x.Mul(x) // 2^10000
+	if got := y.Log2(); got != 10000 {
+		t.Errorf("log2(2^10000) = %v", got)
+	}
+	if got := y.Div(x); got.Cmp(x) != 0 {
+		t.Errorf("2^10000 / 2^5000 = %v", got)
+	}
+	// Adding a tiny value to a huge one leaves it unchanged.
+	if got := x.Add(One); got.Cmp(x) != 0 {
+		t.Errorf("2^5000 + 1 = %v", got)
+	}
+	if got := x.Float(); !math.IsInf(got, 1) {
+		t.Errorf("overflowing Float() = %v, want +Inf", got)
+	}
+	if got := Pow2(-5000).Float(); got != 0 {
+		t.Errorf("underflowing Float() = %v, want 0", got)
+	}
+}
+
+func TestFromBigInt(t *testing.T) {
+	n := new(big.Int).Lsh(big.NewInt(1), 1000) // 2^1000
+	n.Add(n, big.NewInt(12345))
+	x := FromBigInt(n)
+	want := 1000.0
+	if got := x.Log2(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("log2 = %v, want ≈ %v", got, want)
+	}
+	small := FromBigInt(big.NewInt(42))
+	if got := small.Float(); got != 42 {
+		t.Errorf("FromBigInt(42) = %v", got)
+	}
+	if got := FromBigInt(big.NewInt(0)); !got.IsZero() {
+		t.Errorf("FromBigInt(0) = %v", got)
+	}
+}
+
+func TestFromBigRat(t *testing.T) {
+	r := big.NewRat(3, 7)
+	if got := FromBigRat(r).Float(); !almostEqual(got, 3.0/7.0) {
+		t.Errorf("FromBigRat(3/7) = %v", got)
+	}
+	if got := FromBigRat(new(big.Rat)); !got.IsZero() {
+		t.Errorf("FromBigRat(0) = %v", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b E
+		want int
+	}{
+		{Zero, Zero, 0},
+		{Zero, One, -1},
+		{One, Zero, 1},
+		{One, One, 0},
+		{FromFloat(2), FromFloat(3), -1},
+		{Pow2(100), Pow2(99), 1},
+		{Pow2(100), Pow2(100).MulFloat(1.5), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := FromFloat(6).Ratio(FromFloat(3)); !almostEqual(got, 2) {
+		t.Errorf("6/3 ratio = %v", got)
+	}
+	if got := Zero.Ratio(FromFloat(3)); got != 0 {
+		t.Errorf("0/3 ratio = %v", got)
+	}
+	if got := One.Ratio(Zero); !math.IsInf(got, 1) {
+		t.Errorf("1/0 ratio = %v", got)
+	}
+	// Ratios of equal astronomically large values are exactly 1.
+	if got := Pow2(100000).Ratio(Pow2(100000)); got != 1 {
+		t.Errorf("huge/huge ratio = %v", got)
+	}
+}
+
+func TestSumAndMax(t *testing.T) {
+	got := Sum(One, FromFloat(2), FromFloat(3)).Float()
+	if !almostEqual(got, 6) {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Max(FromFloat(2), FromFloat(5)); !almostEqual(got.Float(), 5) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(); !got.IsZero() {
+		t.Errorf("empty Sum = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, c := range []struct {
+		x    E
+		want string
+	}{
+		{Zero, "0"},
+		{One, "1e+00"},
+	} {
+		if got := c.x.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.x, got, c.want)
+		}
+	}
+	// Huge values must format without panicking and include an exponent.
+	s := Pow2(10000).String()
+	if len(s) == 0 {
+		t.Error("empty string for huge value")
+	}
+}
+
+func TestBigFloat(t *testing.T) {
+	x := FromFloat(1.5).Mul(Pow2(100))
+	want := new(big.Float).SetMantExp(big.NewFloat(1.5), 100)
+	if x.BigFloat().Cmp(want) != 0 {
+		t.Errorf("BigFloat = %v, want %v", x.BigFloat(), want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("FromFloat(-1)", func() { FromFloat(-1) })
+	mustPanic("FromInt(-1)", func() { FromInt(-1) })
+	mustPanic("FromBigInt(-1)", func() { FromBigInt(big.NewInt(-1)) })
+	mustPanic("Div by zero", func() { One.Div(Zero) })
+	mustPanic("Log2 of zero", func() { Zero.Log2() })
+	mustPanic("NaN", func() { FromFloat(math.NaN()) })
+	mustPanic("Inf", func() { FromFloat(math.Inf(1)) })
+}
+
+// Property: arithmetic on E agrees with float64 arithmetic inside the
+// float64 range.
+func TestQuickAgainstFloat64(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(r.Float64() * 1e6)
+			}
+		},
+	}
+	add := func(a, b float64) bool {
+		return almostEqual(FromFloat(a).Add(FromFloat(b)).Float(), a+b)
+	}
+	mul := func(a, b float64) bool {
+		return almostEqual(FromFloat(a).Mul(FromFloat(b)).Float(), a*b)
+	}
+	sub := func(a, b float64) bool {
+		want := a - b
+		if want < 0 {
+			want = 0
+		}
+		got := FromFloat(a).Sub(FromFloat(b)).Float()
+		// Sub clamps; near-cancellation loses relative precision, so use an
+		// absolute tolerance scaled by the inputs.
+		return math.Abs(got-want) <= 1e-9*math.Max(a, b)
+	}
+	for name, f := range map[string]any{"add": add, "mul": mul, "sub": sub} {
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: Cmp defines a total order consistent with Log2.
+func TestQuickCmpOrder(t *testing.T) {
+	f := func(aMant, bMant float64, aExp, bExp int16) bool {
+		a := norm(math.Abs(aMant)+0.1, int64(aExp))
+		b := norm(math.Abs(bMant)+0.1, int64(bExp))
+		cmp := a.Cmp(b)
+		la, lb := a.Log2(), b.Log2()
+		switch {
+		case la < lb:
+			return cmp == -1
+		case la > lb:
+			return cmp == 1
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul and Div are inverse at extreme exponents.
+func TestQuickMulDivInverse(t *testing.T) {
+	f := func(mantA, mantB float64, expA, expB int16) bool {
+		a := norm(math.Abs(mantA)+0.5, int64(expA)*37)
+		b := norm(math.Abs(mantB)+0.5, int64(expB)*37)
+		back := a.Mul(b).Div(b)
+		// Compare within one ULP-ish relative tolerance via Log2.
+		return math.Abs(back.Log2()-a.Log2()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package exact provides brute-force oracles for uniform reliability and
+// probabilistic query evaluation, by enumerating all 2^|D| subinstances.
+// They are the ground truth for the test suite and the accuracy
+// experiments; their exponential cost is the baseline the paper's FPRAS
+// escapes.
+package exact
+
+import (
+	"math/big"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// MaxBruteForceSize bounds the database size the oracles accept; 2^30
+// subinstance evaluations is already far beyond patience.
+const MaxBruteForceSize = 30
+
+// UR returns UR(Q, D): the number of subinstances D' ⊆ D with D' ⊨ Q.
+func UR(q *cq.Query, d *pdb.Database) *big.Int {
+	n := d.Size()
+	if n > MaxBruteForceSize {
+		panic("exact: database too large for brute force")
+	}
+	count := big.NewInt(0)
+	one := big.NewInt(1)
+	mask := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		if cq.Satisfies(d.Subinstance(mask), q) {
+			count.Add(count, one)
+		}
+	}
+	return count
+}
+
+// PQE returns Pr_H(Q) exactly as a rational, by summing the product
+// weights of the satisfying subinstances.
+func PQE(q *cq.Query, h *pdb.Probabilistic) *big.Rat {
+	n := h.Size()
+	if n > MaxBruteForceSize {
+		panic("exact: database too large for brute force")
+	}
+	total := new(big.Rat)
+	mask := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		if cq.Satisfies(h.DB().Subinstance(mask), q) {
+			total.Add(total, h.SubinstanceProb(mask))
+		}
+	}
+	return total
+}
+
+// SatisfyingMasks returns the presence bitmasks of all satisfying
+// subinstances, for bijection tests.
+func SatisfyingMasks(q *cq.Query, d *pdb.Database) [][]bool {
+	n := d.Size()
+	if n > MaxBruteForceSize {
+		panic("exact: database too large for brute force")
+	}
+	var out [][]bool
+	for m := 0; m < 1<<uint(n); m++ {
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		if cq.Satisfies(d.Subinstance(mask), q) {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+// PQEUnion returns Pr_H(Q₁ ∨ … ∨ Q_k) exactly by enumeration.
+func PQEUnion(qs []*cq.Query, h *pdb.Probabilistic) *big.Rat {
+	n := h.Size()
+	if n > MaxBruteForceSize {
+		panic("exact: database too large for brute force")
+	}
+	total := new(big.Rat)
+	mask := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		world := h.DB().Subinstance(mask)
+		for _, q := range qs {
+			if cq.Satisfies(world, q) {
+				total.Add(total, h.SubinstanceProb(mask))
+				break
+			}
+		}
+	}
+	return total
+}

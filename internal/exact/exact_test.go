@@ -1,0 +1,109 @@
+package exact
+
+import (
+	"math/big"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+func TestURSingleFact(t *testing.T) {
+	d := pdb.FromFacts(pdb.NewFact("R", "a", "b"))
+	q := cq.MustParse("R(x,y)")
+	// Subinstances: {} (no), {R(a,b)} (yes) → 1.
+	if got := UR(q, d); got.Int64() != 1 {
+		t.Errorf("UR = %v", got)
+	}
+}
+
+func TestURPath(t *testing.T) {
+	// R1(a,b), R2(b,c): satisfying subinstances must contain both facts;
+	// with an extra unrelated R1(z,z) fact, each satisfying core can
+	// include or exclude it.
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R2", "b", "c"),
+		pdb.NewFact("R1", "z", "z"),
+	)
+	q := cq.PathQuery("R", 2)
+	// Satisfying: {12}, {123} → plus {R1(z,z),R2}? R1(z,z) does not join
+	// R2(b,c). So exactly 2.
+	if got := UR(q, d); got.Int64() != 2 {
+		t.Errorf("UR = %v", got)
+	}
+}
+
+func TestPQEMatchesHandComputation(t *testing.T) {
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("S", "a"), pdb.NewProb(1, 3))
+	q := cq.MustParse("R(x), S(x)")
+	// Pr = 1/2 · 1/3 = 1/6.
+	if got := PQE(q, h); got.Cmp(big.NewRat(1, 6)) != 0 {
+		t.Errorf("PQE = %v", got)
+	}
+}
+
+func TestPQEUniformHalfEqualsURScaled(t *testing.T) {
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R2", "b", "c"),
+		pdb.NewFact("R2", "b", "d"),
+	)
+	q := cq.PathQuery("R", 2)
+	h := pdb.Uniform(d)
+	ur := UR(q, d)
+	pqe := PQE(q, h)
+	// Pr = UR / 2^|D|.
+	want := new(big.Rat).SetFrac(ur, big.NewInt(8))
+	if pqe.Cmp(want) != 0 {
+		t.Errorf("PQE = %v, want %v", pqe, want)
+	}
+}
+
+func TestSatisfyingMasks(t *testing.T) {
+	d := pdb.FromFacts(pdb.NewFact("R", "a"), pdb.NewFact("R", "b"))
+	q := cq.MustParse("R(x)")
+	masks := SatisfyingMasks(q, d)
+	if len(masks) != 3 { // {a}, {b}, {a,b}
+		t.Errorf("got %d masks", len(masks))
+	}
+	if int64(len(masks)) != UR(q, d).Int64() {
+		t.Error("mask count disagrees with UR")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestOraclesRejectOversizedInputs(t *testing.T) {
+	d := pdb.NewDatabase()
+	for i := 0; i < MaxBruteForceSize+1; i++ {
+		d.Add(pdb.NewFact("R", "a", string(rune('a'+i%26))+string(rune('0'+i/26))))
+	}
+	h := pdb.Uniform(d)
+	q := cq.MustParse("R(x,y)")
+	mustPanic(t, "UR", func() { UR(q, d) })
+	mustPanic(t, "PQE", func() { PQE(q, h) })
+	mustPanic(t, "SatisfyingMasks", func() { SatisfyingMasks(q, d) })
+	mustPanic(t, "PQEUnion", func() { PQEUnion([]*cq.Query{q}, h) })
+}
+
+func TestPQEUnionSmall(t *testing.T) {
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("A", "x"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("B", "y"), pdb.NewProb(1, 2))
+	got := PQEUnion([]*cq.Query{cq.MustParse("A(v)"), cq.MustParse("B(w)")}, h)
+	// 1 − (1/2)(1/2) = 3/4.
+	if got.Cmp(big.NewRat(3, 4)) != 0 {
+		t.Errorf("PQEUnion = %v, want 3/4", got)
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// run executes an experiment in quick mode and sanity-checks its shape.
+func run(t *testing.T, id string) *Table {
+	t.Helper()
+	f := ByID(id)
+	if f == nil {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	tab := f(Opts{Quick: true, Epsilon: 0.15, Seed: 3})
+	if tab.ID != strings.ToUpper(id) {
+		t.Errorf("table ID = %q", tab.ID)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Errorf("%s: row %v has %d columns, header has %d", id, row, len(row), len(tab.Header))
+		}
+		for _, c := range row {
+			if strings.Contains(c, "error:") || c == "MISMATCH" {
+				t.Errorf("%s: row contains failure marker: %v", id, row)
+			}
+		}
+	}
+	var sb strings.Builder
+	tab.Format(&sb)
+	if !strings.Contains(sb.String(), tab.Title) {
+		t.Errorf("%s: Format missing title", id)
+	}
+	var md strings.Builder
+	tab.Markdown(&md)
+	if !strings.Contains(md.String(), "| --- |") && !strings.Contains(md.String(), "--- | ---") {
+		t.Errorf("%s: Markdown missing separator: %q", id, md.String()[:80])
+	}
+	return tab
+}
+
+func TestAllExperimentIDsResolve(t *testing.T) {
+	for _, id := range IDs() {
+		if ByID(id) == nil {
+			t.Errorf("IDs() lists %s but ByID fails", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := run(t, "T1")
+	okRows := 0
+	for _, row := range tab.Rows {
+		status := row[len(row)-1]
+		if strings.HasPrefix(status, "ok") {
+			okRows++
+		}
+	}
+	if okRows != len(tab.Rows) {
+		t.Errorf("only %d/%d rows ok:\n%v", okRows, len(tab.Rows), tab.Rows)
+	}
+}
+
+func TestE2WithinEnvelope(t *testing.T) {
+	tab := run(t, "E2")
+	for _, row := range tab.Rows {
+		re, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad rel.err %q", row[4])
+		}
+		if re > 0.3 || re < -0.3 {
+			t.Errorf("rel.err %v outside envelope: %v", re, row)
+		}
+	}
+}
+
+func TestE3WithinEnvelope(t *testing.T) {
+	tab := run(t, "E3")
+	for _, row := range tab.Rows {
+		re, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad rel.err %q", row[5])
+		}
+		if re > 0.3 || re < -0.3 {
+			t.Errorf("rel.err %v outside envelope: %v", re, row)
+		}
+	}
+}
+
+func TestE4WithinEnvelope(t *testing.T) {
+	tab := run(t, "E4")
+	for _, row := range tab.Rows {
+		re := row[5]
+		if re == "0" {
+			continue
+		}
+		v, err := strconv.ParseFloat(re, 64)
+		if err != nil {
+			t.Fatalf("bad rel.err %q", re)
+		}
+		if v > 0.3 || v < -0.3 {
+			t.Errorf("rel.err %v outside envelope: %v", v, row)
+		}
+	}
+}
+
+func TestE5LineageGrowsFasterThanAutomaton(t *testing.T) {
+	tab := run(t, "E5")
+	// The clauses/transitions ratio must increase monotonically with i.
+	var prev float64 = -1
+	for _, row := range tab.Rows {
+		r, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad ratio %q", row[len(row)-1])
+		}
+		if r < prev {
+			t.Errorf("ratio not increasing: %v after %v", r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestE6Runs(t *testing.T) { run(t, "E6") }
+
+func TestE7ErrorWithinEnvelope(t *testing.T) {
+	tab := run(t, "E7")
+	for _, row := range tab.Rows {
+		if row[len(row)-1] == "false" {
+			t.Errorf("estimate left the ±ε envelope: %v", row)
+		}
+	}
+}
+
+func TestE8Runs(t *testing.T) { run(t, "E8") }
+
+func TestE9SafePlanExact(t *testing.T) {
+	tab := run(t, "E9")
+	for _, row := range tab.Rows {
+		if row[5] != "true" {
+			t.Errorf("safe plan disagreed with brute force: %v", row)
+		}
+	}
+}
+
+func TestA1BinaryBeatsUnary(t *testing.T) {
+	tab := run(t, "A1")
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[0])
+		binStates, _ := strconv.Atoi(row[2])
+		unaStates, _ := strconv.Atoi(row[4])
+		if n >= 10 && binStates >= unaStates {
+			t.Errorf("binary gadget (%d states) not smaller than unary (%d) at n=%d", binStates, unaStates, n)
+		}
+		// Both must accept exactly n trees, verified on every row.
+		want := row[0] + " / " + row[0]
+		if row[5] != want {
+			t.Errorf("accepted counts %q, want %q", row[5], want)
+		}
+	}
+}
+
+func TestA2Linear(t *testing.T) {
+	tab := run(t, "A2")
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad ratio %q", row[len(row)-1])
+		}
+		if ratio > 3 {
+			t.Errorf("translation super-linear: states/length = %v", ratio)
+		}
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	tables := All(Opts{Quick: true, Epsilon: 0.2, Seed: 9})
+	if len(tables) != len(IDs()) {
+		t.Errorf("All returned %d tables, want %d", len(tables), len(IDs()))
+	}
+}
+
+func TestE10BothPipelinesWithinEnvelope(t *testing.T) {
+	tab := run(t, "E10")
+	for _, row := range tab.Rows {
+		for _, col := range []int{7, 8} {
+			re := row[col]
+			if re == "0" {
+				continue
+			}
+			v, err := strconv.ParseFloat(re, 64)
+			if err != nil {
+				t.Fatalf("bad rel.err %q", re)
+			}
+			if v > 0.3 || v < -0.3 {
+				t.Errorf("rel.err %v outside envelope: %v", v, row)
+			}
+		}
+	}
+}
+
+func TestE11FPRASBeatsMCOnSmallProbabilities(t *testing.T) {
+	tab := run(t, "E11")
+	// On the smallest probability row, MC must have collapsed (rel.err
+	// −1.000, i.e. estimate 0) while the FPRAS stays accurate.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[2] != "-1.000" {
+		t.Errorf("expected MC collapse on the smallest probability, got rel.err %q", last[2])
+	}
+	v, err := strconv.ParseFloat(last[5], 64)
+	if err != nil {
+		t.Fatalf("bad FPRAS rel.err %q", last[5])
+	}
+	if v > 0.3 || v < -0.3 {
+		t.Errorf("FPRAS rel.err %v on small probability", v)
+	}
+}

@@ -1,0 +1,192 @@
+// Package gen generates synthetic workloads for the experiment harness:
+// the query families the paper names (the 3Path class of Corollary 1,
+// hierarchical stars, cyclic queries of width 2) and random databases
+// with configurable probability models. The paper has no accompanying
+// dataset — it is a theory paper — so these generators realize the
+// structures its results quantify over.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// ProbModel selects how fact probabilities are drawn.
+type ProbModel int
+
+const (
+	// ProbHalf labels every fact 1/2 (the uniform-reliability setting).
+	ProbHalf ProbModel = iota
+	// ProbRandomRational draws wᵢ/dᵢ with dᵢ ≤ 8 uniformly.
+	ProbRandomRational
+	// ProbHigh draws from {3/4, 7/8, 1}: near-certain facts, typical of
+	// NLP-extraction confidences.
+	ProbHigh
+)
+
+// Config describes a synthetic probabilistic database for a query.
+type Config struct {
+	// FactsPerRelation is the number of facts generated per relation.
+	FactsPerRelation int
+	// DomainSize is the constant pool size per variable position.
+	DomainSize int
+	// Model selects the probability labelling.
+	Model ProbModel
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Instance generates a probabilistic database matching the relations and
+// arities of the query. Facts are drawn uniformly over the constant
+// pool, without duplicates (retrying a bounded number of times).
+func Instance(q *cq.Query, cfg Config) *pdb.Probabilistic {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.DomainSize <= 0 {
+		cfg.DomainSize = 4
+	}
+	if cfg.FactsPerRelation <= 0 {
+		cfg.FactsPerRelation = 4
+	}
+	consts := make([]string, cfg.DomainSize)
+	for i := range consts {
+		consts[i] = fmt.Sprintf("c%d", i)
+	}
+	h := pdb.Empty()
+	for _, atom := range q.Atoms {
+		for i := 0; i < cfg.FactsPerRelation; i++ {
+			var f pdb.Fact
+			for attempt := 0; attempt < 20; attempt++ {
+				args := make([]string, atom.Arity())
+				for j := range args {
+					args[j] = consts[rng.Intn(len(consts))]
+				}
+				f = pdb.Fact{Relation: atom.Relation, Args: args}
+				if !h.DB().Contains(f) {
+					break
+				}
+			}
+			if h.DB().Contains(f) {
+				continue // pool exhausted
+			}
+			h.Add(f, drawProb(rng, cfg.Model))
+		}
+	}
+	return h
+}
+
+func drawProb(rng *rand.Rand, model ProbModel) pdb.Prob {
+	switch model {
+	case ProbHalf:
+		return pdb.ProbHalf
+	case ProbRandomRational:
+		// Strictly inside (0, 1) so workloads are never degenerate;
+		// extreme probabilities are covered by dedicated tests.
+		den := int64(2 + rng.Intn(7))
+		num := int64(1 + rng.Intn(int(den)-1))
+		return pdb.NewProb(num, den)
+	case ProbHigh:
+		switch rng.Intn(3) {
+		case 0:
+			return pdb.NewProb(3, 4)
+		case 1:
+			return pdb.NewProb(7, 8)
+		default:
+			return pdb.ProbOne
+		}
+	default:
+		return pdb.ProbHalf
+	}
+}
+
+// LayeredPathInstance builds the layered complete-bipartite database for
+// a path query: layer l has width nodes, every node of layer l connects
+// to every node of layer l+1 via the l-th relation. The lineage of the
+// path query over this database has width^(len+1) clauses — the
+// Section 1.1 blow-up — while |D| = width²·len.
+func LayeredPathInstance(q *cq.Query, width int, model ProbModel, seed int64) *pdb.Probabilistic {
+	if !q.IsPath() {
+		panic("gen: LayeredPathInstance needs a path query")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := pdb.Empty()
+	node := func(l, j int) string { return fmt.Sprintf("n%d_%d", l, j) }
+	for l, atom := range q.Atoms {
+		for a := 0; a < width; a++ {
+			for b := 0; b < width; b++ {
+				h.Add(pdb.NewFact(atom.Relation, node(l, a), node(l+1, b)), drawProb(rng, model))
+			}
+		}
+	}
+	return h
+}
+
+// SparsePathInstance builds a path-query database of chains: count
+// disjoint full chains plus extra random edges per relation, giving a
+// mix of satisfying structure and noise.
+func SparsePathInstance(q *cq.Query, chains, noise int, model ProbModel, seed int64) *pdb.Probabilistic {
+	if !q.IsPath() {
+		panic("gen: SparsePathInstance needs a path query")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := pdb.Empty()
+	for c := 0; c < chains; c++ {
+		for l, atom := range q.Atoms {
+			h.Add(pdb.NewFact(atom.Relation,
+				fmt.Sprintf("v%d_%d", c, l), fmt.Sprintf("v%d_%d", c, l+1)),
+				drawProb(rng, model))
+		}
+	}
+	for _, atom := range q.Atoms {
+		for i := 0; i < noise; i++ {
+			h.Add(pdb.NewFact(atom.Relation,
+				fmt.Sprintf("z%d", rng.Intn(4*chains+4)), fmt.Sprintf("z%d", rng.Intn(4*chains+4))),
+				drawProb(rng, model))
+		}
+	}
+	return h
+}
+
+// SnowflakeInstance builds a database for a SnowflakeQuery: hubs
+// central facts, each with complete dimension chains, plus dangling
+// noise rows per dimension relation. Analytics-shaped workloads like
+// this are the paper's motivating "real-world benchmark" queries of
+// low hypertree width.
+func SnowflakeInstance(q *cq.Query, hubs, noise int, model ProbModel, seed int64) *pdb.Probabilistic {
+	rng := rand.New(rand.NewSource(seed))
+	h := pdb.Empty()
+	central := q.Atoms[0]
+	for u := 0; u < hubs; u++ {
+		hubVals := make(map[string]string, central.Arity())
+		args := make([]string, central.Arity())
+		for i, v := range central.Vars {
+			args[i] = fmt.Sprintf("h%d_%d", u, i)
+			hubVals[v] = args[i]
+		}
+		h.Add(pdb.Fact{Relation: central.Relation, Args: args}, drawProb(rng, model))
+		// Chain atoms: walk each dimension, binding variables greedily.
+		vals := hubVals
+		for _, atom := range q.Atoms[1:] {
+			a := make([]string, 2)
+			if c, ok := vals[atom.Vars[0]]; ok {
+				a[0] = c
+			} else {
+				a[0] = fmt.Sprintf("%s_%d", atom.Vars[0], u)
+				vals[atom.Vars[0]] = a[0]
+			}
+			a[1] = fmt.Sprintf("%s_%d", atom.Vars[1], u)
+			vals[atom.Vars[1]] = a[1]
+			h.Add(pdb.Fact{Relation: atom.Relation, Args: a}, drawProb(rng, model))
+		}
+	}
+	for _, atom := range q.Atoms[1:] {
+		for i := 0; i < noise; i++ {
+			h.Add(pdb.Fact{Relation: atom.Relation, Args: []string{
+				fmt.Sprintf("z%d", rng.Intn(8)), fmt.Sprintf("z%d", rng.Intn(8)),
+			}}, drawProb(rng, model))
+		}
+	}
+	return h
+}

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+func TestInstanceMatchesQuerySchema(t *testing.T) {
+	q := cq.MustParse("R(x,y), S(y), T(x,y,z)")
+	h := Instance(q, Config{FactsPerRelation: 5, DomainSize: 4, Seed: 1})
+	arity := map[string]int{"R": 2, "S": 1, "T": 3}
+	for _, f := range h.DB().Facts() {
+		want, ok := arity[f.Relation]
+		if !ok {
+			t.Errorf("foreign relation %s generated", f.Relation)
+		}
+		if f.Arity() != want {
+			t.Errorf("fact %v has arity %d, want %d", f, f.Arity(), want)
+		}
+	}
+	if h.Size() == 0 {
+		t.Error("empty instance")
+	}
+}
+
+func TestInstanceDeterministic(t *testing.T) {
+	q := cq.PathQuery("R", 3)
+	a := Instance(q, Config{FactsPerRelation: 4, Seed: 42, Model: ProbRandomRational})
+	b := Instance(q, Config{FactsPerRelation: 4, Seed: 42, Model: ProbRandomRational})
+	if a.String() != b.String() {
+		t.Error("same seed produced different instances")
+	}
+	c := Instance(q, Config{FactsPerRelation: 4, Seed: 43, Model: ProbRandomRational})
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestProbModels(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	h := Instance(q, Config{FactsPerRelation: 6, Seed: 3, Model: ProbHalf})
+	for i := 0; i < h.Size(); i++ {
+		if h.ProbAt(i).Cmp(pdb.ProbHalf) != 0 {
+			t.Errorf("ProbHalf drew %v", h.ProbAt(i))
+		}
+	}
+	h = Instance(q, Config{FactsPerRelation: 6, Seed: 3, Model: ProbHigh})
+	for i := 0; i < h.Size(); i++ {
+		if h.ProbAt(i).Cmp(pdb.NewProb(3, 4)) < 0 {
+			t.Errorf("ProbHigh drew %v < 3/4", h.ProbAt(i))
+		}
+	}
+}
+
+func TestLayeredPathInstance(t *testing.T) {
+	q := cq.PathQuery("R", 3)
+	h := LayeredPathInstance(q, 2, ProbHalf, 1)
+	// width² edges per layer, 3 layers.
+	if h.Size() != 12 {
+		t.Errorf("Size = %d, want 12", h.Size())
+	}
+	if !cq.Satisfies(h.DB(), q) {
+		t.Error("layered instance does not satisfy the query")
+	}
+	// Witness count = width^(len+1).
+	if got := cq.CountWitnesses(h.DB(), q, 0); got != 16 {
+		t.Errorf("witnesses = %d, want 16", got)
+	}
+}
+
+func TestSparsePathInstance(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	h := SparsePathInstance(q, 2, 1, ProbHalf, 5)
+	if !cq.Satisfies(h.DB(), q) {
+		t.Error("chain instance does not satisfy the query")
+	}
+	// 2 chains × 2 edges + up to 2 noise edges.
+	if h.Size() < 4 {
+		t.Errorf("Size = %d", h.Size())
+	}
+}
+
+func TestLayeredPanicsOnNonPath(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-path query")
+		}
+	}()
+	LayeredPathInstance(cq.StarQuery("R", 2), 2, ProbHalf, 1)
+}
+
+func TestSnowflakeInstance(t *testing.T) {
+	q := cq.SnowflakeQuery("S", 2, 2)
+	h := SnowflakeInstance(q, 2, 1, ProbHalf, 3)
+	if !cq.Satisfies(h.DB(), q) {
+		t.Error("snowflake instance does not satisfy its query")
+	}
+	// 2 hubs × (1 central + 4 chain facts) + up to 4 noise rows.
+	if h.Size() < 10 {
+		t.Errorf("Size = %d", h.Size())
+	}
+}

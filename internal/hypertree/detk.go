@@ -1,0 +1,308 @@
+package hypertree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pqe/internal/cq"
+)
+
+// DecomposeWidth searches for a generalized hypertree decomposition of Q
+// of width at most k, in the style of det-k-decomp (Gottlob and Samer):
+// recursively guess a separator λ of at most k atoms, split the remaining
+// atoms into components connected outside vars(λ), and decompose each
+// component under the connector variables it shares with the separator.
+// Memoization over (component, connector) keeps re-exploration down.
+//
+// The search is exponential in |Q| in the worst case (deciding ghw ≤ k is
+// NP-hard for k ≥ 3), but queries in real workloads are short and of
+// width ≤ 3, per the paper's motivation (§1).
+func DecomposeWidth(q *cq.Query, k int) (*Decomposition, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hypertree: width bound %d < 1", k)
+	}
+	s := &detkSearch{q: q, k: k, memo: make(map[string]*Node)}
+	all := make([]int, len(q.Atoms))
+	for i := range all {
+		all[i] = i
+	}
+	root := s.decompose(all, nil)
+	if root == nil {
+		return nil, fmt.Errorf("hypertree: query %q has generalized hypertree width > %d", q, k)
+	}
+	d := &Decomposition{Query: q, Root: root}
+	d.finalize()
+	if err := d.Complete(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+type detkSearch struct {
+	q    *cq.Query
+	k    int
+	memo map[string]*Node // (component, connector) -> solved subtree (nil means failure is NOT cached here; see failed)
+	fail map[string]bool
+}
+
+func (s *detkSearch) key(comp []int, conn []string) string {
+	var b strings.Builder
+	for _, c := range comp {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	b.WriteByte('|')
+	for _, v := range conn {
+		b.WriteString(v)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// decompose returns the root of a decomposition subtree covering the
+// atoms of comp, whose root bag's χ contains every connector variable,
+// or nil if none exists within width k.
+func (s *detkSearch) decompose(comp []int, conn []string) *Node {
+	sort.Ints(comp)
+	sort.Strings(conn)
+	key := s.key(comp, conn)
+	if n, ok := s.memo[key]; ok {
+		return cloneTree(n)
+	}
+	if s.fail == nil {
+		s.fail = make(map[string]bool)
+	}
+	if s.fail[key] {
+		return nil
+	}
+
+	compSet := make(map[int]bool, len(comp))
+	for _, c := range comp {
+		compSet[c] = true
+	}
+
+	// Enumerate candidate separators λ: subsets of atoms of size ≤ k,
+	// smallest first so narrow bags are preferred.
+	n := len(s.q.Atoms)
+	var result *Node
+	s.forEachSubset(n, func(lambda []int) bool {
+		node := s.trySeparator(lambda, comp, compSet, conn)
+		if node != nil {
+			result = node
+			return false
+		}
+		return true
+	})
+	if result != nil {
+		s.memo[key] = cloneTree(result)
+	} else {
+		s.fail[key] = true
+	}
+	return result
+}
+
+// forEachSubset enumerates non-empty subsets of {0..n-1} of size ≤ k, in
+// increasing size so narrow separators are preferred; it stops when f
+// returns false.
+func (s *detkSearch) forEachSubset(n int, f func([]int) bool) {
+	for size := 1; size <= s.k && size <= n; size++ {
+		stop := false
+		var rec func(start int, cur []int)
+		rec = func(start int, cur []int) {
+			if stop {
+				return
+			}
+			if len(cur) == size {
+				tmp := make([]int, len(cur))
+				copy(tmp, cur)
+				if !f(tmp) {
+					stop = true
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				rec(i+1, append(cur, i))
+				if stop {
+					return
+				}
+			}
+		}
+		rec(0, nil)
+		if stop {
+			return
+		}
+	}
+}
+
+// trySeparator checks whether λ works as the root bag for (comp, conn)
+// and, if so, recursively decomposes the sub-components.
+func (s *detkSearch) trySeparator(lambda []int, comp []int, compSet map[int]bool, conn []string) *Node {
+	lambdaVars := make(map[string]bool)
+	for _, i := range lambda {
+		for _, v := range s.q.Atoms[i].Vars {
+			lambdaVars[v] = true
+		}
+	}
+	// The bag must cover the connector to the parent.
+	for _, v := range conn {
+		if !lambdaVars[v] {
+			return nil
+		}
+	}
+	// χ(p) = vars(λ) ∩ (conn ∪ vars(comp)) keeps variable subtrees
+	// connected.
+	compVars := make(map[string]bool)
+	for _, c := range comp {
+		for _, v := range s.q.Atoms[c].Vars {
+			compVars[v] = true
+		}
+	}
+	connSet := make(map[string]bool, len(conn))
+	for _, v := range conn {
+		connSet[v] = true
+	}
+	var chi []string
+	for v := range lambdaVars {
+		if compVars[v] || connSet[v] {
+			chi = append(chi, v)
+		}
+	}
+	chiSet := make(map[string]bool, len(chi))
+	for _, v := range chi {
+		chiSet[v] = true
+	}
+
+	// Atoms of the component fully covered by χ are settled at this bag;
+	// the rest split into components connected through variables ∉ χ.
+	var rest []int
+	for _, c := range comp {
+		covered := true
+		for _, v := range s.q.Atoms[c].Vars {
+			if !chiSet[v] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			rest = append(rest, c)
+		}
+	}
+	subComps := components(s.q, rest, chiSet)
+	// Progress check: every sub-component must be strictly smaller than
+	// comp, otherwise the recursion could loop.
+	for _, sc := range subComps {
+		if len(sc) == len(comp) {
+			return nil
+		}
+	}
+
+	node := &Node{Chi: sortedUnique(chi), Xi: sortedCopy(lambda)}
+	for _, sc := range subComps {
+		// Connector: variables of the sub-component that appear in χ(p).
+		scVars := make(map[string]bool)
+		for _, c := range sc {
+			for _, v := range s.q.Atoms[c].Vars {
+				scVars[v] = true
+			}
+		}
+		var subConn []string
+		for v := range scVars {
+			if chiSet[v] {
+				subConn = append(subConn, v)
+			}
+		}
+		child := s.decompose(sc, subConn)
+		if child == nil {
+			return nil
+		}
+		node.Children = append(node.Children, child)
+	}
+	return node
+}
+
+// components splits the atom set into connected components, where two
+// atoms are adjacent if they share a variable not in the excluded set.
+func components(q *cq.Query, atoms []int, excluded map[string]bool) [][]int {
+	idx := make(map[int]int, len(atoms)) // atom -> position
+	for pos, a := range atoms {
+		idx[a] = pos
+	}
+	parent := make([]int, len(atoms))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	byVar := make(map[string]int)
+	for pos, a := range atoms {
+		for _, v := range q.Atoms[a].Vars {
+			if excluded[v] {
+				continue
+			}
+			if prev, ok := byVar[v]; ok {
+				parent[find(pos)] = find(prev)
+			} else {
+				byVar[v] = pos
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for pos, a := range atoms {
+		r := find(pos)
+		groups[r] = append(groups[r], a)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+func cloneTree(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	out := &Node{
+		Chi: append([]string(nil), n.Chi...),
+		Xi:  append([]int(nil), n.Xi...),
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, cloneTree(c))
+	}
+	return out
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// Decompose finds a minimal-width decomposition: it first attempts a GYO
+// join tree (width 1), then searches widths 2, 3, … up to |Q|. The
+// result is always complete (every atom has a covering vertex).
+func Decompose(q *cq.Query) (*Decomposition, error) {
+	if d, err := JoinTree(q); err == nil {
+		return d, nil
+	}
+	for k := 2; k <= len(q.Atoms); k++ {
+		if d, err := DecomposeWidth(q, k); err == nil {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("hypertree: no decomposition found for %q", q)
+}

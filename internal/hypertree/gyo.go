@@ -1,0 +1,110 @@
+package hypertree
+
+import (
+	"fmt"
+
+	"pqe/internal/cq"
+)
+
+// JoinTree builds a width-1 decomposition (a join tree) for an α-acyclic
+// query using GYO ear removal: repeatedly remove an atom A (an "ear")
+// whose variables shared with the rest of the query are all contained in
+// some witness atom B, attaching A's vertex beneath B's. It returns an
+// error if the query is cyclic.
+//
+// Every vertex has ξ(p) = {A} and χ(p) = vars(A), so the result is
+// automatically complete: each atom is covered by its own vertex.
+func JoinTree(q *cq.Query) (*Decomposition, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(q.Atoms)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	remaining := n
+
+	varSets := make([]map[string]bool, n)
+	for i, a := range q.Atoms {
+		varSets[i] = a.VarSet()
+	}
+
+	for remaining > 1 {
+		removed := false
+		for i := 0; i < n && !removed; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Shared variables of atom i with the other alive atoms.
+			shared := make(map[string]bool)
+			for v := range varSets[i] {
+				for j := 0; j < n; j++ {
+					if j != i && alive[j] && varSets[j][v] {
+						shared[v] = true
+						break
+					}
+				}
+			}
+			// Find a witness atom containing all shared variables.
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if containsAll(varSets[j], shared) {
+					alive[i] = false
+					parent[i] = j
+					remaining--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return nil, fmt.Errorf("hypertree: query %q is cyclic (GYO reduction stalled)", q)
+		}
+	}
+
+	// The last alive atom is the root; build nodes along parent pointers.
+	rootIdx := -1
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			rootIdx = i
+			break
+		}
+	}
+	nodes := make([]*Node, n)
+	for i, a := range q.Atoms {
+		nodes[i] = &Node{Chi: sortedUnique(a.Vars), Xi: []int{i}}
+	}
+	for i := 0; i < n; i++ {
+		if i == rootIdx {
+			continue
+		}
+		p := parent[i]
+		nodes[p].Children = append(nodes[p].Children, nodes[i])
+	}
+	d := &Decomposition{Query: q, Root: nodes[rootIdx]}
+	d.finalize()
+	return d, nil
+}
+
+func containsAll(set, subset map[string]bool) bool {
+	for v := range subset {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the query is α-acyclic, i.e. admits a width-1
+// join tree.
+func Acyclic(q *cq.Query) bool {
+	_, err := JoinTree(q)
+	return err == nil
+}

@@ -1,0 +1,338 @@
+package hypertree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pqe/internal/cq"
+)
+
+func TestJoinTreePath(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		q := cq.PathQuery("R", n)
+		d, err := JoinTree(q)
+		if err != nil {
+			t.Fatalf("JoinTree(path %d): %v", n, err)
+		}
+		if d.Width() != 1 {
+			t.Errorf("path %d width = %d", n, d.Width())
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("path %d invalid: %v", n, err)
+		}
+		if !d.IsComplete() {
+			t.Errorf("path %d join tree not complete", n)
+		}
+		if d.Size() != n {
+			t.Errorf("path %d has %d vertices", n, d.Size())
+		}
+	}
+}
+
+func TestJoinTreeStar(t *testing.T) {
+	q := cq.StarQuery("S", 4)
+	d, err := JoinTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if d.Width() != 1 {
+		t.Errorf("width = %d", d.Width())
+	}
+}
+
+func TestJoinTreeRejectsCycle(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		q := cq.CycleQuery("C", n)
+		if _, err := JoinTree(q); err == nil {
+			t.Errorf("JoinTree accepted cycle of length %d", n)
+		}
+		if Acyclic(q) {
+			t.Errorf("Acyclic(cycle %d) = true", n)
+		}
+	}
+}
+
+func TestAcyclicExamples(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"R(x,y)", true},
+		{"R(x,y), S(y,z)", true},
+		{"R(x,y), S(y,z), T(z,x)", false}, // triangle
+		{"R(x,y), S(y,z), T(z,w), U(w,y)", false},
+		{"R(x,y,z), S(x,y), T(y,z)", true}, // ears into the wide atom
+		{"A(x), B(x,y), C(y)", true},
+	}
+	for _, c := range cases {
+		if got := Acyclic(cq.MustParse(c.q)); got != c.want {
+			t.Errorf("Acyclic(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDecomposeWidthTriangle(t *testing.T) {
+	q := cq.CycleQuery("C", 3)
+	if _, err := DecomposeWidth(q, 1); err == nil {
+		t.Error("triangle decomposed at width 1")
+	}
+	d, err := DecomposeWidth(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() > 2 {
+		t.Errorf("width = %d", d.Width())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("invalid decomposition: %v\n%s", err, d)
+	}
+	if !d.IsComplete() {
+		t.Errorf("not complete:\n%s", d)
+	}
+}
+
+func TestDecomposeWidthLongCycles(t *testing.T) {
+	for n := 4; n <= 7; n++ {
+		q := cq.CycleQuery("C", n)
+		d, err := DecomposeWidth(q, 2)
+		if err != nil {
+			t.Fatalf("cycle %d at width 2: %v", n, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("cycle %d invalid: %v\n%s", n, err, d)
+		}
+		if !d.IsComplete() {
+			t.Errorf("cycle %d not complete", n)
+		}
+	}
+}
+
+func TestDecomposePicksMinimalWidth(t *testing.T) {
+	d, err := Decompose(cq.PathQuery("R", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 1 {
+		t.Errorf("path width = %d", d.Width())
+	}
+	d, err = Decompose(cq.CycleQuery("C", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 2 {
+		t.Errorf("cycle width = %d", d.Width())
+	}
+}
+
+func TestCoveringVertexMinimality(t *testing.T) {
+	q := cq.PathQuery("R", 3)
+	d, err := JoinTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Atoms {
+		cv := d.CoveringVertex(i)
+		if cv == nil {
+			t.Fatalf("atom %d has no covering vertex", i)
+		}
+		// Minimality: no vertex with smaller BFS ID also covers atom i.
+		for _, n := range d.Nodes() {
+			if n.ID < cv.ID && n.Covers(q, i) {
+				t.Errorf("vertex %d covers atom %d but CoveringVertex returned %d", n.ID, i, cv.ID)
+			}
+		}
+	}
+}
+
+func TestNodesBFSOrderRespectsDepth(t *testing.T) {
+	q := cq.MustParse("R(x,y), S(y,z), T(y,w), U(w,v)")
+	d, err := JoinTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := d.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Depth < nodes[i-1].Depth {
+			t.Errorf("BFS order violates depth monotonicity at %d", i)
+		}
+		if nodes[i].ID != i {
+			t.Errorf("node %d has ID %d", i, nodes[i].ID)
+		}
+	}
+	if nodes[0] != d.Root || d.Root.Depth != 0 {
+		t.Error("root not first in BFS order")
+	}
+}
+
+func TestCompleteAddsCoveringVertices(t *testing.T) {
+	// Hand-build a valid decomposition of R(x,y), S(y,z), T(y,z) where S
+	// appears in no ξ at all: its variables are covered by the child's χ
+	// (condition 1 holds), but no vertex is a covering vertex for it.
+	q := cq.MustParse("R(x,y), S(y,z), T(y,z)")
+	root := &Node{Chi: []string{"x", "y"}, Xi: []int{0}}
+	child := &Node{Chi: []string{"y", "z"}, Xi: []int{2}}
+	root.Children = []*Node{child}
+	d := &Decomposition{Query: q, Root: root}
+	d.finalize()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("setup invalid: %v", err)
+	}
+	if d.IsComplete() {
+		t.Fatal("setup unexpectedly complete")
+	}
+	if err := d.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsComplete() {
+		t.Errorf("still incomplete:\n%s", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("completion broke validity: %v", err)
+	}
+}
+
+func TestValidateCatchesDisconnectedVariable(t *testing.T) {
+	q := cq.MustParse("R(x,y), S(y,z), T(z,x)")
+	// x appears at the root and a grandchild but not the middle node.
+	root := &Node{Chi: []string{"x", "y"}, Xi: []int{0}}
+	mid := &Node{Chi: []string{"y", "z"}, Xi: []int{1}}
+	leaf := &Node{Chi: []string{"z", "x"}, Xi: []int{2}}
+	mid.Children = []*Node{leaf}
+	root.Children = []*Node{mid}
+	d := &Decomposition{Query: q, Root: root}
+	d.finalize()
+	if err := d.Validate(); err == nil {
+		t.Error("disconnected variable not detected")
+	}
+}
+
+func TestValidateCatchesChiOutsideXi(t *testing.T) {
+	q := cq.MustParse("R(x,y)")
+	root := &Node{Chi: []string{"x", "y", "z"}, Xi: []int{0}}
+	d := &Decomposition{Query: q, Root: root}
+	d.finalize()
+	if err := d.Validate(); err == nil {
+		t.Error("χ ⊄ vars(ξ) not detected")
+	}
+}
+
+func TestValidateCatchesUncoveredAtom(t *testing.T) {
+	q := cq.MustParse("R(x,y), S(y,z)")
+	root := &Node{Chi: []string{"x", "y"}, Xi: []int{0}}
+	d := &Decomposition{Query: q, Root: root}
+	d.finalize()
+	if err := d.Validate(); err == nil {
+		t.Error("uncovered atom not detected")
+	}
+}
+
+// randomQuery builds a random connected SJF query with n binary atoms
+// over ≤ n+1 variables.
+func randomQuery(rng *rand.Rand, n int) *cq.Query {
+	vars := make([]string, n+1)
+	for i := range vars {
+		vars[i] = string(rune('a' + i))
+	}
+	atoms := make([]cq.Atom, n)
+	for i := 0; i < n; i++ {
+		// Connect to a previously used variable to stay connected.
+		v1 := vars[rng.Intn(i+1)]
+		v2 := vars[rng.Intn(n+1)]
+		for v2 == v1 {
+			v2 = vars[rng.Intn(n+1)]
+		}
+		atoms[i] = cq.NewAtom(string(rune('R'))+string(rune('0'+i)), v1, v2)
+	}
+	return cq.New(atoms...)
+}
+
+// Property: Decompose always yields a valid, complete decomposition for
+// random connected binary SJF queries, and GYO accepts exactly the
+// queries where the width-1 search succeeds.
+func TestQuickDecomposeValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng, 2+rng.Intn(5))
+		d, err := Decompose(q)
+		if err != nil {
+			return false
+		}
+		if err := d.Validate(); err != nil {
+			t.Logf("invalid decomposition for %s: %v\n%s", q, err, d)
+			return false
+		}
+		return d.IsComplete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for acyclic queries the minimal width found is 1.
+func TestQuickAcyclicWidthOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		q := cq.PathQuery("R", n)
+		d, err := Decompose(q)
+		return err == nil && d.Width() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnowflakeWidthOne(t *testing.T) {
+	for _, arms := range []int{2, 3, 4} {
+		q := cq.SnowflakeQuery("S", arms, 2)
+		d, err := Decompose(q)
+		if err != nil {
+			t.Fatalf("arms=%d: %v", arms, err)
+		}
+		if d.Width() != 1 {
+			t.Errorf("arms=%d width = %d", arms, d.Width())
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("arms=%d invalid: %v", arms, err)
+		}
+	}
+}
+
+func TestDecomposeK4(t *testing.T) {
+	// The complete graph K4 as a query: six binary atoms over four
+	// variables. Known ghw(K4) = 2; the search must find it and
+	// validate.
+	q := cq.MustParse("E1(a,b), E2(a,c), E3(a,d), E4(b,c), E5(b,d), E6(c,d)")
+	d, err := Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() > 2 {
+		t.Errorf("K4 width = %d, want ≤ 2", d.Width())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("invalid: %v\n%s", err, d)
+	}
+	if !d.IsComplete() {
+		t.Error("not complete")
+	}
+}
+
+func TestDecomposeTwoTriangles(t *testing.T) {
+	// Two triangles sharing a vertex: width 2, with branching structure.
+	q := cq.MustParse("A1(x,y), A2(y,z), A3(z,x), B1(x,u), B2(u,v), B3(v,x)")
+	d, err := Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() > 2 {
+		t.Errorf("width = %d", d.Width())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("invalid: %v\n%s", err, d)
+	}
+}

@@ -1,0 +1,107 @@
+package hypertree
+
+import "fmt"
+
+// ReRootAtCoveringVertex re-roots the decomposition at a vertex that is
+// a covering vertex of some atom, and returns the rewritten
+// decomposition. After re-rooting, that vertex has BFS ID 0 and is
+// therefore the ≺vertices-minimal covering vertex of the atoms it
+// covers, which the Proposition 1 construction relies on (footnote 1 of
+// the paper: the tree root must be a covering vertex, or the contracted
+// encoding tree would be a forest).
+//
+// All decomposition conditions are properties of the undirected tree, so
+// re-rooting preserves validity. The decomposition must be complete.
+func (d *Decomposition) ReRootAtCoveringVertex() (*Decomposition, error) {
+	var pivot *Node
+	for _, n := range d.nodes {
+		for i := range d.Query.Atoms {
+			if n.Covers(d.Query, i) {
+				pivot = n
+				break
+			}
+		}
+		if pivot != nil {
+			break
+		}
+	}
+	if pivot == nil {
+		return nil, fmt.Errorf("hypertree: no covering vertex found; decomposition incomplete")
+	}
+	if pivot == d.Root {
+		return d, nil
+	}
+
+	// Build the undirected adjacency, then orient away from the pivot.
+	adj := make(map[*Node][]*Node)
+	for _, n := range d.nodes {
+		for _, c := range n.Children {
+			adj[n] = append(adj[n], c)
+			adj[c] = append(adj[c], n)
+		}
+	}
+	cloneOf := make(map[*Node]*Node, len(d.nodes))
+	for _, n := range d.nodes {
+		cloneOf[n] = &Node{
+			Chi: append([]string(nil), n.Chi...),
+			Xi:  append([]int(nil), n.Xi...),
+		}
+	}
+	visited := map[*Node]bool{pivot: true}
+	queue := []*Node{pivot}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[n] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			cloneOf[n].Children = append(cloneOf[n].Children, cloneOf[nb])
+			queue = append(queue, nb)
+		}
+	}
+	out := &Decomposition{Query: d.Query, Root: cloneOf[pivot]}
+	out.finalize()
+	return out, nil
+}
+
+// Binarize rewrites the decomposition so every vertex has at most two
+// children, by threading surplus children through fresh intermediate
+// vertices that duplicate the parent's χ and ξ. Width is unchanged and
+// all conditions are preserved; duplicated vertices sit strictly deeper
+// than their originals, so ≺vertices-minimal covering vertices are
+// unchanged.
+//
+// Bounding the fan-out bounds the children-tuple length of the automaton
+// transitions in the Proposition 1 construction, keeping the transition
+// relation polynomial in |Q| and |D| (each transition combines the
+// parent state with at most two child states).
+func (d *Decomposition) Binarize() *Decomposition {
+	var build func(n *Node) *Node
+	build = func(n *Node) *Node {
+		out := &Node{
+			Chi: append([]string(nil), n.Chi...),
+			Xi:  append([]int(nil), n.Xi...),
+		}
+		children := make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			children[i] = build(c)
+		}
+		cur := out
+		for len(children) > 2 {
+			mid := &Node{
+				Chi: append([]string(nil), n.Chi...),
+				Xi:  append([]int(nil), n.Xi...),
+			}
+			cur.Children = []*Node{children[0], mid}
+			children = children[1:]
+			cur = mid
+		}
+		cur.Children = children
+		return out
+	}
+	out := &Decomposition{Query: d.Query, Root: build(d.Root)}
+	out.finalize()
+	return out
+}

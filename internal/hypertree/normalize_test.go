@@ -1,0 +1,107 @@
+package hypertree
+
+import (
+	"testing"
+
+	"pqe/internal/cq"
+)
+
+func TestBinarizeBoundsFanOut(t *testing.T) {
+	q := cq.StarQuery("S", 6)
+	d, err := JoinTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Binarize()
+	for _, n := range b.Nodes() {
+		if len(n.Children) > 2 {
+			t.Errorf("vertex %d has %d children", n.ID, len(n.Children))
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("binarized decomposition invalid: %v\n%s", err, b)
+	}
+	if !b.IsComplete() {
+		t.Error("binarized decomposition incomplete")
+	}
+	if b.Width() != d.Width() {
+		t.Errorf("width changed: %d -> %d", d.Width(), b.Width())
+	}
+	// Every atom's minimal covering vertex must carry the same ξ as
+	// before binarization (the duplicates sit deeper).
+	for i := range q.Atoms {
+		cv := b.CoveringVertex(i)
+		if cv == nil {
+			t.Fatalf("atom %d lost its covering vertex", i)
+		}
+	}
+}
+
+func TestBinarizeIdempotentOnBinaryTrees(t *testing.T) {
+	q := cq.PathQuery("R", 4)
+	d, err := JoinTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Binarize()
+	if b.Size() != d.Size() {
+		t.Errorf("binarize changed size %d -> %d on a path decomposition", d.Size(), b.Size())
+	}
+}
+
+func TestReRootAtCoveringVertex(t *testing.T) {
+	// Build a decomposition whose root covers nothing: root χ={y},
+	// ξ={R}, children cover R and S. Query R(x,y), S(y,z).
+	q := cq.MustParse("R(x,y), S(y,z)")
+	root := &Node{Chi: []string{"y"}, Xi: []int{0}}
+	c1 := &Node{Chi: []string{"x", "y"}, Xi: []int{0}}
+	c2 := &Node{Chi: []string{"y", "z"}, Xi: []int{1}}
+	root.Children = []*Node{c1, c2}
+	d := &Decomposition{Query: q, Root: root}
+	d.finalize()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("setup invalid: %v", err)
+	}
+	covers := func(n *Node) bool {
+		for i := range q.Atoms {
+			if n.Covers(q, i) {
+				return true
+			}
+		}
+		return false
+	}
+	if covers(d.Root) {
+		t.Fatal("setup: root already covers an atom")
+	}
+	r, err := d.ReRootAtCoveringVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covers(r.Root) {
+		t.Errorf("new root covers nothing:\n%s", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("re-rooted decomposition invalid: %v\n%s", err, r)
+	}
+	if r.Size() != d.Size() {
+		t.Errorf("re-rooting changed size %d -> %d", d.Size(), r.Size())
+	}
+	if !r.IsComplete() {
+		t.Error("re-rooted decomposition incomplete")
+	}
+}
+
+func TestReRootNoOpWhenRootCovers(t *testing.T) {
+	q := cq.PathQuery("R", 3)
+	d, err := JoinTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.ReRootAtCoveringVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != d {
+		t.Error("re-rooting was not a no-op for a covering root")
+	}
+}

@@ -1,0 +1,129 @@
+package lineage
+
+import (
+	"math/big"
+	"math/rand"
+
+	"pqe/internal/pdb"
+)
+
+// KarpLubyOptions configures the Karp–Luby estimator.
+type KarpLubyOptions struct {
+	// Samples is the number of Monte-Carlo samples. The classical
+	// analysis needs O(m/ε²·log(1/δ)) for m clauses; the caller picks.
+	Samples int
+	// Seed seeds the deterministic PRNG (ignored when Rng is set).
+	Seed int64
+	// Rng supplies randomness when non-nil.
+	Rng *rand.Rand
+}
+
+// KarpLuby approximates the weighted model count of the monotone DNF
+// under the fact probabilities of H, using the classical Karp–Luby
+// union-of-sets estimator: sample a clause proportional to its
+// satisfaction weight, sample an assignment from that clause's
+// satisfying distribution, and count the fraction for which the chosen
+// clause is the minimal satisfied one. This is the textbook FPRAS for
+// the *intensional* approach; its per-sample cost is linear in the
+// lineage size, which is what makes it exponential in query length end
+// to end.
+func (f *DNF) KarpLuby(h *pdb.Probabilistic, opts KarpLubyOptions) float64 {
+	if len(f.Clauses) == 0 {
+		return 0
+	}
+	rng := opts.Rng
+	if rng == nil {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng = rand.New(rand.NewSource(seed))
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 1000
+	}
+
+	probs := make([]float64, f.NumVars)
+	for i := 0; i < f.NumVars; i++ {
+		probs[i] = h.ProbAt(i).Float()
+	}
+
+	// Clause weights w_j = ∏_{v ∈ clause} π(v).
+	weights := make([]float64, len(f.Clauses))
+	totalWeight := 0.0
+	for j, c := range f.Clauses {
+		w := 1.0
+		for _, v := range c {
+			w *= probs[v]
+		}
+		weights[j] = w
+		totalWeight += w
+	}
+	if totalWeight == 0 {
+		return 0
+	}
+	// Cumulative weights for clause sampling.
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for j, w := range weights {
+		acc += w
+		cum[j] = acc
+	}
+
+	mask := make([]bool, f.NumVars)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		// Sample clause j ∝ w_j.
+		r := rng.Float64() * totalWeight
+		j := 0
+		for j < len(cum)-1 && cum[j] < r {
+			j++
+		}
+		// Sample an assignment conditioned on clause j being satisfied.
+		for v := range mask {
+			mask[v] = rng.Float64() < probs[v]
+		}
+		for _, v := range f.Clauses[j] {
+			mask[v] = true
+		}
+		// Count iff j is the first satisfied clause (Karp–Luby
+		// canonical-clause trick).
+		first := -1
+		for i, c := range f.Clauses {
+			ok := true
+			for _, v := range c {
+				if !mask[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				first = i
+				break
+			}
+		}
+		if first == j {
+			hits++
+		}
+	}
+	return totalWeight * float64(hits) / float64(samples)
+}
+
+// WMCFloat returns the exact weighted model count as a float64 via
+// WMCExact; convenience for comparisons.
+func (f *DNF) WMCFloat(h *pdb.Probabilistic) float64 {
+	v, _ := f.WMCExact(h).Float64()
+	return v
+}
+
+// TheoreticalClauseBound returns ∏ᵢ |Rᵢ-facts| for a self-join-free
+// query: the worst-case number of lineage clauses, Θ(|D|^|Q|) for
+// balanced relations (the Section 1.1 blow-up).
+func TheoreticalClauseBound(relSizes []int) *big.Int {
+	out := big.NewInt(1)
+	for _, n := range relSizes {
+		out.Mul(out, big.NewInt(int64(n)))
+	}
+	return out
+}

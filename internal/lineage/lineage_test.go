@@ -1,0 +1,189 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/pdb"
+)
+
+func pathDB() *pdb.Database {
+	return pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R1", "a", "c"),
+		pdb.NewFact("R2", "b", "d"),
+		pdb.NewFact("R2", "c", "d"),
+	)
+}
+
+func TestComputeClausesAreWitnesses(t *testing.T) {
+	d := pathDB()
+	q := cq.PathQuery("R", 2)
+	f, err := Compute(q, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 {
+		t.Fatalf("clauses = %d, want 2", f.NumClauses())
+	}
+	if f.Size() != 4 {
+		t.Errorf("Size = %d, want 4", f.Size())
+	}
+	// Each clause: one R1 fact and its joining R2 fact.
+	for _, c := range f.Clauses {
+		if len(c) != 2 {
+			t.Errorf("clause %v has %d literals", c, len(c))
+		}
+	}
+}
+
+func TestComputeLimit(t *testing.T) {
+	d := pathDB()
+	q := cq.PathQuery("R", 2)
+	if _, err := Compute(q, d, 1); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestEvalAgainstSatisfies(t *testing.T) {
+	d := pathDB()
+	q := cq.PathQuery("R", 2)
+	f, err := Compute(q, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, d.Size())
+	for m := 0; m < 1<<uint(d.Size()); m++ {
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		want := cq.Satisfies(d.Subinstance(mask), q)
+		if got := f.Eval(mask); got != want {
+			t.Errorf("mask %v: Eval=%v Satisfies=%v", mask, got, want)
+		}
+	}
+}
+
+func TestWMCExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	queries := []*cq.Query{
+		cq.PathQuery("R", 2),
+		cq.PathQuery("R", 3),
+		cq.StarQuery("R", 2),
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := queries[rng.Intn(len(queries))]
+		h := randomInstance(rng, q)
+		f, err := Compute(q, h.DB(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.WMCExact(h)
+		want := exact.PQE(q, h)
+		if got.Cmp(want) != 0 {
+			t.Errorf("trial %d: WMC %v != PQE %v\nQ=%s\nH=%s", trial, got, want, q, h)
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand, q *cq.Query) *pdb.Probabilistic {
+	h := pdb.Empty()
+	consts := []string{"a", "b", "c"}
+	for _, rel := range q.Relations() {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			den := int64(1 + rng.Intn(4))
+			num := int64(rng.Intn(int(den) + 1))
+			h.Add(pdb.NewFact(rel, consts[rng.Intn(3)], consts[rng.Intn(3)]), pdb.NewProb(num, den))
+		}
+	}
+	return h
+}
+
+func TestKarpLubyApproximatesWMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		q := cq.PathQuery("R", 2)
+		h := randomInstance(rng, q)
+		f, err := Compute(q, h.DB(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.WMCFloat(h)
+		got := f.KarpLuby(h, KarpLubyOptions{Samples: 20000, Seed: int64(trial + 1)})
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("trial %d: exact 0, estimate %v", trial, got)
+			}
+			continue
+		}
+		ratio := got / want
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("trial %d: KL %v vs exact %v (ratio %.3f)", trial, got, want, ratio)
+		}
+	}
+}
+
+func TestKarpLubyEmptyLineage(t *testing.T) {
+	f := &DNF{NumVars: 3}
+	h := pdb.Uniform(pdb.FromFacts(
+		pdb.NewFact("R", "a"), pdb.NewFact("R", "b"), pdb.NewFact("R", "c")))
+	if got := f.KarpLuby(h, KarpLubyOptions{Seed: 1}); got != 0 {
+		t.Errorf("empty lineage estimate = %v", got)
+	}
+	if got := f.WMCFloat(h); got != 0 {
+		t.Errorf("empty lineage WMC = %v", got)
+	}
+}
+
+func TestLineageBlowUpIsExponentialInQueryLength(t *testing.T) {
+	// Layered complete bipartite graph: layer l has k nodes, every node
+	// of layer l connects to every node of layer l+1 via relation Rₗ₊₁.
+	// A witness picks one node per layer, so the lineage has k^(i+1)
+	// clauses while the database has only k²·i facts — the Θ(|D|^i)
+	// growth of Section 1.1.
+	k := 2
+	for _, i := range []int{2, 3, 4} {
+		q := cq.PathQuery("R", i)
+		d := pdb.NewDatabase()
+		node := func(l, j int) string { return "n" + string(rune('0'+l)) + string(rune('0'+j)) }
+		for l := 0; l < i; l++ {
+			for a := 0; a < k; a++ {
+				for b := 0; b < k; b++ {
+					d.Add(pdb.NewFact(q.Atoms[l].Relation, node(l, a), node(l+1, b)))
+				}
+			}
+		}
+		f, err := Compute(q, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantClauses := 1
+		for l := 0; l <= i; l++ {
+			wantClauses *= k
+		}
+		if f.NumClauses() != wantClauses {
+			t.Errorf("i=%d: clauses = %d, want %d", i, f.NumClauses(), wantClauses)
+		}
+	}
+}
+
+// Property: WMC of the lineage equals brute-force PQE on random small
+// instances.
+func TestQuickWMCAgainstBruteForce(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomInstance(rng, q)
+		dnf, err := Compute(q, h.DB(), 0)
+		if err != nil {
+			return false
+		}
+		return dnf.WMCExact(h).Cmp(exact.PQE(q, h)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package montecarlo implements the naive Monte-Carlo baseline for PQE:
+// sample worlds by flipping each fact independently and report the
+// fraction satisfying the query. Its guarantee is *additive* — error
+// ~ 1/√samples regardless of Pr(Q) — so for small probabilities it
+// needs Ω(1/Pr(Q)²) samples to achieve any relative accuracy, which is
+// exponential in the input when Pr(Q) is exponentially small. The
+// paper's FPRAS gives a *relative* (1±ε) guarantee, which is the whole
+// point; experiment E11 measures the contrast.
+package montecarlo
+
+import (
+	"math/rand"
+
+	"pqe/internal/cq"
+	"pqe/internal/eval"
+	"pqe/internal/hypertree"
+	"pqe/internal/pdb"
+)
+
+// Options configures the estimator.
+type Options struct {
+	// Samples is the number of sampled worlds. Default 10000.
+	Samples int
+	// Seed seeds the deterministic PRNG (ignored when Rng is set).
+	Seed int64
+	// Rng supplies randomness when non-nil.
+	Rng *rand.Rand
+	// Dec, when non-nil, evaluates satisfaction with the
+	// decomposition-driven plan instead of backtracking.
+	Dec *hypertree.Decomposition
+}
+
+// Estimate returns the naive Monte-Carlo estimate of Pr_H(Q).
+func Estimate(q *cq.Query, h *pdb.Probabilistic, opts Options) float64 {
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 10000
+	}
+	rng := opts.Rng
+	if rng == nil {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng = rand.New(rand.NewSource(seed))
+	}
+
+	n := h.Size()
+	probs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		probs[i] = h.ProbAt(i).Float()
+	}
+	mask := make([]bool, n)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for i := range mask {
+			mask[i] = rng.Float64() < probs[i]
+		}
+		world := h.DB().Subinstance(mask)
+		var sat bool
+		if opts.Dec != nil {
+			sat = eval.Satisfies(world, q, opts.Dec)
+		} else {
+			sat = cq.Satisfies(world, q)
+		}
+		if sat {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}

@@ -1,0 +1,68 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/hypertree"
+	"pqe/internal/pdb"
+)
+
+func TestEstimateConverges(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("R2", "b", "d"), pdb.NewProb(1, 2))
+	want, _ := exact.PQE(q, h).Float64() // = 1/2 · 3/4 = 0.375
+	got := Estimate(q, h, Options{Samples: 40000, Seed: 7})
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("MC estimate %v, want ≈ %v", got, want)
+	}
+}
+
+func TestEstimateWithDecomposition(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	dec, err := hypertree.Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(3, 4))
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(2, 3))
+	want, _ := exact.PQE(q, h).Float64()
+	got := Estimate(q, h, Options{Samples: 40000, Seed: 3, Dec: dec})
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("MC estimate %v, want ≈ %v", got, want)
+	}
+}
+
+func TestEstimateSmallProbabilityDegrades(t *testing.T) {
+	// With Pr(Q) ≈ 1e-4 and only 1000 samples, the MC estimate is
+	// usually 0 — an infinite relative error. This is the additive-
+	// versus-relative guarantee gap E11 demonstrates.
+	q := cq.PathQuery("R", 2)
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, 100))
+	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, 100))
+	got := Estimate(q, h, Options{Samples: 1000, Seed: 5})
+	if got > 0.01 {
+		t.Errorf("suspiciously large MC estimate %v for a 1e-4 event", got)
+	}
+}
+
+func TestEstimateZeroAndOne(t *testing.T) {
+	q := cq.MustParse("R(x)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.ProbOne)
+	if got := Estimate(q, h, Options{Samples: 100, Seed: 1}); got != 1 {
+		t.Errorf("certain query estimate = %v", got)
+	}
+	h2 := pdb.Empty()
+	h2.Add(pdb.NewFact("R", "a"), pdb.NewProb(0, 1))
+	if got := Estimate(q, h2, Options{Samples: 100, Seed: 1}); got != 0 {
+		t.Errorf("impossible query estimate = %v", got)
+	}
+}

@@ -1,0 +1,99 @@
+package nfa
+
+import (
+	"math/big"
+	"testing"
+
+	"pqe/internal/alphabet"
+)
+
+// multWordCount builds start --x,mult,digits--> end and counts accepted
+// words of length 1+digits.
+func multWordCount(t *testing.T, mult int64, digits int) int64 {
+	t.Helper()
+	in := alphabet.New()
+	ma := NewMultNFA(in)
+	start := ma.AddState()
+	end := ma.AddState()
+	ma.SetInitial(start)
+	ma.SetFinal(end)
+	if err := ma.AddTransition(start, in.Intern("x"), big.NewInt(mult), digits, end); err != nil {
+		t.Fatal(err)
+	}
+	out := ma.Translate()
+	return ExactCount(out, 1+digits).Int64()
+}
+
+func TestMultNFACounts(t *testing.T) {
+	for mult := int64(0); mult <= 16; mult++ {
+		minDigits := 0
+		if mult > 1 {
+			minDigits = new(big.Int).Sub(big.NewInt(mult), big.NewInt(1)).BitLen()
+		}
+		for digits := minDigits; digits <= minDigits+2; digits++ {
+			if got := multWordCount(t, mult, digits); got != mult {
+				t.Errorf("mult=%d digits=%d: %d words accepted", mult, digits, got)
+			}
+		}
+	}
+}
+
+func TestMultNFAValidation(t *testing.T) {
+	in := alphabet.New()
+	ma := NewMultNFA(in)
+	s := ma.AddState()
+	e := ma.AddState()
+	ma.SetInitial(s)
+	ma.SetFinal(e)
+	if err := ma.AddTransition(s, in.Intern("x"), big.NewInt(5), 2, e); err == nil {
+		t.Error("5 > 2^2 accepted")
+	}
+	if err := ma.AddTransition(s, in.Intern("x"), big.NewInt(2), 0, e); err == nil {
+		t.Error("mult 2 with 0 digits accepted")
+	}
+	if err := ma.AddTransition(s, in.Intern("x"), big.NewInt(-1), 0, e); err == nil {
+		t.Error("negative multiplier accepted")
+	}
+	if err := ma.AddTransition(9, in.Intern("x"), big.NewInt(1), 0, e); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestMultNFAChainComposition(t *testing.T) {
+	// Two weighted transitions in sequence multiply: 3 × 2 = 6 words.
+	in := alphabet.New()
+	ma := NewMultNFA(in)
+	s := ma.AddState()
+	m := ma.AddState()
+	e := ma.AddState()
+	ma.SetInitial(s)
+	ma.SetFinal(e)
+	if err := ma.AddTransition(s, in.Intern("a"), big.NewInt(3), 2, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.AddTransition(m, in.Intern("b"), big.NewInt(2), 1, e); err != nil {
+		t.Fatal(err)
+	}
+	out := ma.Translate()
+	// Word: a, 2 digits, b, 1 digit → length 5.
+	if got := ExactCount(out, 5).Int64(); got != 6 {
+		t.Errorf("composed count = %d, want 6", got)
+	}
+}
+
+func TestEachTransitionAndFinals(t *testing.T) {
+	m := New()
+	q := m.AddState()
+	r := m.AddState()
+	m.AddTransition(q, "a", r)
+	m.AddTransition(r, "b", q)
+	m.SetFinal(r)
+	n := 0
+	m.EachTransition(func(from, sym, to int) { n++ })
+	if n != 2 {
+		t.Errorf("EachTransition visited %d", n)
+	}
+	if f := m.Finals(); len(f) != 1 || f[0] != r {
+		t.Errorf("Finals = %v", f)
+	}
+}

@@ -1,0 +1,232 @@
+// Package nfa implements non-deterministic finite string automata
+// (Section 2 of the paper) together with two counters for |L_n(M)|, the
+// number of distinct strings of length n accepted:
+//
+//   - an exact counter based on lazy subset construction, used as a test
+//     oracle and for small instances; and
+//   - CountNFA, a randomized approximation scheme following the
+//     structure of Arenas, Croquevielle, Jayaram and Riveros [5]:
+//     per-(state, length) cardinality estimates and near-uniform
+//     samplers, combined bottom-up, with overlaps between
+//     non-deterministic branches resolved by sampling plus
+//     polynomial-time membership tests.
+//
+// Counting distinct accepted strings (rather than accepting runs) is
+// what makes the problem #P-hard and is exactly the quantity the
+// reductions of the paper need: an accepted string encodes a satisfying
+// subinstance once, even when many witness choices (runs) accept it.
+package nfa
+
+import (
+	"fmt"
+	"sort"
+
+	"pqe/internal/alphabet"
+)
+
+// NFA is a non-deterministic finite automaton (S, Σ, δ, I, F). States
+// are dense ints in [0, NumStates).
+type NFA struct {
+	Symbols   *alphabet.Interner
+	numStates int
+	// trans[q][a] is the sorted set of targets δ(q, a).
+	trans   []map[int][]int
+	initial []int
+	final   map[int]bool
+}
+
+// New returns an empty NFA over a fresh alphabet.
+func New() *NFA {
+	return &NFA{Symbols: alphabet.New(), final: make(map[int]bool)}
+}
+
+// NewWithSymbols returns an empty NFA sharing an existing interner.
+func NewWithSymbols(sym *alphabet.Interner) *NFA {
+	return &NFA{Symbols: sym, final: make(map[int]bool)}
+}
+
+// AddState allocates a new state and returns its ID.
+func (m *NFA) AddState() int {
+	m.trans = append(m.trans, nil)
+	m.numStates++
+	return m.numStates - 1
+}
+
+// AddStates allocates n states and returns the first ID.
+func (m *NFA) AddStates(n int) int {
+	first := m.numStates
+	for i := 0; i < n; i++ {
+		m.AddState()
+	}
+	return first
+}
+
+// NumStates returns |S|.
+func (m *NFA) NumStates() int { return m.numStates }
+
+// AddTransition adds (q, a, r) to δ. Symbol is given by name and
+// interned. Duplicate transitions are ignored.
+func (m *NFA) AddTransition(q int, symbol string, r int) {
+	m.AddTransitionSym(q, m.Symbols.Intern(symbol), r)
+}
+
+// AddTransitionSym adds (q, a, r) with an already-interned symbol ID.
+func (m *NFA) AddTransitionSym(q, sym, r int) {
+	m.checkState(q)
+	m.checkState(r)
+	if m.trans[q] == nil {
+		m.trans[q] = make(map[int][]int)
+	}
+	targets := m.trans[q][sym]
+	i := sort.SearchInts(targets, r)
+	if i < len(targets) && targets[i] == r {
+		return
+	}
+	targets = append(targets, 0)
+	copy(targets[i+1:], targets[i:])
+	targets[i] = r
+	m.trans[q][sym] = targets
+}
+
+func (m *NFA) checkState(q int) {
+	if q < 0 || q >= m.numStates {
+		panic(fmt.Sprintf("nfa: state %d out of range [0,%d)", q, m.numStates))
+	}
+}
+
+// SetInitial marks states as initial.
+func (m *NFA) SetInitial(states ...int) {
+	for _, q := range states {
+		m.checkState(q)
+		m.initial = append(m.initial, q)
+	}
+	sort.Ints(m.initial)
+	m.initial = dedupInts(m.initial)
+}
+
+// SetFinal marks states as accepting.
+func (m *NFA) SetFinal(states ...int) {
+	for _, q := range states {
+		m.checkState(q)
+		m.final[q] = true
+	}
+}
+
+// Initial returns the sorted initial state set.
+func (m *NFA) Initial() []int { return m.initial }
+
+// IsFinal reports whether q ∈ F.
+func (m *NFA) IsFinal(q int) bool { return m.final[q] }
+
+// Targets returns δ(q, a), sorted. The returned slice must not be
+// modified.
+func (m *NFA) Targets(q, sym int) []int {
+	if m.trans[q] == nil {
+		return nil
+	}
+	return m.trans[q][sym]
+}
+
+// OutSymbols returns the symbols with at least one transition out of q,
+// sorted.
+func (m *NFA) OutSymbols(q int) []int {
+	if m.trans[q] == nil {
+		return nil
+	}
+	syms := make([]int, 0, len(m.trans[q]))
+	for a := range m.trans[q] {
+		syms = append(syms, a)
+	}
+	sort.Ints(syms)
+	return syms
+}
+
+// NumTransitions returns the number of transition tuples, the paper's
+// measure of automaton size |M|.
+func (m *NFA) NumTransitions() int {
+	n := 0
+	for _, bySym := range m.trans {
+		for _, ts := range bySym {
+			n += len(ts)
+		}
+	}
+	return n
+}
+
+// EachTransition calls f for every transition tuple (q, a, r), in
+// state-then-symbol order.
+func (m *NFA) EachTransition(f func(from, sym, to int)) {
+	for q := 0; q < m.numStates; q++ {
+		for _, a := range m.OutSymbols(q) {
+			for _, r := range m.Targets(q, a) {
+				f(q, a, r)
+			}
+		}
+	}
+}
+
+// Finals returns the sorted accepting states.
+func (m *NFA) Finals() []int {
+	out := make([]int, 0, len(m.final))
+	for q := range m.final {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Step maps a sorted state set through symbol a.
+func (m *NFA) Step(states []int, sym int) []int {
+	var out []int
+	for _, q := range states {
+		out = append(out, m.Targets(q, sym)...)
+	}
+	sort.Ints(out)
+	return dedupInts(out)
+}
+
+// Accepts reports whether the word (a sequence of symbol IDs) is in
+// L(M).
+func (m *NFA) Accepts(word []int) bool {
+	return m.AcceptsFrom(m.initial, word)
+}
+
+// AcceptsFrom reports whether the word is accepted starting from any
+// state in the given set.
+func (m *NFA) AcceptsFrom(states []int, word []int) bool {
+	cur := states
+	for _, a := range word {
+		cur = m.Step(cur, a)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, q := range cur {
+		if m.final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// WordString renders a word using the symbol names.
+func (m *NFA) WordString(word []int) string {
+	parts := make([]string, len(word))
+	for i, a := range word {
+		parts[i] = m.Symbols.Name(a)
+	}
+	return fmt.Sprintf("%v", parts)
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package nfa
+
+import "sort"
+
+// Trim returns an equivalent automaton restricted to useful states:
+// those reachable from an initial state and co-reachable to an
+// accepting state. L(Trim(M)) = L(M) at every length; the counting
+// estimator's per-(state, length) tables shrink accordingly.
+func (m *NFA) Trim() *NFA {
+	reachable := make([]bool, m.numStates)
+	queue := append([]int(nil), m.initial...)
+	for _, q := range queue {
+		reachable[q] = true
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, a := range m.OutSymbols(q) {
+			for _, r := range m.Targets(q, a) {
+				if !reachable[r] {
+					reachable[r] = true
+					queue = append(queue, r)
+				}
+			}
+		}
+	}
+	// Co-reachable: backward closure from the accepting states.
+	incoming := make(map[int][]int)
+	m.EachTransition(func(from, sym, to int) {
+		incoming[to] = append(incoming[to], from)
+	})
+	coreach := make([]bool, m.numStates)
+	queue = queue[:0]
+	for q := range m.final {
+		coreach[q] = true
+		queue = append(queue, q)
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, p := range incoming[q] {
+			if !coreach[p] {
+				coreach[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+
+	keep := make([]int, m.numStates)
+	out := NewWithSymbols(m.Symbols)
+	for q := 0; q < m.numStates; q++ {
+		if reachable[q] && coreach[q] {
+			keep[q] = out.AddState()
+		} else {
+			keep[q] = -1
+		}
+	}
+	var initial []int
+	for _, q := range m.initial {
+		if keep[q] >= 0 {
+			initial = append(initial, keep[q])
+		}
+	}
+	// An automaton with an empty language keeps one initial state.
+	if len(initial) == 0 && len(m.initial) > 0 {
+		q := out.AddState()
+		initial = []int{q}
+	}
+	sort.Ints(initial)
+	out.SetInitial(initial...)
+	for q := range m.final {
+		if keep[q] >= 0 {
+			out.SetFinal(keep[q])
+		}
+	}
+	m.EachTransition(func(from, sym, to int) {
+		if keep[from] >= 0 && keep[to] >= 0 {
+			out.AddTransitionSym(keep[from], sym, keep[to])
+		}
+	})
+	return out
+}

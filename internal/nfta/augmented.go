@@ -1,0 +1,154 @@
+package nfta
+
+import (
+	"fmt"
+	"strings"
+
+	"pqe/internal/alphabet"
+)
+
+// NegName returns the name of the negated symbol ¬α used when expanding
+// "?" annotations (Definition 1, stage 2: Σ' = {α, ¬α | α ∈ Σ}).
+func NegName(name string) string { return "¬" + name }
+
+// IsNegName reports whether the symbol name is a negation, and returns
+// the base name.
+func IsNegName(name string) (string, bool) {
+	base, ok := strings.CutPrefix(name, "¬")
+	return base, ok
+}
+
+// AugSymbol is one position of a transition's string annotation: a
+// symbol, optionally marked with ? (accept either the symbol or its
+// negation).
+type AugSymbol struct {
+	Sym      int
+	Optional bool
+}
+
+// AugTransition is a transition of an augmented NFTA: the label is a
+// string of (possibly ?-annotated) symbols; an empty label is the λ
+// annotation.
+type AugTransition struct {
+	From     int
+	Label    []AugSymbol
+	Children []int
+}
+
+// AugNFTA is an augmented NFTA T⁺ = (S, Σ, Δ, s_init) per Definition 1.
+type AugNFTA struct {
+	Symbols   *alphabet.Interner
+	numStates int
+	initial   int
+	trans     []AugTransition
+}
+
+// NewAugmented returns an empty augmented NFTA over the interner.
+func NewAugmented(sym *alphabet.Interner) *AugNFTA {
+	return &AugNFTA{Symbols: sym, initial: -1}
+}
+
+// AddState allocates a new state.
+func (a *AugNFTA) AddState() int {
+	a.numStates++
+	return a.numStates - 1
+}
+
+// NumStates returns |S|.
+func (a *AugNFTA) NumStates() int { return a.numStates }
+
+// SetInitial sets s_init.
+func (a *AugNFTA) SetInitial(q int) {
+	if q < 0 || q >= a.numStates {
+		panic(fmt.Sprintf("nfta: state %d out of range", q))
+	}
+	a.initial = q
+}
+
+// Initial returns s_init.
+func (a *AugNFTA) Initial() int { return a.initial }
+
+// AddTransition adds (from, label, children). An empty label is λ.
+func (a *AugNFTA) AddTransition(from int, label []AugSymbol, children ...int) {
+	if from < 0 || from >= a.numStates {
+		panic(fmt.Sprintf("nfta: state %d out of range", from))
+	}
+	for _, c := range children {
+		if c < 0 || c >= a.numStates {
+			panic(fmt.Sprintf("nfta: state %d out of range", c))
+		}
+	}
+	a.trans = append(a.trans, AugTransition{
+		From:     from,
+		Label:    append([]AugSymbol(nil), label...),
+		Children: append([]int(nil), children...),
+	})
+}
+
+// Transitions returns the transition list.
+func (a *AugNFTA) Transitions() []AugTransition { return a.trans }
+
+// Size returns the encoding size of the transition relation: labels
+// count with their full length.
+func (a *AugNFTA) Size() int {
+	n := 0
+	for _, tr := range a.trans {
+		n += 2 + len(tr.Label) + len(tr.Children)
+	}
+	return n
+}
+
+// Translate converts the augmented NFTA into an equivalent ordinary
+// λ-free NFTA, per the two-stage semantics of Definition 1:
+//
+//  1. a transition annotated with a string γ₁…γ_j (j > 1) becomes a
+//     chain of j transitions through j−1 fresh intermediate states;
+//  2. every ?-annotated symbol α? becomes two parallel transitions, on
+//     α and on ¬α.
+//
+// Transitions with empty (λ) annotations are added as λ-transitions and
+// then removed with EliminateLambda. Per Remark 1 the whole translation
+// is polynomial in |T⁺|.
+func (a *AugNFTA) Translate() (*NFTA, error) {
+	if a.initial < 0 {
+		return nil, fmt.Errorf("nfta: augmented NFTA has no initial state")
+	}
+	out := NewWithSymbols(a.Symbols)
+	for i := 0; i < a.numStates; i++ {
+		out.AddState()
+	}
+	out.SetInitial(a.initial)
+
+	for _, tr := range a.trans {
+		if len(tr.Label) == 0 {
+			out.AddLambda(tr.From, tr.Children...)
+			continue
+		}
+		// Stage 1: chain through fresh states; stage 2: expand ? on the
+		// fly.
+		cur := tr.From
+		for i, g := range tr.Label {
+			lastPos := i == len(tr.Label)-1
+			var next int
+			var children []int
+			if lastPos {
+				children = tr.Children
+			} else {
+				next = out.AddState()
+				children = []int{next}
+			}
+			name := a.Symbols.Name(g.Sym)
+			out.AddTransition(cur, name, children...)
+			if g.Optional {
+				out.AddTransition(cur, NegName(name), children...)
+			}
+			cur = next
+		}
+	}
+	return EliminateLambda(out)
+}
+
+// Opt marks a symbol as ?-annotated; Plain marks it plain. Convenience
+// constructors for building annotation strings.
+func Opt(sym int) AugSymbol   { return AugSymbol{Sym: sym, Optional: true} }
+func Plain(sym int) AugSymbol { return AugSymbol{Sym: sym} }

@@ -1,0 +1,99 @@
+package nfta
+
+import "fmt"
+
+// EliminateLambda returns an equivalent λ-free NFTA, using the standard
+// procedures the paper alludes to (Section 2). Two closure rules apply
+// until fixpoint:
+//
+//   - unary λ-transitions (s, λ, (r)) are ε-moves: every transition out
+//     of r is copied to s;
+//   - non-unary λ-transitions (s, λ, (s₁,…,s_l)) mean s contributes no
+//     tree node and stands for the forest (s₁,…,s_l): each occurrence of
+//     s in the children tuple of another transition is spliced, i.e.
+//     replaced by the tuple. (In the Proposition 1 construction these
+//     arise at decomposition vertices that cover no atom, which the
+//     bijection proof contracts away.)
+//
+// An error is returned if the initial state can λ-expand into a forest
+// of length ≠ 1 (the language would contain non-trees) or if a λ-cycle
+// prevents the fixpoint from converging within a generous bound.
+func EliminateLambda(a *NFTA) (*NFTA, error) {
+	if a.Initial() < 0 {
+		return nil, fmt.Errorf("nfta: initial state unset")
+	}
+	// Work on a mutable transition set, deduplicated by key.
+	work := NewWithSymbols(a.Symbols)
+	for i := 0; i < a.NumStates(); i++ {
+		work.AddState()
+	}
+	work.SetInitial(a.Initial())
+	for _, tr := range a.Transitions() {
+		work.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+	}
+
+	// The number of distinct transitions over fixed states, symbols and
+	// bounded tuple lengths is finite; cap iterations defensively. Tuple
+	// lengths can grow through splicing, so the cap below is heuristic:
+	// constructions in this codebase converge in a handful of rounds.
+	const maxRounds = 10000
+	for round := 0; ; round++ {
+		if round == maxRounds {
+			return nil, fmt.Errorf("nfta: λ-elimination did not converge (λ-cycle?)")
+		}
+		before := work.NumTransitions()
+		trs := append([]Transition(nil), work.Transitions()...)
+		for _, lam := range trs {
+			if lam.Sym != Lambda {
+				continue
+			}
+			if len(lam.Children) == 1 {
+				// ε-move: copy r's transitions to s.
+				for _, tr := range work.From(lam.Children[0]) {
+					work.AddTransitionSym(lam.From, tr.Sym, tr.Children...)
+				}
+				continue
+			}
+			// Forest splice: replace one occurrence of s at a time in
+			// every children tuple; the fixpoint covers multiple
+			// occurrences and cascades.
+			for _, tr := range trs {
+				for pos, c := range tr.Children {
+					if c != lam.From {
+						continue
+					}
+					spliced := make([]int, 0, len(tr.Children)+len(lam.Children)-1)
+					spliced = append(spliced, tr.Children[:pos]...)
+					spliced = append(spliced, lam.Children...)
+					spliced = append(spliced, tr.Children[pos+1:]...)
+					work.AddTransitionSym(tr.From, tr.Sym, spliced...)
+				}
+			}
+		}
+		if work.NumTransitions() == before {
+			break
+		}
+	}
+
+	// λ-expansion of the initial state into a non-unary forest has no
+	// tree semantics.
+	for _, tr := range work.From(work.Initial()) {
+		if tr.Sym == Lambda && len(tr.Children) != 1 {
+			return nil, fmt.Errorf("nfta: initial state λ-expands to a forest of length %d", len(tr.Children))
+		}
+	}
+
+	// Copy over everything except λ-transitions.
+	out := NewWithSymbols(a.Symbols)
+	for i := 0; i < a.NumStates(); i++ {
+		out.AddState()
+	}
+	out.SetInitial(a.Initial())
+	for _, tr := range work.Transitions() {
+		if tr.Sym == Lambda {
+			continue
+		}
+		out.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package nfta
+
+import (
+	"fmt"
+	"math/big"
+
+	"pqe/internal/alphabet"
+)
+
+// Digit symbol names for the multiplier gadget. The paper assumes
+// Σ ∩ {0, 1} = ∅; fact-literal symbol names always contain parentheses,
+// so the assumption holds in every reduction here.
+const (
+	Digit0 = "0"
+	Digit1 = "1"
+)
+
+// MultTransition is a transition of an NFTA with multipliers
+// (Definition 2): (From, Sym, Mult, Children), extended with an explicit
+// digit budget.
+//
+// The budget generalizes the paper's gadget: Section 5.2 attaches
+// multiplier wᵢ to the positive fact transition and dᵢ−wᵢ to the negated
+// one, and the counting happens at a single fixed tree size, so both
+// gadgets must contribute the same number of digit nodes. Digits pads
+// the comparator to a fixed width (accepting exactly Mult of the 2^Digits
+// digit strings); choosing Digits = max(u(wᵢ), u(dᵢ−wᵢ)) keeps every
+// accepted tree for fact i the same size. With Digits = u(Mult) the
+// construction coincides with the paper's.
+type MultTransition struct {
+	From     int
+	Sym      int
+	Mult     *big.Int
+	Digits   int
+	Children []int
+}
+
+// MultNFTA is a (top-down) NFTA with multipliers Tᶜ = (S, Σ, Δ, s_init).
+type MultNFTA struct {
+	Symbols   *alphabet.Interner
+	numStates int
+	initial   int
+	trans     []MultTransition
+}
+
+// NewMult returns an empty NFTA with multipliers over the interner.
+func NewMult(sym *alphabet.Interner) *MultNFTA {
+	return &MultNFTA{Symbols: sym, initial: -1}
+}
+
+// AddState allocates a new state.
+func (a *MultNFTA) AddState() int {
+	a.numStates++
+	return a.numStates - 1
+}
+
+// NumStates returns |S|.
+func (a *MultNFTA) NumStates() int { return a.numStates }
+
+// SetInitial sets s_init.
+func (a *MultNFTA) SetInitial(q int) {
+	if q < 0 || q >= a.numStates {
+		panic(fmt.Sprintf("nfta: state %d out of range", q))
+	}
+	a.initial = q
+}
+
+// Initial returns s_init.
+func (a *MultNFTA) Initial() int { return a.initial }
+
+// AddTransition adds (from, sym, mult, children) with the given digit
+// budget. Mult may be zero, meaning the transition contributes no trees
+// (probability-0 or probability-1 facts induce such transitions).
+func (a *MultNFTA) AddTransition(from, sym int, mult *big.Int, digits int, children ...int) error {
+	if from < 0 || from >= a.numStates {
+		return fmt.Errorf("nfta: state %d out of range", from)
+	}
+	if mult.Sign() < 0 {
+		return fmt.Errorf("nfta: negative multiplier %v", mult)
+	}
+	if digits < 0 {
+		return fmt.Errorf("nfta: negative digit budget %d", digits)
+	}
+	if digits == 0 && mult.Cmp(big.NewInt(1)) > 0 {
+		return fmt.Errorf("nfta: multiplier %v needs a positive digit budget", mult)
+	}
+	if digits > 0 {
+		max := new(big.Int).Lsh(big.NewInt(1), uint(digits))
+		if mult.Cmp(max) > 0 {
+			return fmt.Errorf("nfta: multiplier %v exceeds 2^%d", mult, digits)
+		}
+	}
+	a.trans = append(a.trans, MultTransition{
+		From:     from,
+		Sym:      sym,
+		Mult:     new(big.Int).Set(mult),
+		Digits:   digits,
+		Children: append([]int(nil), children...),
+	})
+	return nil
+}
+
+// Transitions returns the transition list.
+func (a *MultNFTA) Transitions() []MultTransition { return a.trans }
+
+// Size returns the encoding size of the transition relation; multiplier
+// values count with their bit length, per the paper's size measure.
+func (a *MultNFTA) Size() int {
+	n := 0
+	for _, tr := range a.trans {
+		n += 2 + len(tr.Children) + tr.Mult.BitLen() + 1
+	}
+	return n
+}
+
+// DigitsFor returns u(n): the number of digit nodes the paper's gadget
+// appends for multiplier n — 0 when n ≤ 1, otherwise ⌊log₂(n−1)⌋ + 1,
+// which equals the bit length of n−1.
+func DigitsFor(mult *big.Int) int {
+	if mult.Cmp(big.NewInt(1)) <= 0 {
+		return 0
+	}
+	return new(big.Int).Sub(mult, big.NewInt(1)).BitLen()
+}
+
+// Translate converts the NFTA with multipliers into an ordinary NFTA
+// (the Section 5.1 translation): a transition with multiplier n and
+// digit budget K is replaced by the symbol transition followed by a
+// K-digit binary ≤-comparator path accepting exactly the n digit strings
+// 0…0 through the binary representation of n−1. Each accepted tree is
+// thereby replicated exactly n times (once per digit string), with
+// 2K−1 ≤ O(log n + padding) fresh states per transition (Remark 2).
+func (a *MultNFTA) Translate() (*NFTA, error) {
+	if a.initial < 0 {
+		return nil, fmt.Errorf("nfta: NFTA with multipliers has no initial state")
+	}
+	out := NewWithSymbols(a.Symbols)
+	for i := 0; i < a.numStates; i++ {
+		out.AddState()
+	}
+	out.SetInitial(a.initial)
+	d0 := a.Symbols.Intern(Digit0)
+	d1 := a.Symbols.Intern(Digit1)
+
+	for _, tr := range a.trans {
+		if tr.Mult.Sign() == 0 {
+			continue // contributes no trees
+		}
+		if tr.Digits == 0 {
+			out.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+			continue
+		}
+		k := tr.Digits
+		// bound = n−1, padded to k bits MSB-first.
+		bound := new(big.Int).Sub(tr.Mult, big.NewInt(1))
+		bits := make([]uint, k)
+		for i := 0; i < k; i++ {
+			bits[i] = bound.Bit(k - 1 - i)
+		}
+		// eq[i] = "digits so far equal the bound's prefix", about to
+		// read digit i; free[i] = "already strictly below", about to
+		// read digit i.
+		eq := make([]int, k)
+		free := make([]int, k)
+		for i := 0; i < k; i++ {
+			eq[i] = out.AddState()
+			free[i] = out.AddState()
+		}
+		out.AddTransitionSym(tr.From, tr.Sym, eq[0])
+		childrenOf := func(next int, last bool) []int {
+			if last {
+				return tr.Children
+			}
+			return []int{next}
+		}
+		for i := 0; i < k; i++ {
+			last := i == k-1
+			var eqNext, freeNext int
+			if !last {
+				eqNext, freeNext = eq[i+1], free[i+1]
+			}
+			if bits[i] == 1 {
+				out.AddTransitionSym(eq[i], d0, childrenOf(freeNext, last)...)
+				out.AddTransitionSym(eq[i], d1, childrenOf(eqNext, last)...)
+			} else {
+				out.AddTransitionSym(eq[i], d0, childrenOf(eqNext, last)...)
+			}
+			// The free track accepts both digits.
+			out.AddTransitionSym(free[i], d0, childrenOf(freeNext, last)...)
+			out.AddTransitionSym(free[i], d1, childrenOf(freeNext, last)...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package nfta
+
+import "fmt"
+
+// TranslateUnary converts the NFTA with multipliers into an ordinary
+// NFTA using a *unary* multiplier gadget instead of the paper's binary
+// comparator: a transition with multiplier n > 1 is followed by a path
+// of n−1 digit nodes carrying the strings 0^j 1^(n−1−j) for
+// j = 0, …, n−1 — exactly n distinct paths, at the cost of Θ(n) states
+// and path length n−1 per transition.
+//
+// This exists as the ablation baseline for the Section 5.1 design: the
+// binary comparator needs only Θ(log n) states and digits, which is the
+// difference between pseudo-polynomial and polynomial dependence on the
+// probability bit-width. Multiplier values must fit in an int for the
+// unary gadget (the binary gadget has no such restriction — itself part
+// of the point).
+//
+// Unlike Translate, per-transition digit budgets are n−1 and thus not
+// uniform across positive/negated fact pairs unless the caller arranges
+// equal multipliers; use UnaryDigits to compute sizes.
+func (a *MultNFTA) TranslateUnary() (*NFTA, error) {
+	if a.initial < 0 {
+		return nil, fmt.Errorf("nfta: NFTA with multipliers has no initial state")
+	}
+	out := NewWithSymbols(a.Symbols)
+	for i := 0; i < a.numStates; i++ {
+		out.AddState()
+	}
+	out.SetInitial(a.initial)
+	d0 := a.Symbols.Intern(Digit0)
+	d1 := a.Symbols.Intern(Digit1)
+
+	for _, tr := range a.trans {
+		if tr.Mult.Sign() == 0 {
+			continue
+		}
+		if !tr.Mult.IsInt64() {
+			return nil, fmt.Errorf("nfta: multiplier %v too large for the unary gadget", tr.Mult)
+		}
+		n := tr.Mult.Int64()
+		if n == 1 {
+			out.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+			continue
+		}
+		k := int(n - 1) // digit path length
+		// zeros[i]: read digit i while still in the zero prefix;
+		// ones[i]: read digit i after switching to ones.
+		zeros := make([]int, k)
+		ones := make([]int, k)
+		for i := 0; i < k; i++ {
+			zeros[i] = out.AddState()
+			ones[i] = out.AddState()
+		}
+		out.AddTransitionSym(tr.From, tr.Sym, zeros[0])
+		for i := 0; i < k; i++ {
+			last := i == k-1
+			zNext, oNext := 0, 0
+			if !last {
+				zNext, oNext = zeros[i+1], ones[i+1]
+			}
+			childrenOf := func(next int) []int {
+				if last {
+					return tr.Children
+				}
+				return []int{next}
+			}
+			out.AddTransitionSym(zeros[i], d0, childrenOf(zNext)...)
+			out.AddTransitionSym(zeros[i], d1, childrenOf(oNext)...)
+			out.AddTransitionSym(ones[i], d1, childrenOf(oNext)...)
+		}
+	}
+	return out, nil
+}
+
+// UnaryDigits returns the digit-path length of the unary gadget for a
+// multiplier value: n−1 for n > 1, else 0.
+func UnaryDigits(mult int64) int {
+	if mult <= 1 {
+		return 0
+	}
+	return int(mult - 1)
+}

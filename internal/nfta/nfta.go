@@ -1,0 +1,247 @@
+package nfta
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pqe/internal/alphabet"
+)
+
+// Lambda is the pseudo-symbol of λ-transitions (s, λ, R). Automata must
+// be λ-free (see EliminateLambda) before acceptance testing or counting.
+const Lambda = -1
+
+// Transition is a tuple (From, Sym, Children) ∈ S × Σ × (∪ᵢ Sⁱ). A leaf
+// transition has an empty Children tuple.
+type Transition struct {
+	From     int
+	Sym      int // symbol ID, or Lambda
+	Children []int
+}
+
+// key returns a canonical identity for deduplication.
+func (tr Transition) key() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(tr.From))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(tr.Sym))
+	b.WriteByte('|')
+	for _, c := range tr.Children {
+		b.WriteString(strconv.Itoa(c))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// NFTA is a top-down non-deterministic finite tree automaton
+// T = (S, Σ, Δ, s_init).
+type NFTA struct {
+	Symbols   *alphabet.Interner
+	numStates int
+	initial   int
+	trans     []Transition
+	byFrom    map[int][]int      // state -> transition indices
+	bySymAr   map[symArity][]int // (symbol, arity) -> transition indices
+	seen      map[string]bool
+}
+
+type symArity struct{ sym, arity int }
+
+// New returns an empty NFTA over a fresh alphabet. The initial state
+// must be set with SetInitial.
+func New() *NFTA {
+	return NewWithSymbols(alphabet.New())
+}
+
+// NewWithSymbols returns an empty NFTA sharing an existing interner.
+func NewWithSymbols(sym *alphabet.Interner) *NFTA {
+	return &NFTA{
+		Symbols: sym,
+		initial: -1,
+		byFrom:  make(map[int][]int),
+		bySymAr: make(map[symArity][]int),
+		seen:    make(map[string]bool),
+	}
+}
+
+// AddState allocates a new state.
+func (a *NFTA) AddState() int {
+	a.numStates++
+	return a.numStates - 1
+}
+
+// NumStates returns |S|.
+func (a *NFTA) NumStates() int { return a.numStates }
+
+// SetInitial sets s_init.
+func (a *NFTA) SetInitial(q int) {
+	a.checkState(q)
+	a.initial = q
+}
+
+// Initial returns s_init (-1 if unset).
+func (a *NFTA) Initial() int { return a.initial }
+
+func (a *NFTA) checkState(q int) {
+	if q < 0 || q >= a.numStates {
+		panic(fmt.Sprintf("nfta: state %d out of range [0,%d)", q, a.numStates))
+	}
+}
+
+// AddTransition adds (from, sym, children) to Δ, interning the symbol
+// name. Duplicates are ignored.
+func (a *NFTA) AddTransition(from int, symbol string, children ...int) {
+	a.AddTransitionSym(from, a.Symbols.Intern(symbol), children...)
+}
+
+// AddLambda adds a λ-transition (from, λ, children).
+func (a *NFTA) AddLambda(from int, children ...int) {
+	a.AddTransitionSym(from, Lambda, children...)
+}
+
+// AddTransitionSym adds a transition with an interned symbol ID (or
+// Lambda).
+func (a *NFTA) AddTransitionSym(from, sym int, children ...int) {
+	a.checkState(from)
+	for _, c := range children {
+		a.checkState(c)
+	}
+	tr := Transition{From: from, Sym: sym, Children: append([]int(nil), children...)}
+	k := tr.key()
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+	a.byFrom[from] = append(a.byFrom[from], len(a.trans))
+	sa := symArity{sym, len(children)}
+	a.bySymAr[sa] = append(a.bySymAr[sa], len(a.trans))
+	a.trans = append(a.trans, tr)
+}
+
+// Transitions returns all transitions. The slice must not be modified.
+func (a *NFTA) Transitions() []Transition { return a.trans }
+
+// From returns the transitions out of state q.
+func (a *NFTA) From(q int) []Transition {
+	idx := a.byFrom[q]
+	out := make([]Transition, len(idx))
+	for i, j := range idx {
+		out[i] = a.trans[j]
+	}
+	return out
+}
+
+// NumTransitions returns |Δ|.
+func (a *NFTA) NumTransitions() int { return len(a.trans) }
+
+// Size returns the encoding size of the transition relation (the paper's
+// |T|): one unit per tuple element.
+func (a *NFTA) Size() int {
+	n := 0
+	for _, tr := range a.trans {
+		n += 2 + len(tr.Children)
+	}
+	return n
+}
+
+// HasLambda reports whether any λ-transitions remain.
+func (a *NFTA) HasLambda() bool {
+	for _, tr := range a.trans {
+		if tr.Sym == Lambda {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxArity returns the largest children-tuple length in Δ.
+func (a *NFTA) MaxArity() int {
+	k := 0
+	for _, tr := range a.trans {
+		if len(tr.Children) > k {
+			k = len(tr.Children)
+		}
+	}
+	return k
+}
+
+// AcceptingStates returns the set of states q such that the tree is
+// accepted starting from q, computed by the standard bottom-up product
+// check. The automaton must be λ-free.
+func (a *NFTA) AcceptingStates(t *Tree) map[int]bool {
+	if a.HasLambda() {
+		panic("nfta: AcceptingStates on automaton with λ-transitions")
+	}
+	return a.acceptingStates(t)
+}
+
+func (a *NFTA) acceptingStates(t *Tree) map[int]bool {
+	childAcc := make([]map[int]bool, len(t.Children))
+	for i, c := range t.Children {
+		childAcc[i] = a.acceptingStates(c)
+	}
+	acc := make(map[int]bool)
+	for _, j := range a.bySymAr[symArity{t.Sym, len(t.Children)}] {
+		tr := a.trans[j]
+		if acc[tr.From] {
+			continue
+		}
+		ok := true
+		for i, q := range tr.Children {
+			if !childAcc[i][q] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			acc[tr.From] = true
+		}
+	}
+	return acc
+}
+
+// Accepts reports whether the tree is in L(T).
+func (a *NFTA) Accepts(t *Tree) bool {
+	if a.initial < 0 {
+		panic("nfta: initial state unset")
+	}
+	return a.AcceptingStates(t)[a.initial]
+}
+
+// AcceptsFrom reports whether the tree is accepted starting from q.
+func (a *NFTA) AcceptsFrom(q int, t *Tree) bool {
+	return a.AcceptingStates(t)[q]
+}
+
+// AcceptsForestFrom reports whether the forest (an ordered list of
+// trees) is accepted by the state tuple: tree i from states[i].
+func (a *NFTA) AcceptsForestFrom(states []int, forest []*Tree) bool {
+	if len(states) != len(forest) {
+		return false
+	}
+	for i, t := range forest {
+		if !a.AcceptsFrom(states[i], t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the automaton for debugging.
+func (a *NFTA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NFTA states=%d init=%d\n", a.numStates, a.initial)
+	for _, tr := range a.trans {
+		sym := "λ"
+		if tr.Sym != Lambda {
+			sym = a.Symbols.Name(tr.Sym)
+		}
+		children := make([]string, len(tr.Children))
+		for i, c := range tr.Children {
+			children[i] = strconv.Itoa(c)
+		}
+		fmt.Fprintf(&b, "  %d --%s--> (%s)\n", tr.From, sym, strings.Join(children, ","))
+	}
+	return b.String()
+}

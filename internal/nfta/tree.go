@@ -1,0 +1,138 @@
+// Package nfta implements (top-down) non-deterministic finite tree
+// automata over labelled k-trees (Section 2 of the paper), plus the two
+// syntactic extensions the reductions use: augmented NFTAs (Section 4.1:
+// string-annotated transitions and optional "?" symbols) and NFTAs with
+// multipliers (Section 5.1: binary-comparator gadgets that scale the
+// number of accepted trees). Both extensions translate to ordinary
+// NFTAs in polynomial time (Remarks 1 and 2).
+package nfta
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pqe/internal/alphabet"
+)
+
+// Tree is a labelled ordered tree: a node with an interned symbol label
+// and a (possibly empty) sequence of children. This is the materialized
+// form of the paper's prefix-closed subsets of [k]* with labels.
+type Tree struct {
+	Sym      int
+	Children []*Tree
+}
+
+// Leaf returns a leaf node.
+func Leaf(sym int) *Tree { return &Tree{Sym: sym} }
+
+// Node returns an internal node.
+func Node(sym int, children ...*Tree) *Tree {
+	return &Tree{Sym: sym, Children: children}
+}
+
+// Size returns |t|, the number of nodes.
+func (t *Tree) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Key returns a canonical serialization, usable as a map key; two trees
+// are equal iff their keys are equal.
+func (t *Tree) Key() string {
+	var b strings.Builder
+	t.appendKey(&b)
+	return b.String()
+}
+
+func (t *Tree) appendKey(b *strings.Builder) {
+	b.WriteString(strconv.Itoa(t.Sym))
+	if len(t.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range t.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.appendKey(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Pretty renders the tree with symbol names from the interner.
+func (t *Tree) Pretty(sym *alphabet.Interner) string {
+	var b strings.Builder
+	t.appendPretty(sym, &b)
+	return b.String()
+}
+
+func (t *Tree) appendPretty(sym *alphabet.Interner, b *strings.Builder) {
+	b.WriteString(sym.Name(t.Sym))
+	if len(t.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range t.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.appendPretty(sym, b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Path builds a unary chain labelled syms[0] / syms[1] / … with the last
+// node carrying the given children (used by annotation and multiplier
+// gadgets, which splice paths into trees).
+func Path(syms []int, children ...*Tree) *Tree {
+	if len(syms) == 0 {
+		panic("nfta: empty path")
+	}
+	if len(syms) == 1 {
+		return &Tree{Sym: syms[0], Children: children}
+	}
+	return &Tree{Sym: syms[0], Children: []*Tree{Path(syms[1:], children...)}}
+}
+
+// Labels returns the labels of the tree in preorder.
+func (t *Tree) Labels() []int {
+	var out []int
+	var walk func(*Tree)
+	walk = func(n *Tree) {
+		out = append(out, n.Sym)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Equal reports whether two trees are identical.
+func (t *Tree) Equal(u *Tree) bool {
+	if t.Sym != u.Sym || len(t.Children) != len(u.Children) {
+		return false
+	}
+	for i := range t.Children {
+		if !t.Children[i].Equal(u.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{Sym: t.Sym}
+	for _, c := range t.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// String renders the tree with raw symbol IDs.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree%s", t.Key())
+}

@@ -1,0 +1,103 @@
+package nfta
+
+// Trim returns an equivalent automaton restricted to useful states:
+// those reachable from the initial state *and* productive (able to
+// accept at least one finite tree). The reductions and gadget
+// translations naturally create dead states — e.g. the binary
+// comparator's unreachable free-track head, or bag states whose
+// children can never be completed — and every dead state the counting
+// estimator never has to consider shrinks its memo tables and
+// membership checks. L(Trim(T)) = L(T) at every size.
+//
+// The automaton must be λ-free.
+func (a *NFTA) Trim() *NFTA {
+	if a.HasLambda() {
+		panic("nfta: Trim on automaton with λ-transitions")
+	}
+	// Productive: least fixpoint over transitions.
+	productive := make([]bool, a.numStates)
+	for changed := true; changed; {
+		changed = false
+		for _, tr := range a.trans {
+			if productive[tr.From] {
+				continue
+			}
+			ok := true
+			for _, c := range tr.Children {
+				if !productive[c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive[tr.From] = true
+				changed = true
+			}
+		}
+	}
+	// Reachable: forward closure through transitions whose children are
+	// all productive (unproductive children kill the branch anyway).
+	reachable := make([]bool, a.numStates)
+	if a.initial >= 0 {
+		queue := []int{a.initial}
+		reachable[a.initial] = true
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			for _, tr := range a.From(q) {
+				usable := true
+				for _, c := range tr.Children {
+					if !productive[c] {
+						usable = false
+						break
+					}
+				}
+				if !usable {
+					continue
+				}
+				for _, c := range tr.Children {
+					if !reachable[c] {
+						reachable[c] = true
+						queue = append(queue, c)
+					}
+				}
+			}
+		}
+	}
+
+	keep := make([]int, a.numStates) // old -> new, -1 dropped
+	out := NewWithSymbols(a.Symbols)
+	for q := 0; q < a.numStates; q++ {
+		if reachable[q] && productive[q] {
+			keep[q] = out.AddState()
+		} else {
+			keep[q] = -1
+		}
+	}
+	// The initial state survives even if unproductive (empty language):
+	// an automaton needs an initial state.
+	if a.initial >= 0 && keep[a.initial] < 0 {
+		keep[a.initial] = out.AddState()
+	}
+	if a.initial >= 0 {
+		out.SetInitial(keep[a.initial])
+	}
+	for _, tr := range a.trans {
+		if keep[tr.From] < 0 {
+			continue
+		}
+		ok := true
+		children := make([]int, len(tr.Children))
+		for i, c := range tr.Children {
+			if keep[c] < 0 {
+				ok = false
+				break
+			}
+			children[i] = keep[c]
+		}
+		if ok {
+			out.AddTransitionSym(keep[tr.From], tr.Sym, children...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package obdd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/gen"
+	"pqe/internal/lineage"
+	"pqe/internal/pdb"
+)
+
+func compileFor(t *testing.T, q *cq.Query, d *pdb.Database) (*lineage.DNF, *OBDD) {
+	t.Helper()
+	f, err := lineage.Compute(q, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := CompileDNF(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, o
+}
+
+func TestEvalAgreesWithDNF(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R1", "a", "c"),
+		pdb.NewFact("R2", "b", "d"),
+		pdb.NewFact("R2", "c", "d"),
+	)
+	f, o := compileFor(t, q, d)
+	mask := make([]bool, d.Size())
+	for m := 0; m < 1<<uint(d.Size()); m++ {
+		for i := range mask {
+			mask[i] = m&(1<<uint(i)) != 0
+		}
+		if o.Eval(mask) != f.Eval(mask) {
+			t.Fatalf("Eval disagrees on %v", mask)
+		}
+	}
+}
+
+func TestWMCAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		q := cq.PathQuery("R", 2+rng.Intn(2))
+		h := gen.Instance(q, gen.Config{
+			FactsPerRelation: 2, DomainSize: 3,
+			Model: gen.ProbRandomRational, Seed: int64(trial + 1),
+		})
+		f, err := lineage.Compute(q, h.DB(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := CompileDNF(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := o.WMC(h)
+		want := exact.PQE(q, h)
+		if got.Cmp(want) != 0 {
+			t.Errorf("trial %d: OBDD WMC %v != PQE %v", trial, got, want)
+		}
+	}
+}
+
+func TestCountModelsAgainstUR(t *testing.T) {
+	q := cq.PathQuery("R", 2)
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R2", "b", "c"),
+		pdb.NewFact("R2", "b", "d"),
+	)
+	_, o := compileFor(t, q, d)
+	want := exact.UR(q, d)
+	if got := o.CountModels(); got.Cmp(want) != 0 {
+		t.Errorf("CountModels %v != UR %v", got, want)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	q := cq.PathQuery("R", 3)
+	h := gen.LayeredPathInstance(q, 3, gen.ProbHalf, 1)
+	f, err := lineage.Compute(q, h.DB(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileDNF(f, 1); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCanonicalReduction(t *testing.T) {
+	// (x0 ∧ x1) ∨ (x0 ∧ x1) compiles to the same diagram as one copy.
+	f1 := &lineage.DNF{NumVars: 2, Clauses: [][]int{{0, 1}}}
+	f2 := &lineage.DNF{NumVars: 2, Clauses: [][]int{{0, 1}, {0, 1}}}
+	o1, err := CompileDNF(f1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := CompileDNF(f2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Size() != o2.Size() {
+		t.Errorf("sizes differ: %d vs %d", o1.Size(), o2.Size())
+	}
+	if o1.Size() != 2 {
+		t.Errorf("x0∧x1 diagram has %d nodes, want 2", o1.Size())
+	}
+}
+
+func TestEmptyAndTautology(t *testing.T) {
+	empty := &lineage.DNF{NumVars: 3}
+	o, err := CompileDNF(empty, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Root != False || o.Size() != 0 {
+		t.Errorf("empty DNF: root %d size %d", o.Root, o.Size())
+	}
+	taut := &lineage.DNF{NumVars: 3, Clauses: [][]int{{}}}
+	o, err = CompileDNF(taut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Root != True {
+		t.Errorf("tautology root = %d", o.Root)
+	}
+}
+
+// Property: OBDD model counts agree with brute-force UR on random path
+// instances.
+func TestQuickModelCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := cq.PathQuery("R", 2)
+		h := gen.Instance(q, gen.Config{FactsPerRelation: 1 + rng.Intn(3), DomainSize: 3, Seed: seed})
+		dnf, err := lineage.Compute(q, h.DB(), 0)
+		if err != nil {
+			return false
+		}
+		o, err := CompileDNF(dnf, 0)
+		if err != nil {
+			return false
+		}
+		return o.CountModels().Cmp(exact.UR(q, h.DB())) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

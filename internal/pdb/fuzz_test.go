@@ -1,0 +1,53 @@
+package pdb
+
+import "testing"
+
+// FuzzParse checks that the database parser never panics and that
+// accepted databases round-trip through Format.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R(a,b) : 1/2\n",
+		"R(a) : 0.25\nS(b)\n",
+		"# comment\n\nT(a, c) : 1\n",
+		"R(a : 1/2",
+		"R(a) : 5/4",
+		"R(a,b):3/7\nR(a,b):1/7\n",
+		": 1/2",
+		"R() : 0\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		h, err := ParseString(s)
+		if err != nil {
+			return
+		}
+		h2, err := ParseString(FormatString(h))
+		if err != nil {
+			t.Fatalf("formatted database does not re-parse: %v", err)
+		}
+		if h.String() != h2.String() {
+			t.Fatalf("round trip changed database:\n%s\n%s", h, h2)
+		}
+	})
+}
+
+// FuzzParseFact checks the single-fact parser.
+func FuzzParseFact(f *testing.F) {
+	for _, seed := range []string{"R(a,b)", "R", "R()", "¬R(a)", "R(a,", "1R(a)"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fact, err := ParseFact(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseFact(fact.Key())
+		if err != nil {
+			t.Fatalf("fact key %q does not re-parse: %v", fact.Key(), err)
+		}
+		if !fact.Equal(again) {
+			t.Fatalf("round trip changed fact: %v -> %v", fact, again)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package pdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// Parse reads a probabilistic database in the textual format
+//
+//	# comment
+//	R(a, b) : 3/4
+//	S(b)    : 0.25
+//	T(a, c)             // probability defaults to 1
+//
+// Probabilities may be fractions ("3/4") or exact decimals ("0.25"); both
+// are rational per the paper's model. Blank lines and lines starting with
+// '#' are ignored.
+func Parse(r io.Reader) (*Probabilistic, error) {
+	h := Empty()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fact, prob, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("pdb: line %d: %w", lineNo, err)
+		}
+		h.Add(fact, prob)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pdb: %w", err)
+	}
+	return h, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Probabilistic, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(line string) (Fact, Prob, error) {
+	factPart := line
+	probPart := ""
+	if i := strings.LastIndexByte(line, ':'); i >= 0 {
+		factPart = strings.TrimSpace(line[:i])
+		probPart = strings.TrimSpace(line[i+1:])
+	}
+	fact, err := ParseFact(factPart)
+	if err != nil {
+		return Fact{}, Prob{}, err
+	}
+	prob := ProbOne
+	if probPart != "" {
+		r, ok := new(big.Rat).SetString(probPart)
+		if !ok {
+			return Fact{}, Prob{}, fmt.Errorf("invalid probability %q", probPart)
+		}
+		if r.Sign() < 0 || r.Cmp(big.NewRat(1, 1)) > 0 {
+			return Fact{}, Prob{}, fmt.Errorf("probability %q outside [0,1]", probPart)
+		}
+		prob = ProbFromRat(r)
+	}
+	return fact, prob, nil
+}
+
+// ParseFact parses a single ground atom such as "R(a, b)". A 0-ary fact
+// may be written "R()" or just "R".
+func ParseFact(s string) (Fact, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if !validIdent(s) {
+			return Fact{}, fmt.Errorf("invalid fact %q", s)
+		}
+		return Fact{Relation: s}, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return Fact{}, fmt.Errorf("invalid fact %q: missing ')'", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if !validIdent(rel) {
+		return Fact{}, fmt.Errorf("invalid relation name %q", rel)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return Fact{Relation: rel}, nil
+	}
+	parts := strings.Split(inner, ",")
+	args := make([]string, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return Fact{}, fmt.Errorf("invalid fact %q: empty argument", s)
+		}
+		args[i] = p
+	}
+	return Fact{Relation: rel, Args: args}, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Format writes the probabilistic database in the textual format accepted
+// by Parse, in fact-ordering order.
+func Format(w io.Writer, h *Probabilistic) error {
+	for i, f := range h.DB().Facts() {
+		if _, err := fmt.Fprintf(w, "%s : %s\n", f.Key(), h.ProbAt(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatString renders the database via Format.
+func FormatString(h *Probabilistic) string {
+	var b strings.Builder
+	_ = Format(&b, h)
+	return b.String()
+}

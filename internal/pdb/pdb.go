@@ -1,0 +1,430 @@
+// Package pdb implements the probabilistic database model of the paper
+// (Section 2): a database instance is a finite set of facts Rᵢ(c₁,…,c_k)
+// over a relational schema, and a probabilistic database instance
+// H = (D, π) equips each fact with an independent rational probability
+// label π(f) ∈ [0, 1] ∩ ℚ. The labelling induces a product distribution
+// over the subinstances D' ⊆ D, and the probability of a Boolean query is
+// the total mass of the satisfying subinstances.
+package pdb
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Fact is a ground atom R(c₁,…,c_k). Args are constants from the universe,
+// represented as strings. Facts are compared by value.
+type Fact struct {
+	Relation string
+	Args     []string
+}
+
+// NewFact constructs a fact.
+func NewFact(relation string, args ...string) Fact {
+	return Fact{Relation: relation, Args: args}
+}
+
+// Arity returns the number of arguments of the fact.
+func (f Fact) Arity() int { return len(f.Args) }
+
+// Key returns a canonical string identity for the fact, usable as a map
+// key. Two facts are the same fact iff their keys are equal.
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.WriteString(f.Relation)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the fact as R(a,b).
+func (f Fact) String() string { return f.Key() }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool {
+	if f.Relation != g.Relation || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Database is a deterministic database instance: an ordered set of facts.
+// The order is the insertion order; it is stable and serves as the fixed
+// total ordering ≺ᵢ on the facts of each relation that the automaton
+// constructions require.
+type Database struct {
+	facts []Fact
+	index map[string]int // fact key -> position in facts
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{index: make(map[string]int)}
+}
+
+// FromFacts builds a database from the given facts, ignoring duplicates.
+func FromFacts(facts ...Fact) *Database {
+	d := NewDatabase()
+	for _, f := range facts {
+		d.Add(f)
+	}
+	return d
+}
+
+// Add inserts a fact. Adding a fact that is already present is a no-op.
+// It returns the position of the fact in the database's fact ordering.
+func (d *Database) Add(f Fact) int {
+	if i, ok := d.index[f.Key()]; ok {
+		return i
+	}
+	i := len(d.facts)
+	d.facts = append(d.facts, f)
+	d.index[f.Key()] = i
+	return i
+}
+
+// Size returns |D|, the number of facts.
+func (d *Database) Size() int { return len(d.facts) }
+
+// Facts returns the facts in insertion order. The returned slice must not
+// be modified.
+func (d *Database) Facts() []Fact { return d.facts }
+
+// Fact returns the i-th fact in insertion order.
+func (d *Database) Fact(i int) Fact { return d.facts[i] }
+
+// Contains reports whether the database contains the fact.
+func (d *Database) Contains(f Fact) bool {
+	_, ok := d.index[f.Key()]
+	return ok
+}
+
+// IndexOf returns the position of the fact in insertion order, or -1 if
+// absent.
+func (d *Database) IndexOf(f Fact) int {
+	if i, ok := d.index[f.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Relations returns the set of relation names appearing in the database,
+// sorted lexicographically.
+func (d *Database) Relations() []string {
+	seen := make(map[string]bool)
+	for _, f := range d.facts {
+		seen[f.Relation] = true
+	}
+	names := make([]string, 0, len(seen))
+	for r := range seen {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FactsOf returns the facts of the given relation, in the database's
+// fact ordering (the paper's ≺ᵢ).
+func (d *Database) FactsOf(relation string) []Fact {
+	var out []Fact
+	for _, f := range d.facts {
+		if f.Relation == relation {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Project returns the subinstance of d containing only facts over the
+// given relations (the "projection" used in the proofs of Theorems 1
+// and 3 to drop relations not occurring in the query).
+func (d *Database) Project(relations map[string]bool) *Database {
+	out := NewDatabase()
+	for _, f := range d.facts {
+		if relations[f.Relation] {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// Subinstance materializes the subinstance selected by the given
+// presence bitmask over the fact ordering. Bit i of mask selects fact i.
+// It panics if mask has the wrong length.
+func (d *Database) Subinstance(mask []bool) *Database {
+	if len(mask) != len(d.facts) {
+		panic(fmt.Sprintf("pdb: mask length %d != database size %d", len(mask), len(d.facts)))
+	}
+	out := NewDatabase()
+	for i, present := range mask {
+		if present {
+			out.Add(d.facts[i])
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, f := range d.facts {
+		args := make([]string, len(f.Args))
+		copy(args, f.Args)
+		out.Add(Fact{Relation: f.Relation, Args: args})
+	}
+	return out
+}
+
+// String renders the database as a sorted, comma-separated fact list.
+func (d *Database) String() string {
+	keys := make([]string, len(d.facts))
+	for i, f := range d.facts {
+		keys[i] = f.Key()
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, ", ") + "}"
+}
+
+// Prob is a rational probability in [0, 1]. The zero value is probability
+// 0. Probabilities are immutable once created.
+type Prob struct {
+	r *big.Rat
+}
+
+// NewProb returns the probability num/den. It panics unless
+// 0 ≤ num/den ≤ 1 and den > 0.
+func NewProb(num, den int64) Prob {
+	if den <= 0 {
+		panic("pdb: probability denominator must be positive")
+	}
+	r := big.NewRat(num, den)
+	return probFromRat(r)
+}
+
+// ProbFromRat returns the probability given by r, which must lie in [0,1].
+func ProbFromRat(r *big.Rat) Prob {
+	return probFromRat(new(big.Rat).Set(r))
+}
+
+func probFromRat(r *big.Rat) Prob {
+	if r.Sign() < 0 || r.Cmp(big.NewRat(1, 1)) > 0 {
+		panic(fmt.Sprintf("pdb: probability %v outside [0,1]", r))
+	}
+	return Prob{r: r}
+}
+
+// ProbOne is probability 1; ProbHalf is probability 1/2.
+var (
+	ProbOne  = NewProb(1, 1)
+	ProbHalf = NewProb(1, 2)
+)
+
+// Rat returns the probability as a new big.Rat.
+func (p Prob) Rat() *big.Rat {
+	if p.r == nil {
+		return new(big.Rat)
+	}
+	return new(big.Rat).Set(p.r)
+}
+
+// Num returns the numerator wᵢ of the reduced fraction.
+func (p Prob) Num() *big.Int {
+	if p.r == nil {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Set(p.r.Num())
+}
+
+// Den returns the denominator dᵢ of the reduced fraction.
+func (p Prob) Den() *big.Int {
+	if p.r == nil {
+		return big.NewInt(1)
+	}
+	return new(big.Int).Set(p.r.Denom())
+}
+
+// Complement returns 1 − p.
+func (p Prob) Complement() Prob {
+	one := big.NewRat(1, 1)
+	return probFromRat(one.Sub(one, p.ratRef()))
+}
+
+func (p Prob) ratRef() *big.Rat {
+	if p.r == nil {
+		return new(big.Rat)
+	}
+	return p.r
+}
+
+// Float returns the probability as a float64.
+func (p Prob) Float() float64 {
+	f, _ := p.ratRef().Float64()
+	return f
+}
+
+// IsZero and IsOne report the extreme probabilities.
+func (p Prob) IsZero() bool { return p.ratRef().Sign() == 0 }
+func (p Prob) IsOne() bool  { return p.ratRef().Cmp(big.NewRat(1, 1)) == 0 }
+
+// Cmp compares p and q.
+func (p Prob) Cmp(q Prob) int { return p.ratRef().Cmp(q.ratRef()) }
+
+// String renders the probability as a fraction.
+func (p Prob) String() string { return p.ratRef().RatString() }
+
+// BitSize returns the aggregate bit length of the numerator and
+// denominator; the paper's |H| includes this encoding size.
+func (p Prob) BitSize() int {
+	r := p.ratRef()
+	return r.Num().BitLen() + r.Denom().BitLen()
+}
+
+// Probabilistic is a probabilistic database instance H = (D, π).
+type Probabilistic struct {
+	db    *Database
+	probs []Prob // parallel to db.Facts()
+}
+
+// NewProbabilistic wraps a database with the uniform probability p on
+// every fact.
+func NewProbabilistic(db *Database, p Prob) *Probabilistic {
+	probs := make([]Prob, db.Size())
+	for i := range probs {
+		probs[i] = p
+	}
+	return &Probabilistic{db: db, probs: probs}
+}
+
+// Uniform returns H = (D, π) with π ≡ 1/2, the uniform-reliability
+// instance (Section 2).
+func Uniform(db *Database) *Probabilistic {
+	return NewProbabilistic(db, ProbHalf)
+}
+
+// Empty returns an empty probabilistic database.
+func Empty() *Probabilistic {
+	return &Probabilistic{db: NewDatabase()}
+}
+
+// Add inserts a fact with its probability. Re-adding an existing fact
+// overwrites its probability.
+func (h *Probabilistic) Add(f Fact, p Prob) {
+	i := h.db.Add(f)
+	if i == len(h.probs) {
+		h.probs = append(h.probs, p)
+	} else {
+		h.probs[i] = p
+	}
+}
+
+// DB returns the underlying deterministic database instance.
+func (h *Probabilistic) DB() *Database { return h.db }
+
+// Size returns |D|.
+func (h *Probabilistic) Size() int { return h.db.Size() }
+
+// Prob returns π(f). It panics if f ∉ D.
+func (h *Probabilistic) Prob(f Fact) Prob {
+	i := h.db.IndexOf(f)
+	if i < 0 {
+		panic(fmt.Sprintf("pdb: fact %v not in database", f))
+	}
+	return h.probs[i]
+}
+
+// ProbAt returns the probability of the i-th fact in the fact ordering.
+func (h *Probabilistic) ProbAt(i int) Prob { return h.probs[i] }
+
+// EncodingSize returns |H| = |D| plus the aggregate bit size of all
+// probability labels, per the paper's definition.
+func (h *Probabilistic) EncodingSize() int {
+	n := h.db.Size()
+	for _, p := range h.probs {
+		n += p.BitSize()
+	}
+	return n
+}
+
+// Project returns the probabilistic subinstance over the given relations,
+// preserving the probability labels.
+func (h *Probabilistic) Project(relations map[string]bool) *Probabilistic {
+	out := Empty()
+	for i, f := range h.db.Facts() {
+		if relations[f.Relation] {
+			out.Add(f, h.probs[i])
+		}
+	}
+	return out
+}
+
+// WithProb returns a copy of the instance with the probability of one
+// fact replaced. It panics if the fact is absent.
+func (h *Probabilistic) WithProb(f Fact, p Prob) *Probabilistic {
+	i := h.db.IndexOf(f)
+	if i < 0 {
+		panic(fmt.Sprintf("pdb: fact %v not in database", f))
+	}
+	out := Empty()
+	for j, g := range h.db.Facts() {
+		if j == i {
+			out.Add(g, p)
+		} else {
+			out.Add(g, h.probs[j])
+		}
+	}
+	return out
+}
+
+// SubinstanceProb returns Pr_H(D') for the subinstance selected by mask:
+// the product of π(f) over the present facts and 1−π(f) over the absent
+// ones, computed exactly as a rational.
+func (h *Probabilistic) SubinstanceProb(mask []bool) *big.Rat {
+	if len(mask) != h.db.Size() {
+		panic("pdb: mask length mismatch")
+	}
+	prob := big.NewRat(1, 1)
+	one := big.NewRat(1, 1)
+	for i, present := range mask {
+		p := h.probs[i].ratRef()
+		if present {
+			prob.Mul(prob, p)
+		} else {
+			prob.Mul(prob, new(big.Rat).Sub(one, p))
+		}
+	}
+	return prob
+}
+
+// DenominatorProduct returns d = ∏ᵢ dᵢ, the product of all probability
+// denominators, used to rescale the multiplier-automaton count in
+// Theorem 1.
+func (h *Probabilistic) DenominatorProduct() *big.Int {
+	d := big.NewInt(1)
+	for _, p := range h.probs {
+		d.Mul(d, p.ratRef().Denom())
+	}
+	return d
+}
+
+// String renders the instance with probabilities.
+func (h *Probabilistic) String() string {
+	parts := make([]string, h.db.Size())
+	for i, f := range h.db.Facts() {
+		parts[i] = fmt.Sprintf("%s : %s", f.Key(), h.probs[i])
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

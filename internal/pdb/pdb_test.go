@@ -1,0 +1,331 @@
+package pdb
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactKeyAndEqual(t *testing.T) {
+	f := NewFact("R", "a", "b")
+	g := NewFact("R", "a", "b")
+	h := NewFact("R", "b", "a")
+	if f.Key() != "R(a,b)" {
+		t.Errorf("Key = %q", f.Key())
+	}
+	if !f.Equal(g) {
+		t.Error("equal facts reported unequal")
+	}
+	if f.Equal(h) {
+		t.Error("distinct facts reported equal")
+	}
+	if f.Equal(NewFact("S", "a", "b")) {
+		t.Error("facts over different relations reported equal")
+	}
+	if f.Arity() != 2 {
+		t.Errorf("Arity = %d", f.Arity())
+	}
+	zero := NewFact("P")
+	if zero.Key() != "P()" {
+		t.Errorf("0-ary Key = %q", zero.Key())
+	}
+}
+
+func TestDatabaseAddAndOrder(t *testing.T) {
+	d := NewDatabase()
+	i := d.Add(NewFact("R", "a", "b"))
+	j := d.Add(NewFact("S", "b"))
+	k := d.Add(NewFact("R", "a", "b")) // duplicate
+	if i != 0 || j != 1 || k != 0 {
+		t.Errorf("positions = %d,%d,%d", i, j, k)
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	if !d.Contains(NewFact("S", "b")) || d.Contains(NewFact("S", "c")) {
+		t.Error("Contains wrong")
+	}
+	if d.IndexOf(NewFact("S", "b")) != 1 || d.IndexOf(NewFact("T")) != -1 {
+		t.Error("IndexOf wrong")
+	}
+	if got := d.Relations(); !reflect.DeepEqual(got, []string{"R", "S"}) {
+		t.Errorf("Relations = %v", got)
+	}
+}
+
+func TestFactsOfPreservesOrdering(t *testing.T) {
+	d := FromFacts(
+		NewFact("R", "3"),
+		NewFact("S", "x"),
+		NewFact("R", "1"),
+		NewFact("R", "2"),
+	)
+	got := d.FactsOf("R")
+	want := []string{"R(3)", "R(1)", "R(2)"}
+	if len(got) != len(want) {
+		t.Fatalf("FactsOf returned %d facts", len(got))
+	}
+	for i := range got {
+		if got[i].Key() != want[i] {
+			t.Errorf("FactsOf[%d] = %s, want %s", i, got[i].Key(), want[i])
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("S", "b"), NewFact("T", "c"))
+	p := d.Project(map[string]bool{"R": true, "T": true})
+	if p.Size() != 2 || !p.Contains(NewFact("R", "a")) || !p.Contains(NewFact("T", "c")) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestSubinstance(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "b"), NewFact("S", "c"))
+	sub := d.Subinstance([]bool{true, false, true})
+	if sub.Size() != 2 || sub.Contains(NewFact("R", "b")) {
+		t.Errorf("Subinstance = %v", sub)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad mask did not panic")
+		}
+	}()
+	d.Subinstance([]bool{true})
+}
+
+func TestProbBasics(t *testing.T) {
+	p := NewProb(3, 4)
+	if p.String() != "3/4" {
+		t.Errorf("String = %q", p.String())
+	}
+	if got := p.Complement().String(); got != "1/4" {
+		t.Errorf("Complement = %q", got)
+	}
+	if p.Num().Int64() != 3 || p.Den().Int64() != 4 {
+		t.Errorf("Num/Den = %v/%v", p.Num(), p.Den())
+	}
+	if !NewProb(0, 5).IsZero() || !NewProb(5, 5).IsOne() {
+		t.Error("IsZero/IsOne wrong")
+	}
+	if NewProb(1, 2).Cmp(NewProb(2, 3)) != -1 {
+		t.Error("Cmp wrong")
+	}
+	var zero Prob
+	if !zero.IsZero() || zero.Float() != 0 {
+		t.Error("zero-value Prob should be 0")
+	}
+	if zero.Den().Int64() != 1 {
+		t.Error("zero-value denominator should be 1")
+	}
+}
+
+func TestProbReduction(t *testing.T) {
+	// 2/4 reduces to 1/2, so the numerator/denominator used in the
+	// multiplier construction are those of the reduced fraction.
+	p := NewProb(2, 4)
+	if p.Num().Int64() != 1 || p.Den().Int64() != 2 {
+		t.Errorf("2/4 reduced to %v/%v", p.Num(), p.Den())
+	}
+}
+
+func TestProbPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative":       func() { NewProb(-1, 2) },
+		"greater than 1": func() { NewProb(3, 2) },
+		"zero den":       func() { NewProb(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSubinstanceProb(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), NewProb(1, 2))
+	h.Add(NewFact("R", "b"), NewProb(1, 3))
+	// Pr({R(a)}) = 1/2 · 2/3 = 1/3.
+	got := h.SubinstanceProb([]bool{true, false})
+	if got.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Errorf("SubinstanceProb = %v", got)
+	}
+	// All four subinstances sum to 1.
+	total := new(big.Rat)
+	for m := 0; m < 4; m++ {
+		total.Add(total, h.SubinstanceProb([]bool{m&1 != 0, m&2 != 0}))
+	}
+	if total.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("subinstance probabilities sum to %v", total)
+	}
+}
+
+func TestDenominatorProduct(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), NewProb(1, 2))
+	h.Add(NewFact("R", "b"), NewProb(2, 3))
+	h.Add(NewFact("R", "c"), ProbOne)
+	if got := h.DenominatorProduct(); got.Int64() != 6 {
+		t.Errorf("DenominatorProduct = %v", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "b"))
+	h := Uniform(d)
+	for i := 0; i < d.Size(); i++ {
+		if h.ProbAt(i).Cmp(ProbHalf) != 0 {
+			t.Errorf("fact %d probability = %v", i, h.ProbAt(i))
+		}
+	}
+}
+
+func TestProbabilisticProjectKeepsLabels(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), NewProb(1, 4))
+	h.Add(NewFact("S", "b"), NewProb(3, 4))
+	p := h.Project(map[string]bool{"S": true})
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if got := p.Prob(NewFact("S", "b")); got.Cmp(NewProb(3, 4)) != 0 {
+		t.Errorf("projected probability = %v", got)
+	}
+}
+
+func TestEncodingSize(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), NewProb(3, 4)) // 2 + 3 bits
+	if got := h.EncodingSize(); got != 1+2+3 {
+		t.Errorf("EncodingSize = %d", got)
+	}
+}
+
+func TestParseAndFormatRoundTrip(t *testing.T) {
+	in := `
+# a comment
+R(a, b) : 3/4
+S(b) : 0.25
+T(a, c)
+U() : 1/3
+`
+	h, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 4 {
+		t.Fatalf("Size = %d", h.Size())
+	}
+	if got := h.Prob(NewFact("R", "a", "b")); got.String() != "3/4" {
+		t.Errorf("R prob = %v", got)
+	}
+	if got := h.Prob(NewFact("S", "b")); got.String() != "1/4" {
+		t.Errorf("S prob = %v (decimal must parse exactly)", got)
+	}
+	if got := h.Prob(NewFact("T", "a", "c")); !got.IsOne() {
+		t.Errorf("T prob = %v, want 1", got)
+	}
+	if got := h.Prob(NewFact("U")); got.String() != "1/3" {
+		t.Errorf("U prob = %v", got)
+	}
+
+	h2, err := ParseString(FormatString(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.String() != h.String() {
+		t.Errorf("round trip mismatch:\n%v\n%v", h, h2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"R(a : 1/2",
+		"R(a) : 5/4",
+		"R(a) : -1/2",
+		"R(a) : x",
+		"(a,b) : 1/2",
+		"R(a,,b)",
+		"1R(a)",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseFact(t *testing.T) {
+	f, err := ParseFact(" Edge ( a , b ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Key() != "Edge(a,b)" {
+		t.Errorf("Key = %q", f.Key())
+	}
+	g, err := ParseFact("Flag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Key() != "Flag()" {
+		t.Errorf("bare relation Key = %q", g.Key())
+	}
+}
+
+// Property: for random small instances, the subinstance distribution is a
+// probability distribution (masses sum to exactly 1).
+func TestQuickDistributionSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := Empty()
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			den := int64(1 + rng.Intn(8))
+			num := int64(rng.Intn(int(den) + 1))
+			h.Add(NewFact("R", string(rune('a'+i))), NewProb(num, den))
+		}
+		total := new(big.Rat)
+		mask := make([]bool, n)
+		for m := 0; m < 1<<n; m++ {
+			for i := range mask {
+				mask[i] = m&(1<<i) != 0
+			}
+			total.Add(total, h.SubinstanceProb(mask))
+		}
+		return total.Cmp(big.NewRat(1, 1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse(Format(h)) is the identity on the canonical rendering.
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := Empty()
+		rels := []string{"R", "S", "T"}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			den := int64(1 + rng.Intn(16))
+			num := int64(rng.Intn(int(den) + 1))
+			nargs := rng.Intn(3)
+			args := make([]string, nargs)
+			for j := range args {
+				args[j] = string(rune('a' + rng.Intn(5)))
+			}
+			h.Add(Fact{Relation: rels[rng.Intn(len(rels))], Args: args}, NewProb(num, den))
+		}
+		h2, err := Parse(strings.NewReader(FormatString(h)))
+		return err == nil && h2.String() == h.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"pqe/internal/nfta"
+	"pqe/internal/pdb"
+)
+
+// EncodeSubinstance builds the canonical labelled tree encoding a
+// subinstance (selected by mask over the database's fact ordering),
+// following the bijection in the proof of Proposition 1: contract every
+// decomposition vertex that is not a ≺vertices-minimal covering vertex,
+// then expand each remaining vertex into a path of literal nodes — one
+// per fact of each atom it minimally covers, positive or negated
+// according to the subinstance — attaching the children below the last
+// node of the path.
+//
+// The encoding is independent of any witness choice; the reduction
+// automaton accepts the tree iff the subinstance satisfies the query.
+func (r *URReduction) EncodeSubinstance(mask []bool) (*nfta.Tree, error) {
+	if len(mask) != r.DB.Size() {
+		return nil, fmt.Errorf("reduction: mask length %d != |D| = %d", len(mask), r.DB.Size())
+	}
+	covering := make([]int, r.Query.Len())
+	for m := range r.Query.Atoms {
+		cv := r.Dec.CoveringVertex(m)
+		if cv == nil {
+			return nil, fmt.Errorf("reduction: atom %s has no covering vertex", r.Query.Atoms[m])
+		}
+		covering[m] = cv.ID
+	}
+
+	// literal interns the (possibly negated) fact symbol. A negation the
+	// translation never produced (e.g. of a relation's only fact, which
+	// is always a forced witness) simply has no transitions, so trees
+	// containing it are rejected — exactly the non-satisfying
+	// subinstances.
+	literal := func(f pdb.Fact) int {
+		name := f.Key()
+		if !mask[r.DB.IndexOf(f)] {
+			name = nfta.NegName(name)
+		}
+		return r.Symbols.Intern(name)
+	}
+
+	var buildForest func(pID int) ([]*nfta.Tree, error)
+	nodes := r.Dec.Nodes()
+	buildForest = func(pID int) ([]*nfta.Tree, error) {
+		p := nodes[pID]
+		var childForest []*nfta.Tree
+		for _, c := range p.Children {
+			sub, err := buildForest(c.ID)
+			if err != nil {
+				return nil, err
+			}
+			childForest = append(childForest, sub...)
+		}
+		// Literal path for the atoms minimally covered at p.
+		var syms []int
+		atoms := append([]int(nil), p.Xi...)
+		sort.Ints(atoms)
+		for _, m := range atoms {
+			if covering[m] != pID {
+				continue
+			}
+			for _, f := range r.DB.FactsOf(r.Query.Atoms[m].Relation) {
+				syms = append(syms, literal(f))
+			}
+		}
+		if len(syms) == 0 {
+			// Contracted vertex: pass the children through.
+			return childForest, nil
+		}
+		return []*nfta.Tree{nfta.Path(syms, childForest...)}, nil
+	}
+
+	forest, err := buildForest(r.Dec.Root.ID)
+	if err != nil {
+		return nil, err
+	}
+	if len(forest) != 1 {
+		return nil, fmt.Errorf("reduction: encoding is a forest of %d trees; root is not a covering vertex", len(forest))
+	}
+	return forest[0], nil
+}

@@ -1,0 +1,108 @@
+package reduction
+
+import (
+	"fmt"
+	"math/big"
+
+	"pqe/internal/cq"
+	"pqe/internal/nfa"
+	"pqe/internal/nfta"
+	"pqe/internal/pdb"
+)
+
+// PathPQEReduction is the string-automaton analogue of PQEReduction for
+// self-join-free path queries: the Section 3 NFA with the Section 5.1
+// multiplier gadget applied to every fact literal (footnote 2 of the
+// paper observes the gadget is a string-automaton construction). The
+// number of accepted words of length WordSize equals
+// Σ_{D' ⊨ Q} ∏_{f∈D'} wᵢ ∏_{f∉D'} (dᵢ−wᵢ), so
+// Pr_H(Q) = |L_WordSize(Auto)| / DenProduct.
+//
+// For path queries this pipeline avoids tree machinery entirely and is
+// the basis of the E10 ablation (string vs tree pipeline).
+type PathPQEReduction struct {
+	Query      *cq.Query
+	H          *pdb.Probabilistic
+	Base       *nfa.NFA // the unweighted Section 3 automaton
+	Auto       *nfa.NFA // with multiplier gadgets expanded
+	WordSize   int      // |D| + Σᵢ Kᵢ
+	DenProduct *big.Int
+}
+
+// BuildPathPQE runs the path-query PQE reduction for a probabilistic
+// database defined only over the query's (binary) relations.
+func BuildPathPQE(q *cq.Query, h *pdb.Probabilistic) (*PathPQEReduction, error) {
+	base, err := PathNFA(q, h.DB())
+	if err != nil {
+		return nil, err
+	}
+	d := h.DB()
+	budgets := make([]int, d.Size())
+	posMult := make([]*big.Int, d.Size())
+	negMult := make([]*big.Int, d.Size())
+	denProduct := big.NewInt(1)
+	extra := 0
+	for i, f := range d.Facts() {
+		p := h.Prob(f)
+		posMult[i] = p.Num()
+		negMult[i] = new(big.Int).Sub(p.Den(), p.Num())
+		budgets[i] = maxInt(digitsForBig(posMult[i]), digitsForBig(negMult[i]))
+		denProduct.Mul(denProduct, p.Den())
+		extra += budgets[i]
+	}
+
+	mult := nfa.NewMultNFA(base.Symbols)
+	for i := 0; i < base.NumStates(); i++ {
+		mult.AddState()
+	}
+	mult.SetInitial(base.Initial()...)
+	mult.SetFinal(base.Finals()...)
+	var buildErr error
+	base.EachTransition(func(from, sym, to int) {
+		if buildErr != nil {
+			return
+		}
+		name := base.Symbols.Name(sym)
+		factName := name
+		negated := false
+		if b, ok := nfta.IsNegName(name); ok {
+			factName, negated = b, true
+		}
+		fact, err := pdb.ParseFact(factName)
+		if err != nil {
+			buildErr = fmt.Errorf("reduction: transition symbol %q is not a fact literal: %v", name, err)
+			return
+		}
+		idx := d.IndexOf(fact)
+		if idx < 0 {
+			buildErr = fmt.Errorf("reduction: transition fact %v not in database", fact)
+			return
+		}
+		w := posMult[idx]
+		if negated {
+			w = negMult[idx]
+		}
+		if err := mult.AddTransition(from, sym, w, budgets[idx], to); err != nil {
+			buildErr = err
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return &PathPQEReduction{
+		Query:      q,
+		H:          h,
+		Base:       base,
+		Auto:       mult.Translate().Trim(),
+		WordSize:   d.Size() + extra,
+		DenProduct: denProduct,
+	}, nil
+}
+
+// digitsForBig mirrors nfta.DigitsFor for the string pipeline.
+func digitsForBig(mult *big.Int) int {
+	if mult.Cmp(big.NewInt(1)) <= 0 {
+		return 0
+	}
+	return new(big.Int).Sub(mult, big.NewInt(1)).BitLen()
+}

@@ -1,0 +1,129 @@
+package reduction
+
+import (
+	"fmt"
+	"math/big"
+
+	"pqe/internal/cq"
+	"pqe/internal/hypertree"
+	"pqe/internal/nfta"
+	"pqe/internal/pdb"
+)
+
+// PQEReduction is the output of the Theorem 1 (Section 5.2)
+// construction: starting from the uniform-reliability automaton, every
+// positive fact transition receives multiplier wᵢ and every negated one
+// dᵢ−wᵢ (with π(fᵢ) = wᵢ/dᵢ), so that
+//
+//	|L_TreeSize(Auto)| = Σ_{D' ⊨ Q} ∏_{f∈D'} wᵢ ∏_{f∉D'} (dᵢ−wᵢ)
+//
+// and hence Pr_H(Q) = |L_TreeSize(Auto)| / DenProduct.
+type PQEReduction struct {
+	UR         *URReduction
+	Mult       *nfta.MultNFTA
+	Auto       *nfta.NFTA // translation of Mult, digit gadgets expanded
+	TreeSize   int        // |D| + Σᵢ Kᵢ
+	DenProduct *big.Int   // d = ∏ᵢ dᵢ
+	// DigitBudget[i] is Kᵢ = max(u(wᵢ), u(dᵢ−wᵢ)) for the i-th fact: the
+	// comparator width shared by the fact's positive and negated
+	// transitions so all accepted trees have equal size. (With
+	// asymmetric widths u(wᵢ) and u(dᵢ−wᵢ), as in a literal reading of
+	// the paper, trees for different subinstances would have different
+	// sizes and a single fixed-size count could not see them all.)
+	DigitBudget []int
+}
+
+// BuildPQE runs the full Theorem 1 reduction for a self-join-free query
+// of bounded hypertree width and a probabilistic database defined only
+// over the query's relations.
+func BuildPQE(q *cq.Query, h *pdb.Probabilistic, dec *hypertree.Decomposition) (*PQEReduction, error) {
+	ur, err := BuildUR(q, h.DB(), dec)
+	if err != nil {
+		return nil, err
+	}
+	return WeightUR(ur, h)
+}
+
+// WeightUR attaches probability multipliers to an existing
+// uniform-reliability reduction.
+func WeightUR(ur *URReduction, h *pdb.Probabilistic) (*PQEReduction, error) {
+	d := ur.DB
+	if h.DB() != d {
+		// Allow a different instance as long as it has the same facts.
+		if h.Size() != d.Size() {
+			return nil, fmt.Errorf("reduction: probabilistic instance has %d facts, automaton built for %d", h.Size(), d.Size())
+		}
+		for _, f := range d.Facts() {
+			if h.DB().IndexOf(f) < 0 {
+				return nil, fmt.Errorf("reduction: fact %v missing from probabilistic instance", f)
+			}
+		}
+	}
+
+	budgets := make([]int, d.Size())
+	posMult := make([]*big.Int, d.Size())
+	negMult := make([]*big.Int, d.Size())
+	denProduct := big.NewInt(1)
+	extra := 0
+	for i, f := range d.Facts() {
+		p := h.Prob(f)
+		w := p.Num()
+		den := p.Den()
+		posMult[i] = w
+		negMult[i] = new(big.Int).Sub(den, w)
+		budgets[i] = maxInt(nfta.DigitsFor(posMult[i]), nfta.DigitsFor(negMult[i]))
+		denProduct.Mul(denProduct, den)
+		extra += budgets[i]
+	}
+
+	mult := nfta.NewMult(ur.Symbols)
+	for i := 0; i < ur.Auto.NumStates(); i++ {
+		mult.AddState()
+	}
+	mult.SetInitial(ur.Auto.Initial())
+	for _, tr := range ur.Auto.Transitions() {
+		name := ur.Symbols.Name(tr.Sym)
+		base, negated := nfta.IsNegName(name)
+		factName := name
+		if negated {
+			factName = base
+		}
+		fact, err := pdb.ParseFact(factName)
+		if err != nil {
+			return nil, fmt.Errorf("reduction: transition symbol %q is not a fact literal: %v", name, err)
+		}
+		idx := d.IndexOf(fact)
+		if idx < 0 {
+			return nil, fmt.Errorf("reduction: transition fact %v not in database", fact)
+		}
+		m := posMult[idx]
+		if negated {
+			m = negMult[idx]
+		}
+		if err := mult.AddTransition(tr.From, tr.Sym, m, budgets[idx], tr.Children...); err != nil {
+			return nil, err
+		}
+	}
+	auto, err := mult.Translate()
+	if err != nil {
+		return nil, err
+	}
+	// The comparator gadgets leave dead free-track heads behind;
+	// zero-multiplier transitions may also strand whole branches.
+	auto = auto.Trim()
+	return &PQEReduction{
+		UR:          ur,
+		Mult:        mult,
+		Auto:        auto,
+		TreeSize:    d.Size() + extra,
+		DenProduct:  denProduct,
+		DigitBudget: budgets,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+// Package safeplan implements the Dalvi–Suciu extensional (safe-plan)
+// algorithm for exact PQE of safe self-join-free conjunctive queries,
+// the PTIME side of the data-complexity dichotomy referenced throughout
+// Table 1 of the paper. For SJF CQs, safety coincides with the
+// syntactic hierarchical property: for every pair of variables, their
+// atom sets are disjoint or comparable.
+//
+// The algorithm applies two rules recursively:
+//
+//	independent join:    Q = Q₁ ∧ Q₂ with disjoint atoms/variables
+//	                     ⇒ Pr(Q) = Pr(Q₁) · Pr(Q₂)
+//	independent project: a root variable x occurs in every atom
+//	                     ⇒ Pr(Q) = 1 − ∏_c (1 − Pr(Q[x→c]))
+//
+// ground atoms reduce to their fact's probability. A connected query
+// with no root variable is unsafe and reported as such.
+package safeplan
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// ErrUnsafe is returned when the query has no safe plan (for SJF CQs:
+// it is non-hierarchical, hence #P-hard in data complexity).
+var ErrUnsafe = errors.New("safeplan: query is unsafe (non-hierarchical)")
+
+// Evaluate computes Pr_H(Q) exactly for a safe self-join-free
+// conjunctive query. It returns ErrUnsafe for unsafe queries.
+func Evaluate(q *cq.Query, h *pdb.Probabilistic) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("safeplan: query %q has self-joins; the safe-plan rules here assume self-join-freeness", q)
+	}
+	e := &evaluator{h: h, memo: make(map[string]*big.Rat)}
+	return e.eval(groundQuery{q: q, binding: cq.Assignment{}})
+}
+
+// IsSafe reports whether the query admits a safe plan (hierarchical,
+// for SJF CQs).
+func IsSafe(q *cq.Query) bool {
+	return q.SelfJoinFree() && q.Hierarchical()
+}
+
+// groundQuery is a query together with a partial assignment of
+// variables fixed by enclosing independent projects.
+type groundQuery struct {
+	q       *cq.Query
+	binding cq.Assignment
+}
+
+func (g groundQuery) key() string {
+	return g.q.String() + "@" + g.binding.Key()
+}
+
+type evaluator struct {
+	h    *pdb.Probabilistic
+	memo map[string]*big.Rat
+}
+
+func (e *evaluator) eval(g groundQuery) (*big.Rat, error) {
+	if v, ok := e.memo[g.key()]; ok {
+		return new(big.Rat).Set(v), nil
+	}
+	v, err := e.evalUncached(g)
+	if err != nil {
+		return nil, err
+	}
+	e.memo[g.key()] = new(big.Rat).Set(v)
+	return v, nil
+}
+
+func (e *evaluator) evalUncached(g groundQuery) (*big.Rat, error) {
+	// Fully ground atoms become fact probabilities and multiply in
+	// independently (self-join-freeness makes their fact variables
+	// distinct from everything else).
+	var groundProb *big.Rat
+	var open []cq.Atom
+	for _, a := range g.q.Atoms {
+		if isGround(a, g.binding) {
+			f := groundFact(a, g.binding)
+			p := new(big.Rat)
+			if e.h.DB().Contains(f) {
+				p = e.h.Prob(f).Rat()
+			}
+			if groundProb == nil {
+				groundProb = big.NewRat(1, 1)
+			}
+			groundProb.Mul(groundProb, p)
+			if p.Sign() == 0 {
+				return new(big.Rat), nil
+			}
+		} else {
+			open = append(open, a)
+		}
+	}
+	if len(open) == 0 {
+		return groundProb, nil
+	}
+
+	rest := cq.New(open...)
+	// Independent join over connected components (with respect to the
+	// unbound variables).
+	comps := componentsUnbound(rest, g.binding)
+	if len(comps) > 1 {
+		total := big.NewRat(1, 1)
+		for _, comp := range comps {
+			sub, err := e.eval(groundQuery{q: rest.SubQuery(comp), binding: g.binding})
+			if err != nil {
+				return nil, err
+			}
+			total.Mul(total, sub)
+		}
+		if groundProb != nil {
+			total.Mul(total, groundProb)
+		}
+		return total, nil
+	}
+
+	// Independent project on a root variable: an unbound variable
+	// occurring in every open atom.
+	root := rootVariable(rest, g.binding)
+	if root == "" {
+		return nil, ErrUnsafe
+	}
+	// Pr(∃x Q) = 1 − ∏_{c ∈ adom} (1 − Pr(Q[x→c])): values outside the
+	// active domain contribute probability 0.
+	miss := big.NewRat(1, 1)
+	one := big.NewRat(1, 1)
+	for _, c := range e.activeDomain(rest, root) {
+		b := g.binding.Clone()
+		b[root] = c
+		sub, err := e.eval(groundQuery{q: rest, binding: b})
+		if err != nil {
+			return nil, err
+		}
+		miss.Mul(miss, new(big.Rat).Sub(one, sub))
+	}
+	total := new(big.Rat).Sub(one, miss)
+	if groundProb != nil {
+		total.Mul(total, groundProb)
+	}
+	return total, nil
+}
+
+// activeDomain returns the constants that can instantiate the variable:
+// the union over atoms containing it of the values in the corresponding
+// fact positions.
+func (e *evaluator) activeDomain(q *cq.Query, v string) []string {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for pos, w := range a.Vars {
+			if w != v {
+				continue
+			}
+			for _, f := range e.h.DB().FactsOf(a.Relation) {
+				if len(f.Args) == len(a.Vars) {
+					seen[f.Args[pos]] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isGround(a cq.Atom, binding cq.Assignment) bool {
+	for _, v := range a.Vars {
+		if _, ok := binding[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func groundFact(a cq.Atom, binding cq.Assignment) pdb.Fact {
+	args := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		args[i] = binding[v]
+	}
+	return pdb.Fact{Relation: a.Relation, Args: args}
+}
+
+// componentsUnbound computes connected components of the atoms where
+// adjacency is sharing an *unbound* variable.
+func componentsUnbound(q *cq.Query, binding cq.Assignment) [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	byVar := make(map[string]int)
+	for i, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if _, bound := binding[v]; bound {
+				continue
+			}
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range q.Atoms {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// rootVariable returns an unbound variable occurring in every atom, or
+// "".
+func rootVariable(q *cq.Query, binding cq.Assignment) string {
+	if len(q.Atoms) == 0 {
+		return ""
+	}
+	var candidates []string
+	for _, v := range q.Atoms[0].Vars {
+		if _, bound := binding[v]; !bound {
+			candidates = append(candidates, v)
+		}
+	}
+	sort.Strings(candidates)
+	for _, v := range candidates {
+		inAll := true
+		for _, a := range q.Atoms[1:] {
+			if !a.HasVar(v) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			return v
+		}
+	}
+	return ""
+}

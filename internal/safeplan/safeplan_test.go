@@ -1,0 +1,185 @@
+package safeplan
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/pdb"
+)
+
+func TestIsSafe(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"R(x,y)", true},
+		{"R(x,y), S(x,z)", true},                   // star: hierarchical
+		{"R(x), S(x,y), T(y)", false},              // H₀: unsafe
+		{"R1(x1,x2), R2(x2,x3), R3(x3,x4)", false}, // 3-path
+		{"R(x,y), R(y,z)", false},                  // self-join: out of scope
+	}
+	for _, c := range cases {
+		if got := IsSafe(cq.MustParse(c.q)); got != c.want {
+			t.Errorf("IsSafe(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateSingleAtom(t *testing.T) {
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("R", "b"), pdb.NewProb(1, 3))
+	got, err := Evaluate(cq.MustParse("R(x)"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 − (1−1/2)(1−1/3) = 1 − 1/3 = 2/3.
+	if got.Cmp(big.NewRat(2, 3)) != 0 {
+		t.Errorf("Pr = %v, want 2/3", got)
+	}
+}
+
+func TestEvaluateIndependentJoin(t *testing.T) {
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("S", "b"), pdb.NewProb(1, 3))
+	got, err := Evaluate(cq.MustParse("R(x), S(y)"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1/2)·(1/3) = 1/6.
+	if got.Cmp(big.NewRat(1, 6)) != 0 {
+		t.Errorf("Pr = %v, want 1/6", got)
+	}
+}
+
+func TestEvaluateUnsafe(t *testing.T) {
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a"), pdb.ProbHalf)
+	h.Add(pdb.NewFact("S", "a", "b"), pdb.ProbHalf)
+	h.Add(pdb.NewFact("T", "b"), pdb.ProbHalf)
+	_, err := Evaluate(cq.MustParse("R(x), S(x,y), T(y)"), h)
+	if !errors.Is(err, ErrUnsafe) {
+		t.Errorf("err = %v, want ErrUnsafe", err)
+	}
+}
+
+func TestEvaluateRejectsSelfJoin(t *testing.T) {
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("R", "a", "b"), pdb.ProbHalf)
+	if _, err := Evaluate(cq.MustParse("R(x,y), R(y,z)"), h); err == nil {
+		t.Error("self-join accepted")
+	}
+}
+
+func randomInstance(rng *rand.Rand, q *cq.Query, arity map[string]int) *pdb.Probabilistic {
+	h := pdb.Empty()
+	consts := []string{"a", "b", "c"}
+	for _, rel := range q.Relations() {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			args := make([]string, arity[rel])
+			for j := range args {
+				args[j] = consts[rng.Intn(3)]
+			}
+			den := int64(1 + rng.Intn(4))
+			num := int64(rng.Intn(int(den) + 1))
+			h.Add(pdb.Fact{Relation: rel, Args: args}, pdb.NewProb(num, den))
+		}
+	}
+	return h
+}
+
+func arities(q *cq.Query) map[string]int {
+	m := make(map[string]int)
+	for _, a := range q.Atoms {
+		m[a.Relation] = a.Arity()
+	}
+	return m
+}
+
+func TestEvaluateMatchesBruteForceOnSafeQueries(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("R(x)"),
+		cq.MustParse("R(x,y)"),
+		cq.MustParse("R(x,y), S(x,z)"),
+		cq.MustParse("R(x,y), S(x)"),
+		cq.StarQuery("R", 3),
+		cq.MustParse("R(x), S(y)"),
+		cq.MustParse("R(x,y), S(y)"), // y in both? R has x,y; S has y: at(x)={R} at(y)={R,S}: hierarchical
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		q := queries[rng.Intn(len(queries))]
+		if !IsSafe(q) {
+			t.Fatalf("test query %s is not safe", q)
+		}
+		h := randomInstance(rng, q, arities(q))
+		got, err := Evaluate(q, h)
+		if err != nil {
+			t.Fatalf("Evaluate(%s): %v", q, err)
+		}
+		want := exact.PQE(q, h)
+		if got.Cmp(want) != 0 {
+			t.Errorf("trial %d: %s: got %v, want %v\nH=%s", trial, q, got, want, h)
+		}
+	}
+}
+
+// Property: on random safe star queries the safe plan is exact.
+func TestQuickSafePlanExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := cq.StarQuery("R", 1+rng.Intn(3))
+		h := randomInstance(rng, q, arities(q))
+		got, err := Evaluate(q, h)
+		if err != nil {
+			return false
+		}
+		return got.Cmp(exact.PQE(q, h)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateDeepHierarchy(t *testing.T) {
+	// R(x), S(x,y), T(x,y,z): at(x) ⊇ at(y) ⊇ at(z) — a three-level
+	// hierarchy requiring nested independent projects.
+	q := cq.MustParse("R(x), S(x,y), T(x,y,z)")
+	if !IsSafe(q) {
+		t.Fatal("deep hierarchy not safe")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		h := randomInstance(rng, q, arities(q))
+		got, err := Evaluate(q, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := exact.PQE(q, h)
+		if got.Cmp(want) != 0 {
+			t.Errorf("trial %d: got %v, want %v\nH=%s", trial, got, want, h)
+		}
+	}
+}
+
+func TestEvaluateDisconnectedWithSharedConstantsOnly(t *testing.T) {
+	// Components connected only through constants (not variables) stay
+	// independent.
+	q := cq.MustParse("A(x,y), B(z)")
+	h := pdb.Empty()
+	h.Add(pdb.NewFact("A", "c", "c"), pdb.NewProb(1, 2))
+	h.Add(pdb.NewFact("B", "c"), pdb.NewProb(1, 3))
+	got, err := Evaluate(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewRat(1, 6)) != 0 {
+		t.Errorf("Pr = %v, want 1/6", got)
+	}
+}
