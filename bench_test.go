@@ -9,6 +9,7 @@ package pqe
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"testing"
 
 	"pqe/internal/alphabet"
@@ -26,6 +27,17 @@ import (
 )
 
 var benchSink any
+
+// benchWorkers are the intra-trial worker counts the headline
+// estimator benchmarks sweep: sequential plus all cores (skipped when
+// they coincide). Results are identical at every setting; only the
+// wall clock moves.
+func benchWorkers() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
 
 // --- T1: Table 1 landscape ---
 
@@ -67,15 +79,18 @@ func BenchmarkUREstimate(b *testing.B) {
 	} {
 		h := gen.Instance(tc.q, gen.Config{FactsPerRelation: 3, DomainSize: 3, Seed: 2})
 		d := h.DB()
-		b.Run(tc.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				v, err := core.UREstimate(tc.q, d, core.Options{Epsilon: 0.1, Seed: int64(i + 1)})
-				if err != nil {
-					b.Fatal(err)
+		for _, w := range benchWorkers() {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					v, err := core.UREstimate(tc.q, d, core.Options{Epsilon: 0.1, Seed: int64(i + 1), Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSink = v
 				}
-				benchSink = v
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -313,9 +328,13 @@ func BenchmarkCountNFTA(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		benchSink = count.Trees(red.Auto, red.TreeSize, count.Options{Epsilon: 0.1, Seed: int64(i + 1)})
+	for _, w := range benchWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink = count.Trees(red.Auto, red.TreeSize, count.Options{Epsilon: 0.1, Seed: int64(i + 1), Workers: w})
+			}
+		})
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"pqe"
 )
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ur       = fs.Bool("ur", false, "compute uniform reliability (subinstance count) instead of probability")
 		explain  = fs.Bool("explain", false, "print the evaluation plan instead of evaluating")
 		sample   = fs.Int("sample", 0, "also draw N worlds conditioned on the query holding")
+		workers  = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "facts: %d   self-join-free: %v   hypertree width: %d (bounded: %v)   safe: %v\n",
 		db.Size(), sjf, width, bounded, safe)
 
-	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras}
+	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, Workers: *workers}
 
 	if *explain {
 		plan, err := pqe.Explain(q, db, opts)
@@ -105,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	for i := 0; i < *sample; i++ {
-		w, err := pqe.SampleWorld(q, db, &pqe.Options{Epsilon: *eps, Seed: *seed + int64(i)})
+		w, err := pqe.SampleWorld(q, db, &pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), Workers: *workers})
 		if err != nil {
 			return err
 		}

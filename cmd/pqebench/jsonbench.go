@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"pqe/internal/core"
+	"pqe/internal/count"
+	"pqe/internal/cq"
+	"pqe/internal/efloat"
+	"pqe/internal/gen"
+	"pqe/internal/nfta"
+)
+
+// benchRecord is one machine-readable benchmark row in
+// BENCH_countnfta.json.
+type benchRecord struct {
+	Name        string      `json:"name"`
+	Workers     int         `json:"workers"`
+	Ops         int         `json:"ops"`
+	NsPerOp     int64       `json:"ns_per_op"`
+	AllocsPerOp uint64      `json:"allocs_per_op"`
+	BytesPerOp  uint64      `json:"bytes_per_op"`
+	Stats       *benchStats `json:"stats,omitempty"`
+}
+
+// benchStats carries the estimator's own effort counters (per op).
+type benchStats struct {
+	TreeKeys     int   `json:"tree_keys"`
+	ForestKeys   int   `json:"forest_keys"`
+	UnionSamples int   `json:"union_samples"`
+	Rejections   int   `json:"rejections"`
+	WallNs       int64 `json:"wall_ns"`
+}
+
+type benchFile struct {
+	Suite     string        `json:"suite"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Epsilon   float64       `json:"epsilon"`
+	Seed      int64         `json:"seed"`
+	Results   []benchRecord `json:"results"`
+}
+
+// benchTime is the per-workload measurement budget: each workload is
+// repeated until it has consumed this much wall time (at least once).
+const benchTime = 300 * time.Millisecond
+
+// heavyOverlap mirrors the count package's benchmark automaton: six
+// fully redundant branches under one root symbol keep the union
+// estimator in its overlap-sampling loop.
+func heavyOverlap() *nfta.NFTA {
+	a := nfta.New()
+	top := a.AddState()
+	for i := 0; i < 6; i++ {
+		s := a.AddState()
+		a.AddTransition(s, "a", s)
+		a.AddTransition(s, "b")
+		a.AddTransition(top, "f", s)
+	}
+	a.SetInitial(top)
+	return a
+}
+
+// measure runs fn until benchTime has elapsed and reports per-op time
+// and allocation figures from runtime.MemStats deltas.
+func measure(fn func(i int)) (ops int, nsPerOp int64, allocsPerOp, bytesPerOp uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for time.Since(start) < benchTime {
+		fn(ops)
+		ops++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return ops, elapsed.Nanoseconds() / int64(ops),
+		(after.Mallocs - before.Mallocs) / uint64(ops),
+		(after.TotalAlloc - before.TotalAlloc) / uint64(ops)
+}
+
+// runJSONBench runs the CountNFTA micro-benchmark suite at each worker
+// count and writes BENCH_countnfta.json.
+func runJSONBench(path string, eps float64, seed int64, workers int, stdout io.Writer) error {
+	out := benchFile{
+		Suite:     "countnfta",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Epsilon:   eps,
+		Seed:      seed,
+	}
+	counts := []int{1}
+	if workers > 1 {
+		counts = append(counts, workers)
+	}
+
+	ur := []struct {
+		name string
+		q    *cq.Query
+	}{
+		{"UREstimate/path3", cq.PathQuery("R", 3)},
+		{"UREstimate/star3", cq.StarQuery("S", 3)},
+		{"UREstimate/triangle", cq.CycleQuery("C", 3)},
+	}
+	for _, w := range counts {
+		for _, tc := range ur {
+			h := gen.Instance(tc.q, gen.Config{FactsPerRelation: 3, DomainSize: 3, Seed: 2})
+			d := h.DB()
+			var st count.Stats
+			ops, ns, allocs, bytes := measure(func(i int) {
+				v, err := core.UREstimate(tc.q, d, core.Options{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, CountStats: &st,
+				})
+				if err != nil || v.IsZero() {
+					panic(fmt.Sprintf("%s: err=%v v=%v", tc.name, err, v))
+				}
+			})
+			out.Results = append(out.Results, record(tc.name, w, ops, ns, allocs, bytes, &st))
+		}
+
+		a := heavyOverlap()
+		var st count.Stats
+		var v efloat.E
+		ops, ns, allocs, bytes := measure(func(i int) {
+			v = count.Trees(a, 24, count.Options{
+				Epsilon: eps, Trials: 3, Seed: seed + int64(i), Workers: w, Stats: &st,
+			})
+		})
+		if v.IsZero() {
+			return fmt.Errorf("CountTrees/heavyOverlap: estimate collapsed to zero")
+		}
+		out.Results = append(out.Results, record("CountTrees/heavyOverlap/n=24", w, ops, ns, allocs, bytes, &st))
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d results)\n", path, len(out.Results))
+	return nil
+}
+
+// record averages the accumulated estimator counters over the ops and
+// packages one result row.
+func record(name string, workers, ops int, ns int64, allocs, bytes uint64, st *count.Stats) benchRecord {
+	return benchRecord{
+		Name:        name,
+		Workers:     workers,
+		Ops:         ops,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Stats: &benchStats{
+			TreeKeys:     st.TreeKeys / ops,
+			ForestKeys:   st.ForestKeys / ops,
+			UnionSamples: st.UnionSamples / ops,
+			Rejections:   st.Rejections / ops,
+			WallNs:       st.WallTime.Nanoseconds() / int64(ops),
+		},
+	}
+}

@@ -8,6 +8,8 @@
 //	pqebench -exp E5          # one experiment
 //	pqebench -markdown        # GitHub-flavored markdown (EXPERIMENTS.md)
 //	pqebench -eps 0.05 -seed 7 -quick
+//	pqebench -workers 8       # goroutines per counting trial
+//	pqebench -json            # CountNFTA micro-benchmarks -> BENCH_countnfta.json
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"pqe/internal/experiments"
@@ -36,12 +39,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		quick    = fs.Bool("quick", false, "shrink sweeps for a fast pass")
 		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+		workers  = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
+		jsonOut  = fs.Bool("json", false, "run the CountNFTA micro-benchmarks and write -json-out instead of experiment tables")
+		jsonPath = fs.String("json-out", "BENCH_countnfta.json", "output path for -json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick}
+	if *jsonOut {
+		return runJSONBench(*jsonPath, *eps, *seed, *workers, stdout)
+	}
+
+	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick, Workers: *workers}
 	var tables []*experiments.Table
 	if strings.EqualFold(*exp, "all") {
 		tables = experiments.All(opts)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,6 +32,37 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var out, errOut strings.Builder
 	if err := run([]string{"-exp", "E99"}, &out, &errOut); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunJSONBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut strings.Builder
+	if err := run([]string{"-json", "-json-out", path, "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if f.Suite != "countnfta" {
+		t.Errorf("suite = %q", f.Suite)
+	}
+	// 4 workloads at workers=1 plus 4 at workers=2.
+	if len(f.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(f.Results))
+	}
+	for _, r := range f.Results {
+		if r.Ops <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Name, r)
+		}
+		if r.Stats == nil || r.Stats.TreeKeys <= 0 {
+			t.Errorf("%s: missing estimator stats", r.Name)
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+// Package bitset provides fixed-capacity bit sets over []uint64 words,
+// plus a free-list pool of equally-sized sets. The counting hot path
+// (acceptance checks over sampled forests) tests tuple membership
+// millions of times per run; a bit set turns each test into a shift,
+// a mask and a word load, and the pool removes the per-tree-node
+// allocation that map[int]bool sets would cost.
+package bitset
+
+import "math/bits"
+
+// Set is a bit set with capacity fixed at creation. The zero value is
+// an empty set of capacity 0.
+type Set []uint64
+
+const wordBits = 64
+
+// New returns a cleared set with capacity for n bits.
+func New(n int) Set {
+	return make(Set, (n+wordBits-1)/wordBits)
+}
+
+// Has reports whether bit i is set. Bits beyond the capacity read as
+// unset.
+func (s Set) Has(i int) bool {
+	w := i / wordBits
+	return w < len(s) && s[w]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Add sets bit i, which must be within capacity.
+func (s Set) Add(i int) {
+	s[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove clears bit i, which must be within capacity.
+func (s Set) Remove(i int) {
+	s[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Clear unsets every bit.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether every listed bit is set.
+func (s Set) ContainsAll(bits []int) bool {
+	for _, i := range bits {
+		if !s.Has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Pool is a free list of sets of one shared bit capacity. It is not
+// safe for concurrent use: callers that fan work out across goroutines
+// should give each worker its own Pool.
+type Pool struct {
+	nbits int
+	free  []Set
+}
+
+// NewPool returns a pool producing sets with capacity for n bits.
+func NewPool(n int) *Pool {
+	return &Pool{nbits: n}
+}
+
+// Get returns a cleared set from the pool, allocating if empty.
+func (p *Pool) Get() Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		s.Clear()
+		return s
+	}
+	return New(p.nbits)
+}
+
+// Put returns a set to the pool. The set must have come from Get (or
+// share the pool's capacity).
+func (p *Pool) Put(s Set) {
+	p.free = append(p.free, s)
+}

@@ -48,6 +48,14 @@ type Options struct {
 	ForceFPRAS bool
 	// Parallel runs the counters' independent trials concurrently.
 	Parallel bool
+	// Workers bounds the goroutines drawing overlap samples inside each
+	// counting trial (0 or 1 = sequential). Results are identical
+	// across Workers settings for a fixed Seed.
+	Workers int
+	// CountStats, when non-nil, accumulates CountNFTA effort counters
+	// (memo sizes, samples, wall time, allocations) across estimator
+	// invocations.
+	CountStats *count.Stats
 }
 
 func (o Options) countOptions() count.Options {
@@ -57,6 +65,8 @@ func (o Options) countOptions() count.Options {
 		Samples:  o.Samples,
 		Seed:     o.seed(),
 		Parallel: o.Parallel,
+		Workers:  o.Workers,
+		Stats:    o.CountStats,
 	}
 }
 

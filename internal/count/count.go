@@ -23,15 +23,23 @@
 // constants of the theoretical analysis (which the paper itself calls
 // impractical, §6); accuracy is validated against exact counters in the
 // test suite and experiment harness.
+//
+// The engine is built for throughput: memo tables are dense
+// [row][size] slices (see dense.go), acceptance checks use pooled bit
+// sets (internal/bitset), and the overlap-sampling loop — where nearly
+// all the time goes — fans out across a bounded worker pool with one
+// deterministic sub-RNG per sample (see sampler.go), so results are
+// bit-identical for a fixed seed at every Workers setting.
 package count
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
+	"time"
 
 	"pqe/internal/efloat"
 	"pqe/internal/nfta"
@@ -59,6 +67,11 @@ type Options struct {
 	// result is identical to the sequential run with the same seed
 	// (per-trial seeds are drawn up front).
 	Parallel bool
+	// Workers bounds the goroutines drawing overlap samples *inside* a
+	// trial. 0 or 1 means sequential. Every sample draws from its own
+	// sub-RNG derived from (trial seed, site, sample index), so the
+	// result is identical across all Workers settings for a fixed seed.
+	Workers int
 	// Stats, when non-nil, accumulates estimator effort counters across
 	// all trials (for observability and the experiment harness).
 	Stats *Stats
@@ -74,6 +87,15 @@ type Stats struct {
 	UnionSamples int
 	// Rejections counts canonical-rejection retries during sampling.
 	Rejections int
+	// WallTime is the elapsed time of the Trees calls that recorded
+	// into this Stats.
+	WallTime time.Duration
+	// Mallocs and AllocBytes are heap-allocation deltas over those
+	// calls, read from runtime.MemStats. They are process-global, so
+	// concurrent unrelated work inflates them; within the benchmark
+	// harness they attribute cleanly.
+	Mallocs    uint64
+	AllocBytes uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Samples <= 0 {
 		o.Samples = int(math.Max(24, math.Ceil(6/(o.Epsilon*o.Epsilon))))
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	if o.Rng == nil {
 		seed := o.Seed
@@ -103,16 +128,22 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		panic("count: automaton has λ-transitions; run EliminateLambda first")
 	}
 	opts = opts.withDefaults()
+	var t0 time.Time
+	var m0 runtime.MemStats
+	if opts.Stats != nil {
+		t0 = time.Now()
+		runtime.ReadMemStats(&m0)
+	}
 	results := make([]efloat.E, opts.Trials)
 	seeds := make([]int64, opts.Trials)
 	for t := range seeds {
 		seeds[t] = opts.Rng.Int63()
 	}
-	stats := make([]*estimator, opts.Trials)
+	ests := make([]*estimator, opts.Trials)
 	runTrial := func(t int) {
 		e := newEstimatorSeeded(a, opts, seeds[t])
 		results[t] = e.treeEst(a.Initial(), n)
-		stats[t] = e
+		ests[t] = e
 	}
 	if opts.Parallel {
 		var wg sync.WaitGroup
@@ -130,12 +161,17 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		}
 	}
 	if opts.Stats != nil {
-		for _, e := range stats {
-			opts.Stats.TreeKeys += len(e.trees)
-			opts.Stats.ForestKeys += len(e.forests)
+		for _, e := range ests {
+			opts.Stats.TreeKeys += e.trees.keys
+			opts.Stats.ForestKeys += e.forests.keys
 			opts.Stats.UnionSamples += e.unionSamples
 			opts.Stats.Rejections += e.rejections
 		}
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		opts.Stats.WallTime += time.Since(t0)
+		opts.Stats.Mallocs += m1.Mallocs - m0.Mallocs
+		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
@@ -152,36 +188,47 @@ func SampleTree(a *nfta.NFTA, n int, opts Options) *nfta.Tree {
 	if e.treeEst(a.Initial(), n).IsZero() {
 		return nil
 	}
-	return e.sampleTree(a.Initial(), n)
+	return e.sampleTreeTop(a.Initial(), n)
 }
 
-type qnKey struct{ q, n int }
-type qsnKey struct{ q, sym, n int }
-type tupleKey struct {
-	tuple int // interned children tuple
-	m     int
+// symTrans groups one state's outgoing transitions on one symbol: the
+// interned children tuples in a fixed (canonical) order, plus the row
+// of the unions memo table when there is more than one branch.
+type symTrans struct {
+	sym    int
+	tuples []int
+	slot   int // unions table row, -1 when len(tuples) == 1
 }
 
+// estimator holds one trial's memo tables and the frozen transition
+// structure. Estimation (treeEst / symbolUnion / forestEst) runs
+// sequentially and writes the tables; sampling runs on sampler sessions
+// that only read them (see sampler.go).
 type estimator struct {
 	a        *nfta.NFTA
-	rng      *rand.Rand
+	seed     int64
 	samples  int
 	maxRetry int
+	workers  int
 
-	trees   map[qnKey]efloat.E
-	unions  map[qsnKey]efloat.E
-	forests map[tupleKey]efloat.E
+	// Frozen after construction: per-state symbol entries (sorted by
+	// symbol), interned children tuples, and each tuple's suffix
+	// tuple[1:] (interned eagerly so sampling never mutates the
+	// interner).
+	states [][]symTrans
+	tuples [][]int
+	restID []int
+
+	trees   table // rows: states
+	unions  table // rows: multi-branch (state, symbol) slots
+	forests table // rows: tuple IDs
 
 	unionSamples int
 	rejections   int
+	siteSeq      uint64 // sampling-site counter for sub-RNG derivation
 
-	tupleIDs map[string]int
-	tuples   [][]int
-
-	// transBySym[q] groups q's outgoing transitions by symbol, each as a
-	// list of interned children tuples, in a fixed (canonical) order.
-	transBySym []map[int][]int
-	symsOf     [][]int // sorted symbols with transitions out of q
+	top        *sampler   // lazily created top-level sampling session
+	workerSmps []*sampler // reused intra-trial worker samplers
 }
 
 func newEstimator(a *nfta.NFTA, opts Options) *estimator {
@@ -191,44 +238,68 @@ func newEstimator(a *nfta.NFTA, opts Options) *estimator {
 func newEstimatorSeeded(a *nfta.NFTA, opts Options, seed int64) *estimator {
 	e := &estimator{
 		a:        a,
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 		samples:  opts.Samples,
 		maxRetry: opts.MaxRetry,
-		trees:    make(map[qnKey]efloat.E),
-		unions:   make(map[qsnKey]efloat.E),
-		forests:  make(map[tupleKey]efloat.E),
-		tupleIDs: make(map[string]int),
+		workers:  opts.Workers,
 	}
-	e.transBySym = make([]map[int][]int, a.NumStates())
-	e.symsOf = make([][]int, a.NumStates())
+	tupleIDs := make(map[string]int)
+	var keyBuf []byte
+	var intern func(children []int) int
+	intern = func(children []int) int {
+		keyBuf = appendTupleKey(keyBuf[:0], children)
+		k := string(keyBuf)
+		if id, ok := tupleIDs[k]; ok {
+			return id
+		}
+		id := len(e.tuples)
+		tupleIDs[k] = id
+		e.tuples = append(e.tuples, append([]int(nil), children...))
+		e.restID = append(e.restID, -1)
+		if len(children) > 1 {
+			rest := intern(children[1:])
+			e.restID[id] = rest
+		}
+		return id
+	}
+	e.states = make([][]symTrans, a.NumStates())
+	slots := 0
 	for q := 0; q < a.NumStates(); q++ {
-		e.transBySym[q] = make(map[int][]int)
+		bySym := make(map[int]int) // symbol -> entry index
+		var entries []symTrans
 		for _, tr := range a.From(q) {
-			id := e.internTuple(tr.Children)
-			e.transBySym[q][tr.Sym] = append(e.transBySym[q][tr.Sym], id)
+			id := intern(tr.Children)
+			ei, ok := bySym[tr.Sym]
+			if !ok {
+				ei = len(entries)
+				bySym[tr.Sym] = ei
+				entries = append(entries, symTrans{sym: tr.Sym, slot: -1})
+			}
+			entries[ei].tuples = append(entries[ei].tuples, id)
 		}
-		for sym := range e.transBySym[q] {
-			e.symsOf[q] = append(e.symsOf[q], sym)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].sym < entries[j].sym })
+		for i := range entries {
+			if len(entries[i].tuples) > 1 {
+				entries[i].slot = slots
+				slots++
+			}
 		}
-		sort.Ints(e.symsOf[q])
+		e.states[q] = entries
 	}
+	e.trees = newTable(a.NumStates())
+	e.unions = newTable(slots)
+	e.forests = newTable(len(e.tuples))
 	return e
 }
 
-func (e *estimator) internTuple(children []int) int {
-	var b strings.Builder
+// appendTupleKey appends a varint encoding of the children tuple — the
+// interner's identity key. States are small non-negative integers, so
+// most tuples encode to one byte per element with no formatting.
+func appendTupleKey(dst []byte, children []int) []byte {
 	for _, c := range children {
-		b.WriteString(strconv.Itoa(c))
-		b.WriteByte(',')
+		dst = binary.AppendUvarint(dst, uint64(c))
 	}
-	k := b.String()
-	if id, ok := e.tupleIDs[k]; ok {
-		return id
-	}
-	id := len(e.tuples)
-	e.tupleIDs[k] = id
-	e.tuples = append(e.tuples, append([]int(nil), children...))
-	return id
+	return dst
 }
 
 // treeEst returns the (memoized) estimate of |T(q, n)|.
@@ -236,40 +307,46 @@ func (e *estimator) treeEst(q, n int) efloat.E {
 	if n <= 0 {
 		return efloat.Zero
 	}
-	key := qnKey{q, n}
-	if v, ok := e.trees[key]; ok {
+	if v, ok := e.trees.get(q, n); ok {
 		return v
 	}
 	// Guard against reentrancy: with n ≥ 1 the recursion strictly
 	// decreases sizes (forests of n−1 < n), so plain memoization
 	// suffices; pre-store zero to be safe against pathological input.
-	e.trees[key] = efloat.Zero
+	e.trees.put(q, n, efloat.Zero)
 	total := efloat.Zero
-	for _, sym := range e.symsOf[q] {
-		total = total.Add(e.symbolUnion(q, sym, n))
+	for i := range e.states[q] {
+		total = total.Add(e.symbolUnion(q, i, n))
 	}
-	e.trees[key] = total
+	e.trees.put(q, n, total)
 	return total
 }
 
-// symbolUnion estimates (and memoizes) the number of trees of size n,
-// root label sym, accepted from q: the union over transitions (q, sym,
-// c) of the sym-rooted trees with child forest in F(c, n−1).
-// Memoization matters: the samplers consult these estimates at every
-// recursion level, and re-estimating a union re-runs its sampling loop.
-func (e *estimator) symbolUnion(q, sym, n int) efloat.E {
-	tuples := e.transBySym[q][sym]
-	switch len(tuples) {
-	case 0:
+// treeLookup is the read-only view of treeEst for samplers.
+func (e *estimator) treeLookup(q, n int) efloat.E {
+	if n <= 0 {
 		return efloat.Zero
-	case 1:
+	}
+	v, _ := e.trees.get(q, n)
+	return v
+}
+
+// symbolUnion estimates (and memoizes) the number of trees of size n,
+// root label states[q][ei].sym, accepted from q: the union over the
+// entry's transitions of the sym-rooted trees with child forest in
+// F(c, n−1). Memoization matters: the samplers consult these estimates
+// at every recursion level, and re-estimating a union re-runs its
+// sampling loop.
+func (e *estimator) symbolUnion(q, ei, n int) efloat.E {
+	en := &e.states[q][ei]
+	tuples := en.tuples
+	if len(tuples) == 1 {
 		return e.forestEst(tuples[0], n-1)
 	}
-	key := qsnKey{q, sym, n}
-	if v, ok := e.unions[key]; ok {
+	if v, ok := e.unions.get(en.slot, n); ok {
 		return v
 	}
-	e.unions[key] = efloat.Zero
+	e.unions.put(en.slot, n, efloat.Zero)
 	total := efloat.Zero
 	for j, tid := range tuples {
 		cj := e.forestEst(tid, n-1)
@@ -280,192 +357,118 @@ func (e *estimator) symbolUnion(q, sym, n int) efloat.E {
 			total = total.Add(cj)
 			continue
 		}
-		fresh := 0
-		for s := 0; s < e.samples; s++ {
-			e.unionSamples++
-			f := e.sampleForest(tid, n-1)
-			if f == nil {
-				continue
-			}
-			if e.firstAccepting(tuples[:j], f) < 0 {
-				fresh++
-			}
-		}
+		fresh := e.countFreshParallel(tuples, j, n)
 		total = total.Add(cj.MulFloat(float64(fresh) / float64(e.samples)))
 	}
-	e.unions[key] = total
+	e.unions.put(en.slot, n, total)
 	return total
 }
 
-// firstAccepting returns the index of the first tuple accepting the
-// forest, or -1. Acceptance sets per forest tree are computed once.
-func (e *estimator) firstAccepting(tuples []int, forest []*nfta.Tree) int {
-	sets := make([]map[int]bool, len(forest))
-	for i, t := range forest {
-		sets[i] = e.a.AcceptingStates(t)
+// unionLookup is the read-only view of symbolUnion for samplers.
+func (e *estimator) unionLookup(en *symTrans, n int) efloat.E {
+	if len(en.tuples) == 1 {
+		return e.forestLookup(en.tuples[0], n-1)
 	}
-	for j, tid := range tuples {
-		tuple := e.tuples[tid]
-		if len(tuple) != len(forest) {
-			continue
-		}
-		ok := true
-		for i, q := range tuple {
-			if !sets[i][q] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return j
+	v, _ := e.unions.get(en.slot, n)
+	return v
+}
+
+// countFreshParallel runs the overlap-sampling loop for union branch j
+// at size n: e.samples forest draws, counting those not covered by an
+// earlier branch. The draws are independent given the (already
+// computed) memo tables, so they fan out across the trial's worker
+// samplers; per-sample sub-RNGs keep the count identical for every
+// worker count.
+func (e *estimator) countFreshParallel(tuples []int, j, n int) int {
+	site := e.siteSeq
+	e.siteSeq++
+	e.unionSamples += e.samples
+	workers := e.workers
+	if workers > e.samples {
+		workers = e.samples
+	}
+	if len(e.workerSmps) < workers {
+		for len(e.workerSmps) < workers {
+			e.workerSmps = append(e.workerSmps, e.newSampler(0))
 		}
 	}
-	return -1
+	if workers <= 1 {
+		s := e.workerSmps[0]
+		fresh := s.countFresh(tuples, j, n, site, 0, e.samples, 1)
+		e.rejections += s.rejections
+		s.rejections = 0
+		return fresh
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts[w] = e.workerSmps[w].countFresh(tuples, j, n, site, w, e.samples, workers)
+		}(w)
+	}
+	wg.Wait()
+	fresh := 0
+	for w := 0; w < workers; w++ {
+		fresh += counts[w]
+		e.rejections += e.workerSmps[w].rejections
+		e.workerSmps[w].rejections = 0
+	}
+	return fresh
 }
 
 // forestEst returns the (memoized) estimate of |F(tuple, m)|, combining
 // first-tree-size splits exactly (disjoint union of products).
 func (e *estimator) forestEst(tid, m int) efloat.E {
 	tuple := e.tuples[tid]
-	if len(tuple) == 0 {
+	switch len(tuple) {
+	case 0:
 		if m == 0 {
 			return efloat.One
 		}
 		return efloat.Zero
-	}
-	if len(tuple) == 1 {
+	case 1:
 		return e.treeEst(tuple[0], m)
 	}
-	key := tupleKey{tid, m}
-	if v, ok := e.forests[key]; ok {
+	if v, ok := e.forests.get(tid, m); ok {
 		return v
 	}
-	restID := e.internTuple(tuple[1:])
+	rest := e.restID[tid]
 	total := efloat.Zero
 	for j := 1; j <= m-(len(tuple)-1); j++ {
 		head := e.treeEst(tuple[0], j)
 		if head.IsZero() {
 			continue
 		}
-		total = total.Add(head.Mul(e.forestEst(restID, m-j)))
+		total = total.Add(head.Mul(e.forestEst(rest, m-j)))
 	}
-	e.forests[key] = total
+	e.forests.put(tid, m, total)
 	return total
 }
 
-// sampleTree draws a near-uniform tree from T(q, n), or nil if empty.
-func (e *estimator) sampleTree(q, n int) *nfta.Tree {
-	if e.treeEst(q, n).IsZero() {
-		return nil
-	}
-	syms := e.symsOf[q]
-	weights := make([]efloat.E, len(syms))
-	for i, sym := range syms {
-		weights[i] = e.symbolUnion(q, sym, n)
-	}
-	i := e.pick(weights)
-	if i < 0 {
-		return nil
-	}
-	sym := syms[i]
-	tuples := e.transBySym[q][sym]
-	if len(tuples) == 1 {
-		f := e.sampleForest(tuples[0], n-1)
-		if f == nil {
-			return nil
-		}
-		return &nfta.Tree{Sym: sym, Children: f}
-	}
-	tw := make([]efloat.E, len(tuples))
-	for j, tid := range tuples {
-		tw[j] = e.forestEst(tid, n-1)
-	}
-	maxRetry := e.maxRetry
-	if maxRetry <= 0 {
-		maxRetry = 32 * len(tuples)
-	}
-	var last *nfta.Tree
-	for r := 0; r < maxRetry; r++ {
-		j := e.pick(tw)
-		if j < 0 {
-			return nil
-		}
-		f := e.sampleForest(tuples[j], n-1)
-		if f == nil {
-			continue
-		}
-		last = &nfta.Tree{Sym: sym, Children: f}
-		if j == 0 || e.firstAccepting(tuples[:j], f) < 0 {
-			return last
-		}
-		e.rejections++
-	}
-	// Retry budget exhausted: return the latest draw (slightly biased
-	// towards multiply-covered trees; the budget makes this path rare).
-	return last
-}
-
-// sampleForest draws a near-uniform forest from F(tuple, m), or nil if
-// empty. Splits are disjoint, so no rejection is needed.
-func (e *estimator) sampleForest(tid, m int) []*nfta.Tree {
+// forestLookup is the read-only view of forestEst for samplers.
+func (e *estimator) forestLookup(tid, m int) efloat.E {
 	tuple := e.tuples[tid]
-	if len(tuple) == 0 {
+	switch len(tuple) {
+	case 0:
 		if m == 0 {
-			return []*nfta.Tree{}
+			return efloat.One
 		}
-		return nil
+		return efloat.Zero
+	case 1:
+		return e.treeLookup(tuple[0], m)
 	}
-	if len(tuple) == 1 {
-		t := e.sampleTree(tuple[0], m)
-		if t == nil {
-			return nil
-		}
-		return []*nfta.Tree{t}
-	}
-	restID := e.internTuple(tuple[1:])
-	maxHead := m - (len(tuple) - 1)
-	if maxHead < 1 {
-		return nil
-	}
-	weights := make([]efloat.E, maxHead)
-	for j := 1; j <= maxHead; j++ {
-		weights[j-1] = e.treeEst(tuple[0], j).Mul(e.forestEst(restID, m-j))
-	}
-	i := e.pick(weights)
-	if i < 0 {
-		return nil
-	}
-	j := i + 1
-	head := e.sampleTree(tuple[0], j)
-	if head == nil {
-		return nil
-	}
-	rest := e.sampleForest(restID, m-j)
-	if rest == nil {
-		return nil
-	}
-	return append([]*nfta.Tree{head}, rest...)
+	v, _ := e.forests.get(tid, m)
+	return v
 }
 
-// pick returns an index with probability proportional to the weights, or
-// -1 if all are zero.
-func (e *estimator) pick(weights []efloat.E) int {
-	total := efloat.Sum(weights...)
-	if total.IsZero() {
-		return -1
+// sampleTreeTop draws from T(q, n) on the trial's persistent top-level
+// sampling session (successive calls advance its stream). treeEst(q, n)
+// must have been computed.
+func (e *estimator) sampleTreeTop(q, n int) *nfta.Tree {
+	if e.top == nil {
+		e.top = e.newSampler(uint64(e.seed) ^ topSamplerSalt)
 	}
-	target := total.MulFloat(e.rng.Float64())
-	acc := efloat.Zero
-	last := -1
-	for i, w := range weights {
-		if w.IsZero() {
-			continue
-		}
-		last = i
-		acc = acc.Add(w)
-		if target.Less(acc) {
-			return i
-		}
-	}
-	return last
+	return e.top.sampleTree(q, n)
 }

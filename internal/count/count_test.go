@@ -392,3 +392,76 @@ func TestTreesMatchesDeterminizedOracleLarger(t *testing.T) {
 		}
 	}
 }
+
+// heavyOverlap builds the worst-case union automaton of
+// TestTreesHeavyOverlap: six fully redundant branches under one symbol,
+// so overlap sampling runs constantly.
+func heavyOverlap() *nfta.NFTA {
+	a := nfta.New()
+	top := a.AddState()
+	for i := 0; i < 6; i++ {
+		s := a.AddState()
+		a.AddTransition(s, "a", s)
+		a.AddTransition(s, "b")
+		a.AddTransition(top, "f", s)
+	}
+	a.SetInitial(top)
+	return a
+}
+
+// The doc contract on Options.Parallel and Options.Workers: for a fixed
+// seed, every combination of trial-level and intra-trial parallelism
+// returns bit-identical results to the sequential run.
+func TestTreesDeterministicAcrossWorkers(t *testing.T) {
+	for name, a := range map[string]*nfta.NFTA{
+		"ambiguous":    ambiguous(),
+		"heavyOverlap": heavyOverlap(),
+		"fullBinary":   fullBinary(),
+	} {
+		n := 9
+		base := Trees(a, n, Options{Epsilon: 0.1, Trials: 5, Seed: 42})
+		for _, workers := range []int{1, 4, 8} {
+			got := Trees(a, n, Options{Epsilon: 0.1, Trials: 5, Seed: 42, Parallel: true, Workers: workers})
+			if base.Cmp(got) != 0 {
+				t.Errorf("%s: Workers=%d Parallel=true gave %v, sequential %v", name, workers, got, base)
+			}
+			got = Trees(a, n, Options{Epsilon: 0.1, Trials: 5, Seed: 42, Workers: workers})
+			if base.Cmp(got) != 0 {
+				t.Errorf("%s: Workers=%d Parallel=false gave %v, sequential %v", name, workers, got, base)
+			}
+		}
+	}
+}
+
+func TestSampleTreeDeterministicAcrossWorkers(t *testing.T) {
+	for name, a := range map[string]*nfta.NFTA{
+		"ambiguous":    ambiguous(),
+		"heavyOverlap": heavyOverlap(),
+	} {
+		n := 8
+		ref := SampleTree(a, n, Options{Epsilon: 0.1, Seed: 7})
+		if ref == nil {
+			t.Fatalf("%s: nil reference sample", name)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			got := SampleTree(a, n, Options{Epsilon: 0.1, Seed: 7, Parallel: true, Workers: workers})
+			if got == nil || !ref.Equal(got) {
+				t.Errorf("%s: Workers=%d sample %v, sequential %v", name, workers, got, ref)
+			}
+		}
+	}
+}
+
+func TestCounterDeterministicAcrossWorkers(t *testing.T) {
+	a := heavyOverlap()
+	base := NewCounter(a, Options{Epsilon: 0.1, Trials: 3, Seed: 11})
+	par := NewCounter(a, Options{Epsilon: 0.1, Trials: 3, Seed: 11, Workers: 8})
+	for n := 3; n <= 9; n++ {
+		if b, p := base.Count(n), par.Count(n); b.Cmp(p) != 0 {
+			t.Errorf("size %d: Workers=8 count %v, sequential %v", n, p, b)
+		}
+	}
+	if b, p := base.Sample(9), par.Sample(9); !b.Equal(p) {
+		t.Errorf("session samples diverge: %v vs %v", b, p)
+	}
+}

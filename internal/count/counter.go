@@ -48,5 +48,5 @@ func (c *Counter) Sample(n int) *nfta.Tree {
 	if e.treeEst(c.a.Initial(), n).IsZero() {
 		return nil
 	}
-	return e.sampleTree(c.a.Initial(), n)
+	return e.sampleTreeTop(c.a.Initial(), n)
 }

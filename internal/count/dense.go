@@ -1,0 +1,47 @@
+package count
+
+import "pqe/internal/efloat"
+
+// table is a dense two-dimensional memo table indexed by (row, size):
+// rows are states, union slots or tuple IDs — all small dense integer
+// ranges fixed at estimator construction — and the size axis grows on
+// demand up to the largest size queried. Compared to the map-based
+// tables it replaces, a lookup is two slice indexings with no hashing,
+// and the rows stay contiguous for the size sweeps the DP performs.
+//
+// done tracks computed cells separately because efloat.Zero is a
+// legitimate memoized value.
+type table struct {
+	vals [][]efloat.E
+	done [][]bool
+	keys int // number of computed cells, for Stats
+}
+
+func newTable(rows int) table {
+	return table{
+		vals: make([][]efloat.E, rows),
+		done: make([][]bool, rows),
+	}
+}
+
+// get returns the memoized value at (r, c) and whether it was computed.
+func (t *table) get(r, c int) (efloat.E, bool) {
+	row := t.done[r]
+	if c >= len(row) || !row[c] {
+		return efloat.Zero, false
+	}
+	return t.vals[r][c], true
+}
+
+// put memoizes v at (r, c), growing the row as needed.
+func (t *table) put(r, c int, v efloat.E) {
+	if c >= len(t.done[r]) {
+		t.done[r] = append(t.done[r], make([]bool, c+1-len(t.done[r]))...)
+		t.vals[r] = append(t.vals[r], make([]efloat.E, c+1-len(t.vals[r]))...)
+	}
+	if !t.done[r][c] {
+		t.done[r][c] = true
+		t.keys++
+	}
+	t.vals[r][c] = v
+}

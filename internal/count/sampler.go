@@ -1,0 +1,357 @@
+package count
+
+import (
+	"pqe/internal/bitset"
+	"pqe/internal/efloat"
+	"pqe/internal/nfta"
+)
+
+// sm64 is a splitmix64 PRNG: a value type with one word of state, so a
+// fresh, statistically independent stream can be materialized per
+// overlap sample without allocation. Determinism of the estimator
+// across Workers settings rests on this: each sample's stream depends
+// only on (trial seed, sampling site, sample index), never on which
+// goroutine runs it.
+type sm64 struct{ state uint64 }
+
+func (r *sm64) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *sm64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// sampleRNG derives the PRNG for one overlap sample from the trial
+// seed, the per-estimator sampling-site sequence number and the sample
+// index. Distinct odd multipliers decorrelate the coordinates; the
+// splitmix64 output finalizer does the rest.
+func sampleRNG(seed int64, site uint64, idx int) sm64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ site*0xbf58476d1ce4e5b9 ^ uint64(idx)*0x94d049bb133111eb
+	return sm64{state: x}
+}
+
+// topSamplerSalt separates the top-level sampling stream (SampleTree,
+// Counter.Sample) from the per-site overlap streams.
+const topSamplerSalt = 0xd1b54a32d192ed03
+
+// sampler is a sampling session over a frozen estimator: it draws
+// trees and forests reading the memo tables and transition structure
+// but never writing them, so any number of samplers may run
+// concurrently over one estimator. All scratch state (bitset pool,
+// weight buffers, rejection counter) lives here, one sampler per
+// goroutine.
+//
+// The invariant the read-only lookups rely on: a sampler is only ever
+// asked for (state, size) pairs whose estimates were computed — the
+// estimation pass at a given size computes exactly the sub-estimates
+// its sampling consults (all strictly smaller sizes), and the
+// top-level APIs run treeEst before sampling.
+type sampler struct {
+	e          *estimator
+	rng        sm64
+	pool       *bitset.Pool
+	sets       []bitset.Set // scratch for firstAccepting
+	wfree      [][]efloat.E // free list of weight buffers
+	forestBuf  []*nfta.Tree // transient forest for overlap testing
+	arena      *treeArena   // nil when sampled trees escape to callers
+	rejections int
+}
+
+func (e *estimator) newSampler(state uint64) *sampler {
+	return &sampler{
+		e:    e,
+		rng:  sm64{state: state},
+		pool: bitset.NewPool(e.a.NumStates()),
+	}
+}
+
+// treeArena bump-allocates tree nodes and children slices in reusable
+// chunks. Overlap sampling builds a forest only to membership-test and
+// discard it; with the arena reset between samples, the steady-state
+// loop performs no heap allocation for trees at all.
+type treeArena struct {
+	nodes []nfta.Tree
+	nused int
+	refs  []*nfta.Tree
+	rused int
+}
+
+const arenaChunk = 512
+
+func (ar *treeArena) reset() { ar.nused, ar.rused = 0, 0 }
+
+func (ar *treeArena) node(sym int, children []*nfta.Tree) *nfta.Tree {
+	if ar.nused == len(ar.nodes) {
+		// A fresh, larger chunk; nodes of the current sample in the old
+		// chunk stay reachable through their parents.
+		ar.nodes = make([]nfta.Tree, max(arenaChunk, 2*len(ar.nodes)))
+		ar.nused = 0
+	}
+	t := &ar.nodes[ar.nused]
+	ar.nused++
+	t.Sym, t.Children = sym, children
+	return t
+}
+
+func (ar *treeArena) slice(n int) []*nfta.Tree {
+	if n == 0 {
+		return nil
+	}
+	if ar.rused+n > len(ar.refs) {
+		ar.refs = make([]*nfta.Tree, max(arenaChunk, 2*len(ar.refs)+n))
+		ar.rused = 0
+	}
+	s := ar.refs[ar.rused : ar.rused+n : ar.rused+n]
+	ar.rused += n
+	return s
+}
+
+// newTree and newForest allocate through the arena when the sampler has
+// one (transient draws), or on the heap (escaping draws).
+func (s *sampler) newTree(sym int, children []*nfta.Tree) *nfta.Tree {
+	if s.arena != nil {
+		return s.arena.node(sym, children)
+	}
+	return &nfta.Tree{Sym: sym, Children: children}
+}
+
+func (s *sampler) newForest(n int) []*nfta.Tree {
+	if s.arena != nil {
+		return s.arena.slice(n)
+	}
+	return make([]*nfta.Tree, n)
+}
+
+// getW borrows a weight buffer of length n from the free list; putW
+// returns it. A free list rather than a single scratch slice because
+// the canonical-rejection retry loop holds its weights across nested
+// sampling calls.
+func (s *sampler) getW(n int) []efloat.E {
+	if k := len(s.wfree); k > 0 {
+		w := s.wfree[k-1]
+		s.wfree = s.wfree[:k-1]
+		if cap(w) >= n {
+			return w[:n]
+		}
+	}
+	return make([]efloat.E, n)
+}
+
+func (s *sampler) putW(w []efloat.E) {
+	s.wfree = append(s.wfree, w)
+}
+
+// pick returns an index with probability proportional to the weights,
+// or -1 if all are zero.
+func (s *sampler) pick(weights []efloat.E) int {
+	total := efloat.Sum(weights...)
+	if total.IsZero() {
+		return -1
+	}
+	target := total.MulFloat(s.rng.Float64())
+	acc := efloat.Zero
+	last := -1
+	for i, w := range weights {
+		if w.IsZero() {
+			continue
+		}
+		last = i
+		acc = acc.Add(w)
+		if target.Less(acc) {
+			return i
+		}
+	}
+	return last
+}
+
+// countFresh draws the overlap samples start, start+stride, … < samples
+// for union branch j at size n and counts those landing outside all
+// earlier branches. Each sample runs on its own derived PRNG, so the
+// count is independent of how samples are partitioned across workers.
+func (s *sampler) countFresh(tuples []int, j, n int, site uint64, start, samples, stride int) int {
+	if s.arena == nil {
+		s.arena = &treeArena{}
+	}
+	fresh := 0
+	for i := start; i < samples; i += stride {
+		s.rng = sampleRNG(s.e.seed, site, i)
+		s.arena.reset()
+		f, ok := s.sampleForestScratch(tuples[j], n-1)
+		if !ok {
+			continue
+		}
+		if s.firstAccepting(tuples[:j], f) < 0 {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// sampleTree draws a near-uniform tree from T(q, n), or nil if empty.
+func (s *sampler) sampleTree(q, n int) *nfta.Tree {
+	e := s.e
+	if e.treeLookup(q, n).IsZero() {
+		return nil
+	}
+	entries := e.states[q]
+	w := s.getW(len(entries))
+	for i := range entries {
+		w[i] = e.unionLookup(&entries[i], n)
+	}
+	i := s.pick(w)
+	s.putW(w)
+	if i < 0 {
+		return nil
+	}
+	en := &entries[i]
+	if len(en.tuples) == 1 {
+		f, ok := s.sampleForestAlloc(en.tuples[0], n-1)
+		if !ok {
+			return nil
+		}
+		return s.newTree(en.sym, f)
+	}
+	tw := s.getW(len(en.tuples))
+	for j, tid := range en.tuples {
+		tw[j] = e.forestLookup(tid, n-1)
+	}
+	maxRetry := e.maxRetry
+	if maxRetry <= 0 {
+		maxRetry = 32 * len(en.tuples)
+	}
+	// Canonical-first rejection: a draw from branch j is kept only if no
+	// earlier branch accepts it, which makes the draw uniform over the
+	// union.
+	var last *nfta.Tree
+	for r := 0; r < maxRetry; r++ {
+		j := s.pick(tw)
+		if j < 0 {
+			break
+		}
+		f, ok := s.sampleForestAlloc(en.tuples[j], n-1)
+		if !ok {
+			continue
+		}
+		last = s.newTree(en.sym, f)
+		if j == 0 || s.firstAccepting(en.tuples[:j], f) < 0 {
+			s.putW(tw)
+			return last
+		}
+		s.rejections++
+	}
+	s.putW(tw)
+	// Retry budget exhausted: return the latest draw (slightly biased
+	// towards multiply-covered trees; the budget makes this path rare).
+	return last
+}
+
+// sampleForestAlloc draws a near-uniform forest from F(tuple, m) into a
+// fresh slice (retained as tree children).
+func (s *sampler) sampleForestAlloc(tid, m int) ([]*nfta.Tree, bool) {
+	out := s.newForest(len(s.e.tuples[tid]))
+	if !s.sampleForestInto(tid, m, out) {
+		return nil, false
+	}
+	return out, true
+}
+
+// sampleForestScratch is sampleForestAlloc into a reused buffer, for
+// forests that are only membership-tested and then discarded.
+func (s *sampler) sampleForestScratch(tid, m int) ([]*nfta.Tree, bool) {
+	k := len(s.e.tuples[tid])
+	if cap(s.forestBuf) < k {
+		s.forestBuf = make([]*nfta.Tree, k)
+	}
+	buf := s.forestBuf[:k]
+	if !s.sampleForestInto(tid, m, buf) {
+		return nil, false
+	}
+	return buf, true
+}
+
+// sampleForestInto fills out (of length len(tuple)) with a near-uniform
+// forest from F(tuple, m), reporting false if empty. Splits are
+// disjoint, so no rejection is needed. The suffix chain is walked
+// iteratively using the precomputed rest-tuple IDs — no per-level slice
+// copying.
+func (s *sampler) sampleForestInto(tid, m int, out []*nfta.Tree) bool {
+	e := s.e
+	for i := 0; ; i++ {
+		tuple := e.tuples[tid]
+		switch len(tuple) {
+		case 0:
+			return m == 0
+		case 1:
+			t := s.sampleTree(tuple[0], m)
+			if t == nil {
+				return false
+			}
+			out[i] = t
+			return true
+		}
+		maxHead := m - (len(tuple) - 1)
+		if maxHead < 1 {
+			return false
+		}
+		rest := e.restID[tid]
+		w := s.getW(maxHead)
+		for j := 1; j <= maxHead; j++ {
+			w[j-1] = e.treeLookup(tuple[0], j).Mul(e.forestLookup(rest, m-j))
+		}
+		k := s.pick(w)
+		s.putW(w)
+		if k < 0 {
+			return false
+		}
+		j := k + 1
+		head := s.sampleTree(tuple[0], j)
+		if head == nil {
+			return false
+		}
+		out[i] = head
+		tid, m = rest, m-j
+	}
+}
+
+// firstAccepting returns the index of the first tuple accepting the
+// forest, or -1. Acceptance bitsets per forest tree are computed once
+// into pooled scratch; the membership test per tuple is then a few
+// word probes.
+func (s *sampler) firstAccepting(tuples []int, forest []*nfta.Tree) int {
+	e := s.e
+	sets := s.sets[:0]
+	for _, t := range forest {
+		b := s.pool.Get()
+		e.a.AcceptingStatesInto(t, b, s.pool)
+		sets = append(sets, b)
+	}
+	res := -1
+	for j, tid := range tuples {
+		tuple := e.tuples[tid]
+		if len(tuple) != len(forest) {
+			continue
+		}
+		ok := true
+		for i, q := range tuple {
+			if !sets[i].Has(q) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res = j
+			break
+		}
+	}
+	for _, b := range sets {
+		s.pool.Put(b)
+	}
+	s.sets = sets[:0]
+	return res
+}

@@ -49,7 +49,7 @@ func Table1(o Opts) *Table {
 			Model: gen.ProbRandomRational, Seed: o.Seed,
 		})
 		var measured, status, ours string
-		res, err := core.Evaluate(r.q, h, core.Options{Epsilon: o.Epsilon, Seed: o.Seed, MaxWidth: r.maxWidth})
+		res, err := core.Evaluate(r.q, h, core.Options{Epsilon: o.Epsilon, Seed: o.Seed, Workers: o.Workers, MaxWidth: r.maxWidth})
 		switch {
 		case err == nil && res.Exact:
 			ours = "exact (safe plan)"

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"pqe/internal/alphabet"
+	"pqe/internal/bitset"
 )
 
 // Lambda is the pseudo-symbol of λ-transitions (s, λ, R). Automata must
@@ -41,9 +43,48 @@ type NFTA struct {
 	numStates int
 	initial   int
 	trans     []Transition
+	numLambda int
 	byFrom    map[int][]int      // state -> transition indices
 	bySymAr   map[symArity][]int // (symbol, arity) -> transition indices
 	seen      map[string]bool
+	acc       atomic.Pointer[accIndex]
+}
+
+// accIndex is a dense (symbol, arity) → transitions lookup for the
+// acceptance hot path: one slice indexing instead of a map hash per
+// tree node. It is rebuilt lazily whenever transitions were added since
+// the last build; concurrent readers may race to rebuild, which is
+// idempotent (mutating an automaton while testing acceptance on it is
+// not supported).
+type accIndex struct {
+	nsyms, maxAr int
+	cells        [][]int32 // sym*(maxAr+1)+arity -> transition indices
+	built        int       // len(trans) at build time
+}
+
+func (a *NFTA) accIdx() *accIndex {
+	if idx := a.acc.Load(); idx != nil && idx.built == len(a.trans) {
+		return idx
+	}
+	idx := &accIndex{nsyms: a.Symbols.Size(), maxAr: a.MaxArity(), built: len(a.trans)}
+	idx.cells = make([][]int32, idx.nsyms*(idx.maxAr+1))
+	for j, tr := range a.trans {
+		if tr.Sym == Lambda {
+			continue
+		}
+		c := tr.Sym*(idx.maxAr+1) + len(tr.Children)
+		idx.cells[c] = append(idx.cells[c], int32(j))
+	}
+	a.acc.Store(idx)
+	return idx
+}
+
+// lookup returns the transitions with the given root symbol and arity.
+func (x *accIndex) lookup(sym, arity int) []int32 {
+	if sym < 0 || sym >= x.nsyms || arity > x.maxAr {
+		return nil
+	}
+	return x.cells[sym*(x.maxAr+1)+arity]
 }
 
 type symArity struct{ sym, arity int }
@@ -113,6 +154,9 @@ func (a *NFTA) AddTransitionSym(from, sym int, children ...int) {
 		return
 	}
 	a.seen[k] = true
+	if sym == Lambda {
+		a.numLambda++
+	}
 	a.byFrom[from] = append(a.byFrom[from], len(a.trans))
 	sa := symArity{sym, len(children)}
 	a.bySymAr[sa] = append(a.bySymAr[sa], len(a.trans))
@@ -146,14 +190,7 @@ func (a *NFTA) Size() int {
 }
 
 // HasLambda reports whether any λ-transitions remain.
-func (a *NFTA) HasLambda() bool {
-	for _, tr := range a.trans {
-		if tr.Sym == Lambda {
-			return true
-		}
-	}
-	return false
-}
+func (a *NFTA) HasLambda() bool { return a.numLambda > 0 }
 
 // MaxArity returns the largest children-tuple length in Δ.
 func (a *NFTA) MaxArity() int {
@@ -199,6 +236,57 @@ func (a *NFTA) acceptingStates(t *Tree) map[int]bool {
 		}
 	}
 	return acc
+}
+
+// AcceptingStatesInto computes the accepting-state set of the tree as a
+// bit set: bit q is set iff the tree is accepted starting from q. dst
+// must have capacity for NumStates bits and is cleared first; pool
+// supplies same-capacity scratch sets for the recursion (one live set
+// per tree level), so a steady-state caller allocates nothing. The
+// automaton must be λ-free.
+func (a *NFTA) AcceptingStatesInto(t *Tree, dst bitset.Set, pool *bitset.Pool) {
+	if a.HasLambda() {
+		panic("nfta: AcceptingStatesInto on automaton with λ-transitions")
+	}
+	a.acceptingInto(t, dst, pool)
+}
+
+func (a *NFTA) acceptingInto(t *Tree, dst bitset.Set, pool *bitset.Pool) {
+	a.acceptingIntoIdx(a.accIdx(), t, dst, pool)
+}
+
+func (a *NFTA) acceptingIntoIdx(idx *accIndex, t *Tree, dst bitset.Set, pool *bitset.Pool) {
+	dst.Clear()
+	k := len(t.Children)
+	var stack [4]bitset.Set
+	childAcc := stack[:0]
+	if k > len(stack) {
+		childAcc = make([]bitset.Set, 0, k)
+	}
+	for _, c := range t.Children {
+		s := pool.Get()
+		a.acceptingIntoIdx(idx, c, s, pool)
+		childAcc = append(childAcc, s)
+	}
+	for _, j := range idx.lookup(t.Sym, k) {
+		tr := a.trans[j]
+		if dst.Has(tr.From) {
+			continue
+		}
+		ok := true
+		for i, q := range tr.Children {
+			if !childAcc[i].Has(q) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			dst.Add(tr.From)
+		}
+	}
+	for _, s := range childAcc {
+		pool.Put(s)
+	}
 }
 
 // Accepts reports whether the tree is in L(T).

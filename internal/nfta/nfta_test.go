@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pqe/internal/alphabet"
+	"pqe/internal/bitset"
 )
 
 // buildChainAuto accepts unary chains a-a-…-a-b (k ≥ 0 a's then a b
@@ -611,4 +612,60 @@ func TestExactCountDetLargeGadgets(t *testing.T) {
 			t.Errorf("binary mult=%d: det count %v", mult, got)
 		}
 	}
+}
+
+// randomLabelledTree draws a random tree over f/2, g/1, x/0 with the
+// given interner, bounded in depth.
+func randomLabelledTree(rng *rand.Rand, in *alphabet.Interner, depth int) *Tree {
+	f, g, x := in.Intern("f"), in.Intern("g"), in.Intern("x")
+	if depth == 0 {
+		return Leaf(x)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Node(f, randomLabelledTree(rng, in, depth-1), randomLabelledTree(rng, in, depth-1))
+	case 1:
+		return Node(g, randomLabelledTree(rng, in, depth-1))
+	default:
+		return Leaf(x)
+	}
+}
+
+func TestAcceptingStatesIntoMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		a := randomSmallNFTA(rng)
+		pool := bitset.NewPool(a.NumStates())
+		dst := bitset.New(a.NumStates())
+		for i := 0; i < 10; i++ {
+			tree := randomLabelledTree(rng, a.Symbols, 1+rng.Intn(4))
+			want := a.AcceptingStates(tree)
+			a.AcceptingStatesInto(tree, dst, pool)
+			for q := 0; q < a.NumStates(); q++ {
+				if dst.Has(q) != want[q] {
+					t.Fatalf("trial %d: state %d bitset %v map %v\ntree %s\n%s",
+						trial, q, dst.Has(q), want[q], tree, a)
+				}
+			}
+			if dst.Count() != len(want) {
+				t.Fatalf("trial %d: bitset count %d, map size %d", trial, dst.Count(), len(want))
+			}
+		}
+	}
+}
+
+func TestAcceptingStatesIntoPanicsOnLambda(t *testing.T) {
+	a := New()
+	q := a.AddState()
+	r := a.AddState()
+	a.AddLambda(q, r)
+	a.AddTransition(r, "x")
+	a.SetInitial(q)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on λ-transitions")
+		}
+	}()
+	x, _ := a.Symbols.Lookup("x")
+	a.AcceptingStatesInto(Leaf(x), bitset.New(a.NumStates()), bitset.NewPool(a.NumStates()))
 }

@@ -193,6 +193,12 @@ type Options struct {
 	// goroutines; results are identical to sequential runs with the
 	// same Seed.
 	Parallel bool
+	// Workers bounds the goroutines the counting engine uses inside
+	// each trial's overlap-sampling loops (0 or 1 = sequential,
+	// runtime.NumCPU() is a good setting for large instances). For a
+	// fixed Seed the result is bit-identical at every Workers value;
+	// Workers and Parallel compose.
+	Workers int
 }
 
 func (o *Options) core() core.Options {
@@ -207,6 +213,7 @@ func (o *Options) core() core.Options {
 		MaxWidth:   o.MaxWidth,
 		ForceFPRAS: o.ForceFPRAS,
 		Parallel:   o.Parallel,
+		Workers:    o.Workers,
 	}
 }
 
