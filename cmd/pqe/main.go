@@ -68,9 +68,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		db.Size(), sjf, width, bounded, safe)
 
 	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, Workers: *workers}
+	// One session for every mode: the decomposition and the automata are
+	// built once and shared by the probability estimate and each
+	// sampled world.
+	est := pqe.NewEstimator(q, db, opts)
 
 	if *explain {
-		plan, err := pqe.Explain(q, db, opts)
+		plan, err := est.Explain(nil)
 		if err != nil {
 			return err
 		}
@@ -79,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *ur {
-		count, err := pqe.UniformReliability(q, db, opts)
+		count, err := est.UniformReliability(nil)
 		if err != nil {
 			return err
 		}
@@ -87,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	res, err := pqe.Probability(q, db, opts)
+	res, err := est.Probability(nil)
 	if err != nil {
 		return err
 	}
@@ -107,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	for i := 0; i < *sample; i++ {
-		w, err := pqe.SampleWorld(q, db, &pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), Workers: *workers})
+		w, err := est.SampleWorld(&pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"pqe/internal/core"
+	"pqe/internal/cq"
+	"pqe/internal/gen"
+	"pqe/internal/nfa"
+	"pqe/internal/reduction"
+)
+
+// nfaBenchStats carries the string engine's effort counters (per op),
+// the CountNFA analogue of benchStats.
+type nfaBenchStats struct {
+	WordKeys     int   `json:"word_keys"`
+	UnionKeys    int   `json:"union_keys"`
+	UnionSamples int   `json:"union_samples"`
+	Rejections   int   `json:"rejections"`
+	WallNs       int64 `json:"wall_ns"`
+}
+
+type nfaBenchRecord struct {
+	Name        string         `json:"name"`
+	Workers     int            `json:"workers"`
+	Ops         int            `json:"ops"`
+	NsPerOp     int64          `json:"ns_per_op"`
+	AllocsPerOp uint64         `json:"allocs_per_op"`
+	BytesPerOp  uint64         `json:"bytes_per_op"`
+	Stats       *nfaBenchStats `json:"stats,omitempty"`
+}
+
+type nfaBenchFile struct {
+	Suite     string           `json:"suite"`
+	GoVersion string           `json:"go_version"`
+	NumCPU    int              `json:"num_cpu"`
+	Epsilon   float64          `json:"epsilon"`
+	Seed      int64            `json:"seed"`
+	Results   []nfaBenchRecord `json:"results"`
+}
+
+// runJSONBenchNFA runs the CountNFA (string engine) micro-benchmark
+// suite at each worker count and writes BENCH_countnfa.json. The
+// workloads mirror the repo's BenchmarkPathEstimate / BenchmarkCountNFA
+// so the JSON rows are comparable with `go test -bench` output.
+func runJSONBenchNFA(path string, eps float64, seed int64, workers int, stdout io.Writer) error {
+	out := nfaBenchFile{
+		Suite:     "countnfa",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Epsilon:   eps,
+		Seed:      seed,
+	}
+	counts := []int{1}
+	if workers > 1 {
+		counts = append(counts, workers)
+	}
+
+	for _, w := range counts {
+		// E2 workloads: Theorem 2 PathEstimate end to end (automaton
+		// construction + counting) at growing query lengths.
+		for _, n := range []int{2, 3, 4} {
+			q := cq.PathQuery("R", n)
+			h := gen.SparsePathInstance(q, 3, 2, gen.ProbHalf, 1)
+			d := h.DB()
+			var st nfa.Stats
+			ops, ns, allocs, bytes := measure(func(i int) {
+				v, err := core.PathEstimate(q, d, core.Options{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, NFAStats: &st,
+				})
+				if err != nil || v.IsZero() {
+					panic(fmt.Sprintf("PathEstimate/len=%d: err=%v v=%v", n, err, v))
+				}
+			})
+			out.Results = append(out.Results, nfaRecord(
+				fmt.Sprintf("PathEstimate/len=%d_facts=%d", n, d.Size()), w, ops, ns, allocs, bytes, &st))
+		}
+
+		// Footnote 2 of §5.1: the weighted string pipeline.
+		{
+			q := cq.PathQuery("R", 3)
+			h := gen.SparsePathInstance(q, 3, 2, gen.ProbRandomRational, 1)
+			var st nfa.Stats
+			ops, ns, allocs, bytes := measure(func(i int) {
+				v, err := core.PathPQEEstimate(q, h, core.Options{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, NFAStats: &st,
+				})
+				if err != nil || v == 0 {
+					panic(fmt.Sprintf("PathPQEEstimate: err=%v v=%v", err, v))
+				}
+			})
+			out.Results = append(out.Results, nfaRecord(
+				fmt.Sprintf("PathPQEEstimate/len=3_facts=%d", h.Size()), w, ops, ns, allocs, bytes, &st))
+		}
+
+		// Raw counting on a prebuilt automaton: isolates the engine from
+		// the reduction.
+		{
+			q := cq.PathQuery("R", 3)
+			h := gen.SparsePathInstance(q, 4, 2, gen.ProbHalf, 1)
+			d := h.DB()
+			m, err := reduction.PathNFA(q, d)
+			if err != nil {
+				return err
+			}
+			var st nfa.Stats
+			ops, ns, allocs, bytes := measure(func(i int) {
+				v := nfa.Count(m, d.Size(), nfa.CountOptions{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, Stats: &st,
+				})
+				if v.IsZero() {
+					panic("CountNFA: estimate collapsed to zero")
+				}
+			})
+			out.Results = append(out.Results, nfaRecord(
+				fmt.Sprintf("CountNFA/path3_facts=%d", d.Size()), w, ops, ns, allocs, bytes, &st))
+		}
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d results)\n", path, len(out.Results))
+	return nil
+}
+
+func nfaRecord(name string, workers, ops int, ns int64, allocs, bytes uint64, st *nfa.Stats) nfaBenchRecord {
+	return nfaBenchRecord{
+		Name:        name,
+		Workers:     workers,
+		Ops:         ops,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Stats: &nfaBenchStats{
+			WordKeys:     st.WordKeys / ops,
+			UnionKeys:    st.UnionKeys / ops,
+			UnionSamples: st.UnionSamples / ops,
+			Rejections:   st.Rejections / ops,
+			WallNs:       st.WallTime.Nanoseconds() / int64(ops),
+		},
+	}
+}

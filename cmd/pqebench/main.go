@@ -9,7 +9,7 @@
 //	pqebench -markdown        # GitHub-flavored markdown (EXPERIMENTS.md)
 //	pqebench -eps 0.05 -seed 7 -quick
 //	pqebench -workers 8       # goroutines per counting trial
-//	pqebench -json            # CountNFTA micro-benchmarks -> BENCH_countnfta.json
+//	pqebench -json            # engine micro-benchmarks -> BENCH_countnfta.json + BENCH_countnfa.json
 package main
 
 import (
@@ -40,15 +40,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quick    = fs.Bool("quick", false, "shrink sweeps for a fast pass")
 		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
 		workers  = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
-		jsonOut  = fs.Bool("json", false, "run the CountNFTA micro-benchmarks and write -json-out instead of experiment tables")
-		jsonPath = fs.String("json-out", "BENCH_countnfta.json", "output path for -json")
+		jsonOut     = fs.Bool("json", false, "run the CountNFTA + CountNFA micro-benchmarks and write -json-out / -json-nfa-out instead of experiment tables")
+		jsonPath    = fs.String("json-out", "BENCH_countnfta.json", "output path for the tree-engine suite under -json")
+		jsonNFAPath = fs.String("json-nfa-out", "BENCH_countnfa.json", "output path for the string-engine suite under -json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *jsonOut {
-		return runJSONBench(*jsonPath, *eps, *seed, *workers, stdout)
+		if err := runJSONBench(*jsonPath, *eps, *seed, *workers, stdout); err != nil {
+			return err
+		}
+		return runJSONBenchNFA(*jsonNFAPath, *eps, *seed, *workers, stdout)
 	}
 
 	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick, Workers: *workers}

@@ -36,9 +36,11 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestRunJSONBench(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "bench.json")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	nfaPath := filepath.Join(dir, "bench_nfa.json")
 	var out, errOut strings.Builder
-	if err := run([]string{"-json", "-json-out", path, "-workers", "2"}, &out, &errOut); err != nil {
+	if err := run([]string{"-json", "-json-out", path, "-json-nfa-out", nfaPath, "-workers", "2"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -62,6 +64,30 @@ func TestRunJSONBench(t *testing.T) {
 		}
 		if r.Stats == nil || r.Stats.TreeKeys <= 0 {
 			t.Errorf("%s: missing estimator stats", r.Name)
+		}
+	}
+
+	data, err = os.ReadFile(nfaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nf nfaBenchFile
+	if err := json.Unmarshal(data, &nf); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if nf.Suite != "countnfa" {
+		t.Errorf("suite = %q", nf.Suite)
+	}
+	// 5 workloads at workers=1 plus 5 at workers=2.
+	if len(nf.Results) != 10 {
+		t.Fatalf("got %d results, want 10", len(nf.Results))
+	}
+	for _, r := range nf.Results {
+		if r.Ops <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Name, r)
+		}
+		if r.Stats == nil || r.Stats.WordKeys <= 0 || r.Stats.UnionSamples <= 0 {
+			t.Errorf("%s: missing engine stats: %+v", r.Name, r.Stats)
 		}
 	}
 }

@@ -1,0 +1,169 @@
+package pqe
+
+import (
+	"math/big"
+
+	"pqe/internal/core"
+)
+
+// Estimator is a reusable evaluation session for one query–database
+// pair. The one-shot functions (Probability, Estimate, SampleWorld, …)
+// rebuild the hypertree decomposition and the automata on every call;
+// an Estimator builds each of these stages at most once and reuses them
+// across calls, so repeated evaluations — an ε-sweep, many SampleWorld
+// draws, a posterior computation — pay the construction cost once.
+//
+// SetProbabilities rebinds the session to a database with the same
+// facts but different probabilities; only the probability-dependent
+// multiplier weighting is rebuilt, the decomposition and base automata
+// survive. BuildStats exposes the construction counters so callers can
+// observe the cache behaviour.
+//
+// An Estimator is not safe for concurrent use.
+type Estimator struct {
+	est  *core.Estimator
+	q    *Query
+	d    *Database
+	opts *Options
+}
+
+// NewEstimator prepares an evaluation session for Q over the database.
+// opts may be nil; it supplies both the construction knobs (MaxWidth)
+// and the default counting knobs for calls that pass nil options.
+// Nothing is built until the first call that needs it.
+func NewEstimator(q *Query, d *Database, opts *Options) *Estimator {
+	return &Estimator{
+		est:  core.NewEstimator(q.q, d.h, opts.core()),
+		q:    q,
+		d:    d,
+		opts: opts,
+	}
+}
+
+func (e *Estimator) callOpts(opts *Options) core.Options {
+	if opts == nil {
+		opts = e.opts
+	}
+	return opts.core()
+}
+
+// BuildStats counts how many times each construction stage has run on
+// this session. Repeated evaluations leave the probability-independent
+// counters unchanged; SetProbabilities grows only Weightings.
+type BuildStats struct {
+	// Decompositions counts hypertree decomposition searches.
+	Decompositions int
+	// URReductions counts tree-automaton (Proposition 1) constructions.
+	URReductions int
+	// PathAutomata counts string-automaton (Section 3) constructions.
+	PathAutomata int
+	// Weightings counts probability-multiplier expansions — the only
+	// stage that reruns after SetProbabilities.
+	Weightings int
+}
+
+// BuildStats returns the construction counters accumulated so far.
+func (e *Estimator) BuildStats() BuildStats {
+	s := e.est.BuildStats()
+	return BuildStats{
+		Decompositions: s.Decompositions,
+		URReductions:   s.URReductions,
+		PathAutomata:   s.PathAutomata,
+		Weightings:     s.Weightings,
+	}
+}
+
+// SetProbabilities rebinds the session to a database with the same
+// facts but (possibly) different probabilities. The decomposition and
+// the base automata are keyed to the fact set and survive; only the
+// multiplier weighting is rebuilt on the next probability query. A
+// database with a different fact set is rejected.
+func (e *Estimator) SetProbabilities(d *Database) error {
+	if err := e.est.SetProbabilities(d.h); err != nil {
+		return err
+	}
+	e.d = d
+	return nil
+}
+
+// Probability computes Pr_H(Q) like the package-level Probability,
+// over the session's caches. opts may be nil (the constructor's options
+// apply).
+func (e *Estimator) Probability(opts *Options) (Result, error) {
+	res, err := e.est.Evaluate(e.callOpts(opts))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Probability:  res.Probability,
+		Exact:        res.Exact,
+		Method:       string(res.Method),
+		Width:        res.Class.Width,
+		Safe:         res.Class.Safe,
+		SelfJoinFree: res.Class.SelfJoinFree,
+	}, nil
+}
+
+// Estimate always runs the Theorem 1 FPRAS over the session's caches
+// (no safe-plan routing). opts may be nil.
+func (e *Estimator) Estimate(opts *Options) (float64, error) {
+	return e.est.PQEEstimate(e.callOpts(opts))
+}
+
+// UniformReliability approximates UR(Q, D) over the session's caches,
+// routing path queries through the string pipeline like the
+// package-level UniformReliability. opts may be nil.
+func (e *Estimator) UniformReliability(opts *Options) (*big.Float, error) {
+	copts := e.callOpts(opts)
+	if e.q.q.IsPath() && e.q.q.SelfJoinFree() && binaryOnly(e.d.h.DB(), e.q.q) {
+		c, err := e.est.PathEstimate(copts)
+		if err != nil {
+			return nil, err
+		}
+		return c.BigFloat(), nil
+	}
+	c, err := e.est.UREstimate(copts)
+	if err != nil {
+		return nil, err
+	}
+	return c.BigFloat(), nil
+}
+
+// SampleWorld draws a possible world conditioned on Q over the
+// session's caches; unlike the package-level SampleWorld, repeated
+// draws (with distinct Seeds in opts) reuse the weighted automaton.
+// It returns nil with no error when Pr_H(Q) = 0.
+func (e *Estimator) SampleWorld(opts *Options) (*World, error) {
+	mask, err := e.est.SampleWorld(e.callOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	if mask == nil {
+		return nil, nil
+	}
+	return &World{Present: mask, facts: e.d.h.DB().Facts()}, nil
+}
+
+// SampleSatisfyingSubinstance draws a near-uniform satisfying
+// subinstance over the session's caches. It returns nil with no error
+// when the query is unsatisfiable over the database.
+func (e *Estimator) SampleSatisfyingSubinstance(opts *Options) (*World, error) {
+	mask, err := e.est.SampleSatisfying(e.callOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	if mask == nil {
+		return nil, nil
+	}
+	return &World{Present: mask, facts: e.d.h.DB().Facts()}, nil
+}
+
+// Explain returns the evaluation plan for the session's query, built
+// over (and warming) the same caches later evaluations use.
+func (e *Estimator) Explain(opts *Options) (string, error) {
+	r, err := e.est.Explain(e.callOpts(opts))
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

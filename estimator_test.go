@@ -1,0 +1,86 @@
+package pqe
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestEstimatorPublicAPI(t *testing.T) {
+	q := PathQuery("R", 3)
+	d := smallPathDB(t)
+	opts := &Options{Epsilon: 0.2, Trials: 3, Seed: 7}
+	est := NewEstimator(q, d, opts)
+
+	res, err := est.Probability(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := Probability(q, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probability != oneShot.Probability {
+		t.Errorf("session %v != one-shot %v", res.Probability, oneShot.Probability)
+	}
+	if _, err := est.Estimate(nil); err != nil {
+		t.Fatal(err)
+	}
+	ur, err := est.UniformReliability(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Sign() <= 0 {
+		t.Errorf("UR = %v, want > 0", ur)
+	}
+	if _, err := est.Explain(nil); err != nil {
+		t.Fatal(err)
+	}
+	w, err := est.SampleWorld(&Options{Epsilon: 0.2, Trials: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || len(w.Present) != d.Size() {
+		t.Fatalf("SampleWorld mask: %+v", w)
+	}
+	if _, err := est.SampleSatisfyingSubinstance(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := est.BuildStats()
+	if st.Decompositions != 1 || st.URReductions != 1 || st.PathAutomata != 1 {
+		t.Errorf("construction stages reran: %+v", st)
+	}
+
+	// Re-weight: same facts, new probability.
+	d2 := smallPathDB(t)
+	if err := d2.AddFact("R1", big.NewRat(9, 10), "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := est.SetProbabilities(d2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Estimate(q, d2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("re-weighted %v != fresh %v", got, fresh)
+	}
+	st = est.BuildStats()
+	if st.Decompositions != 1 || st.URReductions != 1 || st.PathAutomata != 1 {
+		t.Errorf("SetProbabilities invalidated construction stages: %+v", st)
+	}
+
+	// Different fact set must be rejected.
+	d3 := NewDatabase()
+	if err := d3.AddFact("R1", nil, "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := est.SetProbabilities(d3); err == nil {
+		t.Error("SetProbabilities accepted a different fact set")
+	}
+}

@@ -62,6 +62,31 @@ func (s Set) Empty() bool {
 	return true
 }
 
+// ForEach calls f for every set bit, in ascending order.
+func (s Set) ForEach(f func(i int)) {
+	for w, word := range s {
+		for word != 0 {
+			f(w*wordBits + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// Intersects reports whether the two sets share a set bit. Sets of
+// different capacities compare over their common prefix.
+func (s Set) Intersects(t Set) bool {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // ContainsAll reports whether every listed bit is set.
 func (s Set) ContainsAll(bits []int) bool {
 	for _, i := range bits {

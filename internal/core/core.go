@@ -17,7 +17,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"pqe/internal/count"
 	"pqe/internal/cq"
@@ -25,7 +24,6 @@ import (
 	"pqe/internal/hypertree"
 	"pqe/internal/nfa"
 	"pqe/internal/pdb"
-	"pqe/internal/reduction"
 	"pqe/internal/safeplan"
 )
 
@@ -56,6 +54,10 @@ type Options struct {
 	// (memo sizes, samples, wall time, allocations) across estimator
 	// invocations.
 	CountStats *count.Stats
+	// NFAStats is the string-engine counterpart of CountStats: CountNFA
+	// effort counters accumulated across PathEstimate / PathPQEEstimate
+	// invocations.
+	NFAStats *nfa.Stats
 }
 
 func (o Options) countOptions() count.Options {
@@ -77,6 +79,8 @@ func (o Options) nfaOptions() nfa.CountOptions {
 		Samples:  o.Samples,
 		Seed:     o.seed(),
 		Parallel: o.Parallel,
+		Workers:  o.Workers,
+		Stats:    o.NFAStats,
 	}
 }
 
@@ -120,51 +124,16 @@ func Classify(q *cq.Query, maxWidth int) Classification {
 
 // PathEstimate approximates UR(Q, D) for a self-join-free path query
 // over a database of binary facts (Theorem 2), within (1±ε) with high
-// probability, in time poly(|Q|, |D|, 1/ε).
+// probability, in time poly(|Q|, |D|, 1/ε). One-shot wrapper over
+// Estimator; reuse an Estimator for repeated evaluations.
 func PathEstimate(q *cq.Query, d *pdb.Database, opts Options) (efloat.E, error) {
-	if !q.IsPath() || !q.SelfJoinFree() {
-		return efloat.Zero, fmt.Errorf("core: PathEstimate needs a self-join-free path query, got %q", q)
-	}
-	proj := d.Project(q.RelationSet())
-	m, err := reduction.PathNFA(q, proj)
-	if err != nil {
-		return efloat.Zero, err
-	}
-	c := nfa.Count(m.Trim(), proj.Size(), opts.nfaOptions())
-	// UR(Q, D) = UR(Q, D') · 2^(|D|−|D'|): facts over relations outside
-	// the query are free to be present or absent.
-	return c.Mul(efloat.Pow2(int64(d.Size() - proj.Size()))), nil
+	return NewUREstimator(q, d, opts).PathEstimate(opts)
 }
 
 // UREstimate approximates UR(Q, D) for a self-join-free conjunctive
 // query of bounded hypertree width (Theorem 3).
 func UREstimate(q *cq.Query, d *pdb.Database, opts Options) (efloat.E, error) {
-	red, proj, err := buildUR(q, d, opts)
-	if err != nil {
-		return efloat.Zero, err
-	}
-	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions())
-	return c.Mul(efloat.Pow2(int64(d.Size() - proj.Size()))), nil
-}
-
-func buildUR(q *cq.Query, d *pdb.Database, opts Options) (*reduction.URReduction, *pdb.Database, error) {
-	if !q.SelfJoinFree() {
-		return nil, nil, fmt.Errorf("%w: query %q has self-joins", ErrUnsupported, q)
-	}
-	maxWidth := opts.MaxWidth
-	if maxWidth <= 0 {
-		maxWidth = q.Len()
-	}
-	dec, err := hypertree.Decompose(q)
-	if err != nil || dec.Width() > maxWidth {
-		return nil, nil, fmt.Errorf("%w: no decomposition of width ≤ %d for %q", ErrUnsupported, maxWidth, q)
-	}
-	proj := d.Project(q.RelationSet())
-	red, err := reduction.BuildUR(q, proj, dec)
-	if err != nil {
-		return nil, nil, err
-	}
-	return red, proj, nil
+	return NewUREstimator(q, d, opts).UREstimate(opts)
 }
 
 // PQEEstimate approximates Pr_H(Q) for a self-join-free conjunctive
@@ -172,19 +141,7 @@ func buildUR(q *cq.Query, d *pdb.Database, opts Options) (*reduction.URReduction
 // rational probabilities (Theorem 1), within (1±ε) with high
 // probability, in time poly(|Q|, |H|, 1/ε).
 func PQEEstimate(q *cq.Query, h *pdb.Probabilistic, opts Options) (float64, error) {
-	// Facts over relations outside the query marginalize to 1.
-	proj := h.Project(q.RelationSet())
-	red, _, err := buildUR(q, proj.DB(), opts)
-	if err != nil {
-		return 0, err
-	}
-	weighted, err := reduction.WeightUR(red, proj)
-	if err != nil {
-		return 0, err
-	}
-	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions())
-	den := efloat.FromBigInt(weighted.DenProduct)
-	return c.Ratio(den), nil
+	return NewEstimator(q, h, opts).PQEEstimate(opts)
 }
 
 // PathPQEEstimate approximates Pr_H(Q) for a self-join-free path query
@@ -194,16 +151,7 @@ func PQEEstimate(q *cq.Query, h *pdb.Probabilistic, opts Options) (float64, erro
 // exists because paths need no tree machinery at all, and serves as the
 // E10 ablation.
 func PathPQEEstimate(q *cq.Query, h *pdb.Probabilistic, opts Options) (float64, error) {
-	if !q.IsPath() || !q.SelfJoinFree() {
-		return 0, fmt.Errorf("core: PathPQEEstimate needs a self-join-free path query, got %q", q)
-	}
-	proj := h.Project(q.RelationSet())
-	red, err := reduction.BuildPathPQE(q, proj)
-	if err != nil {
-		return 0, err
-	}
-	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions())
-	return c.Ratio(efloat.FromBigInt(red.DenProduct)), nil
+	return NewEstimator(q, h, opts).PathPQEEstimate(opts)
 }
 
 // Method identifies how Evaluate computed its answer.
@@ -227,22 +175,5 @@ type Result struct {
 // of bounded width get the combined-complexity FPRAS; the rest is
 // unsupported (open).
 func Evaluate(q *cq.Query, h *pdb.Probabilistic, opts Options) (Result, error) {
-	class := Classify(q, opts.MaxWidth)
-	if class.Safe && !opts.ForceFPRAS {
-		p, err := safeplan.Evaluate(q, h)
-		if err != nil {
-			return Result{}, err
-		}
-		f, _ := p.Float64()
-		return Result{Probability: f, Exact: true, Method: MethodSafePlan, Class: class}, nil
-	}
-	if !class.SelfJoinFree || !class.BoundedHW {
-		return Result{Class: class}, fmt.Errorf("%w: %q (self-join-free=%v, bounded-width=%v)",
-			ErrUnsupported, q, class.SelfJoinFree, class.BoundedHW)
-	}
-	p, err := PQEEstimate(q, h, opts)
-	if err != nil {
-		return Result{Class: class}, err
-	}
-	return Result{Probability: p, Method: MethodFPRASTree, Class: class}, nil
+	return NewEstimator(q, h, opts).Evaluate(opts)
 }

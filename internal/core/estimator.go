@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"pqe/internal/count"
+	"pqe/internal/cq"
+	"pqe/internal/efloat"
+	"pqe/internal/hypertree"
+	"pqe/internal/nfa"
+	"pqe/internal/pdb"
+	"pqe/internal/reduction"
+	"pqe/internal/safeplan"
+)
+
+// BuildStats counts how many times each construction stage actually
+// ran. On a fresh Estimator everything starts at zero; repeated
+// evaluations on the same Estimator must not grow the
+// probability-independent counters, and a SetProbabilities call grows
+// only Weightings — the cache-hit contract the tests assert.
+type BuildStats struct {
+	// Decompositions counts hypertree decomposition searches.
+	Decompositions int
+	// URReductions counts Proposition 1 automaton constructions.
+	URReductions int
+	// PathAutomata counts Section 3 string automaton constructions
+	// (including the one trim shared by all counting calls).
+	PathAutomata int
+	// Weightings counts multiplier-gadget expansions (tree or string),
+	// the only stage that reruns when probabilities change.
+	Weightings int
+}
+
+// Estimator is a reusable evaluation session for one (query, database)
+// pair. It memoizes every probability-independent construction stage —
+// the classification, the hypertree decomposition, the Proposition 1
+// uniform-reliability automaton, and the Section 3 path automaton
+// (trimmed, with its dense transition index warm) — plus the
+// probability-dependent multiplier weightings. Repeated estimates, an
+// ε- or seed-sweep, or a SampleWorld after a Probability all reuse the
+// same artifacts; SetProbabilities invalidates only the weightings, so
+// re-evaluating after a probability change skips decomposition and
+// automaton construction entirely.
+//
+// An Estimator is not safe for concurrent use.
+type Estimator struct {
+	q    *cq.Query
+	h    *pdb.Probabilistic // nil for a UR-only session over d
+	d    *pdb.Database
+	opts Options // construction knobs (MaxWidth); counting knobs come per call
+
+	stats BuildStats
+
+	class     Classification
+	classDone bool
+
+	dec     *hypertree.Decomposition
+	decErr  error
+	decDone bool
+
+	// Probability-independent, keyed to the fact set of d.
+	projDB   *pdb.Database // d projected to the query's relations
+	urRed    *reduction.URReduction
+	urErr    error
+	urDone   bool
+	pathAuto *nfa.NFA // trimmed PathNFA over projDB
+	pathErr  error
+	pathDone bool
+
+	// Probability-dependent, dropped by SetProbabilities.
+	projH       *pdb.Probabilistic
+	pqeRed      *reduction.PQEReduction
+	pqeErr      error
+	pqeDone     bool
+	pathPQERed  *reduction.PathPQEReduction
+	pathPQEErr  error
+	pathPQEDone bool
+}
+
+// NewEstimator prepares an evaluation session for Q over the
+// probabilistic database H. Nothing is built until the first call that
+// needs it.
+func NewEstimator(q *cq.Query, h *pdb.Probabilistic, opts Options) *Estimator {
+	return &Estimator{q: q, h: h, d: h.DB(), opts: opts}
+}
+
+// NewUREstimator prepares a uniform-reliability-only session over a
+// plain database (no probabilities; the probability methods error).
+func NewUREstimator(q *cq.Query, d *pdb.Database, opts Options) *Estimator {
+	return &Estimator{q: q, d: d, opts: opts}
+}
+
+// BuildStats returns the construction counters accumulated so far.
+func (e *Estimator) BuildStats() BuildStats { return e.stats }
+
+// SetProbabilities rebinds the session to a probabilistic database with
+// the same facts but (possibly) different probabilities. Only the
+// multiplier weightings are invalidated: the decomposition and the base
+// automata are keyed to the fact set and survive.
+func (e *Estimator) SetProbabilities(h *pdb.Probabilistic) error {
+	if e.h == nil {
+		return fmt.Errorf("core: estimator was built without probabilities")
+	}
+	if h.Size() != e.d.Size() {
+		return fmt.Errorf("core: new instance has %d facts, estimator built for %d", h.Size(), e.d.Size())
+	}
+	for _, f := range e.d.Facts() {
+		if h.DB().IndexOf(f) < 0 {
+			return fmt.Errorf("core: fact %v missing from new instance", f)
+		}
+	}
+	e.h = h
+	e.d = h.DB()
+	e.projH = nil
+	e.pqeRed, e.pqeErr, e.pqeDone = nil, nil, false
+	e.pathPQERed, e.pathPQEErr, e.pathPQEDone = nil, nil, false
+	return nil
+}
+
+// Class returns the query's Table 1 classification, reusing the cached
+// decomposition.
+func (e *Estimator) Class() Classification {
+	if e.classDone {
+		return e.class
+	}
+	c := Classification{
+		SelfJoinFree: e.q.SelfJoinFree(),
+		Safe:         safeplan.IsSafe(e.q),
+		Path:         e.q.IsPath(),
+	}
+	if dec, err := e.decomposition(); err == nil && dec.Width() <= e.maxWidth() {
+		c.Width = dec.Width()
+		c.BoundedHW = true
+	}
+	e.class, e.classDone = c, true
+	return c
+}
+
+func (e *Estimator) maxWidth() int {
+	if e.opts.MaxWidth > 0 {
+		return e.opts.MaxWidth
+	}
+	return e.q.Len()
+}
+
+func (e *Estimator) decomposition() (*hypertree.Decomposition, error) {
+	if !e.decDone {
+		e.stats.Decompositions++
+		e.dec, e.decErr = hypertree.Decompose(e.q)
+		e.decDone = true
+	}
+	return e.dec, e.decErr
+}
+
+// proj returns the database projected to the query's relations, cached.
+// The projection is probability-independent (a fact subset), so it is
+// computed once and shared by every pipeline.
+func (e *Estimator) proj() *pdb.Database {
+	if e.projDB == nil {
+		e.projDB = e.d.Project(e.q.RelationSet())
+	}
+	return e.projDB
+}
+
+// projProb returns the probabilistic projection, recomputed after
+// SetProbabilities.
+func (e *Estimator) projProb() *pdb.Probabilistic {
+	if e.projH == nil {
+		e.projH = e.h.Project(e.q.RelationSet())
+	}
+	return e.projH
+}
+
+// urReduction returns the cached Proposition 1 automaton over the
+// projected database.
+func (e *Estimator) urReduction() (*reduction.URReduction, error) {
+	if e.urDone {
+		return e.urRed, e.urErr
+	}
+	e.urDone = true
+	if !e.q.SelfJoinFree() {
+		e.urErr = fmt.Errorf("%w: query %q has self-joins", ErrUnsupported, e.q)
+		return nil, e.urErr
+	}
+	dec, err := e.decomposition()
+	if err != nil || dec.Width() > e.maxWidth() {
+		e.urErr = fmt.Errorf("%w: no decomposition of width ≤ %d for %q", ErrUnsupported, e.maxWidth(), e.q)
+		return nil, e.urErr
+	}
+	e.stats.URReductions++
+	e.urRed, e.urErr = reduction.BuildUR(e.q, e.proj(), dec)
+	return e.urRed, e.urErr
+}
+
+// pathAutomaton returns the cached, trimmed Section 3 string automaton
+// over the projected database. Trimming here means every counting call
+// shares one automaton instance — and with it the dense transition
+// index the string engine caches on it.
+func (e *Estimator) pathAutomaton() (*nfa.NFA, error) {
+	if e.pathDone {
+		return e.pathAuto, e.pathErr
+	}
+	e.pathDone = true
+	if !e.q.IsPath() || !e.q.SelfJoinFree() {
+		e.pathErr = fmt.Errorf("core: PathEstimate needs a self-join-free path query, got %q", e.q)
+		return nil, e.pathErr
+	}
+	e.stats.PathAutomata++
+	m, err := reduction.PathNFA(e.q, e.proj())
+	if err != nil {
+		e.pathErr = err
+		return nil, err
+	}
+	e.pathAuto = m.Trim()
+	return e.pathAuto, nil
+}
+
+// pqeReduction returns the cached Theorem 1 weighted automaton,
+// re-weighting the cached UR reduction on first use after construction
+// or SetProbabilities.
+func (e *Estimator) pqeReduction() (*reduction.PQEReduction, error) {
+	if e.pqeDone {
+		return e.pqeRed, e.pqeErr
+	}
+	e.pqeDone = true
+	ur, err := e.urReduction()
+	if err != nil {
+		e.pqeErr = err
+		return nil, err
+	}
+	e.stats.Weightings++
+	e.pqeRed, e.pqeErr = reduction.WeightUR(ur, e.projProb())
+	return e.pqeRed, e.pqeErr
+}
+
+// pathPQEReduction returns the cached weighted string automaton,
+// re-weighting the cached base on first use after construction or
+// SetProbabilities. Note the weighted automaton uses the untrimmed
+// base: the gadget expansion re-trims after inserting comparators.
+func (e *Estimator) pathPQEReduction() (*reduction.PathPQEReduction, error) {
+	if e.pathPQEDone {
+		return e.pathPQERed, e.pathPQEErr
+	}
+	e.pathPQEDone = true
+	base, err := e.pathAutomaton()
+	if err != nil {
+		e.pathPQEErr = err
+		return nil, err
+	}
+	e.stats.Weightings++
+	e.pathPQERed, e.pathPQEErr = reduction.WeightPathNFA(e.q, e.projProb(), base)
+	return e.pathPQERed, e.pathPQEErr
+}
+
+// PathEstimate approximates UR(Q, D) through the Theorem 2 string
+// pipeline, reusing the cached automaton. opts supplies the counting
+// knobs for this call.
+func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
+	m, err := e.pathAutomaton()
+	if err != nil {
+		return efloat.Zero, err
+	}
+	proj := e.proj()
+	c := nfa.Count(m, proj.Size(), opts.nfaOptions())
+	// UR(Q, D) = UR(Q, D') · 2^(|D|−|D'|): facts over relations outside
+	// the query are free to be present or absent.
+	return c.Mul(efloat.Pow2(int64(e.d.Size() - proj.Size()))), nil
+}
+
+// UREstimate approximates UR(Q, D) through the Theorem 3 tree pipeline,
+// reusing the cached reduction.
+func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
+	red, err := e.urReduction()
+	if err != nil {
+		return efloat.Zero, err
+	}
+	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions())
+	return c.Mul(efloat.Pow2(int64(e.d.Size() - e.proj().Size()))), nil
+}
+
+// PQEEstimate approximates Pr_H(Q) (Theorem 1), reusing every cached
+// stage.
+func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
+	if e.h == nil {
+		return 0, fmt.Errorf("core: estimator was built without probabilities")
+	}
+	weighted, err := e.pqeReduction()
+	if err != nil {
+		return 0, err
+	}
+	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions())
+	return c.Ratio(efloat.FromBigInt(weighted.DenProduct)), nil
+}
+
+// PathPQEEstimate approximates Pr_H(Q) through the string pipeline
+// (footnote 2 of §5.1), reusing the cached base automaton.
+func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
+	if e.h == nil {
+		return 0, fmt.Errorf("core: estimator was built without probabilities")
+	}
+	red, err := e.pathPQEReduction()
+	if err != nil {
+		return 0, err
+	}
+	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions())
+	return c.Ratio(efloat.FromBigInt(red.DenProduct)), nil
+}
+
+// Evaluate routes to the best applicable algorithm (the Table 1
+// landscape), like the package-level Evaluate but over the session's
+// caches.
+func (e *Estimator) Evaluate(opts Options) (Result, error) {
+	if e.h == nil {
+		return Result{}, fmt.Errorf("core: estimator was built without probabilities")
+	}
+	class := e.Class()
+	if class.Safe && !opts.ForceFPRAS && !e.opts.ForceFPRAS {
+		p, err := safeplan.Evaluate(e.q, e.h)
+		if err != nil {
+			return Result{}, err
+		}
+		f, _ := p.Float64()
+		return Result{Probability: f, Exact: true, Method: MethodSafePlan, Class: class}, nil
+	}
+	if !class.SelfJoinFree || !class.BoundedHW {
+		return Result{Class: class}, fmt.Errorf("%w: %q (self-join-free=%v, bounded-width=%v)",
+			ErrUnsupported, e.q, class.SelfJoinFree, class.BoundedHW)
+	}
+	p, err := e.PQEEstimate(opts)
+	if err != nil {
+		return Result{Class: class}, err
+	}
+	return Result{Probability: p, Method: MethodFPRASTree, Class: class}, nil
+}
+
+// SampleSatisfying draws a near-uniform satisfying subinstance through
+// the cached UR reduction (see the package-level SampleSatisfying).
+func (e *Estimator) SampleSatisfying(opts Options) ([]bool, error) {
+	red, err := e.urReduction()
+	if err != nil {
+		return nil, err
+	}
+	tree := count.SampleTree(red.Auto, red.TreeSize, opts.countOptions())
+	if tree == nil {
+		return nil, nil
+	}
+	projMask, err := red.DecodeTree(tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampled tree failed to decode: %w", err)
+	}
+	rng := opts.rng()
+	return liftMask(e.d, e.proj(), projMask, func(pdb.Fact) bool {
+		return rng.Intn(2) == 0
+	}), nil
+}
+
+// SampleWorld draws a possible world conditioned on Q through the
+// cached weighted reduction (see the package-level SampleWorld).
+func (e *Estimator) SampleWorld(opts Options) ([]bool, error) {
+	if e.h == nil {
+		return nil, fmt.Errorf("core: estimator was built without probabilities")
+	}
+	red, err := e.urReduction()
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := e.pqeReduction()
+	if err != nil {
+		return nil, err
+	}
+	tree := count.SampleTree(weighted.Auto, weighted.TreeSize, opts.countOptions())
+	if tree == nil {
+		return nil, nil
+	}
+	projMask, err := red.DecodeTree(tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampled tree failed to decode: %w", err)
+	}
+	rng := opts.rng()
+	return liftMask(e.d, e.proj(), projMask, func(f pdb.Fact) bool {
+		return rng.Float64() < e.h.Prob(f).Float()
+	}), nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// pathInstance builds a 3-path query and a small probabilistic database
+// on which it is unsafe (so the FPRAS route is exercised).
+func pathInstance(t *testing.T) (*cq.Query, *pdb.Probabilistic) {
+	t.Helper()
+	q := cq.PathQuery("R", 3)
+	h := pdb.Empty()
+	add := func(rel, a, b string, num, den int64) {
+		h.Add(pdb.NewFact(rel, a, b), pdb.ProbFromRat(big.NewRat(num, den)))
+	}
+	add("R1", "a", "b", 1, 2)
+	add("R1", "a", "c", 2, 3)
+	add("R2", "b", "d", 3, 4)
+	add("R2", "c", "d", 1, 3)
+	add("R3", "d", "e", 4, 5)
+	add("R3", "d", "f", 1, 2)
+	return q, h
+}
+
+// The cache-hit contract: repeated evaluations on one Estimator run
+// every construction stage exactly once.
+func TestEstimatorCachesConstruction(t *testing.T) {
+	q, h := pathInstance(t)
+	opts := Options{Epsilon: 0.2, Trials: 3, Seed: 5}
+	est := NewEstimator(q, h, opts)
+
+	first, err := est.PQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := est.PQEEstimate(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Errorf("re-evaluation drifted: %v vs %v", again, first)
+		}
+	}
+	if _, err := est.PathPQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.PathPQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.PathEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Evaluate(Options{Epsilon: 0.2, Trials: 3, Seed: 5, ForceFPRAS: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := est.BuildStats()
+	want := BuildStats{Decompositions: 1, URReductions: 1, PathAutomata: 1, Weightings: 2}
+	if st != want {
+		t.Errorf("BuildStats = %+v, want %+v", st, want)
+	}
+}
+
+// SetProbabilities must invalidate only the weightings: the cached
+// decomposition and base automata survive, and the re-weighted estimate
+// matches a from-scratch estimator on the new instance.
+func TestEstimatorSetProbabilitiesReweightsOnly(t *testing.T) {
+	q, h := pathInstance(t)
+	opts := Options{Epsilon: 0.2, Trials: 3, Seed: 5}
+	est := NewEstimator(q, h, opts)
+	if _, err := est.PQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.PathPQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := h.WithProb(pdb.NewFact("R1", "a", "b"), pdb.ProbFromRat(big.NewRat(9, 10)))
+	if err := est.SetProbabilities(h2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.PQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PQEEstimate(q, h2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("re-weighted estimate %v != fresh estimator %v", got, fresh)
+	}
+	gotPath, err := est.PathPQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshPath, err := PathPQEEstimate(q, h2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotPath-freshPath) > 1e-12 {
+		t.Errorf("re-weighted path estimate %v != fresh %v", gotPath, freshPath)
+	}
+
+	st := est.BuildStats()
+	want := BuildStats{Decompositions: 1, URReductions: 1, PathAutomata: 1, Weightings: 4}
+	if st != want {
+		t.Errorf("BuildStats after SetProbabilities = %+v, want %+v", st, want)
+	}
+}
+
+func TestEstimatorSetProbabilitiesRejectsDifferentFacts(t *testing.T) {
+	q, h := pathInstance(t)
+	est := NewEstimator(q, h, Options{})
+	other := pdb.Empty()
+	other.Add(pdb.NewFact("R1", "x", "y"), pdb.ProbOne)
+	if err := est.SetProbabilities(other); err == nil {
+		t.Fatal("SetProbabilities accepted a different fact set")
+	}
+	bigger := h.WithProb(pdb.NewFact("R1", "a", "b"), pdb.ProbOne)
+	bigger.Add(pdb.NewFact("R1", "z", "z"), pdb.ProbOne)
+	if err := est.SetProbabilities(bigger); err == nil {
+		t.Fatal("SetProbabilities accepted a larger fact set")
+	}
+}
+
+// The one-shot wrappers must agree with a session estimator given the
+// same options (they are the same code path).
+func TestEstimatorMatchesOneShot(t *testing.T) {
+	q, h := pathInstance(t)
+	opts := Options{Epsilon: 0.2, Trials: 3, Seed: 11}
+	est := NewEstimator(q, h, opts)
+	a, err := est.PQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PQEEstimate(q, h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("session %v != one-shot %v", a, b)
+	}
+	ur1, err := est.UREstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur2, err := UREstimate(q, h.DB(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur1.Cmp(ur2) != 0 {
+		t.Errorf("session UR %v != one-shot %v", ur1, ur2)
+	}
+	p1, err := est.PathEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PathEstimate(q, h.DB(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Cmp(p2) != 0 {
+		t.Errorf("session path UR %v != one-shot %v", p1, p2)
+	}
+}
+
+func TestUREstimatorRejectsProbabilityMethods(t *testing.T) {
+	q, h := pathInstance(t)
+	est := NewUREstimator(q, h.DB(), Options{})
+	if _, err := est.PQEEstimate(Options{}); err == nil {
+		t.Error("PQEEstimate on a UR-only estimator did not error")
+	}
+	if err := est.SetProbabilities(h); err == nil {
+		t.Error("SetProbabilities on a UR-only estimator did not error")
+	}
+}

@@ -5,9 +5,7 @@ import (
 	"strings"
 
 	"pqe/internal/cq"
-	"pqe/internal/hypertree"
 	"pqe/internal/pdb"
-	"pqe/internal/reduction"
 )
 
 // Report describes how a query would be evaluated, without running the
@@ -32,24 +30,27 @@ type Report struct {
 }
 
 // Explain builds the evaluation plan for the query over the instance.
+// One-shot wrapper over Estimator.Explain.
 func Explain(q *cq.Query, h *pdb.Probabilistic, opts Options) (*Report, error) {
-	class := Classify(q, opts.MaxWidth)
-	r := &Report{Query: q.String(), Class: class}
-	if class.Safe && !opts.ForceFPRAS {
+	return NewEstimator(q, h, opts).Explain(opts)
+}
+
+// Explain builds the evaluation plan over the session's caches: the
+// same automata it constructs here are the ones a following Evaluate
+// or PQEEstimate call counts over.
+func (e *Estimator) Explain(opts Options) (*Report, error) {
+	class := e.Class()
+	r := &Report{Query: e.q.String(), Class: class}
+	if class.Safe && !opts.ForceFPRAS && !e.opts.ForceFPRAS {
 		r.Route = MethodSafePlan
 		return r, nil
 	}
 	if !class.SelfJoinFree || !class.BoundedHW {
-		return r, fmt.Errorf("%w: %q", ErrUnsupported, q)
+		return r, fmt.Errorf("%w: %q", ErrUnsupported, e.q)
 	}
 	r.Route = MethodFPRASTree
 
-	proj := h.Project(q.RelationSet())
-	dec, err := hypertree.Decompose(q)
-	if err != nil {
-		return r, err
-	}
-	red, err := reduction.BuildUR(q, proj.DB(), dec)
+	red, err := e.urReduction()
 	if err != nil {
 		return r, err
 	}
@@ -58,14 +59,14 @@ func Explain(q *cq.Query, h *pdb.Probabilistic, opts Options) (*Report, error) {
 	r.AutoStates = red.Auto.NumStates()
 	r.AutoTransitions = red.Auto.NumTransitions()
 
-	weighted, err := reduction.WeightUR(red, proj)
+	weighted, err := e.pqeReduction()
 	if err != nil {
 		return r, err
 	}
 	r.FinalStates = weighted.Auto.NumStates()
 	r.FinalTransitions = weighted.Auto.NumTransitions()
 	r.TreeSize = weighted.TreeSize
-	r.DigitNodes = weighted.TreeSize - proj.Size()
+	r.DigitNodes = weighted.TreeSize - e.proj().Size()
 	r.DenominatorBits = weighted.DenProduct.BitLen()
 	return r, nil
 }

@@ -17,6 +17,11 @@ import (
 // (1±2ε) guarantee. The fact must be in the database; facts over
 // relations outside the query are independent of the event and their
 // posterior equals their prior.
+//
+// Both invocations share one Estimator: the hypertree decomposition and
+// the uniform-reliability automaton are built once, and the conditioned
+// instance only re-runs the multiplier weighting (a SetProbabilities
+// re-weight, since conditioning changes one probability, not the facts).
 func PosteriorInclusion(q *cq.Query, h *pdb.Probabilistic, f pdb.Fact, opts Options) (float64, error) {
 	if h.DB().IndexOf(f) < 0 {
 		return 0, fmt.Errorf("core: fact %v not in database", f)
@@ -25,7 +30,8 @@ func PosteriorInclusion(q *cq.Query, h *pdb.Probabilistic, f pdb.Fact, opts Opti
 	if !q.RelationSet()[f.Relation] {
 		return prior, nil
 	}
-	denom, err := PQEEstimate(q, h, opts)
+	est := NewEstimator(q, h, opts)
+	denom, err := est.PQEEstimate(opts)
 	if err != nil {
 		return 0, err
 	}
@@ -35,8 +41,10 @@ func PosteriorInclusion(q *cq.Query, h *pdb.Probabilistic, f pdb.Fact, opts Opti
 	if prior == 0 {
 		return 0, nil
 	}
-	conditioned := h.WithProb(f, pdb.ProbOne)
-	numer, err := PQEEstimate(q, conditioned, opts)
+	if err := est.SetProbabilities(h.WithProb(f, pdb.ProbOne)); err != nil {
+		return 0, err
+	}
+	numer, err := est.PQEEstimate(opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,13 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 
-	"pqe/internal/count"
 	"pqe/internal/cq"
 	"pqe/internal/pdb"
-	"pqe/internal/reduction"
 )
 
 // SampleSatisfying draws a near-uniform satisfying subinstance of D for
@@ -19,23 +16,10 @@ import (
 // uniform-reliability distribution).
 //
 // It returns nil with no error when no satisfying subinstance exists.
+// One-shot wrapper over Estimator.SampleSatisfying; reuse an Estimator
+// to amortize the automaton construction over many draws.
 func SampleSatisfying(q *cq.Query, d *pdb.Database, opts Options) ([]bool, error) {
-	red, proj, err := buildUR(q, d, opts)
-	if err != nil {
-		return nil, err
-	}
-	tree := count.SampleTree(red.Auto, red.TreeSize, opts.countOptions())
-	if tree == nil {
-		return nil, nil
-	}
-	projMask, err := red.DecodeTree(tree)
-	if err != nil {
-		return nil, fmt.Errorf("core: sampled tree failed to decode: %w", err)
-	}
-	rng := opts.rng()
-	return liftMask(d, proj, projMask, func(pdb.Fact) bool {
-		return rng.Intn(2) == 0
-	}), nil
+	return NewUREstimator(q, d, opts).SampleSatisfying(opts)
 }
 
 // SampleWorld draws a possible world of the probabilistic database
@@ -50,27 +34,7 @@ func SampleSatisfying(q *cq.Query, d *pdb.Database, opts Options) ([]bool, error
 //
 // It returns nil with no error when Pr_H(Q) = 0.
 func SampleWorld(q *cq.Query, h *pdb.Probabilistic, opts Options) ([]bool, error) {
-	proj := h.Project(q.RelationSet())
-	red, _, err := buildUR(q, proj.DB(), opts)
-	if err != nil {
-		return nil, err
-	}
-	weighted, err := reduction.WeightUR(red, proj)
-	if err != nil {
-		return nil, err
-	}
-	tree := count.SampleTree(weighted.Auto, weighted.TreeSize, opts.countOptions())
-	if tree == nil {
-		return nil, nil
-	}
-	projMask, err := red.DecodeTree(tree)
-	if err != nil {
-		return nil, fmt.Errorf("core: sampled tree failed to decode: %w", err)
-	}
-	rng := opts.rng()
-	return liftMask(h.DB(), proj.DB(), projMask, func(f pdb.Fact) bool {
-		return rng.Float64() < h.Prob(f).Float()
-	}), nil
+	return NewEstimator(q, h, opts).SampleWorld(opts)
 }
 
 // liftMask expands a mask over the projected database to a mask over

@@ -25,11 +25,13 @@
 // test suite and experiment harness.
 //
 // The engine is built for throughput: memo tables are dense
-// [row][size] slices (see dense.go), acceptance checks use pooled bit
+// [row][size] slices (internal/dense), acceptance checks use pooled bit
 // sets (internal/bitset), and the overlap-sampling loop — where nearly
 // all the time goes — fans out across a bounded worker pool with one
-// deterministic sub-RNG per sample (see sampler.go), so results are
-// bit-identical for a fixed seed at every Workers setting.
+// deterministic sub-RNG per sample (internal/splitmix, sampler.go), so
+// results are bit-identical for a fixed seed at every Workers setting.
+// The string-side engine (internal/nfa) shares this architecture and
+// these substrate packages.
 package count
 
 import (
@@ -41,8 +43,10 @@ import (
 	"sync"
 	"time"
 
+	"pqe/internal/dense"
 	"pqe/internal/efloat"
 	"pqe/internal/nfta"
+	"pqe/internal/splitmix"
 )
 
 // Options configures the estimator. The zero value gets sensible
@@ -162,8 +166,8 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 	}
 	if opts.Stats != nil {
 		for _, e := range ests {
-			opts.Stats.TreeKeys += e.trees.keys
-			opts.Stats.ForestKeys += e.forests.keys
+			opts.Stats.TreeKeys += e.trees.Keys()
+			opts.Stats.ForestKeys += e.forests.Keys()
 			opts.Stats.UnionSamples += e.unionSamples
 			opts.Stats.Rejections += e.rejections
 		}
@@ -219,9 +223,9 @@ type estimator struct {
 	tuples [][]int
 	restID []int
 
-	trees   table // rows: states
-	unions  table // rows: multi-branch (state, symbol) slots
-	forests table // rows: tuple IDs
+	trees   dense.Table // rows: states
+	unions  dense.Table // rows: multi-branch (state, symbol) slots
+	forests dense.Table // rows: tuple IDs
 
 	unionSamples int
 	rejections   int
@@ -286,9 +290,9 @@ func newEstimatorSeeded(a *nfta.NFTA, opts Options, seed int64) *estimator {
 		}
 		e.states[q] = entries
 	}
-	e.trees = newTable(a.NumStates())
-	e.unions = newTable(slots)
-	e.forests = newTable(len(e.tuples))
+	e.trees = dense.NewTable(a.NumStates())
+	e.unions = dense.NewTable(slots)
+	e.forests = dense.NewTable(len(e.tuples))
 	return e
 }
 
@@ -307,18 +311,18 @@ func (e *estimator) treeEst(q, n int) efloat.E {
 	if n <= 0 {
 		return efloat.Zero
 	}
-	if v, ok := e.trees.get(q, n); ok {
+	if v, ok := e.trees.Get(q, n); ok {
 		return v
 	}
 	// Guard against reentrancy: with n ≥ 1 the recursion strictly
 	// decreases sizes (forests of n−1 < n), so plain memoization
 	// suffices; pre-store zero to be safe against pathological input.
-	e.trees.put(q, n, efloat.Zero)
+	e.trees.Put(q, n, efloat.Zero)
 	total := efloat.Zero
 	for i := range e.states[q] {
 		total = total.Add(e.symbolUnion(q, i, n))
 	}
-	e.trees.put(q, n, total)
+	e.trees.Put(q, n, total)
 	return total
 }
 
@@ -327,7 +331,7 @@ func (e *estimator) treeLookup(q, n int) efloat.E {
 	if n <= 0 {
 		return efloat.Zero
 	}
-	v, _ := e.trees.get(q, n)
+	v, _ := e.trees.Get(q, n)
 	return v
 }
 
@@ -343,10 +347,10 @@ func (e *estimator) symbolUnion(q, ei, n int) efloat.E {
 	if len(tuples) == 1 {
 		return e.forestEst(tuples[0], n-1)
 	}
-	if v, ok := e.unions.get(en.slot, n); ok {
+	if v, ok := e.unions.Get(en.slot, n); ok {
 		return v
 	}
-	e.unions.put(en.slot, n, efloat.Zero)
+	e.unions.Put(en.slot, n, efloat.Zero)
 	total := efloat.Zero
 	for j, tid := range tuples {
 		cj := e.forestEst(tid, n-1)
@@ -360,7 +364,7 @@ func (e *estimator) symbolUnion(q, ei, n int) efloat.E {
 		fresh := e.countFreshParallel(tuples, j, n)
 		total = total.Add(cj.MulFloat(float64(fresh) / float64(e.samples)))
 	}
-	e.unions.put(en.slot, n, total)
+	e.unions.Put(en.slot, n, total)
 	return total
 }
 
@@ -369,7 +373,7 @@ func (e *estimator) unionLookup(en *symTrans, n int) efloat.E {
 	if len(en.tuples) == 1 {
 		return e.forestLookup(en.tuples[0], n-1)
 	}
-	v, _ := e.unions.get(en.slot, n)
+	v, _ := e.unions.Get(en.slot, n)
 	return v
 }
 
@@ -431,7 +435,7 @@ func (e *estimator) forestEst(tid, m int) efloat.E {
 	case 1:
 		return e.treeEst(tuple[0], m)
 	}
-	if v, ok := e.forests.get(tid, m); ok {
+	if v, ok := e.forests.Get(tid, m); ok {
 		return v
 	}
 	rest := e.restID[tid]
@@ -443,7 +447,7 @@ func (e *estimator) forestEst(tid, m int) efloat.E {
 		}
 		total = total.Add(head.Mul(e.forestEst(rest, m-j)))
 	}
-	e.forests.put(tid, m, total)
+	e.forests.Put(tid, m, total)
 	return total
 }
 
@@ -459,7 +463,7 @@ func (e *estimator) forestLookup(tid, m int) efloat.E {
 	case 1:
 		return e.treeLookup(tuple[0], m)
 	}
-	v, _ := e.forests.get(tid, m)
+	v, _ := e.forests.Get(tid, m)
 	return v
 }
 
@@ -468,7 +472,7 @@ func (e *estimator) forestLookup(tid, m int) efloat.E {
 // must have been computed.
 func (e *estimator) sampleTreeTop(q, n int) *nfta.Tree {
 	if e.top == nil {
-		e.top = e.newSampler(uint64(e.seed) ^ topSamplerSalt)
+		e.top = e.newSampler(uint64(e.seed) ^ splitmix.TopSamplerSalt)
 	}
 	return e.top.sampleTree(q, n)
 }

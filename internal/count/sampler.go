@@ -4,41 +4,8 @@ import (
 	"pqe/internal/bitset"
 	"pqe/internal/efloat"
 	"pqe/internal/nfta"
+	"pqe/internal/splitmix"
 )
-
-// sm64 is a splitmix64 PRNG: a value type with one word of state, so a
-// fresh, statistically independent stream can be materialized per
-// overlap sample without allocation. Determinism of the estimator
-// across Workers settings rests on this: each sample's stream depends
-// only on (trial seed, sampling site, sample index), never on which
-// goroutine runs it.
-type sm64 struct{ state uint64 }
-
-func (r *sm64) Uint64() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Float64 returns a uniform float in [0, 1).
-func (r *sm64) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
-}
-
-// sampleRNG derives the PRNG for one overlap sample from the trial
-// seed, the per-estimator sampling-site sequence number and the sample
-// index. Distinct odd multipliers decorrelate the coordinates; the
-// splitmix64 output finalizer does the rest.
-func sampleRNG(seed int64, site uint64, idx int) sm64 {
-	x := uint64(seed)*0x9e3779b97f4a7c15 ^ site*0xbf58476d1ce4e5b9 ^ uint64(idx)*0x94d049bb133111eb
-	return sm64{state: x}
-}
-
-// topSamplerSalt separates the top-level sampling stream (SampleTree,
-// Counter.Sample) from the per-site overlap streams.
-const topSamplerSalt = 0xd1b54a32d192ed03
 
 // sampler is a sampling session over a frozen estimator: it draws
 // trees and forests reading the memo tables and transition structure
@@ -54,7 +21,7 @@ const topSamplerSalt = 0xd1b54a32d192ed03
 // top-level APIs run treeEst before sampling.
 type sampler struct {
 	e          *estimator
-	rng        sm64
+	rng        splitmix.Stream
 	pool       *bitset.Pool
 	sets       []bitset.Set // scratch for firstAccepting
 	wfree      [][]efloat.E // free list of weight buffers
@@ -66,7 +33,7 @@ type sampler struct {
 func (e *estimator) newSampler(state uint64) *sampler {
 	return &sampler{
 		e:    e,
-		rng:  sm64{state: state},
+		rng:  splitmix.New(state),
 		pool: bitset.NewPool(e.a.NumStates()),
 	}
 }
@@ -180,7 +147,7 @@ func (s *sampler) countFresh(tuples []int, j, n int, site uint64, start, samples
 	}
 	fresh := 0
 	for i := start; i < samples; i += stride {
-		s.rng = sampleRNG(s.e.seed, site, i)
+		s.rng = splitmix.Derive(s.e.seed, site, i)
 		s.arena.reset()
 		f, ok := s.sampleForestScratch(tuples[j], n-1)
 		if !ok {

@@ -1,0 +1,54 @@
+// Package dense provides the two-dimensional memo table shared by the
+// approximate counting engines (internal/count for trees, internal/nfa
+// for strings): rows are states, union slots or interned tuple/set IDs
+// — small dense integer ranges fixed at estimator construction — and
+// the size axis grows on demand up to the largest size queried.
+// Compared to the map-based tables it replaced, a lookup is two slice
+// indexings with no hashing, and rows stay contiguous for the size
+// sweeps the DP performs.
+package dense
+
+import "pqe/internal/efloat"
+
+// Table is a dense memo table indexed by (row, size).
+//
+// done tracks computed cells separately because efloat.Zero is a
+// legitimate memoized value.
+type Table struct {
+	vals [][]efloat.E
+	done [][]bool
+	keys int // number of computed cells, for Stats
+}
+
+// NewTable returns a table with the given fixed number of rows.
+func NewTable(rows int) Table {
+	return Table{
+		vals: make([][]efloat.E, rows),
+		done: make([][]bool, rows),
+	}
+}
+
+// Get returns the memoized value at (r, c) and whether it was computed.
+func (t *Table) Get(r, c int) (efloat.E, bool) {
+	row := t.done[r]
+	if c >= len(row) || !row[c] {
+		return efloat.Zero, false
+	}
+	return t.vals[r][c], true
+}
+
+// Put memoizes v at (r, c), growing the row as needed.
+func (t *Table) Put(r, c int, v efloat.E) {
+	if c >= len(t.done[r]) {
+		t.done[r] = append(t.done[r], make([]bool, c+1-len(t.done[r]))...)
+		t.vals[r] = append(t.vals[r], make([]efloat.E, c+1-len(t.vals[r]))...)
+	}
+	if !t.done[r][c] {
+		t.done[r][c] = true
+		t.keys++
+	}
+	t.vals[r][c] = v
+}
+
+// Keys returns the number of computed cells.
+func (t *Table) Keys() int { return t.keys }

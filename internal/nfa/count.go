@@ -3,10 +3,15 @@ package nfa
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"pqe/internal/bitset"
+	"pqe/internal/dense"
 	"pqe/internal/efloat"
+	"pqe/internal/splitmix"
 )
 
 // CountOptions configures the CountNFA approximation scheme.
@@ -37,6 +42,34 @@ type CountOptions struct {
 	// Parallel runs the independent trials on separate goroutines; the
 	// result is identical to the sequential run with the same seed.
 	Parallel bool
+	// Workers bounds the goroutines drawing overlap samples *inside* a
+	// trial. 0 or 1 means sequential. Every sample draws from its own
+	// sub-RNG derived from (trial seed, site, sample index), so the
+	// result is identical across all Workers settings for a fixed seed.
+	Workers int
+	// Stats, when non-nil, accumulates estimator effort counters across
+	// all trials (for observability and the experiment harness).
+	Stats *Stats
+}
+
+// Stats reports how much work the estimator did.
+type Stats struct {
+	// WordKeys and UnionKeys are memo-table sizes: distinct
+	// (state, length) and (target set, length) cells computed.
+	WordKeys, UnionKeys int
+	// UnionSamples is the number of words drawn for overlap estimation.
+	UnionSamples int
+	// Rejections counts canonical-rejection retries during sampling.
+	Rejections int
+	// WallTime is the elapsed time of the Count calls that recorded into
+	// this Stats.
+	WallTime time.Duration
+	// Mallocs and AllocBytes are heap-allocation deltas over those
+	// calls, read from runtime.MemStats. They are process-global, so
+	// concurrent unrelated work inflates them; within the benchmark
+	// harness they attribute cleanly.
+	Mallocs    uint64
+	AllocBytes uint64
 }
 
 func (o CountOptions) withDefaults() CountOptions {
@@ -48,6 +81,9 @@ func (o CountOptions) withDefaults() CountOptions {
 	}
 	if o.Samples <= 0 {
 		o.Samples = int(math.Max(24, math.Ceil(6/(o.Epsilon*o.Epsilon))))
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	if o.Rng == nil {
 		seed := o.Seed
@@ -64,14 +100,23 @@ func (o CountOptions) withDefaults() CountOptions {
 // realizes the paper's CountNFA black box [5].
 func Count(m *NFA, n int, opts CountOptions) efloat.E {
 	opts = opts.withDefaults()
+	var t0 time.Time
+	var m0 runtime.MemStats
+	if opts.Stats != nil {
+		t0 = time.Now()
+		runtime.ReadMemStats(&m0)
+	}
+	ix := m.index()
 	results := make([]efloat.E, opts.Trials)
 	seeds := make([]int64, opts.Trials)
 	for t := range seeds {
 		seeds[t] = opts.Rng.Int63()
 	}
+	ests := make([]*wordEstimator, opts.Trials)
 	runTrial := func(t int) {
-		e := newWordEstimatorSeeded(m, opts, seeds[t])
+		e := newWordEstimatorSeeded(m, ix, opts, seeds[t])
 		results[t] = e.topLevel(n)
+		ests[t] = e
 	}
 	if opts.Parallel {
 		var wg sync.WaitGroup
@@ -88,93 +133,130 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 			runTrial(t)
 		}
 	}
+	if opts.Stats != nil {
+		for _, e := range ests {
+			opts.Stats.record(e)
+		}
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		opts.Stats.WallTime += time.Since(t0)
+		opts.Stats.Mallocs += m1.Mallocs - m0.Mallocs
+		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
+	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
 }
 
-// wordEstimator carries the per-trial memo tables.
+func (s *Stats) record(e *wordEstimator) {
+	s.WordKeys += e.words.Keys()
+	s.UnionKeys += e.unions.Keys()
+	s.UnionSamples += e.unionSamples
+	s.Rejections += e.rejections
+}
+
+// wordEstimator holds one trial's memo tables over the automaton's
+// frozen dense index. Estimation (estimate / unionEst) runs sequentially
+// and writes the tables; sampling runs on sampler sessions that only
+// read them (see sampler.go).
 type wordEstimator struct {
 	m        *NFA
-	rng      *rand.Rand
+	ix       *denseIndex
+	finals   bitset.Set
+	seed     int64
 	samples  int
 	maxRetry int
-	// est[(q,l)] caches the cardinality estimate of L(q, l), the words
-	// of length l accepted starting from q.
-	est map[qlKey]efloat.E
-	// unionEst[(q,a,l)] caches the estimate of |∪_{q'∈δ(q,a)} L(q',l−1)|.
-	unionEst map[qalKey]efloat.E
-}
+	workers  int
 
-type qlKey struct{ q, l int }
-type qalKey struct{ q, a, l int }
+	words  dense.Table // rows: states; |L(q, l)| estimates
+	unions dense.Table // rows: interned target sets; |∪ L(q', l)|
+
+	unionSamples int
+	rejections   int
+
+	top        *sampler   // lazily created top-level sampling session
+	workerSmps []*sampler // reused intra-trial worker samplers
+}
 
 func newWordEstimator(m *NFA, opts CountOptions) *wordEstimator {
-	return newWordEstimatorSeeded(m, opts, opts.Rng.Int63())
+	return newWordEstimatorSeeded(m, m.index(), opts, opts.Rng.Int63())
 }
 
-func newWordEstimatorSeeded(m *NFA, opts CountOptions, seed int64) *wordEstimator {
+func newWordEstimatorSeeded(m *NFA, ix *denseIndex, opts CountOptions, seed int64) *wordEstimator {
 	return &wordEstimator{
 		m:        m,
-		rng:      rand.New(rand.NewSource(seed)),
+		ix:       ix,
+		finals:   m.final,
+		seed:     seed,
 		samples:  opts.Samples,
 		maxRetry: opts.MaxRetry,
-		est:      make(map[qlKey]efloat.E),
-		unionEst: make(map[qalKey]efloat.E),
+		workers:  opts.Workers,
+		words:    dense.NewTable(m.numStates),
+		unions:   dense.NewTable(len(ix.sets)),
 	}
 }
 
 // topLevel estimates |∪_{q∈I} L(q, n)|.
 func (e *wordEstimator) topLevel(n int) efloat.E {
-	return e.unionSize(e.m.Initial(), n)
+	if e.ix.topSet >= 0 {
+		return e.unionEst(e.ix.topSet, n)
+	}
+	if len(e.m.initial) == 1 {
+		return e.estimate(e.m.initial[0], n)
+	}
+	return efloat.Zero
 }
 
 // estimate returns the (memoized) estimate of |L(q, l)|.
 func (e *wordEstimator) estimate(q, l int) efloat.E {
 	if l == 0 {
-		if e.m.IsFinal(q) {
+		if e.finals.Has(q) {
 			return efloat.One
 		}
 		return efloat.Zero
 	}
-	key := qlKey{q, l}
-	if v, ok := e.est[key]; ok {
+	if v, ok := e.words.Get(q, l); ok {
 		return v
 	}
 	// Words starting with different symbols are distinct, so the
 	// per-symbol unions combine by exact summation.
+	e.words.Put(q, l, efloat.Zero)
 	total := efloat.Zero
-	for _, a := range e.m.OutSymbols(q) {
-		total = total.Add(e.symbolUnion(q, a, l))
+	for i := range e.ix.states[q] {
+		en := &e.ix.states[q][i]
+		if en.set < 0 {
+			total = total.Add(e.estimate(en.targets[0], l-1))
+		} else {
+			total = total.Add(e.unionEst(en.set, l-1))
+		}
 	}
-	e.est[key] = total
+	e.words.Put(q, l, total)
 	return total
 }
 
-// symbolUnion returns the (memoized) estimate of
-// |∪_{q'∈δ(q,a)} L(q', l−1)|, the words of length l from q starting
-// with a, not counting the leading symbol.
-func (e *wordEstimator) symbolUnion(q, a, l int) efloat.E {
-	key := qalKey{q, a, l}
-	if v, ok := e.unionEst[key]; ok {
-		return v
+// wordLookup is the read-only view of estimate for samplers.
+func (e *wordEstimator) wordLookup(q, l int) efloat.E {
+	if l == 0 {
+		if e.finals.Has(q) {
+			return efloat.One
+		}
+		return efloat.Zero
 	}
-	v := e.unionSize(e.m.Targets(q, a), l-1)
-	e.unionEst[key] = v
+	v, _ := e.words.Get(q, l)
 	return v
 }
 
-// unionSize estimates |∪_j L(t_j, l)| via the sequential difference
-// decomposition |∪ A_j| = Σ_j |A_j|·Pr_{x∼A_j}[x ∉ A_1 ∪ … ∪ A_{j−1}],
-// with each probability estimated by sampling from A_j and testing
-// membership in the earlier branches (NFA acceptance is polynomial).
-// Singleton unions are exact.
-func (e *wordEstimator) unionSize(targets []int, l int) efloat.E {
-	switch len(targets) {
-	case 0:
-		return efloat.Zero
-	case 1:
-		return e.estimate(targets[0], l)
+// unionEst estimates (and memoizes) |∪_{q'∈set} L(q', l)| via the
+// sequential difference decomposition
+// |∪ A_j| = Σ_j |A_j|·Pr_{x∼A_j}[x ∉ A_1 ∪ … ∪ A_{j−1}], with each
+// probability estimated by sampling from A_j and testing membership in
+// the earlier branches (NFA acceptance is polynomial). Interning means
+// every (state, symbol) pair with the same target set shares this cell.
+func (e *wordEstimator) unionEst(set, l int) efloat.E {
+	if v, ok := e.unions.Get(set, l); ok {
+		return v
 	}
+	e.unions.Put(set, l, efloat.Zero)
+	targets := e.ix.sets[set]
 	total := efloat.Zero
 	for j, t := range targets {
 		cj := e.estimate(t, l)
@@ -185,121 +267,84 @@ func (e *wordEstimator) unionSize(targets []int, l int) efloat.E {
 			total = total.Add(cj)
 			continue
 		}
-		fresh := 0
-		for s := 0; s < e.samples; s++ {
-			x := e.sample(t, l)
-			if x == nil {
-				continue
-			}
-			isNew := true
-			for _, earlier := range targets[:j] {
-				if e.m.AcceptsFrom([]int{earlier}, x) {
-					isNew = false
-					break
-				}
-			}
-			if isNew {
-				fresh++
-			}
-		}
+		fresh := e.countFreshParallel(targets, j, l, cellSite(set, l, j))
 		total = total.Add(cj.MulFloat(float64(fresh) / float64(e.samples)))
 	}
+	e.unions.Put(set, l, total)
 	return total
 }
 
-// sample draws a near-uniform word from L(q, l), or nil if the language
-// is (estimated) empty.
-func (e *wordEstimator) sample(q, l int) []int {
-	if e.estimate(q, l).IsZero() {
-		return nil
-	}
-	word := make([]int, 0, l)
-	return e.sampleInto(q, l, word)
+// cellSite names the sampling site of union branch j at cell (set, l)
+// for sub-RNG derivation. Unlike a per-call sequence counter, the site
+// depends only on the cell identity, so the estimate of every memo cell
+// is a pure function of (seed, automaton): Counter sweeps, one-shot
+// calls, and any evaluation order produce byte-identical tables.
+func cellSite(set, l, j int) uint64 {
+	return uint64(set)*0x9e3779b97f4a7c15 + uint64(l)*0xbf58476d1ce4e5b9 + uint64(j)
 }
 
-func (e *wordEstimator) sampleInto(q, l int, word []int) []int {
-	if l == 0 {
-		return word
+// unionLookup is the read-only view of an index entry's union estimate
+// for samplers.
+func (e *wordEstimator) unionLookup(en *ixEntry, l int) efloat.E {
+	if en.set < 0 {
+		return e.wordLookup(en.targets[0], l)
 	}
-	// Pick the leading symbol proportional to the per-symbol estimates
-	// (exactly correct: per-symbol languages are disjoint).
-	syms := e.m.OutSymbols(q)
-	weights := make([]efloat.E, len(syms))
-	for i, a := range syms {
-		weights[i] = e.symbolUnion(q, a, l)
-	}
-	i := e.pick(weights)
-	if i < 0 {
-		return nil
-	}
-	a := syms[i]
-	word = append(word, a)
-	// Sample the suffix from the union over δ(q, a) by rejection: draw a
-	// branch proportional to its size, draw a word from it, and keep it
-	// only if the branch is the canonical (first) accepter, which makes
-	// the draw uniform over the union.
-	targets := e.m.Targets(q, a)
-	if len(targets) == 1 {
-		return e.sampleInto(targets[0], l-1, word)
-	}
-	tw := make([]efloat.E, len(targets))
-	for i, t := range targets {
-		tw[i] = e.estimate(t, l-1)
-	}
-	maxRetry := e.maxRetry
-	if maxRetry <= 0 {
-		maxRetry = 32 * len(targets)
-	}
-	var last []int
-	for r := 0; r < maxRetry; r++ {
-		j := e.pick(tw)
-		if j < 0 {
-			return nil
-		}
-		suffix := e.sampleInto(targets[j], l-1, append([]int(nil), word...))
-		if suffix == nil {
-			continue
-		}
-		last = suffix
-		canonical := true
-		rest := suffix[len(word):]
-		for _, earlier := range targets[:j] {
-			if e.m.AcceptsFrom([]int{earlier}, rest) {
-				canonical = false
-				break
-			}
-		}
-		if canonical {
-			return suffix
-		}
-	}
-	// Retry budget exhausted: return the most recent draw. This biases
-	// towards multiply-covered words but keeps the sampler total; the
-	// budget is generous enough that tests never hit this path.
-	return last
+	v, _ := e.unions.Get(en.set, l)
+	return v
 }
 
-// pick returns an index chosen with probability proportional to the
-// weights, or -1 if all weights are zero.
-func (e *wordEstimator) pick(weights []efloat.E) int {
-	total := efloat.Sum(weights...)
-	if total.IsZero() {
-		return -1
+// countFreshParallel runs the overlap-sampling loop for union branch j
+// at length l: e.samples word draws, counting those not covered by an
+// earlier branch. The draws are independent given the (already
+// computed) memo tables, so they fan out across the trial's worker
+// samplers; per-sample sub-RNGs keep the count identical for every
+// worker count.
+func (e *wordEstimator) countFreshParallel(targets []int, j, l int, site uint64) int {
+	e.unionSamples += e.samples
+	workers := e.workers
+	if workers > e.samples {
+		workers = e.samples
 	}
-	target := total.MulFloat(e.rng.Float64())
-	acc := efloat.Zero
-	last := -1
-	for i, w := range weights {
-		if w.IsZero() {
-			continue
-		}
-		last = i
-		acc = acc.Add(w)
-		if target.Less(acc) {
-			return i
-		}
+	for len(e.workerSmps) < workers {
+		e.workerSmps = append(e.workerSmps, e.newSampler(0))
 	}
-	return last
+	if workers <= 1 {
+		if len(e.workerSmps) == 0 {
+			e.workerSmps = append(e.workerSmps, e.newSampler(0))
+		}
+		s := e.workerSmps[0]
+		fresh := s.countFresh(targets, j, l, site, 0, e.samples, 1)
+		e.rejections += s.rejections
+		s.rejections = 0
+		return fresh
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts[w] = e.workerSmps[w].countFresh(targets, j, l, site, w, e.samples, workers)
+		}(w)
+	}
+	wg.Wait()
+	fresh := 0
+	for w := 0; w < workers; w++ {
+		fresh += counts[w]
+		e.rejections += e.workerSmps[w].rejections
+		e.workerSmps[w].rejections = 0
+	}
+	return fresh
+}
+
+// sampleWordTop draws a word of length n from L_n(M) on the trial's
+// persistent top-level sampling session, or nil if empty. topLevel(n)
+// must have been computed.
+func (e *wordEstimator) sampleWordTop(n int) []int {
+	if e.top == nil {
+		e.top = e.newSampler(uint64(e.seed) ^ splitmix.TopSamplerSalt)
+	}
+	return e.top.sampleTop(n)
 }
 
 // SampleWord draws one near-uniform word of length n from L_n(M) using a
@@ -311,34 +356,5 @@ func SampleWord(m *NFA, n int, opts CountOptions) []int {
 	if e.topLevel(n).IsZero() {
 		return nil
 	}
-	// Sample from the union over initial states.
-	targets := m.Initial()
-	tw := make([]efloat.E, len(targets))
-	for i, t := range targets {
-		tw[i] = e.estimate(t, n)
-	}
-	maxRetry := 32 * (len(targets) + 1)
-	var last []int
-	for r := 0; r < maxRetry; r++ {
-		j := e.pick(tw)
-		if j < 0 {
-			return nil
-		}
-		w := e.sample(targets[j], n)
-		if w == nil {
-			continue
-		}
-		last = w
-		canonical := true
-		for _, earlier := range targets[:j] {
-			if m.AcceptsFrom([]int{earlier}, w) {
-				canonical = false
-				break
-			}
-		}
-		if canonical {
-			return w
-		}
-	}
-	return last
+	return e.sampleWordTop(n)
 }

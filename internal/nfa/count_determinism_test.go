@@ -1,0 +1,137 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The determinism contract of the string engine: for a fixed seed the
+// estimate is byte-identical at every Workers × Parallel setting,
+// because every overlap sample draws from its own sub-RNG derived from
+// (trial seed, site, sample index), independent of how samples are
+// partitioned across goroutines.
+func TestCountDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		m := randomNFA(rng)
+		n := 2 + rng.Intn(6)
+		base := Count(m, n, CountOptions{Epsilon: 0.15, Trials: 3, Seed: 7})
+		for _, workers := range []int{1, 2, 8} {
+			for _, parallel := range []bool{false, true} {
+				got := Count(m, n, CountOptions{
+					Epsilon: 0.15, Trials: 3, Seed: 7,
+					Workers: workers, Parallel: parallel,
+				})
+				if got.Cmp(base) != 0 {
+					t.Fatalf("trial %d: Workers=%d Parallel=%v gave %v, want %v",
+						trial, workers, parallel, got, base)
+				}
+			}
+		}
+	}
+}
+
+// SampleWord must also be deterministic in the worker count: the
+// top-level sampling stream is salted away from the overlap-sampling
+// streams, so the drawn word depends only on the seed.
+func TestSampleWordDeterministicAcrossWorkers(t *testing.T) {
+	m := buildAB()
+	base := SampleWord(m, 6, CountOptions{Epsilon: 0.2, Seed: 13})
+	if base == nil {
+		t.Fatal("nil sample from non-empty language")
+	}
+	for _, workers := range []int{2, 8} {
+		got := SampleWord(m, 6, CountOptions{Epsilon: 0.2, Seed: 13, Workers: workers})
+		if len(got) != len(base) {
+			t.Fatalf("Workers=%d sample %v, want %v", workers, got, base)
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("Workers=%d sample %v, want %v", workers, got, base)
+			}
+		}
+	}
+}
+
+// A Counter session must agree with one-shot Count at every length and
+// be deterministic across worker counts too, since it shares the same
+// estimators.
+func TestCounterDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		m := randomNFA(rng)
+		base := NewCounter(m, CountOptions{Epsilon: 0.15, Trials: 3, Seed: 21})
+		par := NewCounter(m, CountOptions{Epsilon: 0.15, Trials: 3, Seed: 21, Workers: 8})
+		for n := 1; n <= 6; n++ {
+			a, b := base.Count(n), par.Count(n)
+			if a.Cmp(b) != 0 {
+				t.Fatalf("trial %d length %d: Workers=8 session gave %v, want %v", trial, n, b, a)
+			}
+		}
+	}
+}
+
+// Counter sweeps must match one-shot Count calls with the same seed:
+// the shared tables are a cache, not a different algorithm. Sweeping
+// ascending or descending must not matter either — larger lengths
+// compute smaller ones as subproblems.
+func TestCounterMatchesCount(t *testing.T) {
+	m := buildAB()
+	up := NewCounter(m, CountOptions{Epsilon: 0.1, Trials: 3, Seed: 17})
+	down := NewCounter(m, CountOptions{Epsilon: 0.1, Trials: 3, Seed: 17})
+	var upVals, downVals [9]string
+	for n := 1; n <= 8; n++ {
+		upVals[n] = up.Count(n).String()
+	}
+	for n := 8; n >= 1; n-- {
+		downVals[n] = down.Count(n).String()
+	}
+	for n := 1; n <= 8; n++ {
+		oneShot := Count(m, n, CountOptions{Epsilon: 0.1, Trials: 3, Seed: 17})
+		if upVals[n] != oneShot.String() {
+			t.Errorf("length %d: session %s vs one-shot %s", n, upVals[n], oneShot)
+		}
+		if upVals[n] != downVals[n] {
+			t.Errorf("length %d: ascending %s vs descending %s", n, upVals[n], downVals[n])
+		}
+	}
+}
+
+// Stats must report the work done and, for a deterministic engine, the
+// same sampling effort at every worker count.
+func TestCountStats(t *testing.T) {
+	m := buildAB()
+	var s1, s8 Stats
+	Count(m, 8, CountOptions{Epsilon: 0.1, Trials: 3, Seed: 42, Stats: &s1})
+	Count(m, 8, CountOptions{Epsilon: 0.1, Trials: 3, Seed: 42, Workers: 8, Stats: &s8})
+	if s1.WordKeys == 0 || s1.UnionSamples == 0 {
+		t.Fatalf("stats not recorded: %+v", s1)
+	}
+	if s1.WordKeys != s8.WordKeys || s1.UnionKeys != s8.UnionKeys ||
+		s1.UnionSamples != s8.UnionSamples || s1.Rejections != s8.Rejections {
+		t.Errorf("worker count changed effort counters: %+v vs %+v", s1, s8)
+	}
+	if s1.WallTime <= 0 {
+		t.Errorf("WallTime not recorded: %v", s1.WallTime)
+	}
+}
+
+// Counting must be a function of the automaton's structure, not of its
+// construction history or of map iteration order: two structurally
+// identical automata (with independently built dense indexes) must give
+// byte-identical estimates for the same seed. This pins the ordered
+// interning of target sets in the index (set IDs seed the per-cell RNG
+// streams).
+func TestCountDeterministicAcrossRebuilds(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng1 := rand.New(rand.NewSource(int64(1000 + trial)))
+		rng2 := rand.New(rand.NewSource(int64(1000 + trial)))
+		m1, m2 := randomNFA(rng1), randomNFA(rng2)
+		n := 2 + trial%5
+		opts := CountOptions{Epsilon: 0.15, Trials: 3, Seed: 21}
+		a, b := Count(m1, n, opts), Count(m2, n, opts)
+		if a.Cmp(b) != 0 {
+			t.Fatalf("trial %d: identical automata counted differently: %v vs %v", trial, a, b)
+		}
+	}
+}

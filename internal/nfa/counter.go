@@ -1,0 +1,57 @@
+package nfa
+
+import (
+	"sort"
+
+	"pqe/internal/efloat"
+)
+
+// Counter is a reusable counting session over one automaton: repeated
+// Count calls share the per-trial memo tables, so sweeping |L_n(M)|
+// over many lengths costs little more than the largest length alone
+// (the tables are indexed by (state, length) and smaller lengths are
+// subproblems of larger ones). The automaton must not be mutated while
+// a Counter holds it.
+type Counter struct {
+	m      *NFA
+	trials []*wordEstimator
+}
+
+// NewCounter prepares a counting session with opts.Trials independent
+// trial estimators.
+func NewCounter(m *NFA, opts CountOptions) *Counter {
+	opts = opts.withDefaults()
+	ix := m.index()
+	c := &Counter{m: m}
+	for t := 0; t < opts.Trials; t++ {
+		c.trials = append(c.trials, newWordEstimatorSeeded(m, ix, opts, opts.Rng.Int63()))
+	}
+	return c
+}
+
+// Count approximates |L_n(M)| (median across the session's trials).
+func (c *Counter) Count(n int) efloat.E {
+	results := make([]efloat.E, len(c.trials))
+	for t, e := range c.trials {
+		results[t] = e.topLevel(n)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
+	return results[len(results)/2]
+}
+
+// Sample draws a near-uniform word of length n using the first trial's
+// tables, or nil if the language at that length is (estimated) empty.
+func (c *Counter) Sample(n int) []int {
+	e := c.trials[0]
+	if e.topLevel(n).IsZero() {
+		return nil
+	}
+	return e.sampleWordTop(n)
+}
+
+// RecordStats adds the session's accumulated effort counters to s.
+func (c *Counter) RecordStats(s *Stats) {
+	for _, e := range c.trials {
+		s.record(e)
+	}
+}

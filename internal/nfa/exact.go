@@ -1,10 +1,9 @@
 package nfa
 
 import (
+	"encoding/binary"
 	"math/big"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // ExactCount returns |L_n(M)| exactly, via lazy subset construction:
@@ -15,6 +14,7 @@ import (
 // test oracle and for small automata.
 func ExactCount(m *NFA, n int) *big.Int {
 	memo := make(map[string]*big.Int)
+	var keyBuf []byte
 	var count func(states []int, left int) *big.Int
 	count = func(states []int, left int) *big.Int {
 		if len(states) == 0 {
@@ -22,13 +22,14 @@ func ExactCount(m *NFA, n int) *big.Int {
 		}
 		if left == 0 {
 			for _, q := range states {
-				if m.final[q] {
+				if m.final.Has(q) {
 					return big.NewInt(1)
 				}
 			}
 			return big.NewInt(0)
 		}
-		key := subsetKey(states, left)
+		keyBuf = appendSubsetKey(keyBuf[:0], states, left)
+		key := string(keyBuf)
 		if v, ok := memo[key]; ok {
 			return v
 		}
@@ -52,7 +53,7 @@ func EnumerateWords(m *NFA, n int, yield func(word []int) bool) {
 	rec = func(states []int, left int) bool {
 		if left == 0 {
 			for _, q := range states {
-				if m.final[q] {
+				if m.final.Has(q) {
 					out := make([]int, len(word))
 					copy(out, word)
 					return yield(out)
@@ -92,12 +93,14 @@ func outSymbolsOfSet(m *NFA, states []int) []int {
 	return syms
 }
 
-func subsetKey(states []int, left int) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(left))
+// appendSubsetKey appends a varint encoding of (left, states) — states
+// are sorted and deduplicated, so the bytes identify the subset. Varint
+// bytes replace the decimal-string keys this memo used to build: no
+// integer formatting, and typically one byte per state.
+func appendSubsetKey(dst []byte, states []int, left int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(left))
 	for _, q := range states {
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(q))
+		dst = binary.AppendUvarint(dst, uint64(q))
 	}
-	return b.String()
+	return dst
 }

@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"pqe/internal/alphabet"
+	"pqe/internal/bitset"
 )
 
 // Digit symbol names shared with the tree-automaton gadget.
@@ -35,13 +36,13 @@ type MultNFA struct {
 	Symbols   *alphabet.Interner
 	numStates int
 	initial   []int
-	final     map[int]bool
+	final     bitset.Set
 	trans     []MultTransition
 }
 
 // NewMultNFA returns an empty NFA with multipliers over the interner.
 func NewMultNFA(sym *alphabet.Interner) *MultNFA {
-	return &MultNFA{Symbols: sym, final: make(map[int]bool)}
+	return &MultNFA{Symbols: sym}
 }
 
 // AddState allocates a new state.
@@ -61,7 +62,10 @@ func (m *MultNFA) SetInitial(states ...int) {
 // SetFinal marks accepting states.
 func (m *MultNFA) SetFinal(states ...int) {
 	for _, q := range states {
-		m.final[q] = true
+		for q/64 >= len(m.final) {
+			m.final = append(m.final, 0)
+		}
+		m.final.Add(q)
 	}
 }
 
@@ -104,9 +108,7 @@ func (m *MultNFA) Translate() *NFA {
 		out.AddState()
 	}
 	out.SetInitial(m.initial...)
-	for q := range m.final {
-		out.SetFinal(q)
-	}
+	m.final.ForEach(func(q int) { out.SetFinal(q) })
 	d0 := m.Symbols.Intern(Digit0)
 	d1 := m.Symbols.Intern(Digit1)
 

@@ -15,13 +15,24 @@
 // what makes the problem #P-hard and is exactly the quantity the
 // reductions of the paper need: an accepted string encodes a satisfying
 // subinstance once, even when many witness choices (runs) accept it.
+//
+// The approximate counter shares the architecture of the tree-side
+// engine (internal/count): dense [state][length] memo tables
+// (internal/dense), interned target-set union slots, bitset-based
+// acceptance over a dense transition index cached on the automaton,
+// pooled scratch, and an intra-trial worker pool with one deterministic
+// splitmix64 stream per overlap sample (internal/splitmix), so results
+// are bit-identical for a fixed seed at every Workers setting.
 package nfa
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pqe/internal/alphabet"
+	"pqe/internal/bitset"
 )
 
 // NFA is a non-deterministic finite automaton (S, Σ, δ, I, F). States
@@ -32,23 +43,29 @@ type NFA struct {
 	// trans[q][a] is the sorted set of targets δ(q, a).
 	trans   []map[int][]int
 	initial []int
-	final   map[int]bool
+	final   bitset.Set
+	// version counts structural mutations; the cached dense index is
+	// rebuilt when it falls behind. Mutating an automaton while counting
+	// or acceptance-testing on it concurrently is not supported.
+	version uint64
+	idx     atomic.Pointer[denseIndex]
 }
 
 // New returns an empty NFA over a fresh alphabet.
 func New() *NFA {
-	return &NFA{Symbols: alphabet.New(), final: make(map[int]bool)}
+	return &NFA{Symbols: alphabet.New()}
 }
 
 // NewWithSymbols returns an empty NFA sharing an existing interner.
 func NewWithSymbols(sym *alphabet.Interner) *NFA {
-	return &NFA{Symbols: sym, final: make(map[int]bool)}
+	return &NFA{Symbols: sym}
 }
 
 // AddState allocates a new state and returns its ID.
 func (m *NFA) AddState() int {
 	m.trans = append(m.trans, nil)
 	m.numStates++
+	m.version++
 	return m.numStates - 1
 }
 
@@ -86,6 +103,7 @@ func (m *NFA) AddTransitionSym(q, sym, r int) {
 	copy(targets[i+1:], targets[i:])
 	targets[i] = r
 	m.trans[q][sym] = targets
+	m.version++
 }
 
 func (m *NFA) checkState(q int) {
@@ -102,21 +120,26 @@ func (m *NFA) SetInitial(states ...int) {
 	}
 	sort.Ints(m.initial)
 	m.initial = dedupInts(m.initial)
+	m.version++
 }
 
 // SetFinal marks states as accepting.
 func (m *NFA) SetFinal(states ...int) {
 	for _, q := range states {
 		m.checkState(q)
-		m.final[q] = true
+		for q/64 >= len(m.final) {
+			m.final = append(m.final, 0)
+		}
+		m.final.Add(q)
 	}
+	m.version++
 }
 
 // Initial returns the sorted initial state set.
 func (m *NFA) Initial() []int { return m.initial }
 
 // IsFinal reports whether q ∈ F.
-func (m *NFA) IsFinal(q int) bool { return m.final[q] }
+func (m *NFA) IsFinal(q int) bool { return m.final.Has(q) }
 
 // Targets returns δ(q, a), sorted. The returned slice must not be
 // modified.
@@ -167,11 +190,8 @@ func (m *NFA) EachTransition(f func(from, sym, to int)) {
 
 // Finals returns the sorted accepting states.
 func (m *NFA) Finals() []int {
-	out := make([]int, 0, len(m.final))
-	for q := range m.final {
-		out = append(out, q)
-	}
-	sort.Ints(out)
+	out := make([]int, 0, m.final.Count())
+	m.final.ForEach(func(q int) { out = append(out, q) })
 	return out
 }
 
@@ -202,7 +222,7 @@ func (m *NFA) AcceptsFrom(states []int, word []int) bool {
 		}
 	}
 	for _, q := range cur {
-		if m.final[q] {
+		if m.final.Has(q) {
 			return true
 		}
 	}
@@ -229,4 +249,129 @@ func dedupInts(xs []int) []int {
 		}
 	}
 	return out
+}
+
+// ixEntry is one state's transitions on one symbol in the dense index:
+// the sorted target set δ(q, a), plus the interned ID of that set when
+// it has more than one element (-1 for singletons). Entries with equal
+// target sets share the interned ID, and with it the counting engine's
+// union memo row.
+type ixEntry struct {
+	sym     int
+	targets []int // aliases the automaton's sorted δ(q, a) slice
+	set     int   // interned target-set ID, -1 when len(targets) == 1
+}
+
+// denseIndex is the frozen transition structure the counting, sampling
+// and trimming hot paths run on: per-state symbol entries in symbol
+// order (one slice scan instead of a map lookup plus sort per step),
+// the interned multi-element target sets (the union memo rows), and a
+// CSR reverse adjacency for backward closures. It is cached on the NFA
+// and rebuilt lazily after mutations; concurrent readers may race to
+// rebuild, which is idempotent.
+type denseIndex struct {
+	built  uint64
+	states [][]ixEntry
+	sets   [][]int // interned target sets with ≥ 2 elements
+	topSet int     // interned initial set, -1 when |I| ≤ 1
+	// Reverse CSR: the sources of transitions into q are
+	// inFrom[inStart[q]:inStart[q+1]] (one entry per transition tuple).
+	inStart []int32
+	inFrom  []int32
+}
+
+// index returns the dense index, rebuilding it if the automaton was
+// mutated since the last build.
+func (m *NFA) index() *denseIndex {
+	if idx := m.idx.Load(); idx != nil && idx.built == m.version {
+		return idx
+	}
+	idx := &denseIndex{built: m.version, topSet: -1}
+	setIDs := make(map[string]int)
+	var keyBuf []byte
+	intern := func(targets []int) int {
+		keyBuf = appendSetKey(keyBuf[:0], targets)
+		if id, ok := setIDs[string(keyBuf)]; ok {
+			return id
+		}
+		id := len(idx.sets)
+		setIDs[string(keyBuf)] = id
+		idx.sets = append(idx.sets, targets)
+		return id
+	}
+	idx.states = make([][]ixEntry, m.numStates)
+	counts := make([]int32, m.numStates+1)
+	total := 0
+	for q := 0; q < m.numStates; q++ {
+		if len(m.trans[q]) == 0 {
+			continue
+		}
+		// Symbols must be visited in sorted order: interned set IDs feed
+		// the counting engine's per-cell RNG stream derivation, so their
+		// assignment order must be a function of the automaton's
+		// structure, not of map iteration.
+		syms := make([]int, 0, len(m.trans[q]))
+		for a := range m.trans[q] {
+			syms = append(syms, a)
+		}
+		sort.Ints(syms)
+		entries := make([]ixEntry, 0, len(syms))
+		for _, a := range syms {
+			targets := m.trans[q][a]
+			set := -1
+			if len(targets) > 1 {
+				set = intern(targets)
+			}
+			entries = append(entries, ixEntry{sym: a, targets: targets, set: set})
+			for _, r := range targets {
+				counts[r+1]++
+			}
+			total += len(targets)
+		}
+		idx.states[q] = entries
+	}
+	if len(m.initial) > 1 {
+		idx.topSet = intern(m.initial)
+	}
+	idx.inStart = counts
+	for q := 1; q <= m.numStates; q++ {
+		idx.inStart[q] += idx.inStart[q-1]
+	}
+	idx.inFrom = make([]int32, total)
+	fill := make([]int32, m.numStates)
+	copy(fill, idx.inStart[:m.numStates])
+	for q := 0; q < m.numStates; q++ {
+		for _, en := range idx.states[q] {
+			for _, r := range en.targets {
+				idx.inFrom[fill[r]] = int32(q)
+				fill[r]++
+			}
+		}
+	}
+	m.idx.Store(idx)
+	return idx
+}
+
+// targetsOf returns δ(q, a) through the index's sorted entries. States
+// in the reductions carry only a handful of out-symbols, so a linear
+// scan beats both hashing and binary search.
+func (x *denseIndex) targetsOf(q, a int) []int {
+	for i := range x.states[q] {
+		if s := x.states[q][i].sym; s == a {
+			return x.states[q][i].targets
+		} else if s > a {
+			return nil
+		}
+	}
+	return nil
+}
+
+// appendSetKey appends a varint encoding of the sorted target set — the
+// interner's identity key. States are small non-negative integers, so
+// most sets encode to one byte per element.
+func appendSetKey(dst []byte, targets []int) []byte {
+	for _, t := range targets {
+		dst = binary.AppendUvarint(dst, uint64(t))
+	}
+	return dst
 }

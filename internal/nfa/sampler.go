@@ -1,0 +1,241 @@
+package nfa
+
+import (
+	"math/bits"
+
+	"pqe/internal/bitset"
+	"pqe/internal/efloat"
+	"pqe/internal/splitmix"
+)
+
+// sampler is a sampling session over a frozen estimator: it draws words
+// reading the memo tables and the automaton's dense index but never
+// writing them, so any number of samplers may run concurrently over one
+// estimator. All scratch state (subset-simulation bitsets, weight
+// buffers, word buffer, rejection counter) lives here, one sampler per
+// goroutine.
+//
+// The invariant the read-only lookups rely on: a sampler is only ever
+// asked for (state, length) pairs whose estimates were computed — the
+// estimation pass at a given length computes exactly the sub-estimates
+// its sampling consults (all strictly smaller lengths), and the
+// top-level APIs run topLevel before sampling.
+type sampler struct {
+	e          *wordEstimator
+	rng        splitmix.Stream
+	cur, next  bitset.Set   // subset-simulation scratch for acceptsSet
+	wfree      [][]efloat.E // free list of weight buffers
+	wordBuf    []int        // transient word for overlap testing
+	rejections int
+}
+
+func (e *wordEstimator) newSampler(state uint64) *sampler {
+	return &sampler{
+		e:    e,
+		rng:  splitmix.New(state),
+		cur:  bitset.New(e.m.numStates),
+		next: bitset.New(e.m.numStates),
+	}
+}
+
+// getW borrows a weight buffer of length n from the free list; putW
+// returns it. A free list rather than a single scratch slice because
+// the canonical-rejection retry loop holds its weights across nested
+// sampling calls.
+func (s *sampler) getW(n int) []efloat.E {
+	if k := len(s.wfree); k > 0 {
+		w := s.wfree[k-1]
+		s.wfree = s.wfree[:k-1]
+		if cap(w) >= n {
+			return w[:n]
+		}
+	}
+	return make([]efloat.E, n)
+}
+
+func (s *sampler) putW(w []efloat.E) {
+	s.wfree = append(s.wfree, w)
+}
+
+// pick returns an index with probability proportional to the weights,
+// or -1 if all are zero.
+func (s *sampler) pick(weights []efloat.E) int {
+	total := efloat.Sum(weights...)
+	if total.IsZero() {
+		return -1
+	}
+	target := total.MulFloat(s.rng.Float64())
+	acc := efloat.Zero
+	last := -1
+	for i, w := range weights {
+		if w.IsZero() {
+			continue
+		}
+		last = i
+		acc = acc.Add(w)
+		if target.Less(acc) {
+			return i
+		}
+	}
+	return last
+}
+
+// countFresh draws the overlap samples start, start+stride, … < samples
+// for union branch j at length l and counts those landing outside all
+// earlier branches. Each sample runs on its own derived PRNG, so the
+// count is independent of how samples are partitioned across workers.
+func (s *sampler) countFresh(targets []int, j, l int, site uint64, start, samples, stride int) int {
+	if cap(s.wordBuf) < l {
+		s.wordBuf = make([]int, l)
+	}
+	buf := s.wordBuf[:l]
+	fresh := 0
+	for i := start; i < samples; i += stride {
+		s.rng = splitmix.Derive(s.e.seed, site, i)
+		if !s.sampleFrom(targets[j], 0, buf) {
+			continue
+		}
+		if !s.acceptsSet(targets[:j], buf) {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// sampleFrom fills out[pos:] with a near-uniform word from
+// L(q, len(out)−pos), reporting false if the language is (estimated)
+// empty. The word is built in place: the leading symbol is drawn
+// proportional to the per-symbol estimates (exactly correct, the
+// per-symbol languages are disjoint), and the branch inside a
+// non-deterministic target set by canonical-first rejection — a draw
+// from branch j is kept only if no earlier branch accepts its suffix,
+// which makes the draw uniform over the union.
+func (s *sampler) sampleFrom(q, pos int, out []int) bool {
+	e := s.e
+	rem := len(out) - pos
+	if rem == 0 {
+		return e.finals.Has(q)
+	}
+	entries := e.ix.states[q]
+	w := s.getW(len(entries))
+	for i := range entries {
+		w[i] = e.unionLookup(&entries[i], rem-1)
+	}
+	i := s.pick(w)
+	s.putW(w)
+	if i < 0 {
+		return false
+	}
+	en := &entries[i]
+	out[pos] = en.sym
+	targets := en.targets
+	if len(targets) == 1 {
+		return s.sampleFrom(targets[0], pos+1, out)
+	}
+	tw := s.getW(len(targets))
+	for j, t := range targets {
+		tw[j] = e.wordLookup(t, rem-1)
+	}
+	maxRetry := e.maxRetry
+	if maxRetry <= 0 {
+		maxRetry = 32 * len(targets)
+	}
+	have := false
+	for r := 0; r < maxRetry; r++ {
+		j := s.pick(tw)
+		if j < 0 {
+			break
+		}
+		if !s.sampleFrom(targets[j], pos+1, out) {
+			continue
+		}
+		have = true
+		if j == 0 || !s.acceptsSet(targets[:j], out[pos+1:]) {
+			s.putW(tw)
+			return true
+		}
+		s.rejections++
+	}
+	s.putW(tw)
+	// Retry budget exhausted: keep the latest complete draw (slightly
+	// biased towards multiply-covered words; the budget makes this path
+	// rare).
+	return have
+}
+
+// acceptsSet reports whether any state in the set accepts the word, by
+// subset simulation over the dense index: two pooled bitsets hold the
+// current and next state sets, and the final check is one word-wise
+// intersection with the finals bitset.
+func (s *sampler) acceptsSet(states []int, word []int) bool {
+	ix := s.e.ix
+	cur, next := s.cur, s.next
+	cur.Clear()
+	for _, q := range states {
+		cur.Add(q)
+	}
+	for _, a := range word {
+		next.Clear()
+		any := false
+		for w, bw := range cur {
+			for bw != 0 {
+				q := w*64 + bits.TrailingZeros64(bw)
+				bw &= bw - 1
+				for _, r := range ix.targetsOf(q, a) {
+					next.Add(r)
+					any = true
+				}
+			}
+		}
+		cur, next = next, cur
+		if !any {
+			return false
+		}
+	}
+	return cur.Intersects(s.e.finals)
+}
+
+// sampleTop draws a near-uniform word of length n from L_n(M) into a
+// fresh slice, resolving the union over initial states by the same
+// canonical-first rejection as branch sampling. Returns nil if the
+// language is (estimated) empty.
+func (s *sampler) sampleTop(n int) []int {
+	e := s.e
+	targets := e.m.initial
+	if len(targets) == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	if len(targets) == 1 {
+		if !s.sampleFrom(targets[0], 0, out) {
+			return nil
+		}
+		return out
+	}
+	tw := s.getW(len(targets))
+	for j, t := range targets {
+		tw[j] = e.wordLookup(t, n)
+	}
+	maxRetry := 32 * (len(targets) + 1)
+	have := false
+	for r := 0; r < maxRetry; r++ {
+		j := s.pick(tw)
+		if j < 0 {
+			break
+		}
+		if !s.sampleFrom(targets[j], 0, out) {
+			continue
+		}
+		have = true
+		if j == 0 || !s.acceptsSet(targets[:j], out) {
+			s.putW(tw)
+			return out
+		}
+		s.rejections++
+	}
+	s.putW(tw)
+	if !have {
+		return nil
+	}
+	return out
+}

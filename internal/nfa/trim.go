@@ -5,8 +5,12 @@ import "sort"
 // Trim returns an equivalent automaton restricted to useful states:
 // those reachable from an initial state and co-reachable to an
 // accepting state. L(Trim(M)) = L(M) at every length; the counting
-// estimator's per-(state, length) tables shrink accordingly.
+// estimator's per-(state, length) tables shrink accordingly. Both
+// closures run on the automaton's dense index — forward over the
+// per-state entries, backward over the reverse CSR adjacency — rather
+// than rebuilding an incoming-edge map per call.
 func (m *NFA) Trim() *NFA {
+	ix := m.index()
 	reachable := make([]bool, m.numStates)
 	queue := append([]int(nil), m.initial...)
 	for _, q := range queue {
@@ -15,8 +19,8 @@ func (m *NFA) Trim() *NFA {
 	for len(queue) > 0 {
 		q := queue[0]
 		queue = queue[1:]
-		for _, a := range m.OutSymbols(q) {
-			for _, r := range m.Targets(q, a) {
+		for _, en := range ix.states[q] {
+			for _, r := range en.targets {
 				if !reachable[r] {
 					reachable[r] = true
 					queue = append(queue, r)
@@ -24,24 +28,21 @@ func (m *NFA) Trim() *NFA {
 			}
 		}
 	}
-	// Co-reachable: backward closure from the accepting states.
-	incoming := make(map[int][]int)
-	m.EachTransition(func(from, sym, to int) {
-		incoming[to] = append(incoming[to], from)
-	})
+	// Co-reachable: backward closure from the accepting states over the
+	// reverse CSR.
 	coreach := make([]bool, m.numStates)
 	queue = queue[:0]
-	for q := range m.final {
+	m.final.ForEach(func(q int) {
 		coreach[q] = true
 		queue = append(queue, q)
-	}
+	})
 	for len(queue) > 0 {
 		q := queue[0]
 		queue = queue[1:]
-		for _, p := range incoming[q] {
+		for _, p := range ix.inFrom[ix.inStart[q]:ix.inStart[q+1]] {
 			if !coreach[p] {
 				coreach[p] = true
-				queue = append(queue, p)
+				queue = append(queue, int(p))
 			}
 		}
 	}
@@ -68,11 +69,11 @@ func (m *NFA) Trim() *NFA {
 	}
 	sort.Ints(initial)
 	out.SetInitial(initial...)
-	for q := range m.final {
+	m.final.ForEach(func(q int) {
 		if keep[q] >= 0 {
 			out.SetFinal(keep[q])
 		}
-	}
+	})
 	m.EachTransition(func(from, sym, to int) {
 		if keep[from] >= 0 && keep[to] >= 0 {
 			out.AddTransitionSym(keep[from], sym, keep[to])

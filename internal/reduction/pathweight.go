@@ -36,6 +36,16 @@ func BuildPathPQE(q *cq.Query, h *pdb.Probabilistic) (*PathPQEReduction, error) 
 	if err != nil {
 		return nil, err
 	}
+	return WeightPathNFA(q, h, base)
+}
+
+// WeightPathNFA attaches the probability multiplier gadgets to an
+// already-built Section 3 base automaton. The base may have been built
+// over a different database instance as long as it holds the same facts
+// (transition symbols name facts, which are looked up by value), which
+// is what lets a cached base be re-weighted when only probabilities
+// change.
+func WeightPathNFA(q *cq.Query, h *pdb.Probabilistic, base *nfa.NFA) (*PathPQEReduction, error) {
 	d := h.DB()
 	budgets := make([]int, d.Size())
 	posMult := make([]*big.Int, d.Size())
