@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments experiments-md fuzz loc clean
+.PHONY: all build vet test test-short race bench experiments experiments-md fuzz testkit soak loc clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race ./...
 
 # One benchmark per experiment table/figure plus component micro-benches.
 bench:
@@ -38,6 +38,19 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/cq/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/pdb/
 	$(GO) test -fuzz='^FuzzParseFact$$' -fuzztime=30s ./internal/pdb/
+	$(GO) test -run=NONE -fuzz='^FuzzQueryToPipeline$$' -fuzztime=30s ./internal/testkit/
+	$(GO) test -run=NONE -fuzz='^FuzzPathNFAConstruction$$' -fuzztime=30s ./internal/testkit/
+	$(GO) test -run=NONE -fuzz='^FuzzNFTAConstruction$$' -fuzztime=30s ./internal/testkit/
+
+# Long-mode differential + metamorphic suites (96 cases each).
+testkit:
+	$(GO) test -v -run 'TestDifferential|TestMetamorphic' ./internal/testkit/
+
+# The nightly-CI workload, locally: 10x case budget on a chosen seed.
+soak:
+	PQE_TESTKIT_CASES=960 $(GO) test -timeout 60m \
+		-run 'TestDifferential|TestMetamorphic' \
+		-testkit.seed=$${SEED:-1} ./internal/testkit/
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

@@ -7,8 +7,12 @@
 //	pqegen -family path -len 3 -chains 4 -noise 2 -model rational > data.pdb
 //	pqegen -family layered -len 4 -width 3 -model half
 //	pqegen -family random -query "R(x,y), S(y,z)" -facts 10 -domain 5
+//	pqegen -family testkit -seed 1 -case 17
 //
-// It also prints the matching query on stderr.
+// It also prints the matching query on stderr. The testkit family
+// regenerates a differential-suite case verbatim from the (seed, case)
+// pair a testkit failure report prints, so a failing instance can be
+// inspected and replayed outside the test harness.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"pqe/internal/cq"
 	"pqe/internal/gen"
 	"pqe/internal/pdb"
+	"pqe/internal/testkit"
 )
 
 func main() {
@@ -33,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pqegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		family   = fs.String("family", "path", "workload family: path | layered | random")
+		family   = fs.String("family", "path", "workload family: path | layered | random | testkit")
 		length   = fs.Int("len", 3, "path query length (path, layered)")
 		chains   = fs.Int("chains", 4, "number of satisfying chains (path)")
 		noise    = fs.Int("noise", 2, "noise edges per relation (path)")
@@ -43,21 +48,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		domain   = fs.Int("domain", 5, "constant pool size (random)")
 		model    = fs.String("model", "half", "probability model: half | rational | high")
 		seed     = fs.Int64("seed", 1, "random seed")
+		caseIdx  = fs.Int("case", 0, "case index (testkit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var pm gen.ProbModel
-	switch *model {
-	case "half":
-		pm = gen.ProbHalf
-	case "rational":
-		pm = gen.ProbRandomRational
-	case "high":
-		pm = gen.ProbHigh
-	default:
-		return fmt.Errorf("unknown probability model %q", *model)
+	pm, err := gen.ParseModel(*model)
+	if err != nil {
+		return err
 	}
 
 	var (
@@ -75,7 +74,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *queryStr == "" {
 			return fmt.Errorf("-family random needs -query")
 		}
-		var err error
 		q, err = cq.Parse(*queryStr)
 		if err != nil {
 			return err
@@ -86,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Model:            pm,
 			Seed:             *seed,
 		})
+	case "testkit":
+		c := testkit.NewCase(*seed, *caseIdx)
+		q, h = c.Query, c.H
+		fmt.Fprintf(stderr, "shape: %s\nmodel: %s\n", c.Shape, c.Model)
 	default:
 		return fmt.Errorf("unknown family %q", *family)
 	}

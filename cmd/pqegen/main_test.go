@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pqe/internal/pdb"
+	"pqe/internal/testkit"
 )
 
 func TestRunPathFamily(t *testing.T) {
@@ -46,6 +47,26 @@ func TestRunRandomFamily(t *testing.T) {
 	}
 	if _, err := pdb.ParseString(out.String()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The testkit family must emit exactly the instance the test suite
+// generates for the same (seed, case) pair — that identity is what
+// makes a printed repro command trustworthy.
+func TestRunTestkitFamily(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-family", "testkit", "-seed", "3", "-case", "7"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	c := testkit.NewCase(3, 7)
+	if got, want := out.String(), pdb.FormatString(c.H); got != want {
+		t.Errorf("pqegen output diverges from testkit.NewCase:\n%s\nvs\n%s", got, want)
+	}
+	if !strings.Contains(errOut.String(), "query: "+c.Query.String()) {
+		t.Errorf("stderr missing query: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "shape: "+c.Shape) {
+		t.Errorf("stderr missing shape: %s", errOut.String())
 	}
 }
 

@@ -16,8 +16,10 @@ import (
 // SetProbabilities rebinds the session to a database with the same
 // facts but different probabilities; only the probability-dependent
 // multiplier weighting is rebuilt, the decomposition and base automata
-// survive. BuildStats exposes the construction counters so callers can
-// observe the cache behaviour.
+// survive. Passing a database whose fact set or ordering differs
+// rebuilds the database-keyed stages instead — results always match a
+// fresh estimator. BuildStats exposes the construction counters so
+// callers can observe the cache behaviour.
 //
 // An Estimator is not safe for concurrent use.
 type Estimator struct {
@@ -74,10 +76,13 @@ func (e *Estimator) BuildStats() BuildStats {
 }
 
 // SetProbabilities rebinds the session to a database with the same
-// facts but (possibly) different probabilities. The decomposition and
-// the base automata are keyed to the fact set and survive; only the
-// multiplier weighting is rebuilt on the next probability query. A
-// database with a different fact set is rejected.
+// facts but (possibly) different probabilities. When the fact sequence
+// is unchanged, the decomposition and the base automata survive and
+// only the multiplier weighting is rebuilt on the next probability
+// query; a changed (or reordered) fact sequence rebuilds the
+// database-keyed stages too, since the automata encode the fact
+// ordering. Either way the session behaves exactly like a fresh
+// estimator on the new database.
 func (e *Estimator) SetProbabilities(d *Database) error {
 	if err := e.est.SetProbabilities(d.h); err != nil {
 		return err

@@ -75,12 +75,31 @@ func TestEstimatorPublicAPI(t *testing.T) {
 		t.Errorf("SetProbabilities invalidated construction stages: %+v", st)
 	}
 
-	// Different fact set must be rejected.
-	d3 := NewDatabase()
-	if err := d3.AddFact("R1", nil, "x", "y"); err != nil {
+	// A different fact set rebuilds the database-keyed stages and still
+	// matches a fresh estimator.
+	d3 := smallPathDB(t)
+	if err := d3.AddFact("R3", big.NewRat(1, 4), "d", "g"); err != nil {
 		t.Fatal(err)
 	}
-	if err := est.SetProbabilities(d3); err == nil {
-		t.Error("SetProbabilities accepted a different fact set")
+	if err := est.SetProbabilities(d3); err != nil {
+		t.Fatal(err)
+	}
+	got, err = est.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err = Estimate(q, d3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("rebuilt session %v != fresh %v", got, fresh)
+	}
+	st = est.BuildStats()
+	if st.URReductions != 2 {
+		t.Errorf("URReductions = %d after changed facts, want 2 (rebuild)", st.URReductions)
+	}
+	if st.Decompositions != 1 {
+		t.Errorf("Decompositions = %d, want 1 (query-keyed cache survives)", st.Decompositions)
 	}
 }

@@ -50,7 +50,7 @@ func TestCertificationSweep(t *testing.T) {
 				}
 				label := fmt.Sprintf("trial %d seed %d", trial, seed)
 
-				wantUR := exact.UR(shape.q, d)
+				wantUR := exact.MustUR(shape.q, d)
 				gotUR, err := UREstimate(shape.q, d, Options{Epsilon: 0.1, Seed: seed})
 				if err != nil {
 					t.Fatalf("%s: UREstimate: %v", label, err)
@@ -66,7 +66,7 @@ func TestCertificationSweep(t *testing.T) {
 					}
 				}
 
-				wantP, _ := exact.PQE(shape.q, h).Float64()
+				wantP, _ := exact.MustPQE(shape.q, h).Float64()
 				gotP, err := PQEEstimate(shape.q, h, Options{Epsilon: 0.1, Seed: seed + 1})
 				if err != nil {
 					t.Fatalf("%s: PQEEstimate: %v", label, err)

@@ -45,7 +45,7 @@ func TestPathEstimateAgainstBruteForce(t *testing.T) {
 		q := cq.PathQuery("R", n)
 		h := gen.SparsePathInstance(q, 1+rng.Intn(2), 1, gen.ProbHalf, int64(trial+1))
 		d := h.DB()
-		want := exact.UR(q, d)
+		want := exact.MustUR(q, d)
 		got, err := PathEstimate(q, d, Options{Epsilon: 0.1, Seed: int64(trial + 1)})
 		if err != nil {
 			t.Fatal(err)
@@ -75,7 +75,7 @@ func TestPathEstimateScalesForeignFacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := exact.UR(q, d) // = 2: core chain, Zed free
+	want := exact.MustUR(q, d) // = 2: core chain, Zed free
 	wantF, _ := new(big.Float).SetInt(want).Float64()
 	ratio := got.Float() / wantF
 	if ratio < 0.8 || ratio > 1.2 {
@@ -92,7 +92,7 @@ func TestUREstimateAgainstBruteForce(t *testing.T) {
 	for trial, q := range queries {
 		h := gen.Instance(q, gen.Config{FactsPerRelation: 2, DomainSize: 3, Seed: int64(trial + 7)})
 		d := h.DB()
-		want := exact.UR(q, d)
+		want := exact.MustUR(q, d)
 		got, err := UREstimate(q, d, Options{Epsilon: 0.1, Seed: int64(trial + 1)})
 		if err != nil {
 			t.Fatal(err)
@@ -121,7 +121,7 @@ func TestPQEEstimateAgainstBruteForce(t *testing.T) {
 			FactsPerRelation: 2, DomainSize: 3,
 			Model: gen.ProbRandomRational, Seed: int64(trial + 13),
 		})
-		want, _ := exact.PQE(q, h).Float64()
+		want, _ := exact.MustPQE(q, h).Float64()
 		got, err := PQEEstimate(q, h, Options{Epsilon: 0.1, Seed: int64(trial + 1)})
 		if err != nil {
 			t.Fatal(err)
@@ -149,7 +149,7 @@ func TestEvaluateRoutesSafeToExact(t *testing.T) {
 	if !res.Exact || res.Method != MethodSafePlan {
 		t.Errorf("safe query routed to %v (exact=%v)", res.Method, res.Exact)
 	}
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	if diff := res.Probability - want; diff > 1e-12 || diff < -1e-12 {
 		t.Errorf("probability %v, want %v", res.Probability, want)
 	}
@@ -165,7 +165,7 @@ func TestEvaluateRoutesUnsafeToFPRAS(t *testing.T) {
 	if res.Exact || res.Method != MethodFPRASTree {
 		t.Errorf("unsafe query routed to %v", res.Method)
 	}
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	if want > 0 {
 		ratio := res.Probability / want
 		if ratio < 0.75 || ratio > 1.25 {
@@ -207,7 +207,7 @@ func TestPathPQEEstimateAgainstBruteForce(t *testing.T) {
 		n := 2 + trial%2
 		q := cq.PathQuery("R", n)
 		h := gen.SparsePathInstance(q, 2, 1, gen.ProbRandomRational, int64(trial+21))
-		want, _ := exact.PQE(q, h).Float64()
+		want, _ := exact.MustPQE(q, h).Float64()
 		got, err := PathPQEEstimate(q, h, Options{Epsilon: 0.1, Seed: int64(trial + 1)})
 		if err != nil {
 			t.Fatal(err)
@@ -263,7 +263,7 @@ func TestPQEEstimateH0Query(t *testing.T) {
 	h.Add(pdb.NewFact("S", "a", "v"), pdb.NewProb(1, 2))
 	h.Add(pdb.NewFact("T", "u"), pdb.NewProb(4, 5))
 	h.Add(pdb.NewFact("T", "v"), pdb.NewProb(1, 5))
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	got, err := PQEEstimate(q, h, Options{Epsilon: 0.1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -284,7 +284,7 @@ func TestUREstimateZeroAryAtom(t *testing.T) {
 		pdb.NewFact("R", "a"),
 		pdb.NewFact("R", "b"),
 	)
-	want := exact.UR(q, d) // Flag present AND ≥1 R fact: 1 × 3 = 3
+	want := exact.MustUR(q, d) // Flag present AND ≥1 R fact: 1 × 3 = 3
 	got, err := UREstimate(q, d, Options{Epsilon: 0.1, Seed: 2})
 	if err != nil {
 		t.Fatalf("0-ary atom rejected: %v", err)
@@ -303,7 +303,7 @@ func TestPQEEstimateWideAtom(t *testing.T) {
 	h.Add(pdb.NewFact("R", "a", "a", "d"), pdb.NewProb(1, 3))
 	h.Add(pdb.NewFact("S", "c"), pdb.NewProb(2, 3))
 	h.Add(pdb.NewFact("S", "d"), pdb.NewProb(1, 4))
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	got, err := PQEEstimate(q, h, Options{Epsilon: 0.1, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
@@ -321,7 +321,7 @@ func TestUREstimateRepeatedVariableAtom(t *testing.T) {
 		pdb.NewFact("R", "a", "b"), // not a loop: cannot witness
 		pdb.NewFact("S", "a"),
 	)
-	want := exact.UR(q, d) // R(a,a) and S(a) present, R(a,b) free: 2
+	want := exact.MustUR(q, d) // R(a,a) and S(a) present, R(a,b) free: 2
 	got, err := UREstimate(q, d, Options{Epsilon: 0.1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -336,7 +336,7 @@ func TestUREstimateFourCycleWidthTwo(t *testing.T) {
 	q := cq.CycleQuery("C", 4)
 	h := gen.Instance(q, gen.Config{FactsPerRelation: 2, DomainSize: 2, Seed: 11})
 	d := h.DB()
-	want := exact.UR(q, d)
+	want := exact.MustUR(q, d)
 	got, err := UREstimate(q, d, Options{Epsilon: 0.1, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -427,7 +427,7 @@ func TestUREstimateGridQueryWidthTwo(t *testing.T) {
 		h.Add(pdb.NewFact(f.rel, f.a, f.b), pdb.ProbHalf)
 	}
 	d := h.DB()
-	want := exact.UR(q, d)
+	want := exact.MustUR(q, d)
 	got, err := UREstimate(q, d, Options{Epsilon: 0.1, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -447,7 +447,7 @@ func TestPQEEstimateSnowflake(t *testing.T) {
 	h.Add(pdb.NewFact("SD1_1", "a", "d1"), pdb.NewProb(2, 3))
 	h.Add(pdb.NewFact("SD2_1", "b", "d2"), pdb.NewProb(1, 2))
 	h.Add(pdb.NewFact("SD2_1", "c", "d2"), pdb.NewProb(1, 3))
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	got, err := PQEEstimate(q, h, Options{Epsilon: 0.1, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -477,7 +477,7 @@ func TestUREstimateTwoTrianglesSharedVertex(t *testing.T) {
 		h.Add(pdb.NewFact(f.rel, f.a, f.b), pdb.ProbHalf)
 	}
 	d := h.DB()
-	want := exact.UR(q, d)
+	want := exact.MustUR(q, d)
 	got, err := UREstimate(q, d, Options{Epsilon: 0.1, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
@@ -505,7 +505,7 @@ func TestUREstimateForeignFactScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := exact.UR(q, withForeign) // = 1 · 2^3 = 8
+	want := exact.MustUR(q, withForeign) // = 1 · 2^3 = 8
 	wantF, _ := new(big.Float).SetInt(want).Float64()
 	if r := got.Float() / wantF; r < 0.85 || r > 1.15 {
 		t.Errorf("estimate %v vs UR %v", got, want)

@@ -93,21 +93,24 @@ func NewUREstimator(q *cq.Query, d *pdb.Database, opts Options) *Estimator {
 // BuildStats returns the construction counters accumulated so far.
 func (e *Estimator) BuildStats() BuildStats { return e.stats }
 
-// SetProbabilities rebinds the session to a probabilistic database with
-// the same facts but (possibly) different probabilities. Only the
-// multiplier weightings are invalidated: the decomposition and the base
-// automata are keyed to the fact set and survive.
+// SetProbabilities rebinds the session to a new probabilistic database.
+// When the new instance has exactly the same facts in the same fact
+// ordering, only the multiplier weightings are invalidated (a rebind):
+// the decomposition and the base automata are keyed to the fact ordering
+// and survive. When the fact set — or its ordering, which the automaton
+// constructions encode — differs, every database-keyed cache is dropped
+// too (a full rebuild); only the query-keyed stages (classification,
+// hypertree decomposition) survive. BuildStats distinguishes the two:
+// a rebind grows only Weightings, a rebuild also re-runs URReductions /
+// PathAutomata on next use.
 func (e *Estimator) SetProbabilities(h *pdb.Probabilistic) error {
 	if e.h == nil {
 		return fmt.Errorf("core: estimator was built without probabilities")
 	}
-	if h.Size() != e.d.Size() {
-		return fmt.Errorf("core: new instance has %d facts, estimator built for %d", h.Size(), e.d.Size())
-	}
-	for _, f := range e.d.Facts() {
-		if h.DB().IndexOf(f) < 0 {
-			return fmt.Errorf("core: fact %v missing from new instance", f)
-		}
+	if !sameFactOrdering(e.d, h.DB()) {
+		e.projDB = nil
+		e.urRed, e.urErr, e.urDone = nil, nil, false
+		e.pathAuto, e.pathErr, e.pathDone = nil, nil, false
 	}
 	e.h = h
 	e.d = h.DB()
@@ -115,6 +118,21 @@ func (e *Estimator) SetProbabilities(h *pdb.Probabilistic) error {
 	e.pqeRed, e.pqeErr, e.pqeDone = nil, nil, false
 	e.pathPQERed, e.pathPQEErr, e.pathPQEDone = nil, nil, false
 	return nil
+}
+
+// sameFactOrdering reports whether two databases hold the same facts in
+// the same insertion order — the condition under which automata built
+// over one remain valid for the other.
+func sameFactOrdering(a, b *pdb.Database) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i, f := range a.Facts() {
+		if !f.Equal(b.Fact(i)) {
+			return false
+		}
+	}
+	return true
 }
 
 // Class returns the query's Table 1 classification, reusing the cached

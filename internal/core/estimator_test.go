@@ -115,18 +115,121 @@ func TestEstimatorSetProbabilitiesReweightsOnly(t *testing.T) {
 	}
 }
 
-func TestEstimatorSetProbabilitiesRejectsDifferentFacts(t *testing.T) {
+// SetProbabilities with a changed fact set must rebuild the
+// database-keyed caches, not rebind probabilities onto stale automata.
+// BuildStats is the witness: URReductions and PathAutomata run again,
+// while the query-keyed decomposition survives.
+func TestEstimatorSetProbabilitiesRebuildsOnChangedFacts(t *testing.T) {
 	q, h := pathInstance(t)
-	est := NewEstimator(q, h, Options{})
-	other := pdb.Empty()
-	other.Add(pdb.NewFact("R1", "x", "y"), pdb.ProbOne)
-	if err := est.SetProbabilities(other); err == nil {
-		t.Fatal("SetProbabilities accepted a different fact set")
+	opts := Options{Epsilon: 0.2, Trials: 3, Seed: 5}
+	est := NewEstimator(q, h, opts)
+	if _, err := est.PQEEstimate(opts); err != nil {
+		t.Fatal(err)
 	}
-	bigger := h.WithProb(pdb.NewFact("R1", "a", "b"), pdb.ProbOne)
-	bigger.Add(pdb.NewFact("R1", "z", "z"), pdb.ProbOne)
-	if err := est.SetProbabilities(bigger); err == nil {
-		t.Fatal("SetProbabilities accepted a larger fact set")
+	if _, err := est.PathPQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the fact set: one extra R3 edge changes the automata.
+	h2 := h.WithProb(pdb.NewFact("R1", "a", "b"), pdb.ProbHalf)
+	h2.Add(pdb.NewFact("R3", "d", "g"), pdb.ProbFromRat(big.NewRat(1, 4)))
+	if err := est.SetProbabilities(h2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.PQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PQEEstimate(q, h2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("rebuilt estimate %v != fresh estimator %v", got, fresh)
+	}
+	gotPath, err := est.PathPQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshPath, err := PathPQEEstimate(q, h2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != freshPath {
+		t.Errorf("rebuilt path estimate %v != fresh %v", gotPath, freshPath)
+	}
+
+	st := est.BuildStats()
+	want := BuildStats{Decompositions: 1, URReductions: 2, PathAutomata: 2, Weightings: 4}
+	if st != want {
+		t.Errorf("BuildStats after changed-fact rebuild = %+v, want %+v", st, want)
+	}
+}
+
+// A permutation of the same fact set must also rebuild: the automaton
+// constructions encode the fact ordering (the paper's ≺ᵢ), so automata
+// built over one ordering are invalid for another.
+func TestEstimatorSetProbabilitiesRebuildsOnReorderedFacts(t *testing.T) {
+	q, h := pathInstance(t)
+	opts := Options{Epsilon: 0.2, Trials: 3, Seed: 5}
+	est := NewEstimator(q, h, opts)
+	if _, err := est.PQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same facts and probabilities, reversed insertion order.
+	facts := h.DB().Facts()
+	rev := pdb.Empty()
+	for i := len(facts) - 1; i >= 0; i-- {
+		rev.Add(facts[i], h.ProbAt(i))
+	}
+	if err := est.SetProbabilities(rev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.PQEEstimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PQEEstimate(q, rev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("reordered estimate %v != fresh estimator %v", got, fresh)
+	}
+	st := est.BuildStats()
+	if st.URReductions != 2 {
+		t.Errorf("URReductions = %d after reorder, want 2 (rebuild)", st.URReductions)
+	}
+	if st.Decompositions != 1 {
+		t.Errorf("Decompositions = %d after reorder, want 1 (query-keyed cache survives)", st.Decompositions)
+	}
+}
+
+// An identical fact set in the identical order stays a rebind even when
+// passed through a fresh pdb value: no probability-independent stage
+// reruns.
+func TestEstimatorSetProbabilitiesSameFactsStaysRebind(t *testing.T) {
+	q, h := pathInstance(t)
+	opts := Options{Epsilon: 0.2, Trials: 3, Seed: 5}
+	est := NewEstimator(q, h, opts)
+	if _, err := est.PQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+	copyH := pdb.Empty()
+	for i, f := range h.DB().Facts() {
+		copyH.Add(f, h.ProbAt(i))
+	}
+	if err := est.SetProbabilities(copyH); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.PQEEstimate(opts); err != nil {
+		t.Fatal(err)
+	}
+	st := est.BuildStats()
+	want := BuildStats{Decompositions: 1, URReductions: 1, Weightings: 2}
+	if st != want {
+		t.Errorf("BuildStats after same-fact rebind = %+v, want %+v", st, want)
 	}
 }
 

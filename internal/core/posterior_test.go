@@ -12,7 +12,7 @@ import (
 // exactPosterior computes Pr(f | Q) by brute force.
 func exactPosterior(q *cq.Query, h *pdb.Probabilistic, f pdb.Fact) float64 {
 	idx := h.DB().IndexOf(f)
-	prQ := exact.PQE(q, h)
+	prQ := exact.MustPQE(q, h)
 	joint := new(big.Rat)
 	n := h.Size()
 	mask := make([]bool, n)

@@ -41,7 +41,7 @@ func TestSampleSatisfyingApproxUniform(t *testing.T) {
 		pdb.NewFact("R2", "b", "c"),
 		pdb.NewFact("R2", "b", "d"),
 	)
-	if got := exact.UR(q, d).Int64(); got != 3 {
+	if got := exact.MustUR(q, d).Int64(); got != 3 {
 		t.Fatalf("UR = %d, want 3", got)
 	}
 	counts := make(map[string]int)
@@ -117,7 +117,7 @@ func TestSampleWorldSatisfiesAndTracksConditional(t *testing.T) {
 	}
 	// Compare empirical frequencies to the exact conditional
 	// distribution Pr(world)/Pr(Q).
-	prQ := exact.PQE(q, h)
+	prQ := exact.MustPQE(q, h)
 	n := h.Size()
 	mask := make([]bool, n)
 	for m := 0; m < 1<<uint(n); m++ {

@@ -24,7 +24,7 @@ func TestEvaluateUnionAgainstBruteForce(t *testing.T) {
 	add(gen.Instance(q1, gen.Config{FactsPerRelation: 2, DomainSize: 2, Model: gen.ProbRandomRational, Seed: 3}))
 	add(gen.SparsePathInstance(q2, 1, 1, gen.ProbRandomRational, 4))
 
-	want, _ := exact.PQEUnion([]*cq.Query{q1, q2}, h).Float64()
+	want, _ := exact.MustPQEUnion([]*cq.Query{q1, q2}, h).Float64()
 	got, err := EvaluateUnion([]*cq.Query{q1, q2}, h, Options{Epsilon: 0.05, Seed: 1})
 	if err != nil {
 		t.Fatal(err)

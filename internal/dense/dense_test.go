@@ -1,0 +1,109 @@
+package dense
+
+import (
+	"testing"
+
+	"pqe/internal/efloat"
+)
+
+// The done bitmap is what makes efloat.Zero a legitimate memoized
+// value: a cell holding Zero must read back as computed, and an
+// untouched cell must not — even though both hold the same value.
+func TestZeroIsAComputedValue(t *testing.T) {
+	tab := NewTable(2)
+	if _, ok := tab.Get(0, 0); ok {
+		t.Fatal("fresh cell reported as computed")
+	}
+	tab.Put(0, 0, efloat.Zero)
+	v, ok := tab.Get(0, 0)
+	if !ok {
+		t.Fatal("memoized Zero reported as not computed")
+	}
+	if !v.IsZero() {
+		t.Errorf("memoized Zero read back as %v", v)
+	}
+	// The sibling cell in the same row stays uncomputed.
+	if _, ok := tab.Get(0, 1); ok {
+		t.Error("neighbouring cell reported as computed")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	tab := NewTable(3)
+	want := map[[2]int]efloat.E{
+		{0, 0}: efloat.FromInt(7),
+		{1, 4}: efloat.Pow2(100),
+		{2, 2}: efloat.One,
+	}
+	for k, v := range want {
+		tab.Put(k[0], k[1], v)
+	}
+	for k, v := range want {
+		got, ok := tab.Get(k[0], k[1])
+		if !ok {
+			t.Errorf("cell %v not computed", k)
+			continue
+		}
+		if got.Cmp(v) != 0 {
+			t.Errorf("cell %v = %v, want %v", k, got, v)
+		}
+	}
+}
+
+// Rows grow on demand along the size axis; reads beyond the grown
+// extent answer "not computed" instead of panicking.
+func TestRowGrowth(t *testing.T) {
+	tab := NewTable(1)
+	tab.Put(0, 10, efloat.One)
+	if _, ok := tab.Get(0, 9); ok {
+		t.Error("cell below the grown extent reported as computed")
+	}
+	if _, ok := tab.Get(0, 11); ok {
+		t.Error("cell beyond the grown extent reported as computed")
+	}
+	if v, ok := tab.Get(0, 10); !ok || v.Cmp(efloat.One) != 0 {
+		t.Errorf("grown cell = %v, %v", v, ok)
+	}
+	// Filling the hole left by the growth works.
+	tab.Put(0, 5, efloat.FromInt(5))
+	if v, ok := tab.Get(0, 5); !ok || v.Cmp(efloat.FromInt(5)) != 0 {
+		t.Errorf("backfilled cell = %v, %v", v, ok)
+	}
+}
+
+// Keys counts distinct computed cells; overwriting an existing cell
+// must not double-count (the Stats counters depend on this).
+func TestKeysCountsDistinctCells(t *testing.T) {
+	tab := NewTable(2)
+	if tab.Keys() != 0 {
+		t.Fatalf("fresh table Keys = %d", tab.Keys())
+	}
+	tab.Put(0, 0, efloat.One)
+	tab.Put(0, 1, efloat.One)
+	tab.Put(1, 0, efloat.One)
+	if tab.Keys() != 3 {
+		t.Errorf("Keys = %d, want 3", tab.Keys())
+	}
+	tab.Put(0, 1, efloat.FromInt(9)) // overwrite
+	if tab.Keys() != 3 {
+		t.Errorf("Keys after overwrite = %d, want 3", tab.Keys())
+	}
+	if v, _ := tab.Get(0, 1); v.Cmp(efloat.FromInt(9)) != 0 {
+		t.Errorf("overwrite did not take: %v", v)
+	}
+}
+
+// Rows are independent slots: writes at matching columns of different
+// rows never alias.
+func TestRowsAreIndependent(t *testing.T) {
+	tab := NewTable(4)
+	for r := 0; r < 4; r++ {
+		tab.Put(r, 3, efloat.FromInt(int64(r+1)))
+	}
+	for r := 0; r < 4; r++ {
+		v, ok := tab.Get(r, 3)
+		if !ok || v.Cmp(efloat.FromInt(int64(r+1))) != 0 {
+			t.Errorf("row %d cell = %v, %v", r, v, ok)
+		}
+	}
+}

@@ -6,6 +6,8 @@
 package exact
 
 import (
+	"errors"
+	"fmt"
 	"math/big"
 
 	"pqe/internal/cq"
@@ -16,11 +18,36 @@ import (
 // subinstance evaluations is already far beyond patience.
 const MaxBruteForceSize = 30
 
-// UR returns UR(Q, D): the number of subinstances D' ⊆ D with D' ⊨ Q.
-func UR(q *cq.Query, d *pdb.Database) *big.Int {
-	n := d.Size()
+// ErrTooLarge is the sentinel matched by errors.Is when an oracle is
+// asked to enumerate a database beyond MaxBruteForceSize.
+var ErrTooLarge = errors.New("exact: database too large for brute force")
+
+// SizeError is the typed error returned when |D| > MaxBruteForceSize.
+// It unwraps to ErrTooLarge.
+type SizeError struct {
+	Size int // |D| of the rejected database
+	Max  int // the MaxBruteForceSize in force
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("exact: database has %d facts, brute force is capped at %d", e.Size, e.Max)
+}
+
+func (e *SizeError) Unwrap() error { return ErrTooLarge }
+
+func checkSize(n int) error {
 	if n > MaxBruteForceSize {
-		panic("exact: database too large for brute force")
+		return &SizeError{Size: n, Max: MaxBruteForceSize}
+	}
+	return nil
+}
+
+// UR returns UR(Q, D): the number of subinstances D' ⊆ D with D' ⊨ Q.
+// It returns a *SizeError when |D| > MaxBruteForceSize.
+func UR(q *cq.Query, d *pdb.Database) (*big.Int, error) {
+	n := d.Size()
+	if err := checkSize(n); err != nil {
+		return nil, err
 	}
 	count := big.NewInt(0)
 	one := big.NewInt(1)
@@ -33,15 +60,26 @@ func UR(q *cq.Query, d *pdb.Database) *big.Int {
 			count.Add(count, one)
 		}
 	}
-	return count
+	return count, nil
+}
+
+// MustUR is UR that panics on error, for tests and harnesses working
+// with instances known to be small.
+func MustUR(q *cq.Query, d *pdb.Database) *big.Int {
+	v, err := UR(q, d)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // PQE returns Pr_H(Q) exactly as a rational, by summing the product
-// weights of the satisfying subinstances.
-func PQE(q *cq.Query, h *pdb.Probabilistic) *big.Rat {
+// weights of the satisfying subinstances. It returns a *SizeError when
+// |D| > MaxBruteForceSize.
+func PQE(q *cq.Query, h *pdb.Probabilistic) (*big.Rat, error) {
 	n := h.Size()
-	if n > MaxBruteForceSize {
-		panic("exact: database too large for brute force")
+	if err := checkSize(n); err != nil {
+		return nil, err
 	}
 	total := new(big.Rat)
 	mask := make([]bool, n)
@@ -53,15 +91,25 @@ func PQE(q *cq.Query, h *pdb.Probabilistic) *big.Rat {
 			total.Add(total, h.SubinstanceProb(mask))
 		}
 	}
-	return total
+	return total, nil
+}
+
+// MustPQE is PQE that panics on error.
+func MustPQE(q *cq.Query, h *pdb.Probabilistic) *big.Rat {
+	v, err := PQE(q, h)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // SatisfyingMasks returns the presence bitmasks of all satisfying
-// subinstances, for bijection tests.
-func SatisfyingMasks(q *cq.Query, d *pdb.Database) [][]bool {
+// subinstances, for bijection tests. It returns a *SizeError when
+// |D| > MaxBruteForceSize.
+func SatisfyingMasks(q *cq.Query, d *pdb.Database) ([][]bool, error) {
 	n := d.Size()
-	if n > MaxBruteForceSize {
-		panic("exact: database too large for brute force")
+	if err := checkSize(n); err != nil {
+		return nil, err
 	}
 	var out [][]bool
 	for m := 0; m < 1<<uint(n); m++ {
@@ -73,14 +121,24 @@ func SatisfyingMasks(q *cq.Query, d *pdb.Database) [][]bool {
 			out = append(out, mask)
 		}
 	}
-	return out
+	return out, nil
 }
 
-// PQEUnion returns Pr_H(Q₁ ∨ … ∨ Q_k) exactly by enumeration.
-func PQEUnion(qs []*cq.Query, h *pdb.Probabilistic) *big.Rat {
+// MustSatisfyingMasks is SatisfyingMasks that panics on error.
+func MustSatisfyingMasks(q *cq.Query, d *pdb.Database) [][]bool {
+	v, err := SatisfyingMasks(q, d)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PQEUnion returns Pr_H(Q₁ ∨ … ∨ Q_k) exactly by enumeration. It
+// returns a *SizeError when |D| > MaxBruteForceSize.
+func PQEUnion(qs []*cq.Query, h *pdb.Probabilistic) (*big.Rat, error) {
 	n := h.Size()
-	if n > MaxBruteForceSize {
-		panic("exact: database too large for brute force")
+	if err := checkSize(n); err != nil {
+		return nil, err
 	}
 	total := new(big.Rat)
 	mask := make([]bool, n)
@@ -96,5 +154,14 @@ func PQEUnion(qs []*cq.Query, h *pdb.Probabilistic) *big.Rat {
 			}
 		}
 	}
-	return total
+	return total, nil
+}
+
+// MustPQEUnion is PQEUnion that panics on error.
+func MustPQEUnion(qs []*cq.Query, h *pdb.Probabilistic) *big.Rat {
+	v, err := PQEUnion(qs, h)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

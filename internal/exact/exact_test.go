@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"errors"
 	"math/big"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestURSingleFact(t *testing.T) {
 	d := pdb.FromFacts(pdb.NewFact("R", "a", "b"))
 	q := cq.MustParse("R(x,y)")
 	// Subinstances: {} (no), {R(a,b)} (yes) → 1.
-	if got := UR(q, d); got.Int64() != 1 {
+	if got := MustUR(q, d); got.Int64() != 1 {
 		t.Errorf("UR = %v", got)
 	}
 }
@@ -29,7 +30,7 @@ func TestURPath(t *testing.T) {
 	q := cq.PathQuery("R", 2)
 	// Satisfying: {12}, {123} → plus {R1(z,z),R2}? R1(z,z) does not join
 	// R2(b,c). So exactly 2.
-	if got := UR(q, d); got.Int64() != 2 {
+	if got := MustUR(q, d); got.Int64() != 2 {
 		t.Errorf("UR = %v", got)
 	}
 }
@@ -40,7 +41,7 @@ func TestPQEMatchesHandComputation(t *testing.T) {
 	h.Add(pdb.NewFact("S", "a"), pdb.NewProb(1, 3))
 	q := cq.MustParse("R(x), S(x)")
 	// Pr = 1/2 · 1/3 = 1/6.
-	if got := PQE(q, h); got.Cmp(big.NewRat(1, 6)) != 0 {
+	if got := MustPQE(q, h); got.Cmp(big.NewRat(1, 6)) != 0 {
 		t.Errorf("PQE = %v", got)
 	}
 }
@@ -53,8 +54,8 @@ func TestPQEUniformHalfEqualsURScaled(t *testing.T) {
 	)
 	q := cq.PathQuery("R", 2)
 	h := pdb.Uniform(d)
-	ur := UR(q, d)
-	pqe := PQE(q, h)
+	ur := MustUR(q, d)
+	pqe := MustPQE(q, h)
 	// Pr = UR / 2^|D|.
 	want := new(big.Rat).SetFrac(ur, big.NewInt(8))
 	if pqe.Cmp(want) != 0 {
@@ -65,43 +66,93 @@ func TestPQEUniformHalfEqualsURScaled(t *testing.T) {
 func TestSatisfyingMasks(t *testing.T) {
 	d := pdb.FromFacts(pdb.NewFact("R", "a"), pdb.NewFact("R", "b"))
 	q := cq.MustParse("R(x)")
-	masks := SatisfyingMasks(q, d)
+	masks := MustSatisfyingMasks(q, d)
 	if len(masks) != 3 { // {a}, {b}, {a,b}
 		t.Errorf("got %d masks", len(masks))
 	}
-	if int64(len(masks)) != UR(q, d).Int64() {
+	if int64(len(masks)) != MustUR(q, d).Int64() {
 		t.Error("mask count disagrees with UR")
 	}
 }
 
-func mustPanic(t *testing.T, name string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s did not panic", name)
-		}
-	}()
-	f()
-}
-
-func TestOraclesRejectOversizedInputs(t *testing.T) {
+// oversized returns a database one fact past the brute-force cap.
+func oversized() *pdb.Database {
 	d := pdb.NewDatabase()
 	for i := 0; i < MaxBruteForceSize+1; i++ {
 		d.Add(pdb.NewFact("R", "a", string(rune('a'+i%26))+string(rune('0'+i/26))))
 	}
+	return d
+}
+
+func TestOraclesReturnTypedSizeError(t *testing.T) {
+	d := oversized()
 	h := pdb.Uniform(d)
 	q := cq.MustParse("R(x,y)")
-	mustPanic(t, "UR", func() { UR(q, d) })
-	mustPanic(t, "PQE", func() { PQE(q, h) })
-	mustPanic(t, "SatisfyingMasks", func() { SatisfyingMasks(q, d) })
-	mustPanic(t, "PQEUnion", func() { PQEUnion([]*cq.Query{q}, h) })
+
+	calls := map[string]func() error{
+		"UR":              func() error { _, err := UR(q, d); return err },
+		"PQE":             func() error { _, err := PQE(q, h); return err },
+		"SatisfyingMasks": func() error { _, err := SatisfyingMasks(q, d); return err },
+		"PQEUnion":        func() error { _, err := PQEUnion([]*cq.Query{q}, h); return err },
+	}
+	for name, call := range calls {
+		err := call()
+		if err == nil {
+			t.Errorf("%s accepted an oversized database", name)
+			continue
+		}
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("%s error %v does not match ErrTooLarge", name, err)
+		}
+		var se *SizeError
+		if !errors.As(err, &se) {
+			t.Errorf("%s error %v is not a *SizeError", name, err)
+			continue
+		}
+		if se.Size != MaxBruteForceSize+1 || se.Max != MaxBruteForceSize {
+			t.Errorf("%s SizeError = %+v, want Size=%d Max=%d", name, se, MaxBruteForceSize+1, MaxBruteForceSize)
+		}
+	}
+}
+
+// The boundary itself: a database of exactly MaxBruteForceSize facts is
+// accepted (size check only — enumerating 2^30 worlds is infeasible, so
+// the boundary is exercised with the check factored out).
+func TestSizeCheckBoundary(t *testing.T) {
+	if err := checkSize(MaxBruteForceSize); err != nil {
+		t.Errorf("checkSize(%d) = %v, want nil", MaxBruteForceSize, err)
+	}
+	if err := checkSize(MaxBruteForceSize + 1); err == nil {
+		t.Errorf("checkSize(%d) = nil, want error", MaxBruteForceSize+1)
+	}
+}
+
+func TestMustVariantsPanicOnOversized(t *testing.T) {
+	d := oversized()
+	h := pdb.Uniform(d)
+	q := cq.MustParse("R(x,y)")
+	for name, f := range map[string]func(){
+		"MustUR":              func() { MustUR(q, d) },
+		"MustPQE":             func() { MustPQE(q, h) },
+		"MustSatisfyingMasks": func() { MustSatisfyingMasks(q, d) },
+		"MustPQEUnion":        func() { MustPQEUnion([]*cq.Query{q}, h) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
 }
 
 func TestPQEUnionSmall(t *testing.T) {
 	h := pdb.Empty()
 	h.Add(pdb.NewFact("A", "x"), pdb.NewProb(1, 2))
 	h.Add(pdb.NewFact("B", "y"), pdb.NewProb(1, 2))
-	got := PQEUnion([]*cq.Query{cq.MustParse("A(v)"), cq.MustParse("B(w)")}, h)
+	got := MustPQEUnion([]*cq.Query{cq.MustParse("A(v)"), cq.MustParse("B(w)")}, h)
 	// 1 − (1/2)(1/2) = 3/4.
 	if got.Cmp(big.NewRat(3, 4)) != 0 {
 		t.Errorf("PQEUnion = %v, want 3/4", got)

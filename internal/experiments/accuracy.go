@@ -34,7 +34,7 @@ func E2Path(o Opts) *Table {
 		q := cq.PathQuery("R", n)
 		h := gen.SparsePathInstance(q, 2, 1, gen.ProbHalf, o.Seed+int64(i))
 		d := h.DB()
-		want, _ := new(big.Float).SetInt(exact.UR(q, d)).Float64()
+		want, _ := new(big.Float).SetInt(exact.MustUR(q, d)).Float64()
 		start := time.Now()
 		got, err := core.PathEstimate(q, d, core.Options{Epsilon: o.Epsilon, Seed: o.Seed, Workers: o.Workers})
 		elapsed := time.Since(start)
@@ -79,7 +79,7 @@ func E3UR(o Opts) *Table {
 			h = gen.Instance(q, gen.Config{FactsPerRelation: 3, DomainSize: 3, Seed: o.Seed + int64(i)})
 		}
 		d := h.DB()
-		want, _ := new(big.Float).SetInt(exact.UR(q, d)).Float64()
+		want, _ := new(big.Float).SetInt(exact.MustUR(q, d)).Float64()
 		start := time.Now()
 		got, err := core.UREstimate(q, d, core.Options{Epsilon: o.Epsilon, Seed: o.Seed, Workers: o.Workers})
 		elapsed := time.Since(start)
@@ -119,7 +119,7 @@ func E4PQE(o Opts) *Table {
 			FactsPerRelation: 3, DomainSize: 2,
 			Model: gen.ProbRandomRational, Seed: o.Seed + int64(i),
 		})
-		want, _ := exact.PQE(q, h).Float64()
+		want, _ := exact.MustPQE(q, h).Float64()
 		treeSize := "—"
 		if dec, err := hypertree.Decompose(q); err == nil {
 			if red, err := reduction.BuildPQE(q, h, dec); err == nil {
@@ -167,7 +167,7 @@ func E9Safe(o Opts) *Table {
 			continue
 		}
 		planF, _ := plan.Float64()
-		bf, _ := exact.PQE(q, h).Float64()
+		bf, _ := exact.MustPQE(q, h).Float64()
 		fpras, err := core.PQEEstimate(q, h, core.Options{Epsilon: o.Epsilon, Seed: o.Seed, Workers: o.Workers})
 		fprasStr := "—"
 		fprasErr := "—"

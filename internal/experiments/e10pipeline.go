@@ -31,7 +31,7 @@ func E10Pipeline(o Opts) *Table {
 	for i, n := range lens {
 		q := cq.PathQuery("R", n)
 		h := gen.SparsePathInstance(q, 2, 1, gen.ProbRandomRational, o.Seed+int64(i))
-		want, _ := exact.PQE(q, h).Float64()
+		want, _ := exact.MustPQE(q, h).Float64()
 
 		start := time.Now()
 		tree, errTree := core.PQEEstimate(q, h, core.Options{Epsilon: o.Epsilon, Seed: o.Seed, Workers: o.Workers})

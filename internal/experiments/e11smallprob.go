@@ -36,7 +36,7 @@ func E11SmallProb(o Opts) *Table {
 		h := pdb.Empty()
 		h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, den))
 		h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, den))
-		want, _ := exact.PQE(q, h).Float64()
+		want, _ := exact.MustPQE(q, h).Float64()
 
 		start := time.Now()
 		mc := montecarlo.Estimate(q, h, montecarlo.Options{Samples: mcSamples, Seed: o.Seed})

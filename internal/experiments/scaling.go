@@ -126,7 +126,7 @@ func E7ScaleEps(o Opts) *Table {
 	// unions are exact and ε barely affects runtime).
 	q := cq.PathQuery("R", 3)
 	h := gen.LayeredPathInstance(q, 2, gen.ProbRandomRational, o.Seed)
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	epss := []float64{0.5, 0.3, 0.2, 0.1, 0.05}
 	if o.Quick {
 		epss = []float64{0.3, 0.1}
@@ -177,7 +177,7 @@ func E8KarpLuby(o Opts) *Table {
 		exactStr := "—"
 		var want float64
 		if d.Size() <= 20 {
-			want, _ = exact.PQE(q, h).Float64()
+			want, _ = exact.MustPQE(q, h).Float64()
 			exactStr = fmt.Sprintf("%.6f", want)
 		}
 

@@ -66,7 +66,7 @@ func Table1(o Opts) *Table {
 		}
 		exactStr := "—"
 		if err == nil && h.Size() <= 18 {
-			want, _ := exact.PQE(r.q, h).Float64()
+			want, _ := exact.MustPQE(r.q, h).Float64()
 			exactStr = fmt.Sprintf("%.6f", want)
 			switch {
 			case res.Exact && closeTo(res.Probability, want, 1e-9):

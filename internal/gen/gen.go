@@ -27,6 +27,34 @@ const (
 	ProbHigh
 )
 
+// String names the model the way the CLI flags spell it.
+func (m ProbModel) String() string {
+	switch m {
+	case ProbHalf:
+		return "half"
+	case ProbRandomRational:
+		return "rational"
+	case ProbHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("ProbModel(%d)", int(m))
+	}
+}
+
+// ParseModel inverts String; it accepts the CLI spellings.
+func ParseModel(s string) (ProbModel, error) {
+	switch s {
+	case "half":
+		return ProbHalf, nil
+	case "rational":
+		return ProbRandomRational, nil
+	case "high":
+		return ProbHigh, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown probability model %q", s)
+	}
+}
+
 // Config describes a synthetic probabilistic database for a query.
 type Config struct {
 	// FactsPerRelation is the number of facts generated per relation.

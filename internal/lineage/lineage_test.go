@@ -82,7 +82,7 @@ func TestWMCExactMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := f.WMCExact(h)
-		want := exact.PQE(q, h)
+		want := exact.MustPQE(q, h)
 		if got.Cmp(want) != 0 {
 			t.Errorf("trial %d: WMC %v != PQE %v\nQ=%s\nH=%s", trial, got, want, q, h)
 		}
@@ -181,7 +181,7 @@ func TestQuickWMCAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return dnf.WMCExact(h).Cmp(exact.PQE(q, h)) == 0
+		return dnf.WMCExact(h).Cmp(exact.MustPQE(q, h)) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -16,7 +16,7 @@ func TestEstimateConverges(t *testing.T) {
 	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(1, 2))
 	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(1, 2))
 	h.Add(pdb.NewFact("R2", "b", "d"), pdb.NewProb(1, 2))
-	want, _ := exact.PQE(q, h).Float64() // = 1/2 · 3/4 = 0.375
+	want, _ := exact.MustPQE(q, h).Float64() // = 1/2 · 3/4 = 0.375
 	got := Estimate(q, h, Options{Samples: 40000, Seed: 7})
 	if math.Abs(got-want) > 0.01 {
 		t.Errorf("MC estimate %v, want ≈ %v", got, want)
@@ -32,7 +32,7 @@ func TestEstimateWithDecomposition(t *testing.T) {
 	h := pdb.Empty()
 	h.Add(pdb.NewFact("R1", "a", "b"), pdb.NewProb(3, 4))
 	h.Add(pdb.NewFact("R2", "b", "c"), pdb.NewProb(2, 3))
-	want, _ := exact.PQE(q, h).Float64()
+	want, _ := exact.MustPQE(q, h).Float64()
 	got := Estimate(q, h, Options{Samples: 40000, Seed: 3, Dec: dec})
 	if math.Abs(got-want) > 0.01 {
 		t.Errorf("MC estimate %v, want ≈ %v", got, want)

@@ -63,7 +63,7 @@ func TestWMCAgainstExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := o.WMC(h)
-		want := exact.PQE(q, h)
+		want := exact.MustPQE(q, h)
 		if got.Cmp(want) != 0 {
 			t.Errorf("trial %d: OBDD WMC %v != PQE %v", trial, got, want)
 		}
@@ -78,7 +78,7 @@ func TestCountModelsAgainstUR(t *testing.T) {
 		pdb.NewFact("R2", "b", "d"),
 	)
 	_, o := compileFor(t, q, d)
-	want := exact.UR(q, d)
+	want := exact.MustUR(q, d)
 	if got := o.CountModels(); got.Cmp(want) != 0 {
 		t.Errorf("CountModels %v != UR %v", got, want)
 	}
@@ -150,7 +150,7 @@ func TestQuickModelCount(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return o.CountModels().Cmp(exact.UR(q, h.DB())) == 0
+		return o.CountModels().Cmp(exact.MustUR(q, h.DB())) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)

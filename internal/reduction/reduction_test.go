@@ -42,7 +42,7 @@ func TestPathNFAExactBijection(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := nfa.ExactCount(m, d.Size())
-		want := exact.UR(q, d)
+		want := exact.MustUR(q, d)
 		if got.Cmp(want) != 0 {
 			t.Errorf("trial %d: |L_%d(M)| = %v, UR = %v\nQ = %s\nD = %s",
 				trial, d.Size(), got, want, q, d)
@@ -95,8 +95,8 @@ func TestPathNFAStringsDescribeSubinstances(t *testing.T) {
 		}
 		return true
 	})
-	if int64(len(seen)) != exact.UR(q, d).Int64() {
-		t.Errorf("decoded %d subinstances, UR = %v", len(seen), exact.UR(q, d))
+	if int64(len(seen)) != exact.MustUR(q, d).Int64() {
+		t.Errorf("decoded %d subinstances, UR = %v", len(seen), exact.MustUR(q, d))
 	}
 }
 
@@ -191,7 +191,7 @@ func TestBuildURCountMatchesExact(t *testing.T) {
 		q := queries[rng.Intn(len(queries))]
 		d := randomGraphDB(rng, q.Len(), 1+rng.Intn(2), 3)
 		ur := buildURFor(t, q, d)
-		want := exact.UR(q, d)
+		want := exact.MustUR(q, d)
 		got := count.Trees(ur.Auto, ur.TreeSize, count.Options{Epsilon: 0.1, Trials: 5, Seed: int64(trial + 1)})
 		if want.Sign() == 0 {
 			if !got.IsZero() {
@@ -217,7 +217,7 @@ func TestBuildURCyclicQuery(t *testing.T) {
 		pdb.NewFact("C1", "a", "c"),
 	)
 	ur := buildURFor(t, q, d)
-	want := exact.UR(q, d)
+	want := exact.MustUR(q, d)
 	got := count.Trees(ur.Auto, ur.TreeSize, count.Options{Epsilon: 0.1, Trials: 5, Seed: 2})
 	ratio := got.Float() / float64(want.Int64())
 	if ratio < 0.75 || ratio > 1.25 {
@@ -261,7 +261,7 @@ func TestBuildPQEMatchesExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := exact.PQE(q, h)
+		want := exact.MustPQE(q, h)
 		got := count.Trees(red.Auto, red.TreeSize, count.Options{Epsilon: 0.1, Trials: 5, Seed: int64(trial + 1)})
 		den := new(big.Float).SetInt(red.DenProduct)
 		denF, _ := den.Float64()
@@ -306,7 +306,7 @@ func TestBuildPQEUniformHalfReducesToUR(t *testing.T) {
 		t.Errorf("DenProduct = %v", red.DenProduct)
 	}
 	got := count.Trees(red.Auto, red.TreeSize, count.Options{Epsilon: 0.1, Trials: 5, Seed: 4})
-	want := exact.UR(q, d)
+	want := exact.MustUR(q, d)
 	ratio := got.Float() / float64(want.Int64())
 	if ratio < 0.8 || ratio > 1.2 {
 		t.Errorf("estimate %v vs UR %v", got, want)
@@ -328,7 +328,7 @@ func TestBuildPQEExtremeProbabilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := exact.PQE(q, h) // = 1/2
+	want := exact.MustPQE(q, h) // = 1/2
 	if want.Cmp(big.NewRat(1, 2)) != 0 {
 		t.Fatalf("oracle = %v, want 1/2", want)
 	}
@@ -356,7 +356,7 @@ func TestBuildPathPQEMatchesExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _ := exact.PQE(q, h).Float64()
+		want, _ := exact.MustPQE(q, h).Float64()
 		got := nfa.Count(red.Auto, red.WordSize, nfa.CountOptions{Epsilon: 0.1, Trials: 5, Seed: int64(trial + 1)})
 		denF, _ := new(big.Float).SetInt(red.DenProduct).Float64()
 		gotProb := got.Float() / denF
@@ -389,7 +389,7 @@ func TestBuildPathPQEExactCountIsWeightedSum(t *testing.T) {
 	count := nfa.ExactCount(red.Auto, red.WordSize)
 	// Pr = count / denProduct must equal the brute-force value exactly.
 	got := new(big.Rat).SetFrac(count, red.DenProduct)
-	want := exact.PQE(q, h)
+	want := exact.MustPQE(q, h)
 	if got.Cmp(want) != 0 {
 		t.Errorf("count/den = %v, want %v", got, want)
 	}
@@ -425,7 +425,7 @@ func TestBuildPQEExactCountIdentity(t *testing.T) {
 		}
 		count := nfta.ExactCountDet(red.Auto, red.TreeSize)
 		got := new(big.Rat).SetFrac(count, red.DenProduct)
-		want := exact.PQE(q, h)
+		want := exact.MustPQE(q, h)
 		if got.Cmp(want) != 0 {
 			t.Errorf("trial %d: count/den = %v, want %v\nQ=%s\nH=%s", trial, got, want, q, h)
 		}

@@ -123,7 +123,7 @@ func TestEvaluateMatchesBruteForceOnSafeQueries(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Evaluate(%s): %v", q, err)
 		}
-		want := exact.PQE(q, h)
+		want := exact.MustPQE(q, h)
 		if got.Cmp(want) != 0 {
 			t.Errorf("trial %d: %s: got %v, want %v\nH=%s", trial, q, got, want, h)
 		}
@@ -140,7 +140,7 @@ func TestQuickSafePlanExact(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got.Cmp(exact.PQE(q, h)) == 0
+		return got.Cmp(exact.MustPQE(q, h)) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -161,7 +161,7 @@ func TestEvaluateDeepHierarchy(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		want := exact.PQE(q, h)
+		want := exact.MustPQE(q, h)
 		if got.Cmp(want) != 0 {
 			t.Errorf("trial %d: got %v, want %v\nH=%s", trial, got, want, h)
 		}

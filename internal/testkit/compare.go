@@ -1,0 +1,158 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"pqe/internal/efloat"
+)
+
+// Config tunes the statistical strength of the differential checks. The
+// zero value is unusable; start from Defaults().
+type Config struct {
+	// Epsilon is the relative-error target handed to the FPRAS engines.
+	Epsilon float64
+	// Trials is the median-of-trials boosting factor handed to the
+	// engines (odd, so the median is a single trial's value).
+	Trials int
+	// Slack widens the assertion tolerance to Slack·Epsilon. The engines
+	// guarantee each trial lands within (1±ε) with probability ≥ 3/4; by
+	// the same Chebyshev argument a trial misses Slack·ε with
+	// probability ≤ 1/(4·Slack²), which is what makes the per-check
+	// failure probability computable below.
+	Slack float64
+	// Retries re-runs a failed statistical check with fresh independent
+	// seeds before declaring failure; each retry exponentiates the
+	// false-failure probability.
+	Retries int
+	// MCSamples is the Monte Carlo baseline's sample count; MCDelta the
+	// false-failure probability budgeted per Monte Carlo check. Hoeffding
+	// turns the pair into an additive tolerance.
+	MCSamples int
+	MCDelta   float64
+}
+
+// Defaults returns the suite configuration: per statistical check the
+// false-failure probability works out to ≈1e-11 (see Check), so even
+// thousands of checks stay far below the suite budget.
+func Defaults() Config {
+	return Config{
+		Epsilon:   0.2,
+		Trials:    5,
+		Slack:     3,
+		Retries:   2,
+		MCSamples: 20000,
+		MCDelta:   1e-9,
+	}
+}
+
+// Tolerance is the relative deviation the statistical checks allow.
+func (c Config) Tolerance() float64 { return c.Slack * c.Epsilon }
+
+// MCTolerance is the additive deviation allowed for the Monte Carlo
+// baseline: Hoeffding gives P(|p̂−p| ≥ a) ≤ 2·exp(−2·n·a²), solved for
+// a at failure probability MCDelta.
+func (c Config) MCTolerance() float64 {
+	return math.Sqrt(math.Log(2/c.MCDelta) / (2 * float64(c.MCSamples)))
+}
+
+// checkDelta is the false-failure probability of one fully retried
+// statistical check: a single trial misses Slack·ε with probability
+// p1 ≤ 1/(4·Slack²); the median of t trials misses only if ≥⌈t/2⌉
+// trials do, so p_med ≤ C(t,⌈t/2⌉)·p1^⌈t/2⌉; each retry uses an
+// independent derived seed, so failures multiply.
+func (c Config) checkDelta() float64 {
+	p1 := 1 / (4 * c.Slack * c.Slack)
+	k := (c.Trials + 1) / 2
+	pmed := float64(binomial(c.Trials, k)) * math.Pow(p1, float64(k))
+	if pmed > 1 {
+		pmed = 1
+	}
+	return math.Pow(pmed, float64(c.Retries+1))
+}
+
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+	}
+	return r
+}
+
+// Budget accumulates the false-failure probability spent by a suite: a
+// union bound over every statistical assertion issued. A suite asserts
+// Spent ≤ Cap at the end, so "this suite flakes less than once in 1/Cap
+// runs" is a checked property, not folklore.
+type Budget struct {
+	Cap   float64
+	Spent float64
+}
+
+// Charge records one statistical check's failure probability.
+func (b *Budget) Charge(delta float64) { b.Spent += delta }
+
+// Ok reports whether the suite stayed within its budget.
+func (b *Budget) Ok() bool { return b.Spent <= b.Cap }
+
+// CheckRel asserts a randomized relative-error estimate against an
+// exact rational value, charging the budget. It reports whether the
+// estimate is within Tolerance; callers retry with fresh seeds before
+// failing (Check in runner.go drives the loop). An exact value of zero
+// demands an estimate of exactly zero: the engines are unbiased and a
+// query with empty lineage has no sampling path to a nonzero estimate.
+func CheckRel(exact *big.Rat, estimate, tolerance float64) error {
+	want, _ := exact.Float64()
+	if exact.Sign() == 0 {
+		if estimate != 0 {
+			return fmt.Errorf("exact probability is 0 but estimate is %g", estimate)
+		}
+		return nil
+	}
+	if rel := math.Abs(estimate-want) / want; rel > tolerance {
+		return fmt.Errorf("estimate %g vs exact %g: relative error %.3f > %.3f", estimate, want, rel, tolerance)
+	}
+	return nil
+}
+
+// CheckRelCount is CheckRel for the UR side: an efloat count estimate
+// against the exact *big.Int model count.
+func CheckRelCount(exact *big.Int, estimate efloat.E, tolerance float64) error {
+	if exact.Sign() == 0 {
+		if !estimate.IsZero() {
+			return fmt.Errorf("exact count is 0 but estimate is %v", estimate)
+		}
+		return nil
+	}
+	if estimate.IsZero() {
+		return fmt.Errorf("exact count is %v but estimate is 0", exact)
+	}
+	ratio := estimate.Ratio(efloat.FromBigInt(exact))
+	if math.Abs(ratio-1) > tolerance {
+		return fmt.Errorf("count estimate off by factor %.4f (exact %v): beyond ±%.3f", ratio, exact, tolerance)
+	}
+	return nil
+}
+
+// CheckAbs asserts an additive-error estimate (the Monte Carlo
+// baseline) against the exact value.
+func CheckAbs(exact *big.Rat, estimate, tolerance float64) error {
+	want, _ := exact.Float64()
+	if diff := math.Abs(estimate - want); diff > tolerance {
+		return fmt.Errorf("MC estimate %g vs exact %g: |Δ| %.4f > %.4f", estimate, want, diff, tolerance)
+	}
+	return nil
+}
+
+// CheckExact asserts a deterministic engine's rational output equals
+// the oracle exactly. Deterministic engines get no tolerance and charge
+// nothing to the budget.
+func CheckExact(exact, got *big.Rat) error {
+	if exact.Cmp(got) != 0 {
+		return fmt.Errorf("exact-engine mismatch: got %v, want %v", got, exact)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package testkit
+
+import (
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/exact"
+	"pqe/internal/gen"
+	"pqe/internal/hypertree"
+	"pqe/internal/lineage"
+	"pqe/internal/nfa"
+	"pqe/internal/nfta"
+	"pqe/internal/pdb"
+	"pqe/internal/reduction"
+	"pqe/internal/safeplan"
+)
+
+// The fuzz targets deliberately assert only deterministic invariants —
+// exact pipelines against exact oracles — so any crash or mismatch the
+// fuzzer reports is a real bug, never statistical noise.
+
+// fuzzMaxFacts keeps fuzz instances far below MaxFacts: the oracles run
+// once per fuzz execution, and the fuzzer runs millions.
+const fuzzMaxFacts = 8
+
+// fuzzInstance builds a small deterministic instance for a parsed query.
+func fuzzInstance(q *cq.Query, seed int64) *pdb.Probabilistic {
+	h := gen.Instance(q, gen.Config{
+		FactsPerRelation: 2,
+		DomainSize:       3,
+		Model:            gen.ProbModel(uint64(seed) % 3),
+		Seed:             seed,
+	})
+	return capFacts(h, fuzzMaxFacts)
+}
+
+// FuzzQueryToPipeline drives arbitrary strings through cq.Parse and, on
+// the queries that survive, checks that the deterministic evaluation
+// routes agree on a generated instance: lineage WMC is the reference,
+// safe-plan must match on safe queries, and the exact oracle on all.
+func FuzzQueryToPipeline(f *testing.F) {
+	f.Add("R1(x,y), R2(y,z)", int64(1))
+	f.Add("S0(x), S1(x,y), S2(y)", int64(2))
+	f.Add("A(x,x)", int64(3))
+	f.Add("C1(x,y), C2(y,x)", int64(4))
+	f.Fuzz(func(t *testing.T, s string, seed int64) {
+		q, err := cq.Parse(s)
+		if err != nil {
+			t.Skip()
+		}
+		if q.Len() == 0 || q.Len() > 4 {
+			t.Skip()
+		}
+		for _, a := range q.Atoms {
+			if a.Arity() > 3 {
+				t.Skip()
+			}
+		}
+		h := fuzzInstance(q, seed)
+		want, err := exact.PQE(q, h)
+		if err != nil {
+			t.Fatalf("oracle rejected a %d-fact instance: %v", h.Size(), err)
+		}
+		dnf, err := lineage.Compute(q, h.DB(), lineageLimit)
+		if err != nil {
+			t.Fatalf("lineage: %v", err)
+		}
+		if got := dnf.WMCExact(h); got.Cmp(want) != 0 {
+			t.Errorf("lineage WMC %v != oracle %v\nquery %s\n%s", got, want, q, pdb.FormatString(h))
+		}
+		if safeplan.IsSafe(q) {
+			got, err := safeplan.Evaluate(q, h)
+			if err != nil {
+				t.Fatalf("safeplan on a safe query: %v", err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Errorf("safeplan %v != oracle %v\nquery %s\n%s", got, want, q, pdb.FormatString(h))
+			}
+		}
+	})
+}
+
+// FuzzPathNFAConstruction checks the Section 3 bijection on random path
+// instances: the NFA built for (Q, D) accepts exactly UR(Q, D) words of
+// length |D|.
+func FuzzPathNFAConstruction(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(1), int64(1))
+	f.Add(uint8(3), uint8(1), uint8(2), int64(7))
+	f.Fuzz(func(t *testing.T, length, chains, noise uint8, seed int64) {
+		n := 1 + int(length)%3
+		q := cq.PathQuery("R", n)
+		h := gen.SparsePathInstance(q, 1+int(chains)%2, int(noise)%2, gen.ProbHalf, seed)
+		h = capFacts(h, fuzzMaxFacts)
+		d := h.DB()
+		m, err := reduction.PathNFA(q, d)
+		if err != nil {
+			t.Fatalf("PathNFA: %v", err)
+		}
+		got := nfa.ExactCount(m, d.Size())
+		want := exact.MustUR(q, d)
+		if got.Cmp(want) != 0 {
+			t.Errorf("NFA accepts %v words, UR(Q,D) = %v\nquery %s\n%s", got, want, q, d)
+		}
+	})
+}
+
+// FuzzNFTAConstruction checks the Theorem 3 reduction the same way: the
+// NFTA built from a decomposition accepts exactly UR(Q, D) trees of the
+// reduction's size.
+func FuzzNFTAConstruction(f *testing.F) {
+	f.Add(uint8(0), int64(1))
+	f.Add(uint8(1), int64(5))
+	f.Add(uint8(2), int64(9))
+	f.Fuzz(func(t *testing.T, shape uint8, seed int64) {
+		var q *cq.Query
+		switch shape % 3 {
+		case 0:
+			q = cq.StarQuery("S", 2)
+		case 1:
+			q = cq.PathQuery("R", 2)
+		default:
+			q = cq.CycleQuery("C", 3)
+		}
+		h := gen.Instance(q, gen.Config{FactsPerRelation: 2, DomainSize: 2, Model: gen.ProbHalf, Seed: seed})
+		h = capFacts(h, fuzzMaxFacts)
+		d := h.DB()
+		dec, err := hypertree.Decompose(q)
+		if err != nil {
+			t.Fatalf("decompose %s: %v", q, err)
+		}
+		ur, err := reduction.BuildUR(q, d, dec)
+		if err != nil {
+			t.Fatalf("BuildUR: %v", err)
+		}
+		got := nfta.ExactCount(ur.Auto, ur.TreeSize)
+		want := exact.MustUR(q, d)
+		if got.Cmp(want) != 0 {
+			t.Errorf("NFTA accepts %v trees, UR(Q,D) = %v\nquery %s\n%s", got, want, q, d)
+		}
+	})
+}
+
+// Seed-corpus smoke check: each fuzz body must pass on its own seeds in
+// a plain test run (go test executes fuzz targets on the corpus only).
+func TestFuzzSeedsSmoke(t *testing.T) {
+	for i := int64(0); i < 4; i++ {
+		q := cq.PathQuery("R", 2)
+		h := fuzzInstance(q, i)
+		if h.Size() > fuzzMaxFacts {
+			t.Fatalf("fuzz instance seed %d has %d facts", i, h.Size())
+		}
+		if _, err := exact.PQE(q, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+
+	"pqe/internal/core"
+	"pqe/internal/exact"
+	"pqe/internal/lineage"
+	"pqe/internal/montecarlo"
+	"pqe/internal/obdd"
+	"pqe/internal/safeplan"
+	"pqe/internal/splitmix"
+)
+
+// Derivation sites for per-check evaluation seeds: each statistical
+// check of each case draws from its own splitmix stream, so no two
+// checks (or retries) ever share randomness.
+const (
+	sitePQE uint64 = 0x10 + iota
+	sitePathPQE
+	siteUR
+	sitePathUR
+	siteMC
+)
+
+// lineageLimit bounds witness enumeration; with |D| ≤ MaxFacts the true
+// clause count is far below it, so hitting the limit is itself a bug.
+const lineageLimit = 1 << 16
+
+// obddNodes caps OBDD compilation; an oversized diagram skips the OBDD
+// checks rather than failing the case.
+const obddNodes = 1 << 15
+
+// evalSeed derives the engine seed for one attempt of one check.
+func evalSeed(c *Case, site uint64, attempt int) int64 {
+	s := splitmix.Derive(c.Seed, site, c.Index*(maxRetries+1)+attempt)
+	return int64(s.Uint64() >> 1)
+}
+
+// maxRetries bounds the attempt-index space carved out per case in
+// evalSeed; Config.Retries beyond this would reuse streams.
+const maxRetries = 7
+
+// RunDifferential evaluates every engine applicable to the case and
+// checks each against the brute-force oracles, charging b for every
+// statistical assertion. It returns nil if all engines agree, or an
+// error naming the first failing check. Engines that decline the
+// instance (core.ErrUnsupported, obdd.ErrTooLarge) are skipped — being
+// out of class is not a bug — but oracle failures are.
+func RunDifferential(c *Case, cfg Config, b *Budget) error {
+	if cfg.Retries > maxRetries {
+		return fmt.Errorf("testkit: Retries %d exceeds the seed-stream bound %d", cfg.Retries, maxRetries)
+	}
+	exactP, err := exact.PQE(c.Query, c.H)
+	if err != nil {
+		return fmt.Errorf("exact.PQE oracle: %w", err)
+	}
+	exactN, err := exact.UR(c.Query, c.H.DB())
+	if err != nil {
+		return fmt.Errorf("exact.UR oracle: %w", err)
+	}
+
+	// Statistical engines: retried with independent derived seeds, each
+	// full check charging checkDelta to the budget.
+	statistical := func(name string, site uint64, eval func(opts core.Options) error) error {
+		var lastErr error
+		for a := 0; a <= cfg.Retries; a++ {
+			opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, site, a)}
+			lastErr = eval(opts)
+			if lastErr == nil || errors.Is(lastErr, core.ErrUnsupported) {
+				break
+			}
+		}
+		if errors.Is(lastErr, core.ErrUnsupported) {
+			return nil
+		}
+		b.Charge(cfg.checkDelta())
+		if lastErr != nil {
+			return fmt.Errorf("%s: %w", name, lastErr)
+		}
+		return nil
+	}
+
+	if err := statistical("pqe/nfta", sitePQE, func(opts core.Options) error {
+		v, err := core.PQEEstimate(c.Query, c.H, opts)
+		if err != nil {
+			return err
+		}
+		return CheckRel(exactP, v, cfg.Tolerance())
+	}); err != nil {
+		return err
+	}
+	if err := statistical("ur/nfta", siteUR, func(opts core.Options) error {
+		v, err := core.UREstimate(c.Query, c.H.DB(), opts)
+		if err != nil {
+			return err
+		}
+		return CheckRelCount(exactN, v, cfg.Tolerance())
+	}); err != nil {
+		return err
+	}
+	if c.Query.IsPath() {
+		if err := statistical("pqe/path-nfa", sitePathPQE, func(opts core.Options) error {
+			v, err := core.PathPQEEstimate(c.Query, c.H, opts)
+			if err != nil {
+				return err
+			}
+			return CheckRel(exactP, v, cfg.Tolerance())
+		}); err != nil {
+			return err
+		}
+		if err := statistical("ur/path-nfa", sitePathUR, func(opts core.Options) error {
+			v, err := core.PathEstimate(c.Query, c.H.DB(), opts)
+			if err != nil {
+				return err
+			}
+			return CheckRelCount(exactN, v, cfg.Tolerance())
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Monte Carlo baseline: one attempt, additive Hoeffding tolerance.
+	mc := montecarlo.Estimate(c.Query, c.H, montecarlo.Options{
+		Samples: cfg.MCSamples,
+		Seed:    evalSeed(c, siteMC, 0),
+	})
+	b.Charge(cfg.MCDelta)
+	if err := CheckAbs(exactP, mc, cfg.MCTolerance()); err != nil {
+		return fmt.Errorf("montecarlo: %w", err)
+	}
+
+	// Deterministic engines: exact rational agreement, no budget charge.
+	if safeplan.IsSafe(c.Query) {
+		v, err := safeplan.Evaluate(c.Query, c.H)
+		if err != nil {
+			return fmt.Errorf("safeplan: %w", err)
+		}
+		if err := CheckExact(exactP, v); err != nil {
+			return fmt.Errorf("safeplan: %w", err)
+		}
+	}
+	dnf, err := lineage.Compute(c.Query, c.H.DB(), lineageLimit)
+	if err != nil {
+		return fmt.Errorf("lineage: %w", err)
+	}
+	if err := CheckExact(exactP, dnf.WMCExact(c.H)); err != nil {
+		return fmt.Errorf("lineage/wmc: %w", err)
+	}
+	if o, err := obdd.CompileDNF(dnf, obddNodes); err == nil {
+		if err := CheckExact(exactP, o.WMC(c.H)); err != nil {
+			return fmt.Errorf("obdd/wmc: %w", err)
+		}
+		if got := o.CountModels(); got.Cmp(exactN) != 0 {
+			return fmt.Errorf("obdd/countmodels: got %v, want %v", got, exactN)
+		}
+	} else if !errors.Is(err, obdd.ErrTooLarge) {
+		return fmt.Errorf("obdd: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package testkit
+
+import (
+	"fmt"
+	"strings"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// Shrink greedily minimizes a failing case: it tries deleting each fact
+// and then each query atom, keeping any deletion under which the case
+// still fails the given predicate, and repeats until a fixed point. The
+// returned case has Shrunk set — it is no longer derivable from
+// (Seed, Index), so Repro prints the instance inline.
+//
+// fails must be a pure function of the case (the runner is: every
+// random draw derives from the case seed), or the shrink is unsound.
+// Passes are bounded, so Shrink terminates even on a flaky predicate.
+func Shrink(c *Case, fails func(*Case) bool) *Case {
+	cur := c
+	for pass := 0; pass < 8; pass++ {
+		shrunk := false
+		// Fact deletions, one at a time, re-scanning after each success
+		// (indices shift under deletion).
+		for i := 0; i < cur.H.Size(); {
+			cand := cloneCase(cur)
+			cand.H = deleteFact(cur.H, i)
+			if fails(cand) {
+				cur = cand
+				shrunk = true
+				continue // same index now names the next fact
+			}
+			i++
+		}
+		// Atom deletions (keep at least one atom; a 0-atom CQ is
+		// degenerate). Facts of the dropped relation become dead weight
+		// the next fact pass removes.
+		for len(cur.Query.Atoms) > 1 {
+			dropped := false
+			for i := range cur.Query.Atoms {
+				cand := cloneCase(cur)
+				atoms := make([]cq.Atom, 0, len(cur.Query.Atoms)-1)
+				atoms = append(atoms, cur.Query.Atoms[:i]...)
+				atoms = append(atoms, cur.Query.Atoms[i+1:]...)
+				cand.Query = cq.New(atoms...)
+				if fails(cand) {
+					cur = cand
+					shrunk = true
+					dropped = true
+					break
+				}
+			}
+			if !dropped {
+				break
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	if cur != c {
+		cur.Shrunk = true
+	}
+	return cur
+}
+
+func cloneCase(c *Case) *Case {
+	cp := *c
+	return &cp
+}
+
+func deleteFact(h *pdb.Probabilistic, idx int) *pdb.Probabilistic {
+	out := pdb.Empty()
+	for i, f := range h.DB().Facts() {
+		if i == idx {
+			continue
+		}
+		out.Add(f, h.ProbAt(i))
+	}
+	return out
+}
+
+// Repro renders the failure report every testkit assertion ends with: a
+// copy-pasteable command replaying exactly this case, plus the query
+// and instance in pqegen's text format. For a shrunk case the seed no
+// longer regenerates the instance, so the inline text is authoritative
+// and the printed command replays the unshrunk ancestor.
+func (c *Case) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "case %d (shape %s, model %s, seed %d)\n", c.Index, c.Shape, c.Model, c.Seed)
+	if c.Shrunk {
+		b.WriteString("shrunk from the seeded case; replay the original with:\n")
+	} else {
+		b.WriteString("replay with:\n")
+	}
+	fmt.Fprintf(&b, "  go test ./internal/testkit -run 'TestDifferential|TestMetamorphic' -testkit.seed=%d -testkit.case=%d\n", c.Seed, c.Index)
+	fmt.Fprintf(&b, "  go run ./cmd/pqegen -family testkit -seed %d -case %d\n", c.Seed, c.Index)
+	fmt.Fprintf(&b, "query: %s\n", c.Query)
+	fmt.Fprintf(&b, "instance (%d facts):\n%s", c.H.Size(), pdb.FormatString(c.H))
+	return b.String()
+}

@@ -299,10 +299,11 @@ func ExactProbability(q *Query, d *Database) (*big.Rat, error) {
 // 2^|D| subinstances. Only for tiny databases (|D| ≤ 30); intended for
 // testing and calibration.
 func BruteForceProbability(q *Query, d *Database) (*big.Rat, error) {
-	if d.Size() > exact.MaxBruteForceSize {
-		return nil, fmt.Errorf("pqe: database too large (%d facts) for brute force", d.Size())
+	p, err := exact.PQE(q.q, d.h)
+	if err != nil {
+		return nil, fmt.Errorf("pqe: %w", err)
 	}
-	return exact.PQE(q.q, d.h), nil
+	return p, nil
 }
 
 // LineageInfo describes the DNF lineage of a query over a database —
