@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pqe -query "R(x,y), S(y,z)" -db data.pdb [-eps 0.1] [-seed 1] [-fpras] [-exact]
+//	    [-debug-addr :8080] [-trace-json trace.json]
 //
 // The database file has one fact per line: "R(a, b) : 3/4" (fractions
 // or exact decimals; omitted probability means 1). By default the tool
@@ -34,16 +35,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pqe", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		queryStr = fs.String("query", "", "conjunctive query, e.g. 'R(x,y), S(y,z)'")
-		dbPath   = fs.String("db", "", "probabilistic database file")
-		eps      = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
-		seed     = fs.Int64("seed", 1, "random seed")
-		fpras    = fs.Bool("fpras", false, "force the FPRAS even for safe queries")
-		exactBF  = fs.Bool("exact", false, "also run the brute-force oracle (|D| ≤ 30)")
-		ur       = fs.Bool("ur", false, "compute uniform reliability (subinstance count) instead of probability")
-		explain  = fs.Bool("explain", false, "print the evaluation plan instead of evaluating")
-		sample   = fs.Int("sample", 0, "also draw N worlds conditioned on the query holding")
-		workers  = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
+		queryStr  = fs.String("query", "", "conjunctive query, e.g. 'R(x,y), S(y,z)'")
+		dbPath    = fs.String("db", "", "probabilistic database file")
+		eps       = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
+		seed      = fs.Int64("seed", 1, "random seed")
+		fpras     = fs.Bool("fpras", false, "force the FPRAS even for safe queries")
+		exactBF   = fs.Bool("exact", false, "also run the brute-force oracle (|D| ≤ 30)")
+		ur        = fs.Bool("ur", false, "compute uniform reliability (subinstance count) instead of probability")
+		explain   = fs.Bool("explain", false, "print the evaluation plan instead of evaluating")
+		sample    = fs.Int("sample", 0, "also draw N worlds conditioned on the query holding")
+		workers   = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
+		debugAddr = fs.String("debug-addr", "", "serve live telemetry on this address (/metrics, /trace.json, /debug/pprof/)")
+		traceJSON = fs.String("trace-json", "", "write the stage trace, convergence records and metrics to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +54,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *queryStr == "" || *dbPath == "" {
 		fs.Usage()
 		return fmt.Errorf("both -query and -db are required")
+	}
+
+	var tel *pqe.Telemetry
+	if *debugAddr != "" || *traceJSON != "" {
+		tel = pqe.NewTelemetry()
+	}
+	if *debugAddr != "" {
+		bound, err := tel.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/\n", bound)
+	}
+	if *traceJSON != "" {
+		defer func() {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintln(stderr, "pqe: trace-json:", err)
+				return
+			}
+			defer f.Close()
+			if err := tel.WriteTraceJSON(f); err != nil {
+				fmt.Fprintln(stderr, "pqe: trace-json:", err)
+			}
+		}()
 	}
 
 	q, err := pqe.ParseQuery(*queryStr)
@@ -67,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "facts: %d   self-join-free: %v   hypertree width: %d (bounded: %v)   safe: %v\n",
 		db.Size(), sjf, width, bounded, safe)
 
-	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, Workers: *workers}
+	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, Workers: *workers, Telemetry: tel}
 	// One session for every mode: the decomposition and the automata are
 	// built once and shared by the probability estimate and each
 	// sampled world.
@@ -111,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	for i := 0; i < *sample; i++ {
-		w, err := est.SampleWorld(&pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), Workers: *workers})
+		w, err := est.SampleWorld(&pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), Workers: *workers, Telemetry: tel})
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@ import (
 	"pqe/internal/efloat"
 	"pqe/internal/gen"
 	"pqe/internal/nfta"
+	"pqe/internal/obs"
 )
 
 // benchRecord is one machine-readable benchmark row in
@@ -26,7 +27,65 @@ type benchRecord struct {
 	AllocsPerOp uint64      `json:"allocs_per_op"`
 	BytesPerOp  uint64      `json:"bytes_per_op"`
 	Stats       *benchStats `json:"stats,omitempty"`
+	Stages      *stageNs    `json:"stage_ns,omitempty"`
 }
+
+// stageNs is the per-op pipeline timing breakdown, aggregated from the
+// obs stage spans of a short instrumented pass run *after* the timed
+// loop (the ns_per_op measurement itself stays uninstrumented, so it is
+// comparable across releases).
+type stageNs struct {
+	// Build covers decomposition, automaton construction and multiplier
+	// weighting (pqe.decompose / pqe.build_* / pqe.weight_*), trim
+	// excluded.
+	Build int64 `json:"build"`
+	// Trim covers the automaton trims (pqe.trim_ur / pqe.trim_path).
+	Trim int64 `json:"trim"`
+	// Sample covers the counting engines (count.trees / count.nfa).
+	Sample int64 `json:"sample"`
+}
+
+// measureStages runs fn a few times under a fresh tracer and averages
+// the span durations into the build/trim/sample breakdown. Trim spans
+// nest inside build spans, so their time is subtracted from Build.
+func measureStages(runs int, fn func(sc *obs.Scope, i int)) *stageNs {
+	tr := obs.NewTracer()
+	sc := obs.NewScope(tr, nil, nil)
+	for i := 0; i < runs; i++ {
+		fn(sc, i)
+	}
+	var out stageNs
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		switch s.Name() {
+		case "pqe.decompose", "pqe.build_ur", "pqe.build_path_nfa", "pqe.weight_ur", "pqe.weight_path":
+			out.Build += s.Duration().Nanoseconds()
+		case "pqe.trim_ur", "pqe.trim_path":
+			out.Trim += s.Duration().Nanoseconds()
+		case "count.trees", "count.nfa":
+			out.Sample += s.Duration().Nanoseconds()
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, r := range tr.Roots() {
+		walk(r)
+	}
+	out.Build -= out.Trim
+	if out.Build < 0 {
+		out.Build = 0
+	}
+	n := int64(runs)
+	out.Build /= n
+	out.Trim /= n
+	out.Sample /= n
+	return &out
+}
+
+// stageRuns is the instrumented-pass repetition count behind each
+// stage_ns row.
+const stageRuns = 5
 
 // benchStats carries the estimator's own effort counters (per op).
 type benchStats struct {
@@ -120,7 +179,13 @@ func runJSONBench(path string, eps float64, seed int64, workers int, stdout io.W
 					panic(fmt.Sprintf("%s: err=%v v=%v", tc.name, err, v))
 				}
 			})
-			out.Results = append(out.Results, record(tc.name, w, ops, ns, allocs, bytes, &st))
+			rec := record(tc.name, w, ops, ns, allocs, bytes, &st)
+			rec.Stages = measureStages(stageRuns, func(sc *obs.Scope, i int) {
+				_, _ = core.UREstimate(tc.q, d, core.Options{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, Obs: sc,
+				})
+			})
+			out.Results = append(out.Results, rec)
 		}
 
 		a := heavyOverlap()
@@ -134,7 +199,13 @@ func runJSONBench(path string, eps float64, seed int64, workers int, stdout io.W
 		if v.IsZero() {
 			return fmt.Errorf("CountTrees/heavyOverlap: estimate collapsed to zero")
 		}
-		out.Results = append(out.Results, record("CountTrees/heavyOverlap/n=24", w, ops, ns, allocs, bytes, &st))
+		rec := record("CountTrees/heavyOverlap/n=24", w, ops, ns, allocs, bytes, &st)
+		rec.Stages = measureStages(stageRuns, func(sc *obs.Scope, i int) {
+			count.Trees(a, 24, count.Options{
+				Epsilon: eps, Trials: 3, Seed: seed + int64(i), Workers: w, Obs: sc,
+			})
+		})
+		out.Results = append(out.Results, rec)
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -11,6 +11,7 @@ import (
 	"pqe/internal/cq"
 	"pqe/internal/gen"
 	"pqe/internal/nfa"
+	"pqe/internal/obs"
 	"pqe/internal/reduction"
 )
 
@@ -32,6 +33,7 @@ type nfaBenchRecord struct {
 	AllocsPerOp uint64         `json:"allocs_per_op"`
 	BytesPerOp  uint64         `json:"bytes_per_op"`
 	Stats       *nfaBenchStats `json:"stats,omitempty"`
+	Stages      *stageNs       `json:"stage_ns,omitempty"`
 }
 
 type nfaBenchFile struct {
@@ -76,8 +78,14 @@ func runJSONBenchNFA(path string, eps float64, seed int64, workers int, stdout i
 					panic(fmt.Sprintf("PathEstimate/len=%d: err=%v v=%v", n, err, v))
 				}
 			})
-			out.Results = append(out.Results, nfaRecord(
-				fmt.Sprintf("PathEstimate/len=%d_facts=%d", n, d.Size()), w, ops, ns, allocs, bytes, &st))
+			rec := nfaRecord(
+				fmt.Sprintf("PathEstimate/len=%d_facts=%d", n, d.Size()), w, ops, ns, allocs, bytes, &st)
+			rec.Stages = measureStages(stageRuns, func(sc *obs.Scope, i int) {
+				_, _ = core.PathEstimate(q, d, core.Options{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, Obs: sc,
+				})
+			})
+			out.Results = append(out.Results, rec)
 		}
 
 		// Footnote 2 of §5.1: the weighted string pipeline.
@@ -93,8 +101,14 @@ func runJSONBenchNFA(path string, eps float64, seed int64, workers int, stdout i
 					panic(fmt.Sprintf("PathPQEEstimate: err=%v v=%v", err, v))
 				}
 			})
-			out.Results = append(out.Results, nfaRecord(
-				fmt.Sprintf("PathPQEEstimate/len=3_facts=%d", h.Size()), w, ops, ns, allocs, bytes, &st))
+			rec := nfaRecord(
+				fmt.Sprintf("PathPQEEstimate/len=3_facts=%d", h.Size()), w, ops, ns, allocs, bytes, &st)
+			rec.Stages = measureStages(stageRuns, func(sc *obs.Scope, i int) {
+				_, _ = core.PathPQEEstimate(q, h, core.Options{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, Obs: sc,
+				})
+			})
+			out.Results = append(out.Results, rec)
 		}
 
 		// Raw counting on a prebuilt automaton: isolates the engine from
@@ -116,8 +130,14 @@ func runJSONBenchNFA(path string, eps float64, seed int64, workers int, stdout i
 					panic("CountNFA: estimate collapsed to zero")
 				}
 			})
-			out.Results = append(out.Results, nfaRecord(
-				fmt.Sprintf("CountNFA/path3_facts=%d", d.Size()), w, ops, ns, allocs, bytes, &st))
+			rec := nfaRecord(
+				fmt.Sprintf("CountNFA/path3_facts=%d", d.Size()), w, ops, ns, allocs, bytes, &st)
+			rec.Stages = measureStages(stageRuns, func(sc *obs.Scope, i int) {
+				nfa.Count(m, d.Size(), nfa.CountOptions{
+					Epsilon: eps, Seed: seed + int64(i), Workers: w, Obs: sc,
+				})
+			})
+			out.Results = append(out.Results, rec)
 		}
 	}
 

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"pqe/internal/experiments"
+	"pqe/internal/obs"
 )
 
 func main() {
@@ -34,18 +35,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pqebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment ID (T1, E2..E11, A1, A2) or 'all'")
-		eps      = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
-		seed     = fs.Int64("seed", 1, "random seed")
-		quick    = fs.Bool("quick", false, "shrink sweeps for a fast pass")
-		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
-		workers  = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
+		exp         = fs.String("exp", "all", "experiment ID (T1, E2..E11, A1, A2) or 'all'")
+		eps         = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
+		seed        = fs.Int64("seed", 1, "random seed")
+		quick       = fs.Bool("quick", false, "shrink sweeps for a fast pass")
+		markdown    = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+		workers     = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
 		jsonOut     = fs.Bool("json", false, "run the CountNFTA + CountNFA micro-benchmarks and write -json-out / -json-nfa-out instead of experiment tables")
 		jsonPath    = fs.String("json-out", "BENCH_countnfta.json", "output path for the tree-engine suite under -json")
 		jsonNFAPath = fs.String("json-nfa-out", "BENCH_countnfa.json", "output path for the string-engine suite under -json")
+		debugAddr   = fs.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while the suite runs (CPU profiles carry the engines' pqe_engine/pqe_stage labels)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		bound, err := obs.Serve(*debugAddr, obs.Handler(nil, nil, nil))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/\n", bound)
 	}
 
 	if *jsonOut {

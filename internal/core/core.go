@@ -23,6 +23,7 @@ import (
 	"pqe/internal/efloat"
 	"pqe/internal/hypertree"
 	"pqe/internal/nfa"
+	"pqe/internal/obs"
 	"pqe/internal/pdb"
 	"pqe/internal/safeplan"
 )
@@ -58,9 +59,16 @@ type Options struct {
 	// effort counters accumulated across PathEstimate / PathPQEEstimate
 	// invocations.
 	NFAStats *nfa.Stats
+	// Obs, when non-nil, attaches the unified telemetry sinks to the
+	// pipeline: stage spans for every construction and counting phase,
+	// registry counters (pqe_build_* plus the engines' countnfta_* /
+	// countnfa_* families), and per-trial convergence records. When nil,
+	// an Estimator still keeps a private registry so BuildStats works;
+	// tracing and convergence stay off.
+	Obs *obs.Scope
 }
 
-func (o Options) countOptions() count.Options {
+func (o Options) countOptions(sc *obs.Scope) count.Options {
 	return count.Options{
 		Epsilon:  o.Epsilon,
 		Trials:   o.Trials,
@@ -69,10 +77,11 @@ func (o Options) countOptions() count.Options {
 		Parallel: o.Parallel,
 		Workers:  o.Workers,
 		Stats:    o.CountStats,
+		Obs:      sc,
 	}
 }
 
-func (o Options) nfaOptions() nfa.CountOptions {
+func (o Options) nfaOptions(sc *obs.Scope) nfa.CountOptions {
 	return nfa.CountOptions{
 		Epsilon:  o.Epsilon,
 		Trials:   o.Trials,
@@ -81,6 +90,7 @@ func (o Options) nfaOptions() nfa.CountOptions {
 		Parallel: o.Parallel,
 		Workers:  o.Workers,
 		Stats:    o.NFAStats,
+		Obs:      sc,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"pqe/internal/efloat"
 	"pqe/internal/hypertree"
 	"pqe/internal/nfa"
+	"pqe/internal/obs"
 	"pqe/internal/pdb"
 	"pqe/internal/reduction"
 	"pqe/internal/safeplan"
@@ -18,6 +19,10 @@ import (
 // evaluations on the same Estimator must not grow the
 // probability-independent counters, and a SetProbabilities call grows
 // only Weightings — the cache-hit contract the tests assert.
+//
+// Deprecated thin accessor: the counters live in the session's obs
+// registry (pqe_build_* names) and this struct is reconstructed from it
+// on demand; new call sites should read the registry.
 type BuildStats struct {
 	// Decompositions counts hypertree decomposition searches.
 	Decompositions int
@@ -49,7 +54,12 @@ type Estimator struct {
 	d    *pdb.Database
 	opts Options // construction knobs (MaxWidth); counting knobs come per call
 
-	stats BuildStats
+	// sc is the session's telemetry scope. It always has a registry (a
+	// private one when opts.Obs is nil) so the pqe_build_* stage counters
+	// — the source of truth behind BuildStats — exist unconditionally;
+	// tracer and convergence are attached only when the caller provided
+	// them.
+	sc *obs.Scope
 
 	class     Classification
 	classDone bool
@@ -81,17 +91,36 @@ type Estimator struct {
 // probabilistic database H. Nothing is built until the first call that
 // needs it.
 func NewEstimator(q *cq.Query, h *pdb.Probabilistic, opts Options) *Estimator {
-	return &Estimator{q: q, h: h, d: h.DB(), opts: opts}
+	return &Estimator{q: q, h: h, d: h.DB(), opts: opts, sc: sessionScope(opts.Obs)}
 }
 
 // NewUREstimator prepares a uniform-reliability-only session over a
 // plain database (no probabilities; the probability methods error).
 func NewUREstimator(q *cq.Query, d *pdb.Database, opts Options) *Estimator {
-	return &Estimator{q: q, d: d, opts: opts}
+	return &Estimator{q: q, d: d, opts: opts, sc: sessionScope(opts.Obs)}
 }
 
-// BuildStats returns the construction counters accumulated so far.
-func (e *Estimator) BuildStats() BuildStats { return e.stats }
+// sessionScope guarantees the estimator a registry: a caller-supplied
+// scope is used as-is when it has one; otherwise a private registry is
+// bundled with whatever sinks the caller did attach.
+func sessionScope(s *obs.Scope) *obs.Scope {
+	if s.Registry() != nil {
+		return s
+	}
+	return obs.NewScope(s.Tracer(), obs.NewRegistry(), s.Convergence())
+}
+
+// BuildStats returns the construction counters accumulated so far,
+// reconstructed from the session registry's pqe_build_* counters.
+func (e *Estimator) BuildStats() BuildStats {
+	reg := e.sc.Registry()
+	return BuildStats{
+		Decompositions: int(reg.Counter("pqe_build_decompositions_total").Value()),
+		URReductions:   int(reg.Counter("pqe_build_ur_reductions_total").Value()),
+		PathAutomata:   int(reg.Counter("pqe_build_path_automata_total").Value()),
+		Weightings:     int(reg.Counter("pqe_build_weightings_total").Value()),
+	}
+}
 
 // SetProbabilities rebinds the session to a new probabilistic database.
 // When the new instance has exactly the same facts in the same fact
@@ -111,6 +140,9 @@ func (e *Estimator) SetProbabilities(h *pdb.Probabilistic) error {
 		e.projDB = nil
 		e.urRed, e.urErr, e.urDone = nil, nil, false
 		e.pathAuto, e.pathErr, e.pathDone = nil, nil, false
+		e.sc.Counter("pqe_estimator_rebuilds_total").Inc()
+	} else {
+		e.sc.Counter("pqe_estimator_rebinds_total").Inc()
 	}
 	e.h = h
 	e.d = h.DB()
@@ -154,6 +186,15 @@ func (e *Estimator) Class() Classification {
 	return c
 }
 
+// scope picks the telemetry scope of one call: a per-call override from
+// opts when given, the session scope otherwise.
+func (e *Estimator) scope(opts Options) *obs.Scope {
+	if opts.Obs != nil {
+		return opts.Obs
+	}
+	return e.sc
+}
+
 func (e *Estimator) maxWidth() int {
 	if e.opts.MaxWidth > 0 {
 		return e.opts.MaxWidth
@@ -163,8 +204,10 @@ func (e *Estimator) maxWidth() int {
 
 func (e *Estimator) decomposition() (*hypertree.Decomposition, error) {
 	if !e.decDone {
-		e.stats.Decompositions++
+		e.sc.Counter("pqe_build_decompositions_total").Inc()
+		_, span := e.sc.Span("pqe.decompose")
 		e.dec, e.decErr = hypertree.Decompose(e.q)
+		span.End()
 		e.decDone = true
 	}
 	return e.dec, e.decErr
@@ -205,8 +248,14 @@ func (e *Estimator) urReduction() (*reduction.URReduction, error) {
 		e.urErr = fmt.Errorf("%w: no decomposition of width ≤ %d for %q", ErrUnsupported, e.maxWidth(), e.q)
 		return nil, e.urErr
 	}
-	e.stats.URReductions++
-	e.urRed, e.urErr = reduction.BuildUR(e.q, e.proj(), dec)
+	e.sc.Counter("pqe_build_ur_reductions_total").Inc()
+	sc, span := e.sc.Span("pqe.build_ur")
+	e.urRed, e.urErr = reduction.BuildURObs(e.q, e.proj(), dec, sc)
+	if span != nil && e.urRed != nil {
+		span.SetAttr("states", e.urRed.Auto.NumStates())
+		span.SetAttr("tree_size", e.urRed.TreeSize)
+	}
+	span.End()
 	return e.urRed, e.urErr
 }
 
@@ -223,13 +272,18 @@ func (e *Estimator) pathAutomaton() (*nfa.NFA, error) {
 		e.pathErr = fmt.Errorf("core: PathEstimate needs a self-join-free path query, got %q", e.q)
 		return nil, e.pathErr
 	}
-	e.stats.PathAutomata++
+	e.sc.Counter("pqe_build_path_automata_total").Inc()
+	sc, span := e.sc.Span("pqe.build_path_nfa")
 	m, err := reduction.PathNFA(e.q, e.proj())
 	if err != nil {
+		span.End()
 		e.pathErr = err
 		return nil, err
 	}
+	_, tspan := sc.Span("pqe.trim_path")
 	e.pathAuto = m.Trim()
+	tspan.End()
+	span.End()
 	return e.pathAuto, nil
 }
 
@@ -246,8 +300,10 @@ func (e *Estimator) pqeReduction() (*reduction.PQEReduction, error) {
 		e.pqeErr = err
 		return nil, err
 	}
-	e.stats.Weightings++
+	e.sc.Counter("pqe_build_weightings_total").Inc()
+	_, span := e.sc.Span("pqe.weight_ur")
 	e.pqeRed, e.pqeErr = reduction.WeightUR(ur, e.projProb())
+	span.End()
 	return e.pqeRed, e.pqeErr
 }
 
@@ -265,8 +321,10 @@ func (e *Estimator) pathPQEReduction() (*reduction.PathPQEReduction, error) {
 		e.pathPQEErr = err
 		return nil, err
 	}
-	e.stats.Weightings++
+	e.sc.Counter("pqe_build_weightings_total").Inc()
+	_, span := e.sc.Span("pqe.weight_path")
 	e.pathPQERed, e.pathPQEErr = reduction.WeightPathNFA(e.q, e.projProb(), base)
+	span.End()
 	return e.pathPQERed, e.pathPQEErr
 }
 
@@ -274,12 +332,14 @@ func (e *Estimator) pathPQEReduction() (*reduction.PathPQEReduction, error) {
 // pipeline, reusing the cached automaton. opts supplies the counting
 // knobs for this call.
 func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
+	sc, span := e.scope(opts).Span("pqe.path_estimate")
+	defer span.End()
 	m, err := e.pathAutomaton()
 	if err != nil {
 		return efloat.Zero, err
 	}
 	proj := e.proj()
-	c := nfa.Count(m, proj.Size(), opts.nfaOptions())
+	c := nfa.Count(m, proj.Size(), opts.nfaOptions(sc))
 	// UR(Q, D) = UR(Q, D') · 2^(|D|−|D'|): facts over relations outside
 	// the query are free to be present or absent.
 	return c.Mul(efloat.Pow2(int64(e.d.Size() - proj.Size()))), nil
@@ -288,11 +348,13 @@ func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
 // UREstimate approximates UR(Q, D) through the Theorem 3 tree pipeline,
 // reusing the cached reduction.
 func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
+	sc, span := e.scope(opts).Span("pqe.ur_estimate")
+	defer span.End()
 	red, err := e.urReduction()
 	if err != nil {
 		return efloat.Zero, err
 	}
-	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions())
+	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions(sc))
 	return c.Mul(efloat.Pow2(int64(e.d.Size() - e.proj().Size()))), nil
 }
 
@@ -302,11 +364,13 @@ func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
 	if e.h == nil {
 		return 0, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	sc, span := e.scope(opts).Span("pqe.pqe_estimate")
+	defer span.End()
 	weighted, err := e.pqeReduction()
 	if err != nil {
 		return 0, err
 	}
-	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions())
+	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions(sc))
 	return c.Ratio(efloat.FromBigInt(weighted.DenProduct)), nil
 }
 
@@ -316,11 +380,13 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 	if e.h == nil {
 		return 0, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	sc, span := e.scope(opts).Span("pqe.path_pqe_estimate")
+	defer span.End()
 	red, err := e.pathPQEReduction()
 	if err != nil {
 		return 0, err
 	}
-	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions())
+	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions(sc))
 	return c.Ratio(efloat.FromBigInt(red.DenProduct)), nil
 }
 
@@ -358,7 +424,7 @@ func (e *Estimator) SampleSatisfying(opts Options) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree := count.SampleTree(red.Auto, red.TreeSize, opts.countOptions())
+	tree := count.SampleTree(red.Auto, red.TreeSize, opts.countOptions(e.scope(opts)))
 	if tree == nil {
 		return nil, nil
 	}
@@ -386,7 +452,7 @@ func (e *Estimator) SampleWorld(opts Options) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree := count.SampleTree(weighted.Auto, weighted.TreeSize, opts.countOptions())
+	tree := count.SampleTree(weighted.Auto, weighted.TreeSize, opts.countOptions(e.scope(opts)))
 	if tree == nil {
 		return nil, nil
 	}

@@ -35,10 +35,12 @@
 package count
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +48,7 @@ import (
 	"pqe/internal/dense"
 	"pqe/internal/efloat"
 	"pqe/internal/nfta"
+	"pqe/internal/obs"
 	"pqe/internal/splitmix"
 )
 
@@ -77,8 +80,16 @@ type Options struct {
 	// result is identical across all Workers settings for a fixed seed.
 	Workers int
 	// Stats, when non-nil, accumulates estimator effort counters across
-	// all trials (for observability and the experiment harness).
+	// all trials. Deprecated thin accessor: the same counters (and more)
+	// flow into Obs's registry under countnfta_* names; new call sites
+	// should read those.
 	Stats *Stats
+	// Obs, when non-nil, receives the unified telemetry of every call:
+	// a count.trees span with per-trial child spans, countnfta_* registry
+	// counters (memo hits/misses, interner sizes, acceptance checks,
+	// worker utilization), and per-trial convergence records. A nil
+	// Scope disables all of it at the cost of a pointer test.
+	Obs *obs.Scope
 }
 
 // Stats reports how much work the estimator did.
@@ -138,6 +149,20 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		t0 = time.Now()
 		runtime.ReadMemStats(&m0)
 	}
+	sc, span := opts.Obs.Span("count.trees")
+	if span != nil {
+		span.SetAttr("n", n)
+		span.SetAttr("states", a.NumStates())
+		span.SetAttr("trials", opts.Trials)
+		span.SetAttr("epsilon", opts.Epsilon)
+		span.SetAttr("workers", opts.Workers)
+	}
+	conv := sc.Convergence()
+	callID := conv.NextCall()
+	callStart := time.Time{}
+	if conv != nil || span != nil {
+		callStart = time.Now()
+	}
 	results := make([]efloat.E, opts.Trials)
 	seeds := make([]int64, opts.Trials)
 	for t := range seeds {
@@ -145,9 +170,35 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 	}
 	ests := make([]*estimator, opts.Trials)
 	runTrial := func(t int) {
+		tspan := span.Start("trial")
+		var tt0 time.Time
+		if conv != nil || tspan != nil {
+			tt0 = time.Now()
+		}
 		e := newEstimatorSeeded(a, opts, seeds[t])
 		results[t] = e.treeEst(a.Initial(), n)
 		ests[t] = e
+		if tspan != nil {
+			tspan.SetAttr("trial", t)
+			tspan.SetAttr("union_samples", e.unionSamples)
+			tspan.End()
+		}
+		if conv != nil {
+			log2 := math.Inf(-1)
+			if !results[t].IsZero() {
+				log2 = results[t].Log2()
+			}
+			conv.Record(obs.TrialRecord{
+				Engine:       "countnfta",
+				Call:         callID,
+				Trial:        t,
+				Trials:       opts.Trials,
+				Epsilon:      opts.Epsilon,
+				Log2Estimate: log2,
+				UnionSamples: e.unionSamples,
+				Elapsed:      time.Since(tt0),
+			})
+		}
 	}
 	if opts.Parallel {
 		var wg sync.WaitGroup
@@ -155,7 +206,9 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				runTrial(t)
+				pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfta", "pqe_stage", "trial"), func(context.Context) {
+					runTrial(t)
+				})
 			}(t)
 		}
 		wg.Wait()
@@ -177,8 +230,51 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		opts.Stats.Mallocs += m1.Mallocs - m0.Mallocs
 		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
+	if reg := sc.Registry(); reg != nil {
+		flushRegistry(reg, ests, time.Since(callStart))
+	}
+	span.End()
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
+}
+
+// flushRegistry folds the per-trial effort counters into the unified
+// metrics registry, once per Trees call — never inside the sampling
+// loops, which only bump plain per-trial integers.
+func flushRegistry(reg *obs.Registry, ests []*estimator, wall time.Duration) {
+	var treeKeys, forestKeys, memoHits, unionSamples, rejections, acceptChecks int
+	var spawns, busy int64
+	interned := 0
+	for _, e := range ests {
+		if e == nil {
+			continue
+		}
+		treeKeys += e.trees.Keys()
+		forestKeys += e.forests.Keys()
+		memoHits += e.memoHits
+		unionSamples += e.unionSamples
+		rejections += e.rejections
+		acceptChecks += e.acceptChecks()
+		spawns += e.workerSpawns
+		busy += e.workerBusyNs
+		if len(e.tuples) > interned {
+			interned = len(e.tuples)
+		}
+	}
+	reg.Counter("countnfta_calls_total").Inc()
+	reg.Counter("countnfta_trials_total").Add(int64(len(ests)))
+	reg.Counter("countnfta_tree_keys_total").Add(int64(treeKeys))
+	reg.Counter("countnfta_forest_keys_total").Add(int64(forestKeys))
+	reg.Counter("countnfta_memo_hits_total").Add(int64(memoHits))
+	reg.Counter("countnfta_memo_misses_total").Add(int64(treeKeys + forestKeys))
+	reg.Counter("countnfta_union_samples_total").Add(int64(unionSamples))
+	reg.Counter("countnfta_rejections_total").Add(int64(rejections))
+	reg.Counter("countnfta_accept_checks_total").Add(int64(acceptChecks))
+	reg.Counter("countnfta_worker_spawns_total").Add(spawns)
+	reg.Counter("countnfta_worker_busy_ns_total").Add(busy)
+	reg.Counter("countnfta_wall_ns_total").Add(wall.Nanoseconds())
+	reg.Gauge("countnfta_interned_tuples").Set(float64(interned))
+	reg.Histogram("countnfta_call_seconds").Observe(wall.Seconds())
 }
 
 // SampleTree draws one near-uniform tree from L_n(T), or nil if the
@@ -229,10 +325,29 @@ type estimator struct {
 
 	unionSamples int
 	rejections   int
+	memoHits     int    // estimation-path memo-table hits (misses = keys)
+	acceptCount  int    // bitset acceptance computations (flushed from samplers)
 	siteSeq      uint64 // sampling-site counter for sub-RNG derivation
+
+	// Worker utilization, measured only when timed (obs attached):
+	// goroutines spawned by countFreshParallel and their summed busy ns.
+	timed        bool
+	workerSpawns int64
+	workerBusyNs int64
 
 	top        *sampler   // lazily created top-level sampling session
 	workerSmps []*sampler // reused intra-trial worker samplers
+}
+
+// acceptChecks totals the acceptance-bitset computations across the
+// trial's samplers (worker counts are flushed eagerly; the top-level
+// sampling session is read here).
+func (e *estimator) acceptChecks() int {
+	n := e.acceptCount
+	if e.top != nil {
+		n += e.top.acceptChecks
+	}
+	return n
 }
 
 func newEstimator(a *nfta.NFTA, opts Options) *estimator {
@@ -246,6 +361,7 @@ func newEstimatorSeeded(a *nfta.NFTA, opts Options, seed int64) *estimator {
 		samples:  opts.Samples,
 		maxRetry: opts.MaxRetry,
 		workers:  opts.Workers,
+		timed:    opts.Obs.Registry() != nil,
 	}
 	tupleIDs := make(map[string]int)
 	var keyBuf []byte
@@ -312,6 +428,7 @@ func (e *estimator) treeEst(q, n int) efloat.E {
 		return efloat.Zero
 	}
 	if v, ok := e.trees.Get(q, n); ok {
+		e.memoHits++
 		return v
 	}
 	// Guard against reentrancy: with n ≥ 1 the recursion strictly
@@ -348,6 +465,7 @@ func (e *estimator) symbolUnion(q, ei, n int) efloat.E {
 		return e.forestEst(tuples[0], n-1)
 	}
 	if v, ok := e.unions.Get(en.slot, n); ok {
+		e.memoHits++
 		return v
 	}
 	e.unions.Put(en.slot, n, efloat.Zero)
@@ -400,16 +518,31 @@ func (e *estimator) countFreshParallel(tuples []int, j, n int) int {
 		s := e.workerSmps[0]
 		fresh := s.countFresh(tuples, j, n, site, 0, e.samples, 1)
 		e.rejections += s.rejections
-		s.rejections = 0
+		e.acceptCount += s.acceptChecks
+		s.rejections, s.acceptChecks = 0, 0
 		return fresh
 	}
 	counts := make([]int, workers)
+	var busy []int64
+	if e.timed {
+		busy = make([]int64, workers)
+		e.workerSpawns += int64(workers)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			counts[w] = e.workerSmps[w].countFresh(tuples, j, n, site, w, e.samples, workers)
+			pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfta", "pqe_stage", "overlap"), func(context.Context) {
+				var t0 time.Time
+				if busy != nil {
+					t0 = time.Now()
+				}
+				counts[w] = e.workerSmps[w].countFresh(tuples, j, n, site, w, e.samples, workers)
+				if busy != nil {
+					busy[w] = time.Since(t0).Nanoseconds()
+				}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -417,7 +550,11 @@ func (e *estimator) countFreshParallel(tuples []int, j, n int) int {
 	for w := 0; w < workers; w++ {
 		fresh += counts[w]
 		e.rejections += e.workerSmps[w].rejections
-		e.workerSmps[w].rejections = 0
+		e.acceptCount += e.workerSmps[w].acceptChecks
+		e.workerSmps[w].rejections, e.workerSmps[w].acceptChecks = 0, 0
+		if busy != nil {
+			e.workerBusyNs += busy[w]
+		}
 	}
 	return fresh
 }
@@ -436,6 +573,7 @@ func (e *estimator) forestEst(tid, m int) efloat.E {
 		return e.treeEst(tuple[0], m)
 	}
 	if v, ok := e.forests.Get(tid, m); ok {
+		e.memoHits++
 		return v
 	}
 	rest := e.restID[tid]

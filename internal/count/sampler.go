@@ -28,6 +28,9 @@ type sampler struct {
 	forestBuf  []*nfta.Tree // transient forest for overlap testing
 	arena      *treeArena   // nil when sampled trees escape to callers
 	rejections int
+	// acceptChecks counts acceptance-bitset computations (one per forest
+	// tree membership-tested), flushed to the estimator like rejections.
+	acceptChecks int
 }
 
 func (e *estimator) newSampler(state uint64) *sampler {
@@ -293,6 +296,7 @@ func (s *sampler) sampleForestInto(tid, m int, out []*nfta.Tree) bool {
 func (s *sampler) firstAccepting(tuples []int, forest []*nfta.Tree) int {
 	e := s.e
 	sets := s.sets[:0]
+	s.acceptChecks += len(forest)
 	for _, t := range forest {
 		b := s.pool.Get()
 		e.a.AcceptingStatesInto(t, b, s.pool)

@@ -1,9 +1,11 @@
 package nfa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"pqe/internal/bitset"
 	"pqe/internal/dense"
 	"pqe/internal/efloat"
+	"pqe/internal/obs"
 	"pqe/internal/splitmix"
 )
 
@@ -48,8 +51,16 @@ type CountOptions struct {
 	// result is identical across all Workers settings for a fixed seed.
 	Workers int
 	// Stats, when non-nil, accumulates estimator effort counters across
-	// all trials (for observability and the experiment harness).
+	// all trials. Deprecated thin accessor: the same counters (and more)
+	// flow into Obs's registry under countnfa_* names; new call sites
+	// should read those.
 	Stats *Stats
+	// Obs, when non-nil, receives the unified telemetry of every call:
+	// a count.nfa span with per-trial child spans, countnfa_* registry
+	// counters (memo hits/misses, interner sizes, acceptance checks,
+	// worker utilization), and per-trial convergence records. A nil
+	// Scope disables all of it at the cost of a pointer test.
+	Obs *obs.Scope
 }
 
 // Stats reports how much work the estimator did.
@@ -107,6 +118,20 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		runtime.ReadMemStats(&m0)
 	}
 	ix := m.index()
+	sc, span := opts.Obs.Span("count.nfa")
+	if span != nil {
+		span.SetAttr("n", n)
+		span.SetAttr("states", m.numStates)
+		span.SetAttr("trials", opts.Trials)
+		span.SetAttr("epsilon", opts.Epsilon)
+		span.SetAttr("workers", opts.Workers)
+	}
+	conv := sc.Convergence()
+	callID := conv.NextCall()
+	callStart := time.Time{}
+	if conv != nil || span != nil {
+		callStart = time.Now()
+	}
 	results := make([]efloat.E, opts.Trials)
 	seeds := make([]int64, opts.Trials)
 	for t := range seeds {
@@ -114,9 +139,35 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 	}
 	ests := make([]*wordEstimator, opts.Trials)
 	runTrial := func(t int) {
+		tspan := span.Start("trial")
+		var tt0 time.Time
+		if conv != nil || tspan != nil {
+			tt0 = time.Now()
+		}
 		e := newWordEstimatorSeeded(m, ix, opts, seeds[t])
 		results[t] = e.topLevel(n)
 		ests[t] = e
+		if tspan != nil {
+			tspan.SetAttr("trial", t)
+			tspan.SetAttr("union_samples", e.unionSamples)
+			tspan.End()
+		}
+		if conv != nil {
+			log2 := math.Inf(-1)
+			if !results[t].IsZero() {
+				log2 = results[t].Log2()
+			}
+			conv.Record(obs.TrialRecord{
+				Engine:       "countnfa",
+				Call:         callID,
+				Trial:        t,
+				Trials:       opts.Trials,
+				Epsilon:      opts.Epsilon,
+				Log2Estimate: log2,
+				UnionSamples: e.unionSamples,
+				Elapsed:      time.Since(tt0),
+			})
+		}
 	}
 	if opts.Parallel {
 		var wg sync.WaitGroup
@@ -124,7 +175,9 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				runTrial(t)
+				pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfa", "pqe_stage", "trial"), func(context.Context) {
+					runTrial(t)
+				})
 			}(t)
 		}
 		wg.Wait()
@@ -143,8 +196,47 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		opts.Stats.Mallocs += m1.Mallocs - m0.Mallocs
 		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
+	if reg := sc.Registry(); reg != nil {
+		flushRegistry(reg, ix, ests, time.Since(callStart))
+	}
+	span.End()
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
+}
+
+// flushRegistry folds the per-trial effort counters into the unified
+// metrics registry, once per Count call — never inside the sampling
+// loops, which only bump plain per-trial integers.
+func flushRegistry(reg *obs.Registry, ix *denseIndex, ests []*wordEstimator, wall time.Duration) {
+	var wordKeys, unionKeys, memoHits, unionSamples, rejections, acceptChecks int
+	var spawns, busy int64
+	for _, e := range ests {
+		if e == nil {
+			continue
+		}
+		wordKeys += e.words.Keys()
+		unionKeys += e.unions.Keys()
+		memoHits += e.memoHits
+		unionSamples += e.unionSamples
+		rejections += e.rejections
+		acceptChecks += e.acceptChecks()
+		spawns += e.workerSpawns
+		busy += e.workerBusyNs
+	}
+	reg.Counter("countnfa_calls_total").Inc()
+	reg.Counter("countnfa_trials_total").Add(int64(len(ests)))
+	reg.Counter("countnfa_word_keys_total").Add(int64(wordKeys))
+	reg.Counter("countnfa_union_keys_total").Add(int64(unionKeys))
+	reg.Counter("countnfa_memo_hits_total").Add(int64(memoHits))
+	reg.Counter("countnfa_memo_misses_total").Add(int64(wordKeys + unionKeys))
+	reg.Counter("countnfa_union_samples_total").Add(int64(unionSamples))
+	reg.Counter("countnfa_rejections_total").Add(int64(rejections))
+	reg.Counter("countnfa_accept_checks_total").Add(int64(acceptChecks))
+	reg.Counter("countnfa_worker_spawns_total").Add(spawns)
+	reg.Counter("countnfa_worker_busy_ns_total").Add(busy)
+	reg.Counter("countnfa_wall_ns_total").Add(wall.Nanoseconds())
+	reg.Gauge("countnfa_interned_sets").Set(float64(len(ix.sets)))
+	reg.Histogram("countnfa_call_seconds").Observe(wall.Seconds())
 }
 
 func (s *Stats) record(e *wordEstimator) {
@@ -172,9 +264,28 @@ type wordEstimator struct {
 
 	unionSamples int
 	rejections   int
+	memoHits     int // estimation-path memo-table hits (misses = keys)
+	acceptCount  int // subset-simulation membership tests (flushed from samplers)
+
+	// Worker utilization, measured only when timed (obs attached):
+	// goroutines spawned by countFreshParallel and their summed busy ns.
+	timed        bool
+	workerSpawns int64
+	workerBusyNs int64
 
 	top        *sampler   // lazily created top-level sampling session
 	workerSmps []*sampler // reused intra-trial worker samplers
+}
+
+// acceptChecks totals the subset-simulation membership tests across the
+// trial's samplers (worker counts are flushed eagerly; the top-level
+// sampling session is read here).
+func (e *wordEstimator) acceptChecks() int {
+	n := e.acceptCount
+	if e.top != nil {
+		n += e.top.acceptChecks
+	}
+	return n
 }
 
 func newWordEstimator(m *NFA, opts CountOptions) *wordEstimator {
@@ -190,6 +301,7 @@ func newWordEstimatorSeeded(m *NFA, ix *denseIndex, opts CountOptions, seed int6
 		samples:  opts.Samples,
 		maxRetry: opts.MaxRetry,
 		workers:  opts.Workers,
+		timed:    opts.Obs.Registry() != nil,
 		words:    dense.NewTable(m.numStates),
 		unions:   dense.NewTable(len(ix.sets)),
 	}
@@ -215,6 +327,7 @@ func (e *wordEstimator) estimate(q, l int) efloat.E {
 		return efloat.Zero
 	}
 	if v, ok := e.words.Get(q, l); ok {
+		e.memoHits++
 		return v
 	}
 	// Words starting with different symbols are distinct, so the
@@ -253,6 +366,7 @@ func (e *wordEstimator) wordLookup(q, l int) efloat.E {
 // every (state, symbol) pair with the same target set shares this cell.
 func (e *wordEstimator) unionEst(set, l int) efloat.E {
 	if v, ok := e.unions.Get(set, l); ok {
+		e.memoHits++
 		return v
 	}
 	e.unions.Put(set, l, efloat.Zero)
@@ -315,16 +429,31 @@ func (e *wordEstimator) countFreshParallel(targets []int, j, l int, site uint64)
 		s := e.workerSmps[0]
 		fresh := s.countFresh(targets, j, l, site, 0, e.samples, 1)
 		e.rejections += s.rejections
-		s.rejections = 0
+		e.acceptCount += s.acceptChecks
+		s.rejections, s.acceptChecks = 0, 0
 		return fresh
 	}
 	counts := make([]int, workers)
+	var busy []int64
+	if e.timed {
+		busy = make([]int64, workers)
+		e.workerSpawns += int64(workers)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			counts[w] = e.workerSmps[w].countFresh(targets, j, l, site, w, e.samples, workers)
+			pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfa", "pqe_stage", "overlap"), func(context.Context) {
+				var t0 time.Time
+				if busy != nil {
+					t0 = time.Now()
+				}
+				counts[w] = e.workerSmps[w].countFresh(targets, j, l, site, w, e.samples, workers)
+				if busy != nil {
+					busy[w] = time.Since(t0).Nanoseconds()
+				}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -332,7 +461,11 @@ func (e *wordEstimator) countFreshParallel(targets []int, j, l int, site uint64)
 	for w := 0; w < workers; w++ {
 		fresh += counts[w]
 		e.rejections += e.workerSmps[w].rejections
-		e.workerSmps[w].rejections = 0
+		e.acceptCount += e.workerSmps[w].acceptChecks
+		e.workerSmps[w].rejections, e.workerSmps[w].acceptChecks = 0, 0
+		if busy != nil {
+			e.workerBusyNs += busy[w]
+		}
 	}
 	return fresh
 }

@@ -27,6 +27,9 @@ type sampler struct {
 	wfree      [][]efloat.E // free list of weight buffers
 	wordBuf    []int        // transient word for overlap testing
 	rejections int
+	// acceptChecks counts subset-simulation membership tests (one per
+	// acceptsSet call), flushed to the estimator like rejections.
+	acceptChecks int
 }
 
 func (e *wordEstimator) newSampler(state uint64) *sampler {
@@ -168,6 +171,7 @@ func (s *sampler) sampleFrom(q, pos int, out []int) bool {
 // current and next state sets, and the final check is one word-wise
 // intersection with the finals bitset.
 func (s *sampler) acceptsSet(states []int, word []int) bool {
+	s.acceptChecks++
 	ix := s.e.ix
 	cur, next := s.cur, s.next
 	cur.Clear()

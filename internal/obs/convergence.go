@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TrialRecord is one completed estimator trial: which engine, which
+// Count call (calls are numbered per Convergence), which trial of how
+// many, and the trial's estimate as log₂ (estimates routinely exceed
+// float64 range; -Inf encodes a zero estimate).
+type TrialRecord struct {
+	Engine       string        // "countnfta" or "countnfa"
+	Call         int64         // per-recorder Count-call sequence number
+	Trial        int           // trial index within the call, 0-based
+	Trials       int           // total trials of the call
+	Epsilon      float64       // per-trial relative-error target
+	Log2Estimate float64       // log₂ of the trial's estimate, -Inf if 0
+	UnionSamples int           // overlap samples this trial drew
+	Elapsed      time.Duration // trial wall time
+}
+
+// CallProgress is the convergence view of one Count call: its trials in
+// index order plus the running median and relative spread after each —
+// the signal a caller watches to see the ε/δ estimate stabilize.
+type CallProgress struct {
+	Engine  string
+	Call    int64
+	Epsilon float64
+	Trials  []TrialRecord
+	// RunningLog2Median[i] is the median of trials 0..i (log₂ domain):
+	// the value the call would return had it stopped after i+1 trials.
+	RunningLog2Median []float64
+	// Spread is max−min over the trials' log₂ estimates — 0 means every
+	// trial agreed; ≲ log₂(1+ε)−log₂(1−ε) means all trials landed in
+	// the ε-band around a common value.
+	Spread float64
+}
+
+// Converged reports whether the call's trials all landed within the
+// relative band (1±slack·ε) of each other, the practical "estimate has
+// stabilized" signal.
+func (p CallProgress) Converged(slack float64) bool {
+	if len(p.Trials) == 0 {
+		return false
+	}
+	band := math.Log2(1+slack*p.Epsilon) - math.Log2(1-slack*p.Epsilon)
+	return p.Spread <= band
+}
+
+// Convergence collects per-trial estimate records and optionally
+// forwards each to a callback as it arrives. All methods are nil-safe.
+type Convergence struct {
+	mu      sync.Mutex
+	records []TrialRecord
+	onTrial func(TrialRecord)
+	calls   atomic.Int64
+}
+
+// NewConvergence returns an empty recorder.
+func NewConvergence() *Convergence { return &Convergence{} }
+
+// OnTrial registers a callback invoked synchronously for every recorded
+// trial (possibly from the engine's trial goroutines — the callback
+// must be safe for concurrent use). No-op on nil.
+func (c *Convergence) OnTrial(fn func(TrialRecord)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onTrial = fn
+	c.mu.Unlock()
+}
+
+// NextCall allocates the sequence number for one engine Count call
+// (0 on a nil recorder).
+func (c *Convergence) NextCall() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.calls.Add(1)
+}
+
+// Record stores one trial record and fires the callback. No-op on nil.
+func (c *Convergence) Record(r TrialRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	fn := c.onTrial
+	c.mu.Unlock()
+	if fn != nil {
+		fn(r)
+	}
+}
+
+// Snapshot returns a copy of all records in arrival order (nil on nil).
+func (c *Convergence) Snapshot() []TrialRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TrialRecord(nil), c.records...)
+}
+
+// Reset discards all records (call numbering continues).
+func (c *Convergence) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.records = nil
+	c.mu.Unlock()
+}
+
+// Calls groups the records by Count call (in call order, trials sorted
+// by index) and derives each call's running median and spread.
+func (c *Convergence) Calls() []CallProgress {
+	if c == nil {
+		return nil
+	}
+	recs := c.Snapshot()
+	byCall := make(map[int64][]TrialRecord)
+	var order []int64
+	for _, r := range recs {
+		if _, ok := byCall[r.Call]; !ok {
+			order = append(order, r.Call)
+		}
+		byCall[r.Call] = append(byCall[r.Call], r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]CallProgress, 0, len(order))
+	for _, id := range order {
+		trials := byCall[id]
+		sort.Slice(trials, func(i, j int) bool { return trials[i].Trial < trials[j].Trial })
+		p := CallProgress{Engine: trials[0].Engine, Call: id, Epsilon: trials[0].Epsilon, Trials: trials}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		var seen []float64
+		for _, tr := range trials {
+			v := tr.Log2Estimate
+			seen = append(seen, v)
+			p.RunningLog2Median = append(p.RunningLog2Median, median(seen))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		p.Spread = hi - lo
+		if math.IsNaN(p.Spread) { // all-(-Inf): every trial estimated zero
+			p.Spread = 0
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// median returns the upper median of xs, matching the engines' even-
+// count tie-break (they take results[len/2] of the sorted slice).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler returns the debug mux for a running pipeline:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot.json  registry snapshot as JSON
+//	/trace.json     span forest + convergence records + metrics
+//	/debug/vars     expvar (Go runtime memstats et al.)
+//	/debug/pprof/*  net/http/pprof (CPU profiles carry the engines'
+//	                pprof labels: pqe_engine / pqe_stage)
+//
+// Any sink may be nil; the corresponding endpoints serve empty
+// documents.
+func Handler(t *Tracer, r *Registry, c *Convergence) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteTrace(w, t, c, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "pqe debug server\n\n/metrics\n/snapshot.json\n/trace.json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the debug handler on addr (":0" picks a free port) in a
+// background goroutine and returns the bound address. The listener
+// lives until the process exits — the server exists to observe one run.
+func Serve(addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, h) }()
+	bound := ln.Addr().String()
+	// Rewrite the unspecified host so the printed URL is clickable.
+	if host, port, err := net.SplitHostPort(bound); err == nil {
+		if host == "::" || host == "0.0.0.0" || strings.TrimSpace(host) == "" {
+			bound = net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return bound, nil
+}

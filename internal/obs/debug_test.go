@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	tr := NewTracer()
+	r := NewRegistry()
+	c := NewConvergence()
+	r.Counter("pqe_build_weightings_total").Add(2)
+	tr.Start("pqe.ur_estimate").End()
+	c.Record(TrialRecord{Engine: "countnfta", Call: c.NextCall(), Trials: 1, Log2Estimate: 1})
+
+	srv := httptest.NewServer(Handler(tr, r, c))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "pqe_build_weightings_total 2") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/snapshot.json"); code != 200 || !strings.Contains(body, `"pqe_build_weightings_total": 2`) {
+		t.Fatalf("/snapshot.json: code=%d body=%q", code, body)
+	}
+	if code, body := get("/trace.json"); code != 200 ||
+		!strings.Contains(body, `"pqe.ur_estimate"`) || !strings.Contains(body, `"convergence"`) {
+		t.Fatalf("/trace.json: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+}
+
+// Handler must tolerate nil sinks: pqebench serves pprof with no
+// registry attached.
+func TestHandlerNilSinks(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/snapshot.json", "/trace.json", "/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s with nil sinks: code=%d", path, resp.StatusCode)
+		}
+	}
+}

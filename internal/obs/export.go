@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, the unit
+// the JSON and Prometheus encoders consume.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// HistSnapshot is one histogram's state: per-bucket counts (the last
+// slot is the +Inf overflow bucket), plus sum and count.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the registry's current metric values. An empty (or
+// nil) registry yields a zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Sum:    h.Sum(),
+				Count:  h.Count(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON with sorted keys
+// (encoding/json sorts string map keys), so output is deterministic for
+// a fixed snapshot.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format, metrics sorted by name.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", promName(name), promName(name), promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			pn, cum, pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a metric name onto the Prometheus charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent
+// for integral values below 1e15).
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// SpanJSON is the exported form of one span.
+type SpanJSON struct {
+	Name     string         `json:"name"`
+	DurNs    int64          `json:"dur_ns"`
+	Mallocs  uint64         `json:"mallocs,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []SpanJSON     `json:"children,omitempty"`
+}
+
+// Export converts a span subtree to its JSON form.
+func (s *Span) Export() SpanJSON {
+	out := SpanJSON{
+		Name:    s.Name(),
+		DurNs:   s.Duration().Nanoseconds(),
+		Mallocs: s.Mallocs(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
+// finiteOrNull guards the log₂ fields for JSON: a zero estimate is
+// log₂ = −Inf and a call mixing zero and nonzero trials has spread
+// +Inf, neither of which encoding/json can represent — both become
+// null.
+func finiteOrNull(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+type trialRecordJSON struct {
+	Engine       string   `json:"engine"`
+	Call         int64    `json:"call"`
+	Trial        int      `json:"trial"`
+	Trials       int      `json:"trials"`
+	Epsilon      float64  `json:"epsilon"`
+	Log2Estimate *float64 `json:"log2_estimate"` // null = the trial estimated zero
+	UnionSamples int      `json:"union_samples"`
+	ElapsedNs    int64    `json:"elapsed_ns"`
+}
+
+// MarshalJSON renders the record with snake_case keys and a null
+// log2_estimate for zero estimates (whose log₂ is −Inf).
+func (r TrialRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(trialRecordJSON{
+		Engine:       r.Engine,
+		Call:         r.Call,
+		Trial:        r.Trial,
+		Trials:       r.Trials,
+		Epsilon:      r.Epsilon,
+		Log2Estimate: finiteOrNull(r.Log2Estimate),
+		UnionSamples: r.UnionSamples,
+		ElapsedNs:    r.Elapsed.Nanoseconds(),
+	})
+}
+
+type callProgressJSON struct {
+	Engine            string        `json:"engine"`
+	Call              int64         `json:"call"`
+	Epsilon           float64       `json:"epsilon"`
+	Trials            []TrialRecord `json:"trials"`
+	RunningLog2Median []*float64    `json:"running_log2_median"`
+	Spread            *float64      `json:"spread"` // null = spread is infinite (zero and nonzero trials mixed)
+}
+
+// MarshalJSON renders the call progress with snake_case keys, mapping
+// the non-finite log₂ values to null.
+func (p CallProgress) MarshalJSON() ([]byte, error) {
+	out := callProgressJSON{
+		Engine:  p.Engine,
+		Call:    p.Call,
+		Epsilon: p.Epsilon,
+		Trials:  p.Trials,
+		Spread:  finiteOrNull(p.Spread),
+	}
+	for _, m := range p.RunningLog2Median {
+		out.RunningLog2Median = append(out.RunningLog2Median, finiteOrNull(m))
+	}
+	return json.Marshal(out)
+}
+
+// TraceJSON is the trace-file document: the span forest, the per-trial
+// convergence records grouped by Count call, and a metrics snapshot.
+type TraceJSON struct {
+	Spans       []SpanJSON     `json:"spans"`
+	Convergence []CallProgress `json:"convergence,omitempty"`
+	Metrics     Snapshot       `json:"metrics"`
+}
+
+// WriteTrace renders the full telemetry state of the given sinks (any
+// of which may be nil) as one indented-JSON document.
+func WriteTrace(w io.Writer, t *Tracer, c *Convergence, r *Registry) error {
+	doc := TraceJSON{Metrics: r.Snapshot(), Convergence: c.Calls()}
+	for _, root := range t.Roots() {
+		doc.Spans = append(doc.Spans, root.Export())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteReport renders a compact human-readable telemetry report — the
+// span tree with durations followed by sorted counters and gauges. It
+// is what testkit failure reports attach next to the replayable seed.
+func WriteReport(w io.Writer, t *Tracer, r *Registry) error {
+	for _, root := range t.Roots() {
+		if err := writeSpanText(w, root, 0); err != nil {
+			return err
+		}
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-44s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-44s %g\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpanText(w io.Writer, s *Span, depth int) error {
+	if _, err := fmt.Fprintf(w, "%s%-*s %12v", strings.Repeat("  ", depth), 40-2*depth, s.Name(), s.Duration().Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, a := range s.Attrs() {
+		if _, err := fmt.Fprintf(w, "  %s=%v", a.Key, a.Value); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := writeSpanText(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

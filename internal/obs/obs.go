@@ -1,0 +1,101 @@
+// Package obs is the repository's zero-dependency observability layer:
+// one Scope bundles the three telemetry sinks threaded through the
+// whole FPRAS pipeline — a hierarchical stage Tracer (spans with wall
+// time, optional allocation deltas, and attributes), a metrics Registry
+// (atomic counters, gauges and histograms unifying the engines' effort
+// counters), and a Convergence recorder (per-trial estimate traces so
+// callers can watch the median-of-trials estimate stabilize).
+//
+// Every type in the package is nil-safe: a nil *Scope, *Tracer, *Span,
+// *Registry, *Counter, *Gauge, *Histogram or *Convergence accepts every
+// method call as a no-op, so instrumented code needs no guards and the
+// disabled path costs a pointer test — no locks, no allocations (the
+// contract pinned by TestDisabledPathAllocFree). Instrumentation never
+// touches the engines' PRNG streams, so seeded runs stay bit-identical
+// with tracing on or off.
+//
+// Exporters (export.go) render registry snapshots as JSON and
+// Prometheus text, and span trees plus convergence records as a single
+// trace-JSON document; debug.go serves all of it over HTTP next to
+// net/http/pprof and expvar for live profiling (cmd/pqe -debug-addr).
+package obs
+
+// Scope is the handle instrumented code receives: a sink bundle plus
+// the current parent span, so child scopes nest their spans correctly.
+// A nil Scope disables everything.
+type Scope struct {
+	tracer *Tracer
+	reg    *Registry
+	conv   *Convergence
+	parent *Span
+}
+
+// NewScope bundles the given sinks. Any of them may be nil to disable
+// that facet.
+func NewScope(t *Tracer, r *Registry, c *Convergence) *Scope {
+	return &Scope{tracer: t, reg: r, conv: c}
+}
+
+// Enabled reports whether any instrumentation is attached.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Tracer returns the scope's tracer (nil when disabled).
+func (s *Scope) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// Registry returns the scope's metrics registry (nil when disabled).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Convergence returns the scope's convergence recorder (nil when
+// disabled).
+func (s *Scope) Convergence() *Convergence {
+	if s == nil {
+		return nil
+	}
+	return s.conv
+}
+
+// Span starts a span named name under the scope's current parent (or as
+// a trace root) and returns a derived scope whose future spans nest
+// under it, plus the span itself for attributes and End. On a nil scope
+// both results are nil.
+func (s *Scope) Span(name string) (*Scope, *Span) {
+	if s == nil || s.tracer == nil {
+		return s, nil
+	}
+	var sp *Span
+	if s.parent != nil {
+		sp = s.parent.Start(name)
+	} else {
+		sp = s.tracer.Start(name)
+	}
+	child := *s
+	child.parent = sp
+	return &child, sp
+}
+
+// Counter returns the named registry counter, or nil when the scope has
+// no registry — either way the result accepts Add/Inc.
+func (s *Scope) Counter(name string) *Counter { return s.Registry().Counter(name) }
+
+// Gauge returns the named registry gauge (nil-safe like Counter).
+func (s *Scope) Gauge(name string) *Gauge { return s.Registry().Gauge(name) }
+
+// Histogram returns the named registry histogram (nil-safe like
+// Counter). The bounds are fixed on first creation.
+func (s *Scope) Histogram(name string, bounds ...float64) *Histogram {
+	return s.Registry().Histogram(name, bounds...)
+}
+
+// RecordTrial forwards a per-trial convergence record to the scope's
+// recorder, if any.
+func (s *Scope) RecordTrial(r TrialRecord) { s.Convergence().Record(r) }

@@ -1,0 +1,403 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilScopeNoOps(t *testing.T) {
+	var s *Scope
+	if s.Enabled() {
+		t.Fatal("nil scope reports enabled")
+	}
+	if s.Tracer() != nil || s.Registry() != nil || s.Convergence() != nil {
+		t.Fatal("nil scope leaked a sink")
+	}
+	sc, sp := s.Span("x")
+	if sc != nil || sp != nil {
+		t.Fatalf("nil scope Span = (%v, %v), want (nil, nil)", sc, sp)
+	}
+	// Every downstream call must be a silent no-op.
+	s.Counter("c").Add(3)
+	s.Counter("c").Inc()
+	s.Gauge("g").Set(1)
+	s.Gauge("g").Add(1)
+	s.Histogram("h").Observe(1)
+	s.RecordTrial(TrialRecord{})
+	sp.Start("child").End()
+	sp.SetAttr("k", 1)
+	sp.End()
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Mallocs() != 0 {
+		t.Fatal("nil span returned non-zero readings")
+	}
+	if sp.Children() != nil || sp.Attrs() != nil {
+		t.Fatal("nil span returned non-nil snapshots")
+	}
+	var tr *Tracer
+	tr.CaptureAllocs(true)
+	tr.Reset()
+	if tr.Start("x") != nil || tr.Roots() != nil {
+		t.Fatal("nil tracer created spans")
+	}
+	var c *Convergence
+	c.OnTrial(func(TrialRecord) {})
+	c.Record(TrialRecord{})
+	c.Reset()
+	if c.NextCall() != 0 || c.Snapshot() != nil || c.Calls() != nil {
+		t.Fatal("nil convergence returned data")
+	}
+	var reg *Registry
+	if reg.Counter("c") != nil || reg.Gauge("g") != nil || reg.Histogram("h") != nil {
+		t.Fatal("nil registry returned handles")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+// TestDisabledPathAllocFree pins the package contract: with no scope
+// attached, instrumented code pays a pointer test — zero heap
+// allocations on any no-op path.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var s *Scope
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		sc, span := s.Span("stage")
+		_ = sc
+		span.SetAttr("k", 1)
+		span.End()
+		s.Counter("c").Add(1)
+		s.Gauge("g").Set(1)
+		s.Histogram("h").Observe(1)
+		s.Convergence().Record(TrialRecord{})
+		_ = s.Registry()
+		sp.Start("child").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledScope(b *testing.B) {
+	var s *Scope
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, span := s.Span("stage")
+		span.End()
+		s.Counter("c").Inc()
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(2)
+	r.Counter("hits").Inc()
+	if got := r.Counter("hits").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	r.Gauge("size").Set(7)
+	r.Gauge("size").Add(0.5)
+	if got := r.Gauge("size").Value(); got != 7.5 {
+		t.Fatalf("gauge = %g, want 7.5", got)
+	}
+	h := r.Histogram("lat", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-55.55) > 1e-9 {
+		t.Fatalf("hist sum = %g, want 55.55", h.Sum())
+	}
+	// Same name returns the same handle; bounds are fixed at creation.
+	if r.Histogram("lat", 99) != h {
+		t.Fatal("histogram not cached by name")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(i))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h").Count(); got != workers*per {
+		t.Fatalf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("size").Set(3.5)
+	h := r.Histogram("secs", 1, 10)
+	h.Observe(0.5)
+	h.Observe(20)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": {
+    "a_total": 1,
+    "b_total": 2
+  },
+  "gauges": {
+    "size": 3.5
+  },
+  "histograms": {
+    "secs": {
+      "bounds": [
+        1,
+        10
+      ],
+      "counts": [
+        1,
+        0,
+        1
+      ],
+      "sum": 20.5,
+      "count": 2
+    }
+  }
+}
+`
+	if sb.String() != want {
+		t.Fatalf("JSON snapshot mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestSnapshotPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pqe_hits_total").Add(5)
+	r.Gauge("pqe_interned.sets").Set(12) // '.' must be mapped to '_'
+	// Dyadic observations keep the float sum exact, so the golden text
+	// is stable.
+	h := r.Histogram("pqe_call_seconds", 0.1, 1)
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(3)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE pqe_hits_total counter",
+		"pqe_hits_total 5",
+		"# TYPE pqe_interned_sets gauge",
+		"pqe_interned_sets 12",
+		"# TYPE pqe_call_seconds histogram",
+		`pqe_call_seconds_bucket{le="0.1"} 1`,
+		`pqe_call_seconds_bucket{le="1"} 2`,
+		`pqe_call_seconds_bucket{le="+Inf"} 3`,
+		"pqe_call_seconds_sum 3.5625",
+		"pqe_call_seconds_count 3",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Fatalf("Prometheus snapshot mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer()
+	sc := NewScope(tr, nil, nil)
+	root, span := sc.Span("pipeline")
+	child, cspan := root.Span("stage")
+	cspan.SetAttr("n", 7)
+	cspan.SetAttr("n", 8) // overwrite, not append
+	_, gspan := child.Span("trial")
+	gspan.End()
+	cspan.End()
+	span.End()
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "pipeline" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 1 || kids[0].Name() != "stage" {
+		t.Fatalf("children = %v", kids)
+	}
+	attrs := kids[0].Attrs()
+	if len(attrs) != 1 || attrs[0].Key != "n" || attrs[0].Value != 8 {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if len(kids[0].Children()) != 1 || kids[0].Children()[0].Name() != "trial" {
+		t.Fatalf("grandchildren = %v", kids[0].Children())
+	}
+	d := roots[0].Duration()
+	if d <= 0 {
+		t.Fatalf("duration = %v, want > 0", d)
+	}
+	if roots[0].Duration() != d {
+		t.Fatal("ended span duration not stable")
+	}
+	tr.Reset()
+	if tr.Roots() != nil {
+		t.Fatal("Reset left spans behind")
+	}
+}
+
+func TestSpanExport(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("root")
+	sp.SetAttr("k", "v")
+	sp.Start("child").End()
+	sp.End()
+	out := sp.Export()
+	if out.Name != "root" || out.Attrs["k"] != "v" || len(out.Children) != 1 || out.Children[0].Name != "child" {
+		t.Fatalf("export = %+v", out)
+	}
+	if out.DurNs <= 0 {
+		t.Fatalf("DurNs = %d, want > 0", out.DurNs)
+	}
+}
+
+func TestConvergenceCalls(t *testing.T) {
+	c := NewConvergence()
+	var fired []TrialRecord
+	c.OnTrial(func(r TrialRecord) { fired = append(fired, r) })
+	call := c.NextCall()
+	// Trials arrive out of order (parallel trials do).
+	recs := []TrialRecord{
+		{Engine: "countnfta", Call: call, Trial: 2, Trials: 3, Epsilon: 0.1, Log2Estimate: 10.2},
+		{Engine: "countnfta", Call: call, Trial: 0, Trials: 3, Epsilon: 0.1, Log2Estimate: 10.0},
+		{Engine: "countnfta", Call: call, Trial: 1, Trials: 3, Epsilon: 0.1, Log2Estimate: 10.1},
+	}
+	for _, r := range recs {
+		c.Record(r)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("callback fired %d times, want 3", len(fired))
+	}
+	calls := c.Calls()
+	if len(calls) != 1 {
+		t.Fatalf("calls = %d, want 1", len(calls))
+	}
+	p := calls[0]
+	if p.Engine != "countnfta" || p.Call != call || len(p.Trials) != 3 {
+		t.Fatalf("progress = %+v", p)
+	}
+	for i, tr := range p.Trials {
+		if tr.Trial != i {
+			t.Fatalf("trials not sorted: %+v", p.Trials)
+		}
+	}
+	// Running upper median in trial-index order:
+	// [10.0], [10.0 10.1]→10.1, [10.0 10.1 10.2]→10.1.
+	want := []float64{10.0, 10.1, 10.1}
+	for i, m := range p.RunningLog2Median {
+		if math.Abs(m-want[i]) > 1e-12 {
+			t.Fatalf("running median = %v, want %v", p.RunningLog2Median, want)
+		}
+	}
+	if math.Abs(p.Spread-0.2) > 1e-12 {
+		t.Fatalf("spread = %g, want 0.2", p.Spread)
+	}
+	if !p.Converged(2) {
+		t.Fatal("trials within band but Converged(2) = false")
+	}
+	if p.Converged(0.1) {
+		t.Fatal("spread 0.2 log₂ cannot converge at slack 0.1, ε 0.1")
+	}
+}
+
+func TestConvergenceAllZero(t *testing.T) {
+	c := NewConvergence()
+	call := c.NextCall()
+	for i := 0; i < 2; i++ {
+		c.Record(TrialRecord{Call: call, Trial: i, Trials: 2, Log2Estimate: math.Inf(-1)})
+	}
+	p := c.Calls()[0]
+	if p.Spread != 0 {
+		t.Fatalf("all-zero call spread = %g, want 0", p.Spread)
+	}
+}
+
+func TestWriteTraceAndReport(t *testing.T) {
+	tr := NewTracer()
+	r := NewRegistry()
+	c := NewConvergence()
+	sc := NewScope(tr, r, c)
+	_, sp := sc.Span("pqe.ur_estimate")
+	_, inner := sc.Span("count.trees")
+	inner.End()
+	sp.End()
+	r.Counter("countnfta_trials_total").Add(5)
+	c.Record(TrialRecord{Engine: "countnfta", Call: c.NextCall(), Trials: 1, Log2Estimate: 3})
+
+	var trace strings.Builder
+	if err := WriteTrace(&trace, tr, c, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"pqe.ur_estimate"`, `"convergence"`, `"countnfta_trials_total": 5`} {
+		if !strings.Contains(trace.String(), needle) {
+			t.Fatalf("trace JSON missing %s:\n%s", needle, trace.String())
+		}
+	}
+
+	var report strings.Builder
+	if err := WriteReport(&report, tr, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "pqe.ur_estimate") || !strings.Contains(report.String(), "countnfta_trials_total") {
+		t.Fatalf("report missing content:\n%s", report.String())
+	}
+}
+
+// Zero-estimate trials (log₂ = −Inf) and the infinite spread of a call
+// mixing zero and nonzero trials must still produce a valid trace —
+// the non-finite values encode as null.
+func TestWriteTraceZeroEstimate(t *testing.T) {
+	c := NewConvergence()
+	call := c.NextCall()
+	c.Record(TrialRecord{Engine: "countnfa", Call: call, Trial: 0, Trials: 2, Log2Estimate: math.Inf(-1)})
+	c.Record(TrialRecord{Engine: "countnfa", Call: call, Trial: 1, Trials: 2, Log2Estimate: 4})
+	var sb strings.Builder
+	if err := WriteTrace(&sb, nil, c, nil); err != nil {
+		t.Fatalf("trace with a zero-estimate trial failed to marshal: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"log2_estimate": null`) {
+		t.Errorf("zero estimate not encoded as null:\n%s", out)
+	}
+	if !strings.Contains(out, `"spread": null`) {
+		t.Errorf("infinite spread not encoded as null:\n%s", out)
+	}
+	if !strings.Contains(out, `"log2_estimate": 4`) {
+		t.Errorf("finite estimate missing:\n%s", out)
+	}
+}
+
+func TestSpanDurationBeforeEnd(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("running")
+	time.Sleep(time.Millisecond)
+	if sp.Duration() <= 0 {
+		t.Fatal("running span duration not positive")
+	}
+	sp.End()
+}

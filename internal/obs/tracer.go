@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracer collects hierarchical stage spans. Span creation and mutation
+// from any goroutine is safe: all structural updates take the tracer's
+// mutex. Spans are coarse — pipeline stages and sampling trials, not
+// inner loops — so one mutex is never contended enough to matter.
+type Tracer struct {
+	mu            sync.Mutex
+	roots         []*Span
+	captureAllocs bool
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// CaptureAllocs toggles per-span heap-allocation deltas, read from
+// runtime.MemStats at span start and end. ReadMemStats is expensive and
+// process-global (concurrent spans bleed into each other's deltas), so
+// this is off by default and meant for single-threaded investigation
+// runs, not benchmarks.
+func (t *Tracer) CaptureAllocs(on bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.captureAllocs = on
+	t.mu.Unlock()
+}
+
+// Start opens a root span. Returns nil on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.newSpan(name)
+	t.mu.Lock()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+func (t *Tracer) newSpan(name string) *Span {
+	sp := &Span{tracer: t, name: name, start: time.Now()}
+	if t.captureAllocs {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		sp.mallocs0 = m.Mallocs
+		sp.hasAllocs = true
+	}
+	return sp
+}
+
+// Roots returns a snapshot of the tracer's root spans. Returns nil on a
+// nil tracer.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.roots = nil
+	t.mu.Unlock()
+}
+
+// Attr is one span attribute. Values are kept as the small set of types
+// the JSON exporter renders directly.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed pipeline stage. All methods are nil-safe.
+type Span struct {
+	tracer    *Tracer
+	name      string
+	start     time.Time
+	dur       time.Duration
+	ended     bool
+	attrs     []Attr
+	children  []*Span
+	hasAllocs bool
+	mallocs0  uint64
+	mallocs   uint64
+}
+
+// Start opens a child span. Returns nil on a nil span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := s.tracer.newSpan(name)
+	s.tracer.mu.Lock()
+	s.children = append(s.children, child)
+	s.tracer.mu.Unlock()
+	return child
+}
+
+// SetAttr attaches (or overwrites) an attribute. No-op on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span, fixing its wall time (and allocation delta when
+// capture is on). Repeated End calls keep the first duration. No-op on
+// nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	if s.hasAllocs {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.mallocs = m.Mallocs - s.mallocs0
+	}
+}
+
+// Name returns the span's stage name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall time: the final duration after End,
+// the running elapsed time before it, 0 on nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Children returns a snapshot of the span's child spans (nil on nil).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attrs returns a snapshot of the span's attributes (nil on nil).
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Mallocs returns the span's heap-allocation delta when the tracer
+// captured allocations, else 0.
+func (s *Span) Mallocs() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.mallocs
+}

@@ -8,6 +8,7 @@ import (
 	"pqe/internal/cq"
 	"pqe/internal/hypertree"
 	"pqe/internal/nfta"
+	"pqe/internal/obs"
 	"pqe/internal/pdb"
 )
 
@@ -44,6 +45,13 @@ type bagState struct {
 // (footnote 1), and binarized so children tuples have length ≤ 2,
 // keeping the transition relation polynomial in |Q| and |D|.
 func BuildUR(q *cq.Query, d *pdb.Database, dec *hypertree.Decomposition) (*URReduction, error) {
+	return BuildURObs(q, d, dec, nil)
+}
+
+// BuildURObs is BuildUR with telemetry: the λ-elimination translation
+// and the trim each get a stage span under sc. A nil scope behaves
+// exactly like BuildUR.
+func BuildURObs(q *cq.Query, d *pdb.Database, dec *hypertree.Decomposition, sc *obs.Scope) (*URReduction, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,14 +119,21 @@ func BuildUR(q *cq.Query, d *pdb.Database, dec *hypertree.Decomposition) (*URRed
 		}
 	}
 
+	_, tlspan := sc.Span("reduction.translate")
 	auto, err := aug.Translate()
+	tlspan.End()
 	if err != nil {
 		return nil, err
 	}
 	// Dead bag states (witness combinations whose subtrees can never
 	// complete) are common; trimming them shrinks every downstream
 	// counting table without changing the language.
+	_, tspan := sc.Span("pqe.trim_ur")
 	auto = auto.Trim()
+	if tspan != nil {
+		tspan.SetAttr("states", auto.NumStates())
+	}
+	tspan.End()
 	return &URReduction{
 		Query:    q,
 		DB:       d,

@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"pqe/internal/efloat"
+	"pqe/internal/obs"
 )
 
 // Config tunes the statistical strength of the differential checks. The
@@ -31,6 +32,12 @@ type Config struct {
 	// turns the pair into an additive tolerance.
 	MCSamples int
 	MCDelta   float64
+	// Obs, when non-nil, is threaded into every engine call so a failing
+	// case's report can attach the stage timings and effort counters next
+	// to the replayable seed. Telemetry never perturbs the engines'
+	// seeded randomness, so attaching it does not change what the suite
+	// tests.
+	Obs *obs.Scope
 }
 
 // Defaults returns the suite configuration: per statistical check the

@@ -89,7 +89,7 @@ func checkRebind(c *Case, cfg Config) error {
 	if c.H.Size() == 0 {
 		return nil
 	}
-	opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteRebind, 0)}
+	opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteRebind, 0), Obs: cfg.Obs}
 	est := core.NewEstimator(c.Query, c.H, opts)
 	if _, err := est.PQEEstimate(opts); err != nil {
 		return skipUnsupported(err)
@@ -118,7 +118,7 @@ func checkRebind(c *Case, cfg Config) error {
 // across every Workers×Parallel combination — the documented contract
 // of the deterministic per-sample splitmix streams.
 func checkWorkersIdentity(c *Case, cfg Config) error {
-	base := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteWorkers, 0)}
+	base := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteWorkers, 0), Obs: cfg.Obs}
 	ref, err := core.PQEEstimate(c.Query, c.H, base)
 	if err != nil {
 		return skipUnsupported(err)
@@ -156,7 +156,7 @@ func checkRelabel(c *Case, cfg Config) error {
 		}
 		relabeled.Add(pdb.Fact{Relation: f.Relation, Args: args}, c.H.ProbAt(i))
 	}
-	opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteRelabel, 0)}
+	opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteRelabel, 0), Obs: cfg.Obs}
 	ref, err := core.PQEEstimate(c.Query, c.H, opts)
 	if err != nil {
 		return skipUnsupported(err)
@@ -218,7 +218,7 @@ func checkUnionBound(c *Case, cfg Config, b *Budget) error {
 
 	var lastErr error
 	for a := 0; a <= cfg.Retries; a++ {
-		opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteUnion, a)}
+		opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteUnion, a), Obs: cfg.Obs}
 		est, err := core.EvaluateUnion([]*cq.Query{c.Query, q2}, combined, opts)
 		if err != nil {
 			lastErr = err

@@ -66,7 +66,7 @@ func RunDifferential(c *Case, cfg Config, b *Budget) error {
 	statistical := func(name string, site uint64, eval func(opts core.Options) error) error {
 		var lastErr error
 		for a := 0; a <= cfg.Retries; a++ {
-			opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, site, a)}
+			opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, site, a), Obs: cfg.Obs}
 			lastErr = eval(opts)
 			if lastErr == nil || errors.Is(lastErr, core.ErrUnsupported) {
 				break

@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
+
+	"pqe/internal/obs"
 )
 
 var (
@@ -46,17 +49,44 @@ func suiteCases(t *testing.T) []int {
 	return idx
 }
 
-// fail reports a testkit failure: shrink the case, write the repro
-// artifact if a directory is configured, and stop the test with the
-// replayable report.
-func fail(t *testing.T, c *Case, err error, rerun func(*Case) bool) {
+// caseScope builds the per-case telemetry scope the suites thread into
+// every engine call: when a case fails, its report carries the stage
+// timings and effort counters of the failing run.
+func caseScope() *obs.Scope {
+	return obs.NewScope(obs.NewTracer(), obs.NewRegistry(), obs.NewConvergence())
+}
+
+// fail reports a testkit failure: capture the failing run's telemetry,
+// shrink the case, write the repro artifacts if a directory is
+// configured, and stop the test with the replayable report.
+func fail(t *testing.T, c *Case, err error, sc *obs.Scope, rerun func(*Case) bool) {
 	t.Helper()
+	// Render telemetry before shrinking: the shrinker's reruns would
+	// append their spans to the same scope and bury the failing run's.
+	var telemetry strings.Builder
+	if sc.Enabled() {
+		if werr := obs.WriteReport(&telemetry, sc.Tracer(), sc.Registry()); werr != nil {
+			telemetry.Reset()
+		}
+	}
 	min := Shrink(c, rerun)
 	report := fmt.Sprintf("%v\n%s", err, min.Repro())
+	if telemetry.Len() > 0 {
+		report += "\n--- telemetry of the failing run ---\n" + telemetry.String()
+	}
 	if dir := os.Getenv("PQE_TESTKIT_REPRO_DIR"); dir != "" {
 		name := filepath.Join(dir, fmt.Sprintf("repro-seed%d-case%d.txt", c.Seed, c.Index))
 		if werr := os.WriteFile(name, []byte(report), 0o644); werr == nil {
 			report += "\nrepro written to " + name
+		}
+		if sc.Enabled() {
+			var trace strings.Builder
+			if werr := obs.WriteTrace(&trace, sc.Tracer(), sc.Convergence(), sc.Registry()); werr == nil {
+				obsName := filepath.Join(dir, fmt.Sprintf("repro-seed%d-case%d-obs.json", c.Seed, c.Index))
+				if werr := os.WriteFile(obsName, []byte(trace.String()), 0o644); werr == nil {
+					report += "\ntelemetry written to " + obsName
+				}
+			}
 		}
 	}
 	t.Fatal(report)
@@ -69,8 +99,9 @@ func TestDifferential(t *testing.T) {
 	b := &Budget{Cap: budgetCap}
 	for _, i := range suiteCases(t) {
 		c := NewCase(*flagSeed, i)
+		cfg.Obs = caseScope()
 		if err := RunDifferential(c, cfg, b); err != nil {
-			fail(t, c, err, func(cand *Case) bool {
+			fail(t, c, err, cfg.Obs, func(cand *Case) bool {
 				return RunDifferential(cand, cfg, &Budget{Cap: budgetCap}) != nil
 			})
 		}
@@ -87,14 +118,41 @@ func TestMetamorphic(t *testing.T) {
 	b := &Budget{Cap: budgetCap}
 	for _, i := range suiteCases(t) {
 		c := NewCase(*flagSeed, i)
+		cfg.Obs = caseScope()
 		if err := RunMetamorphic(c, cfg, b); err != nil {
-			fail(t, c, err, func(cand *Case) bool {
+			fail(t, c, err, cfg.Obs, func(cand *Case) bool {
 				return RunMetamorphic(cand, cfg, &Budget{Cap: budgetCap}) != nil
 			})
 		}
 	}
 	if !b.Ok() {
 		t.Errorf("false-failure budget exceeded: spent %.3g > cap %.3g", b.Spent, b.Cap)
+	}
+}
+
+// TestConfigObsThreading pins the failure-report contract: a scope in
+// Config reaches the engines, so when fail() renders it the trace and
+// counters are actually there.
+func TestConfigObsThreading(t *testing.T) {
+	cfg := Defaults()
+	cfg.Obs = caseScope()
+	c := NewCase(*flagSeed, 0)
+	if err := RunDifferential(c, cfg, &Budget{Cap: budgetCap}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Obs.Tracer().Roots()) == 0 {
+		t.Error("engines recorded no spans through Config.Obs")
+	}
+	snap := cfg.Obs.Registry().Snapshot()
+	if len(snap.Counters) == 0 {
+		t.Error("engines recorded no counters through Config.Obs")
+	}
+	var report strings.Builder
+	if err := obs.WriteReport(&report, cfg.Obs.Tracer(), cfg.Obs.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if report.Len() == 0 {
+		t.Error("telemetry report for a completed case is empty")
 	}
 }
 

@@ -199,6 +199,11 @@ type Options struct {
 	// fixed Seed the result is bit-identical at every Workers value;
 	// Workers and Parallel compose.
 	Workers int
+	// Telemetry, when non-nil, collects stage traces, pipeline metrics
+	// and per-trial convergence records for every evaluation using these
+	// options (see NewTelemetry). Collection does not change results:
+	// seeded runs stay bit-identical with or without it.
+	Telemetry *Telemetry
 }
 
 func (o *Options) core() core.Options {
@@ -214,6 +219,7 @@ func (o *Options) core() core.Options {
 		ForceFPRAS: o.ForceFPRAS,
 		Parallel:   o.Parallel,
 		Workers:    o.Workers,
+		Obs:        o.Telemetry.scope(),
 	}
 }
 
