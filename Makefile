@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments experiments-md fuzz testkit soak loc clean
+.PHONY: all build vet test test-short race bench bench-json bench-compare experiments experiments-md fuzz testkit soak loc clean
 
 all: build vet test
 
@@ -25,6 +25,24 @@ race:
 # One benchmark per experiment table/figure plus component micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed engine micro-benchmark JSON baselines.
+bench-json:
+	$(GO) run ./cmd/pqebench -json -maxprocs 4
+
+# Re-run the micro-benchmarks into /tmp and diff against the committed
+# baselines: per-row ns_per_op / allocs_per_op deltas, a geomean
+# summary, and a non-zero exit on any >$(BENCH_MAX_REGRESS) ns_per_op
+# regression. The nightly soak workflow runs this and uploads the
+# reports.
+BENCH_MAX_REGRESS ?= 0.25
+bench-compare:
+	$(GO) run ./cmd/pqebench -json -maxprocs 4 \
+		-json-out /tmp/BENCH_countnfta.json -json-nfa-out /tmp/BENCH_countnfa.json
+	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
+		BENCH_countnfta.json /tmp/BENCH_countnfta.json
+	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
+		BENCH_countnfa.json /tmp/BENCH_countnfa.json
 
 # Regenerate the experiment tables (text).
 experiments:

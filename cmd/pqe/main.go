@@ -44,7 +44,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ur        = fs.Bool("ur", false, "compute uniform reliability (subinstance count) instead of probability")
 		explain   = fs.Bool("explain", false, "print the evaluation plan instead of evaluating")
 		sample    = fs.Int("sample", 0, "also draw N worlds conditioned on the query holding")
-		workers   = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
+		maxprocs  = fs.Int("maxprocs", runtime.NumCPU(), "workers of the counting engines' unified scheduler (1 = sequential; same answer either way)")
+		workers   = fs.Int("workers", 0, "deprecated alias for -maxprocs")
 		debugAddr = fs.String("debug-addr", "", "serve live telemetry on this address (/metrics, /trace.json, /debug/pprof/)")
 		traceJSON = fs.String("trace-json", "", "write the stage trace, convergence records and metrics to this file on exit")
 	)
@@ -95,7 +96,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "facts: %d   self-join-free: %v   hypertree width: %d (bounded: %v)   safe: %v\n",
 		db.Size(), sjf, width, bounded, safe)
 
-	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, Workers: *workers, Telemetry: tel}
+	procs := *maxprocs
+	if *workers > 0 {
+		procs = *workers
+	}
+	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, MaxProcs: procs, Telemetry: tel}
 	// One session for every mode: the decomposition and the automata are
 	// built once and shared by the probability estimate and each
 	// sampled world.
@@ -139,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	for i := 0; i < *sample; i++ {
-		w, err := est.SampleWorld(&pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), Workers: *workers, Telemetry: tel})
+		w, err := est.SampleWorld(&pqe.Options{Epsilon: *eps, Seed: *seed + int64(i), MaxProcs: procs, Telemetry: tel})
 		if err != nil {
 			return err
 		}

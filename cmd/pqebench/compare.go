@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// compareRow is the subset of a bench JSON row the comparison needs;
+// both suites (countnfta and countnfa) share these fields.
+type compareRow struct {
+	Name        string `json:"name"`
+	Workers     int    `json:"workers"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+type compareFile struct {
+	Suite   string       `json:"suite"`
+	Results []compareRow `json:"results"`
+}
+
+func loadCompareFile(path string) (*compareFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f compareFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// runCompare prints per-row ns_per_op and allocs_per_op deltas between
+// two bench JSON files (rows matched by (name, workers)) and a geomean
+// summary of the ns ratios. With maxRegress > 0 it returns an error if
+// any matched row's ns_per_op grew by more than that fraction — the CI
+// bench-delta lane's failure condition.
+func runCompare(oldPath, newPath string, maxRegress float64, stdout io.Writer) error {
+	oldF, err := loadCompareFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := loadCompareFile(newPath)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		name    string
+		workers int
+	}
+	oldRows := make(map[key]compareRow, len(oldF.Results))
+	for _, r := range oldF.Results {
+		oldRows[key{r.Name, r.Workers}] = r
+	}
+
+	fmt.Fprintf(stdout, "%-40s %4s %14s %14s %8s %10s\n",
+		"name", "w", "old ns/op", "new ns/op", "Δns", "Δallocs")
+	logSum, matched := 0.0, 0
+	var regressions []string
+	for _, nr := range newF.Results {
+		or, ok := oldRows[key{nr.Name, nr.Workers}]
+		if !ok || or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
+		logSum += math.Log(ratio)
+		matched++
+		dAllocs := "n/a"
+		if or.AllocsPerOp > 0 {
+			dAllocs = fmt.Sprintf("%+.1f%%", 100*(float64(nr.AllocsPerOp)/float64(or.AllocsPerOp)-1))
+		}
+		fmt.Fprintf(stdout, "%-40s %4d %14d %14d %+7.1f%% %10s\n",
+			nr.Name, nr.Workers, or.NsPerOp, nr.NsPerOp, 100*(ratio-1), dAllocs)
+		if maxRegress > 0 && ratio > 1+maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("%s (workers=%d): %+.1f%%", nr.Name, nr.Workers, 100*(ratio-1)))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no rows matched between %s and %s", oldPath, newPath)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	fmt.Fprintf(stdout, "\ngeomean ns_per_op ratio over %d rows: %.3f (%+.1f%%)\n",
+		matched, geomean, 100*(geomean-1))
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(stdout, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d row(s) regressed beyond %.0f%%", len(regressions), 100*maxRegress)
+	}
+	return nil
+}

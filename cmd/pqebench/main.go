@@ -8,8 +8,9 @@
 //	pqebench -exp E5          # one experiment
 //	pqebench -markdown        # GitHub-flavored markdown (EXPERIMENTS.md)
 //	pqebench -eps 0.05 -seed 7 -quick
-//	pqebench -workers 8       # goroutines per counting trial
+//	pqebench -maxprocs 8      # counting-engine scheduler workers
 //	pqebench -json            # engine micro-benchmarks -> BENCH_countnfta.json + BENCH_countnfa.json
+//	pqebench -compare old.json new.json   # per-row ns/allocs deltas + geomean
 package main
 
 import (
@@ -40,7 +41,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed        = fs.Int64("seed", 1, "random seed")
 		quick       = fs.Bool("quick", false, "shrink sweeps for a fast pass")
 		markdown    = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
-		workers     = fs.Int("workers", runtime.NumCPU(), "goroutines per counting trial (1 = sequential; same answer either way)")
+		maxprocs    = fs.Int("maxprocs", 0, "workers of the counting engines' unified scheduler (default: -workers)")
+		workers     = fs.Int("workers", runtime.NumCPU(), "deprecated alias for -maxprocs")
+		compare     = fs.Bool("compare", false, "compare two bench JSON files given as positional args: per-row ns_per_op/allocs deltas and a geomean summary")
+		maxRegress  = fs.Float64("max-regress", 0, "with -compare, exit non-zero if any row's ns_per_op regresses by more than this fraction (0 disables; 0.25 = 25%)")
 		jsonOut     = fs.Bool("json", false, "run the CountNFTA + CountNFA micro-benchmarks and write -json-out / -json-nfa-out instead of experiment tables")
 		jsonPath    = fs.String("json-out", "BENCH_countnfta.json", "output path for the tree-engine suite under -json")
 		jsonNFAPath = fs.String("json-nfa-out", "BENCH_countnfa.json", "output path for the string-engine suite under -json")
@@ -48,6 +52,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	procs := *maxprocs
+	if procs <= 0 {
+		procs = *workers
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two positional args: old.json new.json")
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *maxRegress, stdout)
 	}
 
 	if *debugAddr != "" {
@@ -59,13 +75,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut {
-		if err := runJSONBench(*jsonPath, *eps, *seed, *workers, stdout); err != nil {
+		if err := runJSONBench(*jsonPath, *eps, *seed, procs, stdout); err != nil {
 			return err
 		}
-		return runJSONBenchNFA(*jsonNFAPath, *eps, *seed, *workers, stdout)
+		return runJSONBenchNFA(*jsonNFAPath, *eps, *seed, procs, stdout)
 	}
 
-	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick, Workers: *workers}
+	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick, Workers: procs}
 	var tables []*experiments.Table
 	if strings.EqualFold(*exp, "all") {
 		tables = experiments.All(opts)

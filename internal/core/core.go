@@ -45,11 +45,20 @@ type Options struct {
 	// ForceFPRAS disables safe-plan routing in Evaluate, forcing the
 	// automaton pipeline even for safe queries.
 	ForceFPRAS bool
+	// MaxProcs bounds the workers of the counters' unified scheduler,
+	// which dispatches whole trials and chunks of their overlap-sampling
+	// loops (0 derives the count from the deprecated Parallel/Workers
+	// pair). Results are identical across MaxProcs settings for a fixed
+	// Seed.
+	MaxProcs int
 	// Parallel runs the counters' independent trials concurrently.
+	//
+	// Deprecated: set MaxProcs.
 	Parallel bool
 	// Workers bounds the goroutines drawing overlap samples inside each
-	// counting trial (0 or 1 = sequential). Results are identical
-	// across Workers settings for a fixed Seed.
+	// counting trial (0 or 1 = sequential).
+	//
+	// Deprecated: set MaxProcs.
 	Workers int
 	// CountStats, when non-nil, accumulates CountNFTA effort counters
 	// (memo sizes, samples, wall time, allocations) across estimator
@@ -74,6 +83,7 @@ func (o Options) countOptions(sc *obs.Scope) count.Options {
 		Trials:   o.Trials,
 		Samples:  o.Samples,
 		Seed:     o.seed(),
+		MaxProcs: o.MaxProcs,
 		Parallel: o.Parallel,
 		Workers:  o.Workers,
 		Stats:    o.CountStats,
@@ -87,6 +97,7 @@ func (o Options) nfaOptions(sc *obs.Scope) nfa.CountOptions {
 		Trials:   o.Trials,
 		Samples:  o.Samples,
 		Seed:     o.seed(),
+		MaxProcs: o.MaxProcs,
 		Parallel: o.Parallel,
 		Workers:  o.Workers,
 		Stats:    o.NFAStats,

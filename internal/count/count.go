@@ -24,32 +24,40 @@
 // impractical, §6); accuracy is validated against exact counters in the
 // test suite and experiment harness.
 //
-// The engine is built for throughput: memo tables are dense
-// [row][size] slices (internal/dense), acceptance checks use pooled bit
-// sets (internal/bitset), and the overlap-sampling loop — where nearly
-// all the time goes — fans out across a bounded worker pool with one
-// deterministic sub-RNG per sample (internal/splitmix, sampler.go), so
-// results are bit-identical for a fixed seed at every Workers setting.
-// The string-side engine (internal/nfa) shares this architecture and
-// these substrate packages.
+// The engine is built for throughput and splits into three layers:
+//
+//   - an immutable plan (plan.go) — the interned transition structure
+//     and dense-table geometry — built once per automaton and cached on
+//     it, shared by every trial and session;
+//   - a per-trial run (this file) — seed, dense memo tables
+//     (internal/dense), effort counters and prefix-sum weight rows
+//     (prefix.go) — pooled on the plan so repeated estimation allocates
+//     near zero in steady state;
+//   - sampler sessions (sampler.go) with pooled bitsets and tree
+//     arenas, bound to a run per chunk of sampling work.
+//
+// Trials and overlap-sample chunks share one work-stealing scheduler
+// (internal/sched); every sample draws from its own sub-RNG derived
+// from (trial seed, site, sample index) (internal/splitmix), so results
+// are bit-identical for a fixed seed at every worker count. The
+// string-side engine (internal/nfa) shares this architecture and these
+// substrate packages.
 package count
 
 import (
-	"context"
-	"encoding/binary"
 	"math"
 	"math/rand"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pqe/internal/dense"
 	"pqe/internal/efloat"
 	"pqe/internal/nfta"
 	"pqe/internal/obs"
-	"pqe/internal/splitmix"
+	"pqe/internal/sched"
 )
 
 // Options configures the estimator. The zero value gets sensible
@@ -70,14 +78,20 @@ type Options struct {
 	Seed int64
 	// Rng supplies randomness when non-nil.
 	Rng *rand.Rand
-	// Parallel runs the independent trials on separate goroutines. The
-	// result is identical to the sequential run with the same seed
-	// (per-trial seeds are drawn up front).
+	// MaxProcs bounds the workers of the call's unified scheduler, which
+	// dispatches whole trials and, within them, chunks of the
+	// overlap-sampling loops (work-stealing, so a straggler trial never
+	// leaves workers idle). 0 derives the count from the deprecated
+	// Parallel/Workers pair; every setting returns bit-identical results
+	// for a fixed seed.
+	MaxProcs int
+	// Parallel requests trial-level parallelism.
+	//
+	// Deprecated: set MaxProcs. Parallel maps to MaxProcs = Trials.
 	Parallel bool
-	// Workers bounds the goroutines drawing overlap samples *inside* a
-	// trial. 0 or 1 means sequential. Every sample draws from its own
-	// sub-RNG derived from (trial seed, site, sample index), so the
-	// result is identical across all Workers settings for a fixed seed.
+	// Workers requests intra-trial sampling parallelism.
+	//
+	// Deprecated: set MaxProcs. Workers > 1 maps to MaxProcs = Workers.
 	Workers int
 	// Stats, when non-nil, accumulates estimator effort counters across
 	// all trials. Deprecated thin accessor: the same counters (and more)
@@ -87,9 +101,13 @@ type Options struct {
 	// Obs, when non-nil, receives the unified telemetry of every call:
 	// a count.trees span with per-trial child spans, countnfta_* registry
 	// counters (memo hits/misses, interner sizes, acceptance checks,
-	// worker utilization), and per-trial convergence records. A nil
-	// Scope disables all of it at the cost of a pointer test.
+	// plan-cache hits, scheduler steal/queue gauges), and per-trial
+	// convergence records. A nil Scope disables all of it at the cost of
+	// a pointer test.
 	Obs *obs.Scope
+
+	// procs is the resolved scheduler width, filled by withDefaults.
+	procs int
 }
 
 // Stats reports how much work the estimator did.
@@ -126,6 +144,7 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	o.procs = sched.Resolve(o.MaxProcs, o.Workers, o.Parallel, o.Trials)
 	if o.Rng == nil {
 		seed := o.Seed
 		if seed == 0 {
@@ -135,6 +154,9 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// schedLabels are the pprof labels applied to scheduler workers.
+var schedLabels = []string{"pqe_engine", "countnfta", "pqe_stage", "trial"}
 
 // Trees approximates |L_n(T)| for a λ-free NFTA, within relative error ε
 // with high probability (median of independent trials).
@@ -149,18 +171,20 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		t0 = time.Now()
 		runtime.ReadMemStats(&m0)
 	}
+	pl, planHit := planFor(a)
 	sc, span := opts.Obs.Span("count.trees")
 	if span != nil {
 		span.SetAttr("n", n)
 		span.SetAttr("states", a.NumStates())
 		span.SetAttr("trials", opts.Trials)
 		span.SetAttr("epsilon", opts.Epsilon)
-		span.SetAttr("workers", opts.Workers)
+		span.SetAttr("workers", opts.procs)
 	}
 	conv := sc.Convergence()
 	callID := conv.NextCall()
+	timed := sc.Registry() != nil
 	callStart := time.Time{}
-	if conv != nil || span != nil {
+	if conv != nil || span != nil || timed {
 		callStart = time.Now()
 	}
 	results := make([]efloat.E, opts.Trials)
@@ -168,19 +192,27 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 	for t := range seeds {
 		seeds[t] = opts.Rng.Int63()
 	}
-	ests := make([]*estimator, opts.Trials)
-	runTrial := func(t int) {
+	runs := make([]*run, opts.Trials)
+	call := newCallState(pl, opts.procs)
+	st := sched.Run(sched.Config{
+		Procs:  opts.procs,
+		Trials: opts.Trials,
+		Timed:  timed,
+		Labels: schedLabels,
+	}, func(w *sched.Worker, t int) {
 		tspan := span.Start("trial")
 		var tt0 time.Time
 		if conv != nil || tspan != nil {
 			tt0 = time.Now()
 		}
-		e := newEstimatorSeeded(a, opts, seeds[t])
-		results[t] = e.treeEst(a.Initial(), n)
-		ests[t] = e
+		r := pl.getRun(opts, seeds[t])
+		r.w, r.call = w, call
+		r.ensurePfx(n)
+		results[t] = r.treeEst(a.Initial(), n)
+		runs[t] = r
 		if tspan != nil {
 			tspan.SetAttr("trial", t)
-			tspan.SetAttr("union_samples", e.unionSamples)
+			tspan.SetAttr("union_samples", r.unionSamples)
 			tspan.End()
 		}
 		if conv != nil {
@@ -195,35 +227,19 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 				Trials:       opts.Trials,
 				Epsilon:      opts.Epsilon,
 				Log2Estimate: log2,
-				UnionSamples: e.unionSamples,
+				UnionSamples: r.unionSamples,
 				Elapsed:      time.Since(tt0),
 			})
 		}
-	}
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for t := range results {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfta", "pqe_stage", "trial"), func(context.Context) {
-					runTrial(t)
-				})
-			}(t)
-		}
-		wg.Wait()
-	} else {
-		for t := range results {
-			runTrial(t)
-		}
-	}
+	})
 	if opts.Stats != nil {
-		for _, e := range ests {
-			opts.Stats.TreeKeys += e.trees.Keys()
-			opts.Stats.ForestKeys += e.forests.Keys()
-			opts.Stats.UnionSamples += e.unionSamples
-			opts.Stats.Rejections += e.rejections
+		for _, r := range runs {
+			opts.Stats.TreeKeys += r.trees.Keys()
+			opts.Stats.ForestKeys += r.forests.Keys()
+			opts.Stats.UnionSamples += r.unionSamples
 		}
+		rej, _ := call.totals()
+		opts.Stats.Rejections += rej
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
 		opts.Stats.WallTime += time.Since(t0)
@@ -231,38 +247,36 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
 	if reg := sc.Registry(); reg != nil {
-		flushRegistry(reg, ests, time.Since(callStart))
+		flushRegistry(reg, pl, runs, call, st, planHit, time.Since(callStart))
 	}
 	span.End()
+	pl.release(runs, call)
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
 }
 
-// flushRegistry folds the per-trial effort counters into the unified
+// flushRegistry folds the per-call effort counters into the unified
 // metrics registry, once per Trees call — never inside the sampling
-// loops, which only bump plain per-trial integers.
-func flushRegistry(reg *obs.Registry, ests []*estimator, wall time.Duration) {
-	var treeKeys, forestKeys, memoHits, unionSamples, rejections, acceptChecks int
-	var spawns, busy int64
-	interned := 0
-	for _, e := range ests {
-		if e == nil {
+// loops, which only bump plain per-run and per-sampler integers.
+func flushRegistry(reg *obs.Registry, pl *plan, runs []*run, call *callState, st sched.Stats, planHit bool, wall time.Duration) {
+	var treeKeys, forestKeys, memoHits, unionSamples int
+	for _, r := range runs {
+		if r == nil {
 			continue
 		}
-		treeKeys += e.trees.Keys()
-		forestKeys += e.forests.Keys()
-		memoHits += e.memoHits
-		unionSamples += e.unionSamples
-		rejections += e.rejections
-		acceptChecks += e.acceptChecks()
-		spawns += e.workerSpawns
-		busy += e.workerBusyNs
-		if len(e.tuples) > interned {
-			interned = len(e.tuples)
+		treeKeys += r.trees.Keys()
+		forestKeys += r.forests.Keys()
+		memoHits += r.memoHits
+		unionSamples += r.unionSamples
+	}
+	rejections, acceptChecks := call.totals()
+	for _, r := range runs {
+		if r != nil && r.top != nil {
+			acceptChecks += r.top.acceptChecks
 		}
 	}
 	reg.Counter("countnfta_calls_total").Inc()
-	reg.Counter("countnfta_trials_total").Add(int64(len(ests)))
+	reg.Counter("countnfta_trials_total").Add(int64(len(runs)))
 	reg.Counter("countnfta_tree_keys_total").Add(int64(treeKeys))
 	reg.Counter("countnfta_forest_keys_total").Add(int64(forestKeys))
 	reg.Counter("countnfta_memo_hits_total").Add(int64(memoHits))
@@ -270,10 +284,19 @@ func flushRegistry(reg *obs.Registry, ests []*estimator, wall time.Duration) {
 	reg.Counter("countnfta_union_samples_total").Add(int64(unionSamples))
 	reg.Counter("countnfta_rejections_total").Add(int64(rejections))
 	reg.Counter("countnfta_accept_checks_total").Add(int64(acceptChecks))
-	reg.Counter("countnfta_worker_spawns_total").Add(spawns)
-	reg.Counter("countnfta_worker_busy_ns_total").Add(busy)
+	reg.Counter("countnfta_worker_spawns_total").Add(st.Spawns)
+	reg.Counter("countnfta_worker_busy_ns_total").Add(st.BusyNs)
 	reg.Counter("countnfta_wall_ns_total").Add(wall.Nanoseconds())
-	reg.Gauge("countnfta_interned_tuples").Set(float64(interned))
+	if planHit {
+		reg.Counter("countnfta_plan_cache_hits_total").Inc()
+	} else {
+		reg.Counter("countnfta_plan_cache_misses_total").Inc()
+	}
+	reg.Counter("countnfta_sched_batches_total").Add(st.Batches)
+	reg.Counter("countnfta_sched_chunks_total").Add(st.Chunks)
+	reg.Counter("countnfta_sched_steals_total").Add(st.Steals)
+	reg.Gauge("countnfta_sched_queue_depth").Set(float64(st.MaxQueue))
+	reg.Gauge("countnfta_interned_tuples").Set(float64(len(pl.tuples)))
 	reg.Histogram("countnfta_call_seconds").Observe(wall.Seconds())
 }
 
@@ -284,171 +307,99 @@ func SampleTree(a *nfta.NFTA, n int, opts Options) *nfta.Tree {
 		panic("count: automaton has λ-transitions; run EliminateLambda first")
 	}
 	opts = opts.withDefaults()
-	e := newEstimator(a, opts)
-	if e.treeEst(a.Initial(), n).IsZero() {
-		return nil
-	}
-	return e.sampleTreeTop(a.Initial(), n)
+	pl, _ := planFor(a)
+	call := newCallState(pl, opts.procs)
+	var r *run
+	var tree *nfta.Tree
+	sched.Run(sched.Config{Procs: opts.procs, Trials: 1, Labels: schedLabels}, func(w *sched.Worker, _ int) {
+		r = pl.getRun(opts, opts.Rng.Int63())
+		r.w, r.call = w, call
+		r.ensurePfx(n)
+		if r.treeEst(a.Initial(), n).IsZero() {
+			return
+		}
+		tree = r.topSampler().sampleTree(a.Initial(), n)
+	})
+	pl.release([]*run{r}, call)
+	return tree
 }
 
-// symTrans groups one state's outgoing transitions on one symbol: the
-// interned children tuples in a fixed (canonical) order, plus the row
-// of the unions memo table when there is more than one branch.
-type symTrans struct {
-	sym    int
-	tuples []int
-	slot   int // unions table row, -1 when len(tuples) == 1
-}
-
-// estimator holds one trial's memo tables and the frozen transition
-// structure. Estimation (treeEst / symbolUnion / forestEst) runs
-// sequentially and writes the tables; sampling runs on sampler sessions
-// that only read them (see sampler.go).
-type estimator struct {
-	a        *nfta.NFTA
+// run is the thin mutable half of a trial: the seed, the dense memo
+// tables and prefix rows keyed to the plan's geometry, and the effort
+// counters. Estimation (treeEst / symbolUnion / forestEst) runs
+// sequentially on the trial's scheduler worker and writes the tables;
+// sampling runs on sampler sessions that only read them (see
+// sampler.go). Runs are pooled on the plan and reset on reuse.
+type run struct {
+	pl       *plan
 	seed     int64
 	samples  int
 	maxRetry int
-	workers  int
-
-	// Frozen after construction: per-state symbol entries (sorted by
-	// symbol), interned children tuples, and each tuple's suffix
-	// tuple[1:] (interned eagerly so sampling never mutates the
-	// interner).
-	states [][]symTrans
-	tuples [][]int
-	restID []int
 
 	trees   dense.Table // rows: states
 	unions  dense.Table // rows: multi-branch (state, symbol) slots
 	forests dense.Table // rows: tuple IDs
 
+	// Prefix-sum weight rows (prefix.go), flat arrays indexed
+	// row·(maxN+1)+size.
+	maxN      int
+	entryPfx  []atomic.Pointer[prefixRow]
+	branchPfx []atomic.Pointer[prefixRow]
+	splitPfx  []atomic.Pointer[prefixRow]
+	pfxMu     sync.Mutex
+	pfx       pfxArena
+
 	unionSamples int
-	rejections   int
 	memoHits     int    // estimation-path memo-table hits (misses = keys)
-	acceptCount  int    // bitset acceptance computations (flushed from samplers)
 	siteSeq      uint64 // sampling-site counter for sub-RNG derivation
 
-	// Worker utilization, measured only when timed (obs attached):
-	// goroutines spawned by countFreshParallel and their summed busy ns.
-	timed        bool
-	workerSpawns int64
-	workerBusyNs int64
+	w    *sched.Worker // scheduler worker driving this trial
+	call *callState    // per-call shared worker samplers
 
-	top        *sampler   // lazily created top-level sampling session
-	workerSmps []*sampler // reused intra-trial worker samplers
+	top *sampler // lazily created top-level sampling session
 }
 
-// acceptChecks totals the acceptance-bitset computations across the
-// trial's samplers (worker counts are flushed eagerly; the top-level
-// sampling session is read here).
-func (e *estimator) acceptChecks() int {
-	n := e.acceptCount
-	if e.top != nil {
-		n += e.top.acceptChecks
-	}
-	return n
-}
-
-func newEstimator(a *nfta.NFTA, opts Options) *estimator {
-	return newEstimatorSeeded(a, opts, opts.Rng.Int63())
-}
-
-func newEstimatorSeeded(a *nfta.NFTA, opts Options, seed int64) *estimator {
-	e := &estimator{
-		a:        a,
-		seed:     seed,
-		samples:  opts.Samples,
-		maxRetry: opts.MaxRetry,
-		workers:  opts.Workers,
-		timed:    opts.Obs.Registry() != nil,
-	}
-	tupleIDs := make(map[string]int)
-	var keyBuf []byte
-	var intern func(children []int) int
-	intern = func(children []int) int {
-		keyBuf = appendTupleKey(keyBuf[:0], children)
-		k := string(keyBuf)
-		if id, ok := tupleIDs[k]; ok {
-			return id
-		}
-		id := len(e.tuples)
-		tupleIDs[k] = id
-		e.tuples = append(e.tuples, append([]int(nil), children...))
-		e.restID = append(e.restID, -1)
-		if len(children) > 1 {
-			rest := intern(children[1:])
-			e.restID[id] = rest
-		}
-		return id
-	}
-	e.states = make([][]symTrans, a.NumStates())
-	slots := 0
-	for q := 0; q < a.NumStates(); q++ {
-		bySym := make(map[int]int) // symbol -> entry index
-		var entries []symTrans
-		for _, tr := range a.From(q) {
-			id := intern(tr.Children)
-			ei, ok := bySym[tr.Sym]
-			if !ok {
-				ei = len(entries)
-				bySym[tr.Sym] = ei
-				entries = append(entries, symTrans{sym: tr.Sym, slot: -1})
-			}
-			entries[ei].tuples = append(entries[ei].tuples, id)
-		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].sym < entries[j].sym })
-		for i := range entries {
-			if len(entries[i].tuples) > 1 {
-				entries[i].slot = slots
-				slots++
-			}
-		}
-		e.states[q] = entries
-	}
-	e.trees = dense.NewTable(a.NumStates())
-	e.unions = dense.NewTable(slots)
-	e.forests = dense.NewTable(len(e.tuples))
-	return e
-}
-
-// appendTupleKey appends a varint encoding of the children tuple — the
-// interner's identity key. States are small non-negative integers, so
-// most tuples encode to one byte per element with no formatting.
-func appendTupleKey(dst []byte, children []int) []byte {
-	for _, c := range children {
-		dst = binary.AppendUvarint(dst, uint64(c))
-	}
-	return dst
+// reset prepares a pooled run for a new trial, keeping every grown
+// buffer (memo rows, prefix arrays, arena chunks) at capacity.
+func (r *run) reset() {
+	r.trees.Reset()
+	r.unions.Reset()
+	r.forests.Reset()
+	clear(r.entryPfx)
+	clear(r.branchPfx)
+	clear(r.splitPfx)
+	r.pfx.reset()
+	r.unionSamples, r.memoHits, r.siteSeq = 0, 0, 0
+	r.w, r.call, r.top = nil, nil, nil
 }
 
 // treeEst returns the (memoized) estimate of |T(q, n)|.
-func (e *estimator) treeEst(q, n int) efloat.E {
+func (r *run) treeEst(q, n int) efloat.E {
 	if n <= 0 {
 		return efloat.Zero
 	}
-	if v, ok := e.trees.Get(q, n); ok {
-		e.memoHits++
+	if v, ok := r.trees.Get(q, n); ok {
+		r.memoHits++
 		return v
 	}
 	// Guard against reentrancy: with n ≥ 1 the recursion strictly
 	// decreases sizes (forests of n−1 < n), so plain memoization
 	// suffices; pre-store zero to be safe against pathological input.
-	e.trees.Put(q, n, efloat.Zero)
+	r.trees.Put(q, n, efloat.Zero)
 	total := efloat.Zero
-	for i := range e.states[q] {
-		total = total.Add(e.symbolUnion(q, i, n))
+	for i := range r.pl.states[q] {
+		total = total.Add(r.symbolUnion(q, i, n))
 	}
-	e.trees.Put(q, n, total)
+	r.trees.Put(q, n, total)
 	return total
 }
 
 // treeLookup is the read-only view of treeEst for samplers.
-func (e *estimator) treeLookup(q, n int) efloat.E {
+func (r *run) treeLookup(q, n int) efloat.E {
 	if n <= 0 {
 		return efloat.Zero
 	}
-	v, _ := e.trees.Get(q, n)
+	v, _ := r.trees.Get(q, n)
 	return v
 }
 
@@ -458,20 +409,20 @@ func (e *estimator) treeLookup(q, n int) efloat.E {
 // F(c, n−1). Memoization matters: the samplers consult these estimates
 // at every recursion level, and re-estimating a union re-runs its
 // sampling loop.
-func (e *estimator) symbolUnion(q, ei, n int) efloat.E {
-	en := &e.states[q][ei]
+func (r *run) symbolUnion(q, ei, n int) efloat.E {
+	en := &r.pl.states[q][ei]
 	tuples := en.tuples
 	if len(tuples) == 1 {
-		return e.forestEst(tuples[0], n-1)
+		return r.forestEst(tuples[0], n-1)
 	}
-	if v, ok := e.unions.Get(en.slot, n); ok {
-		e.memoHits++
+	if v, ok := r.unions.Get(en.slot, n); ok {
+		r.memoHits++
 		return v
 	}
-	e.unions.Put(en.slot, n, efloat.Zero)
+	r.unions.Put(en.slot, n, efloat.Zero)
 	total := efloat.Zero
 	for j, tid := range tuples {
-		cj := e.forestEst(tid, n-1)
+		cj := r.forestEst(tid, n-1)
 		if cj.IsZero() {
 			continue
 		}
@@ -479,90 +430,44 @@ func (e *estimator) symbolUnion(q, ei, n int) efloat.E {
 			total = total.Add(cj)
 			continue
 		}
-		fresh := e.countFreshParallel(tuples, j, n)
-		total = total.Add(cj.MulFloat(float64(fresh) / float64(e.samples)))
+		fresh := r.countFresh(tuples, j, n)
+		total = total.Add(cj.MulFloat(float64(fresh) / float64(r.samples)))
 	}
-	e.unions.Put(en.slot, n, total)
+	r.unions.Put(en.slot, n, total)
 	return total
 }
 
 // unionLookup is the read-only view of symbolUnion for samplers.
-func (e *estimator) unionLookup(en *symTrans, n int) efloat.E {
+func (r *run) unionLookup(en *symTrans, n int) efloat.E {
 	if len(en.tuples) == 1 {
-		return e.forestLookup(en.tuples[0], n-1)
+		return r.forestLookup(en.tuples[0], n-1)
 	}
-	v, _ := e.unions.Get(en.slot, n)
+	v, _ := r.unions.Get(en.slot, n)
 	return v
 }
 
-// countFreshParallel runs the overlap-sampling loop for union branch j
-// at size n: e.samples forest draws, counting those not covered by an
-// earlier branch. The draws are independent given the (already
-// computed) memo tables, so they fan out across the trial's worker
-// samplers; per-sample sub-RNGs keep the count identical for every
-// worker count.
-func (e *estimator) countFreshParallel(tuples []int, j, n int) int {
-	site := e.siteSeq
-	e.siteSeq++
-	e.unionSamples += e.samples
-	workers := e.workers
-	if workers > e.samples {
-		workers = e.samples
-	}
-	if len(e.workerSmps) < workers {
-		for len(e.workerSmps) < workers {
-			e.workerSmps = append(e.workerSmps, e.newSampler(0))
-		}
-	}
-	if workers <= 1 {
-		s := e.workerSmps[0]
-		fresh := s.countFresh(tuples, j, n, site, 0, e.samples, 1)
-		e.rejections += s.rejections
-		e.acceptCount += s.acceptChecks
-		s.rejections, s.acceptChecks = 0, 0
-		return fresh
-	}
-	counts := make([]int, workers)
-	var busy []int64
-	if e.timed {
-		busy = make([]int64, workers)
-		e.workerSpawns += int64(workers)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfta", "pqe_stage", "overlap"), func(context.Context) {
-				var t0 time.Time
-				if busy != nil {
-					t0 = time.Now()
-				}
-				counts[w] = e.workerSmps[w].countFresh(tuples, j, n, site, w, e.samples, workers)
-				if busy != nil {
-					busy[w] = time.Since(t0).Nanoseconds()
-				}
-			})
-		}(w)
-	}
-	wg.Wait()
-	fresh := 0
-	for w := 0; w < workers; w++ {
-		fresh += counts[w]
-		e.rejections += e.workerSmps[w].rejections
-		e.acceptCount += e.workerSmps[w].acceptChecks
-		e.workerSmps[w].rejections, e.workerSmps[w].acceptChecks = 0, 0
-		if busy != nil {
-			e.workerBusyNs += busy[w]
-		}
-	}
-	return fresh
+// countFresh runs the overlap-sampling loop for union branch j at size
+// n: r.samples forest draws, counting those not covered by an earlier
+// branch. The draws are independent given the (already computed) memo
+// tables, so they fan out as chunks on the call's scheduler, executed
+// by whichever workers are idle; per-sample sub-RNGs keep the count
+// identical for every worker count and partition.
+func (r *run) countFresh(tuples []int, j, n int) int {
+	site := r.siteSeq
+	r.siteSeq++
+	r.unionSamples += r.samples
+	call := r.call
+	return r.w.Sum(r.samples, func(w *sched.Worker, lo, hi int) int {
+		s := call.sampler(w.ID())
+		s.bind(r)
+		return s.countFresh(tuples, j, n, site, lo, hi)
+	})
 }
 
 // forestEst returns the (memoized) estimate of |F(tuple, m)|, combining
 // first-tree-size splits exactly (disjoint union of products).
-func (e *estimator) forestEst(tid, m int) efloat.E {
-	tuple := e.tuples[tid]
+func (r *run) forestEst(tid, m int) efloat.E {
+	tuple := r.pl.tuples[tid]
 	switch len(tuple) {
 	case 0:
 		if m == 0 {
@@ -570,28 +475,28 @@ func (e *estimator) forestEst(tid, m int) efloat.E {
 		}
 		return efloat.Zero
 	case 1:
-		return e.treeEst(tuple[0], m)
+		return r.treeEst(tuple[0], m)
 	}
-	if v, ok := e.forests.Get(tid, m); ok {
-		e.memoHits++
+	if v, ok := r.forests.Get(tid, m); ok {
+		r.memoHits++
 		return v
 	}
-	rest := e.restID[tid]
+	rest := r.pl.restID[tid]
 	total := efloat.Zero
 	for j := 1; j <= m-(len(tuple)-1); j++ {
-		head := e.treeEst(tuple[0], j)
+		head := r.treeEst(tuple[0], j)
 		if head.IsZero() {
 			continue
 		}
-		total = total.Add(head.Mul(e.forestEst(rest, m-j)))
+		total = total.Add(head.Mul(r.forestEst(rest, m-j)))
 	}
-	e.forests.Put(tid, m, total)
+	r.forests.Put(tid, m, total)
 	return total
 }
 
 // forestLookup is the read-only view of forestEst for samplers.
-func (e *estimator) forestLookup(tid, m int) efloat.E {
-	tuple := e.tuples[tid]
+func (r *run) forestLookup(tid, m int) efloat.E {
+	tuple := r.pl.tuples[tid]
 	switch len(tuple) {
 	case 0:
 		if m == 0 {
@@ -599,18 +504,8 @@ func (e *estimator) forestLookup(tid, m int) efloat.E {
 		}
 		return efloat.Zero
 	case 1:
-		return e.treeLookup(tuple[0], m)
+		return r.treeLookup(tuple[0], m)
 	}
-	v, _ := e.forests.Get(tid, m)
+	v, _ := r.forests.Get(tid, m)
 	return v
-}
-
-// sampleTreeTop draws from T(q, n) on the trial's persistent top-level
-// sampling session (successive calls advance its stream). treeEst(q, n)
-// must have been computed.
-func (e *estimator) sampleTreeTop(q, n int) *nfta.Tree {
-	if e.top == nil {
-		e.top = e.newSampler(uint64(e.seed) ^ splitmix.TopSamplerSalt)
-	}
-	return e.top.sampleTree(q, n)
 }

@@ -5,28 +5,36 @@ import (
 
 	"pqe/internal/efloat"
 	"pqe/internal/nfta"
+	"pqe/internal/sched"
 )
 
 // Counter is a reusable counting session over one automaton: repeated
 // Count calls share the per-trial memo tables, so sweeping |L_n(T)|
 // over many sizes costs little more than the largest size alone (the
 // tables are indexed by (state, size) and smaller sizes are subproblems
-// of larger ones).
+// of larger ones). The session shares the automaton's cached plan with
+// every other session and one-shot call, and keeps its runs and worker
+// samplers for its whole lifetime (they are never returned to the
+// plan's pool — the sweep cache is the point).
 type Counter struct {
 	a      *nfta.NFTA
-	trials []*estimator
+	pl     *plan
+	procs  int
+	call   *callState
+	trials []*run
 }
 
 // NewCounter prepares a counting session with opts.Trials independent
-// trial estimators.
+// trial runs.
 func NewCounter(a *nfta.NFTA, opts Options) *Counter {
 	if a.HasLambda() {
 		panic("count: automaton has λ-transitions; run EliminateLambda first")
 	}
 	opts = opts.withDefaults()
-	c := &Counter{a: a}
+	pl, _ := planFor(a)
+	c := &Counter{a: a, pl: pl, procs: opts.procs, call: newCallState(pl, opts.procs)}
 	for t := 0; t < opts.Trials; t++ {
-		c.trials = append(c.trials, newEstimatorSeeded(a, opts, opts.Rng.Int63()))
+		c.trials = append(c.trials, pl.getRun(opts, opts.Rng.Int63()))
 	}
 	return c
 }
@@ -34,19 +42,29 @@ func NewCounter(a *nfta.NFTA, opts Options) *Counter {
 // Count approximates |L_n(T)| (median across the session's trials).
 func (c *Counter) Count(n int) efloat.E {
 	results := make([]efloat.E, len(c.trials))
-	for t, e := range c.trials {
-		results[t] = e.treeEst(c.a.Initial(), n)
-	}
+	sched.Run(sched.Config{Procs: c.procs, Trials: len(c.trials), Labels: schedLabels}, func(w *sched.Worker, t int) {
+		r := c.trials[t]
+		r.w, r.call = w, c.call
+		r.ensurePfx(n)
+		results[t] = r.treeEst(c.a.Initial(), n)
+	})
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
 }
 
 // Sample draws a near-uniform tree of size n using the first trial's
 // tables, or nil if the language at that size is (estimated) empty.
+// Successive samples advance the trial's persistent sampling stream.
 func (c *Counter) Sample(n int) *nfta.Tree {
-	e := c.trials[0]
-	if e.treeEst(c.a.Initial(), n).IsZero() {
-		return nil
-	}
-	return e.sampleTreeTop(c.a.Initial(), n)
+	r := c.trials[0]
+	var tree *nfta.Tree
+	sched.Run(sched.Config{Procs: c.procs, Trials: 1, Labels: schedLabels}, func(w *sched.Worker, _ int) {
+		r.w, r.call = w, c.call
+		r.ensurePfx(n)
+		if r.treeEst(c.a.Initial(), n).IsZero() {
+			return
+		}
+		tree = r.topSampler().sampleTree(c.a.Initial(), n)
+	})
+	return tree
 }

@@ -1,0 +1,242 @@
+package count
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pqe/internal/efloat"
+	"pqe/internal/nfta"
+	"pqe/internal/obs"
+	"pqe/internal/splitmix"
+)
+
+// Plan caching contract: the first call on an automaton builds the
+// plan, every later call (and session) reuses it, and a structural
+// mutation invalidates it. Pinned through the registry counters so the
+// behavior stays observable.
+func TestPlanCacheReuse(t *testing.T) {
+	a := heavyOverlap()
+	reg := obs.NewRegistry()
+	sc := obs.NewScope(nil, reg, nil)
+	opts := Options{Epsilon: 0.2, Trials: 2, Seed: 3, Obs: sc}
+	Trees(a, 6, opts)
+	if h, m := reg.Counter("countnfta_plan_cache_hits_total").Value(),
+		reg.Counter("countnfta_plan_cache_misses_total").Value(); h != 0 || m != 1 {
+		t.Fatalf("first call: hits=%d misses=%d, want 0/1", h, m)
+	}
+	Trees(a, 6, opts)
+	Trees(a, 8, opts)
+	if h, m := reg.Counter("countnfta_plan_cache_hits_total").Value(),
+		reg.Counter("countnfta_plan_cache_misses_total").Value(); h != 2 || m != 1 {
+		t.Fatalf("after reuse: hits=%d misses=%d, want 2/1", h, m)
+	}
+}
+
+func TestPlanRebuildAfterMutation(t *testing.T) {
+	a := heavyOverlap()
+	reg := obs.NewRegistry()
+	sc := obs.NewScope(nil, reg, nil)
+	opts := Options{Epsilon: 0.2, Trials: 2, Seed: 3, Obs: sc}
+	Trees(a, 6, opts)
+	s := a.AddState()
+	a.AddTransition(s, "c")
+	a.AddTransition(a.Initial(), "f", s)
+	Trees(a, 6, opts)
+	if m := reg.Counter("countnfta_plan_cache_misses_total").Value(); m != 2 {
+		t.Fatalf("mutation did not invalidate the plan: misses=%d, want 2", m)
+	}
+}
+
+// Concurrent sessions over one automaton share the plan; run under
+// -race this pins that the shared half really is immutable and the
+// pooled halves are handed out safely.
+func TestConcurrentSessionsSharePlan(t *testing.T) {
+	a := heavyOverlap()
+	base := Trees(a, 10, Options{Epsilon: 0.2, Trials: 2, Seed: 9})
+	var wg sync.WaitGroup
+	errs := make([]string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				got := Trees(a, 10, Options{Epsilon: 0.2, Trials: 2, Seed: 9, MaxProcs: 1 + g%3})
+				if got.Cmp(base) != 0 {
+					errs[g] = got.String()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Fatalf("goroutine %d: concurrent estimate %s, want %s", g, e, base)
+		}
+	}
+}
+
+// The MaxProcs knob must honor the same bit-identity contract as the
+// deprecated Workers/Parallel pair, including mixed settings.
+func TestTreesDeterministicAcrossMaxProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		a := randomNFTA(rng)
+		n := 2 + rng.Intn(6)
+		base := Trees(a, n, Options{Epsilon: 0.2, Trials: 3, Seed: 11})
+		for _, procs := range []int{1, 2, 8} {
+			got := Trees(a, n, Options{Epsilon: 0.2, Trials: 3, Seed: 11, MaxProcs: procs})
+			if got.Cmp(base) != 0 {
+				t.Fatalf("trial %d: MaxProcs=%d gave %v, want %v", trial, procs, got, base)
+			}
+		}
+		// MaxProcs overrides the deprecated pair when both are set.
+		got := Trees(a, n, Options{Epsilon: 0.2, Trials: 3, Seed: 11, MaxProcs: 3, Workers: 5, Parallel: true})
+		if got.Cmp(base) != 0 {
+			t.Fatalf("trial %d: mixed MaxProcs/Workers gave %v, want %v", trial, got, base)
+		}
+	}
+}
+
+// rowFromWeights builds a prefix row exactly the way prefix.go does.
+func rowFromWeights(ws []efloat.E) *prefixRow {
+	p := &prefixRow{cum: make([]efloat.E, len(ws)), last: -1}
+	acc := efloat.Zero
+	for i, w := range ws {
+		if !w.IsZero() {
+			p.last = i
+		}
+		acc = acc.Add(w)
+		p.cum[i] = acc
+	}
+	return p
+}
+
+// pickRow must match the reference linear scan draw-for-draw on the
+// same RNG stream: same index, same single variate consumed.
+func TestPickRowMatchesPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(8)
+		ws := make([]efloat.E, k)
+		for i := range ws {
+			switch rng.Intn(3) {
+			case 0: // zero weight
+			case 1:
+				ws[i] = efloat.FromInt(1 + rng.Int63n(1000))
+			default:
+				ws[i] = efloat.Pow2(int64(rng.Intn(400) - 200)).MulFloat(1 + rng.Float64())
+			}
+		}
+		row := rowFromWeights(ws)
+		seed := rng.Uint64()
+		s1 := &sampler{rng: splitmix.New(seed)}
+		s2 := &sampler{rng: splitmix.New(seed)}
+		for draw := 0; draw < 4; draw++ {
+			a, b := s1.pick(ws), s2.pickRow(row)
+			if a != b {
+				t.Fatalf("trial %d draw %d: pick=%d pickRow=%d weights=%v", trial, draw, a, b, ws)
+			}
+			// Stream states must stay aligned (same number of variates
+			// consumed), or later draws would diverge silently.
+			if s1.rng.Uint64() != s2.rng.Uint64() {
+				t.Fatalf("trial %d draw %d: streams diverged", trial, draw)
+			}
+		}
+	}
+}
+
+func TestPickEdgeCases(t *testing.T) {
+	zero4 := make([]efloat.E, 4)
+	s := &sampler{rng: splitmix.New(1)}
+	if got := s.pick(zero4); got != -1 {
+		t.Errorf("pick(all zero) = %d, want -1", got)
+	}
+	if got := s.pickRow(rowFromWeights(zero4)); got != -1 {
+		t.Errorf("pickRow(all zero) = %d, want -1", got)
+	}
+	if got := s.pickRow(&prefixRow{}); got != -1 {
+		t.Errorf("pickRow(empty) = %d, want -1", got)
+	}
+	// All-zero rows must not consume a variate: the callers rely on
+	// rejection loops drawing nothing on dead branches.
+	fresh := splitmix.New(9)
+	s.rng = splitmix.New(9)
+	s.pick(zero4)
+	s.pickRow(rowFromWeights(zero4))
+	if s.rng.Uint64() != fresh.Uint64() {
+		t.Error("zero-total pick consumed a variate")
+	}
+
+	// A single nonzero tail weight must always be chosen, by both
+	// implementations, whatever the variate.
+	tail := []efloat.E{efloat.Zero, efloat.Zero, efloat.One}
+	row := rowFromWeights(tail)
+	if row.last != 2 {
+		t.Fatalf("last = %d, want 2", row.last)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		s.rng = splitmix.New(seed)
+		if got := s.pick(tail); got != 2 {
+			t.Fatalf("seed %d: pick(tail) = %d, want 2", seed, got)
+		}
+		s.rng = splitmix.New(seed)
+		if got := s.pickRow(row); got != 2 {
+			t.Fatalf("seed %d: pickRow(tail) = %d, want 2", seed, got)
+		}
+	}
+
+	// Trailing zero weights: the chosen index must never land past the
+	// last nonzero weight (the row's recorded fallback).
+	trail := []efloat.E{efloat.One, efloat.FromInt(3), efloat.Zero, efloat.Zero}
+	row = rowFromWeights(trail)
+	for seed := uint64(0); seed < 50; seed++ {
+		s.rng = splitmix.New(seed)
+		if got := s.pickRow(row); got > row.last {
+			t.Fatalf("seed %d: pickRow returned %d past last=%d", seed, got, row.last)
+		}
+	}
+}
+
+// treeArena growth mid-sample: nodes and child slices handed out before
+// a chunk grows must stay valid (a sampled tree's parents hold pointers
+// into earlier chunks).
+func TestTreeArenaGrowthMidSample(t *testing.T) {
+	ar := &treeArena{}
+	refs := make([]*nfta.Tree, 0, 3*arenaChunk)
+	for i := 0; i < 3*arenaChunk; i++ {
+		refs = append(refs, ar.node(i, nil))
+	}
+	for i, r := range refs {
+		if r.Sym != i {
+			t.Fatalf("node %d corrupted after growth: Sym=%d", i, r.Sym)
+		}
+	}
+	// Distinct allocations: the bump pointer must never hand the same
+	// node out twice within a sample.
+	seen := make(map[*nfta.Tree]bool, len(refs))
+	for _, r := range refs {
+		if seen[r] {
+			t.Fatal("arena handed out the same node twice")
+		}
+		seen[r] = true
+	}
+	// Child slices crossing a refs-chunk growth keep their contents.
+	ar.reset()
+	slices := make([][]*nfta.Tree, 0, 64)
+	for i := 0; i < 64; i++ {
+		s := ar.slice(arenaChunk / 4)
+		for j := range s {
+			s[j] = refs[i]
+		}
+		slices = append(slices, s)
+	}
+	for i, s := range slices {
+		for j := range s {
+			if s[j] != refs[i] {
+				t.Fatalf("slice %d entry %d corrupted after growth", i, j)
+			}
+		}
+	}
+}

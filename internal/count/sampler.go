@@ -7,12 +7,13 @@ import (
 	"pqe/internal/splitmix"
 )
 
-// sampler is a sampling session over a frozen estimator: it draws
-// trees and forests reading the memo tables and transition structure
+// sampler is a sampling session over a frozen run: it draws trees and
+// forests reading the memo tables and the plan's transition structure
 // but never writing them, so any number of samplers may run
-// concurrently over one estimator. All scratch state (bitset pool,
-// weight buffers, rejection counter) lives here, one sampler per
-// goroutine.
+// concurrently over one run. All scratch state (bitset pool, forest
+// buffer, rejection counter) lives here; the scheduler binds one
+// sampler per worker, rebinding it to the chunk's run at every chunk
+// boundary (bind), so a sampler serves many trials within a call.
 //
 // The invariant the read-only lookups rely on: a sampler is only ever
 // asked for (state, size) pairs whose estimates were computed — the
@@ -20,26 +21,28 @@ import (
 // its sampling consults (all strictly smaller sizes), and the
 // top-level APIs run treeEst before sampling.
 type sampler struct {
-	e          *estimator
+	r          *run
 	rng        splitmix.Stream
 	pool       *bitset.Pool
 	sets       []bitset.Set // scratch for firstAccepting
-	wfree      [][]efloat.E // free list of weight buffers
 	forestBuf  []*nfta.Tree // transient forest for overlap testing
 	arena      *treeArena   // nil when sampled trees escape to callers
 	rejections int
 	// acceptChecks counts acceptance-bitset computations (one per forest
-	// tree membership-tested), flushed to the estimator like rejections.
+	// tree membership-tested), summed per call like rejections.
 	acceptChecks int
 }
 
-func (e *estimator) newSampler(state uint64) *sampler {
+func newSampler(pl *plan) *sampler {
 	return &sampler{
-		e:    e,
-		rng:  splitmix.New(state),
-		pool: bitset.NewPool(e.a.NumStates()),
+		pool: bitset.NewPool(pl.a.NumStates()),
 	}
 }
+
+// bind points the sampler at a run. Samplers are plan-scoped (the
+// bitset pool is sized to the automaton), so binding only swaps the
+// memo tables it reads.
+func (s *sampler) bind(r *run) { s.r = r }
 
 // treeArena bump-allocates tree nodes and children slices in reusable
 // chunks. Overlap sampling builds a forest only to membership-test and
@@ -98,27 +101,10 @@ func (s *sampler) newForest(n int) []*nfta.Tree {
 	return make([]*nfta.Tree, n)
 }
 
-// getW borrows a weight buffer of length n from the free list; putW
-// returns it. A free list rather than a single scratch slice because
-// the canonical-rejection retry loop holds its weights across nested
-// sampling calls.
-func (s *sampler) getW(n int) []efloat.E {
-	if k := len(s.wfree); k > 0 {
-		w := s.wfree[k-1]
-		s.wfree = s.wfree[:k-1]
-		if cap(w) >= n {
-			return w[:n]
-		}
-	}
-	return make([]efloat.E, n)
-}
-
-func (s *sampler) putW(w []efloat.E) {
-	s.wfree = append(s.wfree, w)
-}
-
 // pick returns an index with probability proportional to the weights,
-// or -1 if all are zero.
+// or -1 if all are zero. It is the reference implementation that
+// pickRow's cached binary search must match draw-for-draw (pinned by
+// TestPickRowMatchesPick); the hot paths all go through pickRow.
 func (s *sampler) pick(weights []efloat.E) int {
 	total := efloat.Sum(weights...)
 	if total.IsZero() {
@@ -140,17 +126,51 @@ func (s *sampler) pick(weights []efloat.E) int {
 	return last
 }
 
-// countFresh draws the overlap samples start, start+stride, … < samples
-// for union branch j at size n and counts those landing outside all
-// earlier branches. Each sample runs on its own derived PRNG, so the
-// count is independent of how samples are partitioned across workers.
-func (s *sampler) countFresh(tuples []int, j, n int, site uint64, start, samples, stride int) int {
+// pickRow is pick over a cached prefix row: one uniform variate, one
+// binary search for the leftmost index whose prefix sum exceeds the
+// target. Zero weights leave the prefix sum unchanged (efloat.Add
+// returns the other operand exactly when one side is Zero), so the
+// leftmost crossing index always carries nonzero weight and equals the
+// index the reference scan stops at; the row's last field reproduces
+// the scan's fallback when rounding pushes the target to the total.
+func (s *sampler) pickRow(p *prefixRow) int {
+	cum := p.cum
+	n := len(cum)
+	if n == 0 {
+		return -1
+	}
+	total := cum[n-1]
+	if total.IsZero() {
+		return -1
+	}
+	target := total.MulFloat(s.rng.Float64())
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if target.Less(cum[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < n {
+		return lo
+	}
+	return p.last
+}
+
+// countFresh draws the overlap samples lo ≤ i < hi for union branch j
+// at size n and counts those landing outside all earlier branches. Each
+// sample runs on its own PRNG derived from (trial seed, site, i), so
+// the count is independent of how samples are partitioned across
+// workers and chunks.
+func (s *sampler) countFresh(tuples []int, j, n int, site uint64, lo, hi int) int {
 	if s.arena == nil {
 		s.arena = &treeArena{}
 	}
 	fresh := 0
-	for i := start; i < samples; i += stride {
-		s.rng = splitmix.Derive(s.e.seed, site, i)
+	for i := lo; i < hi; i++ {
+		s.rng = splitmix.Derive(s.r.seed, site, i)
 		s.arena.reset()
 		f, ok := s.sampleForestScratch(tuples[j], n-1)
 		if !ok {
@@ -165,17 +185,12 @@ func (s *sampler) countFresh(tuples []int, j, n int, site uint64, start, samples
 
 // sampleTree draws a near-uniform tree from T(q, n), or nil if empty.
 func (s *sampler) sampleTree(q, n int) *nfta.Tree {
-	e := s.e
-	if e.treeLookup(q, n).IsZero() {
+	r := s.r
+	if r.treeLookup(q, n).IsZero() {
 		return nil
 	}
-	entries := e.states[q]
-	w := s.getW(len(entries))
-	for i := range entries {
-		w[i] = e.unionLookup(&entries[i], n)
-	}
-	i := s.pick(w)
-	s.putW(w)
+	entries := r.pl.states[q]
+	i := s.pickRow(r.entryRow(q, n))
 	if i < 0 {
 		return nil
 	}
@@ -187,11 +202,8 @@ func (s *sampler) sampleTree(q, n int) *nfta.Tree {
 		}
 		return s.newTree(en.sym, f)
 	}
-	tw := s.getW(len(en.tuples))
-	for j, tid := range en.tuples {
-		tw[j] = e.forestLookup(tid, n-1)
-	}
-	maxRetry := e.maxRetry
+	brow := r.branchRow(en, n)
+	maxRetry := r.maxRetry
 	if maxRetry <= 0 {
 		maxRetry = 32 * len(en.tuples)
 	}
@@ -199,8 +211,8 @@ func (s *sampler) sampleTree(q, n int) *nfta.Tree {
 	// earlier branch accepts it, which makes the draw uniform over the
 	// union.
 	var last *nfta.Tree
-	for r := 0; r < maxRetry; r++ {
-		j := s.pick(tw)
+	for retry := 0; retry < maxRetry; retry++ {
+		j := s.pickRow(brow)
 		if j < 0 {
 			break
 		}
@@ -210,12 +222,10 @@ func (s *sampler) sampleTree(q, n int) *nfta.Tree {
 		}
 		last = s.newTree(en.sym, f)
 		if j == 0 || s.firstAccepting(en.tuples[:j], f) < 0 {
-			s.putW(tw)
 			return last
 		}
 		s.rejections++
 	}
-	s.putW(tw)
 	// Retry budget exhausted: return the latest draw (slightly biased
 	// towards multiply-covered trees; the budget makes this path rare).
 	return last
@@ -224,7 +234,7 @@ func (s *sampler) sampleTree(q, n int) *nfta.Tree {
 // sampleForestAlloc draws a near-uniform forest from F(tuple, m) into a
 // fresh slice (retained as tree children).
 func (s *sampler) sampleForestAlloc(tid, m int) ([]*nfta.Tree, bool) {
-	out := s.newForest(len(s.e.tuples[tid]))
+	out := s.newForest(len(s.r.pl.tuples[tid]))
 	if !s.sampleForestInto(tid, m, out) {
 		return nil, false
 	}
@@ -234,7 +244,7 @@ func (s *sampler) sampleForestAlloc(tid, m int) ([]*nfta.Tree, bool) {
 // sampleForestScratch is sampleForestAlloc into a reused buffer, for
 // forests that are only membership-tested and then discarded.
 func (s *sampler) sampleForestScratch(tid, m int) ([]*nfta.Tree, bool) {
-	k := len(s.e.tuples[tid])
+	k := len(s.r.pl.tuples[tid])
 	if cap(s.forestBuf) < k {
 		s.forestBuf = make([]*nfta.Tree, k)
 	}
@@ -251,9 +261,9 @@ func (s *sampler) sampleForestScratch(tid, m int) ([]*nfta.Tree, bool) {
 // iteratively using the precomputed rest-tuple IDs — no per-level slice
 // copying.
 func (s *sampler) sampleForestInto(tid, m int, out []*nfta.Tree) bool {
-	e := s.e
+	r := s.r
 	for i := 0; ; i++ {
-		tuple := e.tuples[tid]
+		tuple := r.pl.tuples[tid]
 		switch len(tuple) {
 		case 0:
 			return m == 0
@@ -269,13 +279,7 @@ func (s *sampler) sampleForestInto(tid, m int, out []*nfta.Tree) bool {
 		if maxHead < 1 {
 			return false
 		}
-		rest := e.restID[tid]
-		w := s.getW(maxHead)
-		for j := 1; j <= maxHead; j++ {
-			w[j-1] = e.treeLookup(tuple[0], j).Mul(e.forestLookup(rest, m-j))
-		}
-		k := s.pick(w)
-		s.putW(w)
+		k := s.pickRow(r.splitRow(tid, m, maxHead))
 		if k < 0 {
 			return false
 		}
@@ -285,7 +289,7 @@ func (s *sampler) sampleForestInto(tid, m int, out []*nfta.Tree) bool {
 			return false
 		}
 		out[i] = head
-		tid, m = rest, m-j
+		tid, m = r.pl.restID[tid], m-j
 	}
 }
 
@@ -294,17 +298,17 @@ func (s *sampler) sampleForestInto(tid, m int, out []*nfta.Tree) bool {
 // into pooled scratch; the membership test per tuple is then a few
 // word probes.
 func (s *sampler) firstAccepting(tuples []int, forest []*nfta.Tree) int {
-	e := s.e
+	r := s.r
 	sets := s.sets[:0]
 	s.acceptChecks += len(forest)
 	for _, t := range forest {
 		b := s.pool.Get()
-		e.a.AcceptingStatesInto(t, b, s.pool)
+		r.pl.a.AcceptingStatesInto(t, b, s.pool)
 		sets = append(sets, b)
 	}
 	res := -1
 	for j, tid := range tuples {
-		tuple := e.tuples[tid]
+		tuple := r.pl.tuples[tid]
 		if len(tuple) != len(forest) {
 			continue
 		}

@@ -52,3 +52,16 @@ func (t *Table) Put(r, c int, v efloat.E) {
 
 // Keys returns the number of computed cells.
 func (t *Table) Keys() int { return t.keys }
+
+// Reset clears every computed cell while keeping the row capacity, so a
+// pooled table's next user allocates nothing on the sizes it revisits.
+// Values are left in place — done gates every read.
+func (t *Table) Reset() {
+	for r := range t.done {
+		row := t.done[r]
+		for c := range row {
+			row[c] = false
+		}
+	}
+	t.keys = 0
+}

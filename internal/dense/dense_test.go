@@ -107,3 +107,33 @@ func TestRowsAreIndependent(t *testing.T) {
 		}
 	}
 }
+
+// Reset must forget every computed cell while keeping the grown row
+// capacity usable: the pooled runs of the counting engines rely on a
+// reset table answering "not computed" everywhere.
+func TestReset(t *testing.T) {
+	tab := NewTable(3)
+	tab.Put(0, 0, efloat.Zero)
+	tab.Put(1, 7, efloat.FromInt(9))
+	tab.Put(2, 3, efloat.One)
+	if tab.Keys() != 3 {
+		t.Fatalf("Keys = %d before reset, want 3", tab.Keys())
+	}
+	tab.Reset()
+	if tab.Keys() != 0 {
+		t.Errorf("Keys = %d after reset, want 0", tab.Keys())
+	}
+	for _, c := range [][2]int{{0, 0}, {1, 7}, {2, 3}} {
+		if _, ok := tab.Get(c[0], c[1]); ok {
+			t.Errorf("cell %v still computed after reset", c)
+		}
+	}
+	// The table is fully reusable after a reset.
+	tab.Put(1, 7, efloat.FromInt(4))
+	if v, ok := tab.Get(1, 7); !ok || v.Cmp(efloat.FromInt(4)) != 0 {
+		t.Errorf("cell (1,7) after reset+put = %v, %v", v, ok)
+	}
+	if tab.Keys() != 1 {
+		t.Errorf("Keys = %d after reuse, want 1", tab.Keys())
+	}
+}

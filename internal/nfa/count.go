@@ -1,20 +1,19 @@
 package nfa
 
 import (
-	"context"
 	"math"
 	"math/rand"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pqe/internal/bitset"
 	"pqe/internal/dense"
 	"pqe/internal/efloat"
 	"pqe/internal/obs"
-	"pqe/internal/splitmix"
+	"pqe/internal/sched"
 )
 
 // CountOptions configures the CountNFA approximation scheme.
@@ -42,13 +41,20 @@ type CountOptions struct {
 	Seed int64
 	// Rng, when non-nil, supplies randomness.
 	Rng *rand.Rand
-	// Parallel runs the independent trials on separate goroutines; the
-	// result is identical to the sequential run with the same seed.
+	// MaxProcs bounds the workers of the call's unified scheduler, which
+	// dispatches whole trials and, within them, chunks of the
+	// overlap-sampling loops (work-stealing, so a straggler trial never
+	// leaves workers idle). 0 derives the count from the deprecated
+	// Parallel/Workers pair; every setting returns bit-identical results
+	// for a fixed seed.
+	MaxProcs int
+	// Parallel requests trial-level parallelism.
+	//
+	// Deprecated: set MaxProcs. Parallel maps to MaxProcs = Trials.
 	Parallel bool
-	// Workers bounds the goroutines drawing overlap samples *inside* a
-	// trial. 0 or 1 means sequential. Every sample draws from its own
-	// sub-RNG derived from (trial seed, site, sample index), so the
-	// result is identical across all Workers settings for a fixed seed.
+	// Workers requests intra-trial sampling parallelism.
+	//
+	// Deprecated: set MaxProcs. Workers > 1 maps to MaxProcs = Workers.
 	Workers int
 	// Stats, when non-nil, accumulates estimator effort counters across
 	// all trials. Deprecated thin accessor: the same counters (and more)
@@ -58,9 +64,13 @@ type CountOptions struct {
 	// Obs, when non-nil, receives the unified telemetry of every call:
 	// a count.nfa span with per-trial child spans, countnfa_* registry
 	// counters (memo hits/misses, interner sizes, acceptance checks,
-	// worker utilization), and per-trial convergence records. A nil
-	// Scope disables all of it at the cost of a pointer test.
+	// plan-cache hits, scheduler steal/queue gauges), and per-trial
+	// convergence records. A nil Scope disables all of it at the cost of
+	// a pointer test.
 	Obs *obs.Scope
+
+	// procs is the resolved scheduler width, filled by withDefaults.
+	procs int
 }
 
 // Stats reports how much work the estimator did.
@@ -96,6 +106,7 @@ func (o CountOptions) withDefaults() CountOptions {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	o.procs = sched.Resolve(o.MaxProcs, o.Workers, o.Parallel, o.Trials)
 	if o.Rng == nil {
 		seed := o.Seed
 		if seed == 0 {
@@ -105,6 +116,9 @@ func (o CountOptions) withDefaults() CountOptions {
 	}
 	return o
 }
+
+// schedLabels are the pprof labels applied to scheduler workers.
+var schedLabels = []string{"pqe_engine", "countnfa", "pqe_stage", "trial"}
 
 // Count approximates |L_n(M)|, the number of distinct words of length n
 // accepted by M, within relative error ε with high probability. It
@@ -117,19 +131,20 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		t0 = time.Now()
 		runtime.ReadMemStats(&m0)
 	}
-	ix := m.index()
+	pl, planHit := planFor(m)
 	sc, span := opts.Obs.Span("count.nfa")
 	if span != nil {
 		span.SetAttr("n", n)
 		span.SetAttr("states", m.numStates)
 		span.SetAttr("trials", opts.Trials)
 		span.SetAttr("epsilon", opts.Epsilon)
-		span.SetAttr("workers", opts.Workers)
+		span.SetAttr("workers", opts.procs)
 	}
 	conv := sc.Convergence()
 	callID := conv.NextCall()
+	timed := sc.Registry() != nil
 	callStart := time.Time{}
-	if conv != nil || span != nil {
+	if conv != nil || span != nil || timed {
 		callStart = time.Now()
 	}
 	results := make([]efloat.E, opts.Trials)
@@ -137,19 +152,27 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 	for t := range seeds {
 		seeds[t] = opts.Rng.Int63()
 	}
-	ests := make([]*wordEstimator, opts.Trials)
-	runTrial := func(t int) {
+	runs := make([]*wordRun, opts.Trials)
+	call := newCallState(pl, opts.procs)
+	st := sched.Run(sched.Config{
+		Procs:  opts.procs,
+		Trials: opts.Trials,
+		Timed:  timed,
+		Labels: schedLabels,
+	}, func(w *sched.Worker, t int) {
 		tspan := span.Start("trial")
 		var tt0 time.Time
 		if conv != nil || tspan != nil {
 			tt0 = time.Now()
 		}
-		e := newWordEstimatorSeeded(m, ix, opts, seeds[t])
-		results[t] = e.topLevel(n)
-		ests[t] = e
+		r := pl.getRun(opts, seeds[t])
+		r.w, r.call = w, call
+		r.ensurePfx(n)
+		results[t] = r.topLevel(n)
+		runs[t] = r
 		if tspan != nil {
 			tspan.SetAttr("trial", t)
-			tspan.SetAttr("union_samples", e.unionSamples)
+			tspan.SetAttr("union_samples", r.unionSamples)
 			tspan.End()
 		}
 		if conv != nil {
@@ -164,32 +187,17 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 				Trials:       opts.Trials,
 				Epsilon:      opts.Epsilon,
 				Log2Estimate: log2,
-				UnionSamples: e.unionSamples,
+				UnionSamples: r.unionSamples,
 				Elapsed:      time.Since(tt0),
 			})
 		}
-	}
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for t := range results {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfa", "pqe_stage", "trial"), func(context.Context) {
-					runTrial(t)
-				})
-			}(t)
-		}
-		wg.Wait()
-	} else {
-		for t := range results {
-			runTrial(t)
-		}
-	}
+	})
 	if opts.Stats != nil {
-		for _, e := range ests {
-			opts.Stats.record(e)
+		for _, r := range runs {
+			opts.Stats.record(r)
 		}
+		rej, _ := call.totals()
+		opts.Stats.Rejections += rej
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
 		opts.Stats.WallTime += time.Since(t0)
@@ -197,34 +205,36 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
 	if reg := sc.Registry(); reg != nil {
-		flushRegistry(reg, ix, ests, time.Since(callStart))
+		flushRegistry(reg, pl, runs, call, st, planHit, time.Since(callStart))
 	}
 	span.End()
+	pl.release(runs, call)
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
 }
 
-// flushRegistry folds the per-trial effort counters into the unified
+// flushRegistry folds the per-call effort counters into the unified
 // metrics registry, once per Count call — never inside the sampling
-// loops, which only bump plain per-trial integers.
-func flushRegistry(reg *obs.Registry, ix *denseIndex, ests []*wordEstimator, wall time.Duration) {
-	var wordKeys, unionKeys, memoHits, unionSamples, rejections, acceptChecks int
-	var spawns, busy int64
-	for _, e := range ests {
-		if e == nil {
+// loops, which only bump plain per-run and per-sampler integers.
+func flushRegistry(reg *obs.Registry, pl *wordPlan, runs []*wordRun, call *callState, st sched.Stats, planHit bool, wall time.Duration) {
+	var wordKeys, unionKeys, memoHits, unionSamples int
+	for _, r := range runs {
+		if r == nil {
 			continue
 		}
-		wordKeys += e.words.Keys()
-		unionKeys += e.unions.Keys()
-		memoHits += e.memoHits
-		unionSamples += e.unionSamples
-		rejections += e.rejections
-		acceptChecks += e.acceptChecks()
-		spawns += e.workerSpawns
-		busy += e.workerBusyNs
+		wordKeys += r.words.Keys()
+		unionKeys += r.unions.Keys()
+		memoHits += r.memoHits
+		unionSamples += r.unionSamples
+	}
+	rejections, acceptChecks := call.totals()
+	for _, r := range runs {
+		if r != nil && r.top != nil {
+			acceptChecks += r.top.acceptChecks
+		}
 	}
 	reg.Counter("countnfa_calls_total").Inc()
-	reg.Counter("countnfa_trials_total").Add(int64(len(ests)))
+	reg.Counter("countnfa_trials_total").Add(int64(len(runs)))
 	reg.Counter("countnfa_word_keys_total").Add(int64(wordKeys))
 	reg.Counter("countnfa_union_keys_total").Add(int64(unionKeys))
 	reg.Counter("countnfa_memo_hits_total").Add(int64(memoHits))
@@ -232,129 +242,120 @@ func flushRegistry(reg *obs.Registry, ix *denseIndex, ests []*wordEstimator, wal
 	reg.Counter("countnfa_union_samples_total").Add(int64(unionSamples))
 	reg.Counter("countnfa_rejections_total").Add(int64(rejections))
 	reg.Counter("countnfa_accept_checks_total").Add(int64(acceptChecks))
-	reg.Counter("countnfa_worker_spawns_total").Add(spawns)
-	reg.Counter("countnfa_worker_busy_ns_total").Add(busy)
+	reg.Counter("countnfa_worker_spawns_total").Add(st.Spawns)
+	reg.Counter("countnfa_worker_busy_ns_total").Add(st.BusyNs)
 	reg.Counter("countnfa_wall_ns_total").Add(wall.Nanoseconds())
-	reg.Gauge("countnfa_interned_sets").Set(float64(len(ix.sets)))
+	if planHit {
+		reg.Counter("countnfa_plan_cache_hits_total").Inc()
+	} else {
+		reg.Counter("countnfa_plan_cache_misses_total").Inc()
+	}
+	reg.Counter("countnfa_sched_batches_total").Add(st.Batches)
+	reg.Counter("countnfa_sched_chunks_total").Add(st.Chunks)
+	reg.Counter("countnfa_sched_steals_total").Add(st.Steals)
+	reg.Gauge("countnfa_sched_queue_depth").Set(float64(st.MaxQueue))
+	reg.Gauge("countnfa_interned_sets").Set(float64(len(pl.ix.sets)))
 	reg.Histogram("countnfa_call_seconds").Observe(wall.Seconds())
 }
 
-func (s *Stats) record(e *wordEstimator) {
-	s.WordKeys += e.words.Keys()
-	s.UnionKeys += e.unions.Keys()
-	s.UnionSamples += e.unionSamples
-	s.Rejections += e.rejections
+func (s *Stats) record(r *wordRun) {
+	s.WordKeys += r.words.Keys()
+	s.UnionKeys += r.unions.Keys()
+	s.UnionSamples += r.unionSamples
 }
 
-// wordEstimator holds one trial's memo tables over the automaton's
-// frozen dense index. Estimation (estimate / unionEst) runs sequentially
-// and writes the tables; sampling runs on sampler sessions that only
-// read them (see sampler.go).
-type wordEstimator struct {
-	m        *NFA
-	ix       *denseIndex
+// wordRun is the thin mutable half of a trial: the seed, the dense memo
+// tables over the plan's frozen index, the prefix-sum weight rows
+// (prefix.go) and the effort counters. Estimation (estimate / unionEst)
+// runs sequentially on the trial's scheduler worker and writes the
+// tables; sampling runs on sampler sessions that only read them (see
+// sampler.go). Runs are pooled on the plan and reset on reuse.
+type wordRun struct {
+	pl       *wordPlan
 	finals   bitset.Set
 	seed     int64
 	samples  int
 	maxRetry int
-	workers  int
 
 	words  dense.Table // rows: states; |L(q, l)| estimates
 	unions dense.Table // rows: interned target sets; |∪ L(q', l)|
 
+	// Prefix-sum weight rows, flat arrays indexed row·(maxN+1)+length.
+	maxN      int
+	entryPfx  []atomic.Pointer[prefixRow]
+	targetPfx []atomic.Pointer[prefixRow]
+	pfxMu     sync.Mutex
+	pfx       pfxArena
+
 	unionSamples int
-	rejections   int
 	memoHits     int // estimation-path memo-table hits (misses = keys)
-	acceptCount  int // subset-simulation membership tests (flushed from samplers)
 
-	// Worker utilization, measured only when timed (obs attached):
-	// goroutines spawned by countFreshParallel and their summed busy ns.
-	timed        bool
-	workerSpawns int64
-	workerBusyNs int64
+	w    *sched.Worker // scheduler worker driving this trial
+	call *callState    // per-call shared worker samplers
 
-	top        *sampler   // lazily created top-level sampling session
-	workerSmps []*sampler // reused intra-trial worker samplers
+	top *sampler // lazily created top-level sampling session
 }
 
-// acceptChecks totals the subset-simulation membership tests across the
-// trial's samplers (worker counts are flushed eagerly; the top-level
-// sampling session is read here).
-func (e *wordEstimator) acceptChecks() int {
-	n := e.acceptCount
-	if e.top != nil {
-		n += e.top.acceptChecks
-	}
-	return n
-}
-
-func newWordEstimator(m *NFA, opts CountOptions) *wordEstimator {
-	return newWordEstimatorSeeded(m, m.index(), opts, opts.Rng.Int63())
-}
-
-func newWordEstimatorSeeded(m *NFA, ix *denseIndex, opts CountOptions, seed int64) *wordEstimator {
-	return &wordEstimator{
-		m:        m,
-		ix:       ix,
-		finals:   m.final,
-		seed:     seed,
-		samples:  opts.Samples,
-		maxRetry: opts.MaxRetry,
-		workers:  opts.Workers,
-		timed:    opts.Obs.Registry() != nil,
-		words:    dense.NewTable(m.numStates),
-		unions:   dense.NewTable(len(ix.sets)),
-	}
+// reset prepares a pooled run for a new trial, keeping every grown
+// buffer (memo rows, prefix arrays, arena chunks) at capacity.
+func (r *wordRun) reset() {
+	r.words.Reset()
+	r.unions.Reset()
+	clear(r.entryPfx)
+	clear(r.targetPfx)
+	r.pfx.reset()
+	r.unionSamples, r.memoHits = 0, 0
+	r.w, r.call, r.top = nil, nil, nil
 }
 
 // topLevel estimates |∪_{q∈I} L(q, n)|.
-func (e *wordEstimator) topLevel(n int) efloat.E {
-	if e.ix.topSet >= 0 {
-		return e.unionEst(e.ix.topSet, n)
+func (r *wordRun) topLevel(n int) efloat.E {
+	if r.pl.ix.topSet >= 0 {
+		return r.unionEst(r.pl.ix.topSet, n)
 	}
-	if len(e.m.initial) == 1 {
-		return e.estimate(e.m.initial[0], n)
+	if len(r.pl.m.initial) == 1 {
+		return r.estimate(r.pl.m.initial[0], n)
 	}
 	return efloat.Zero
 }
 
 // estimate returns the (memoized) estimate of |L(q, l)|.
-func (e *wordEstimator) estimate(q, l int) efloat.E {
+func (r *wordRun) estimate(q, l int) efloat.E {
 	if l == 0 {
-		if e.finals.Has(q) {
+		if r.finals.Has(q) {
 			return efloat.One
 		}
 		return efloat.Zero
 	}
-	if v, ok := e.words.Get(q, l); ok {
-		e.memoHits++
+	if v, ok := r.words.Get(q, l); ok {
+		r.memoHits++
 		return v
 	}
 	// Words starting with different symbols are distinct, so the
 	// per-symbol unions combine by exact summation.
-	e.words.Put(q, l, efloat.Zero)
+	r.words.Put(q, l, efloat.Zero)
 	total := efloat.Zero
-	for i := range e.ix.states[q] {
-		en := &e.ix.states[q][i]
+	for i := range r.pl.ix.states[q] {
+		en := &r.pl.ix.states[q][i]
 		if en.set < 0 {
-			total = total.Add(e.estimate(en.targets[0], l-1))
+			total = total.Add(r.estimate(en.targets[0], l-1))
 		} else {
-			total = total.Add(e.unionEst(en.set, l-1))
+			total = total.Add(r.unionEst(en.set, l-1))
 		}
 	}
-	e.words.Put(q, l, total)
+	r.words.Put(q, l, total)
 	return total
 }
 
 // wordLookup is the read-only view of estimate for samplers.
-func (e *wordEstimator) wordLookup(q, l int) efloat.E {
+func (r *wordRun) wordLookup(q, l int) efloat.E {
 	if l == 0 {
-		if e.finals.Has(q) {
+		if r.finals.Has(q) {
 			return efloat.One
 		}
 		return efloat.Zero
 	}
-	v, _ := e.words.Get(q, l)
+	v, _ := r.words.Get(q, l)
 	return v
 }
 
@@ -364,16 +365,16 @@ func (e *wordEstimator) wordLookup(q, l int) efloat.E {
 // probability estimated by sampling from A_j and testing membership in
 // the earlier branches (NFA acceptance is polynomial). Interning means
 // every (state, symbol) pair with the same target set shares this cell.
-func (e *wordEstimator) unionEst(set, l int) efloat.E {
-	if v, ok := e.unions.Get(set, l); ok {
-		e.memoHits++
+func (r *wordRun) unionEst(set, l int) efloat.E {
+	if v, ok := r.unions.Get(set, l); ok {
+		r.memoHits++
 		return v
 	}
-	e.unions.Put(set, l, efloat.Zero)
-	targets := e.ix.sets[set]
+	r.unions.Put(set, l, efloat.Zero)
+	targets := r.pl.ix.sets[set]
 	total := efloat.Zero
 	for j, t := range targets {
-		cj := e.estimate(t, l)
+		cj := r.estimate(t, l)
 		if cj.IsZero() {
 			continue
 		}
@@ -381,10 +382,10 @@ func (e *wordEstimator) unionEst(set, l int) efloat.E {
 			total = total.Add(cj)
 			continue
 		}
-		fresh := e.countFreshParallel(targets, j, l, cellSite(set, l, j))
-		total = total.Add(cj.MulFloat(float64(fresh) / float64(e.samples)))
+		fresh := r.countFresh(targets, j, l, cellSite(set, l, j))
+		total = total.Add(cj.MulFloat(float64(fresh) / float64(r.samples)))
 	}
-	e.unions.Put(set, l, total)
+	r.unions.Put(set, l, total)
 	return total
 }
 
@@ -399,95 +400,49 @@ func cellSite(set, l, j int) uint64 {
 
 // unionLookup is the read-only view of an index entry's union estimate
 // for samplers.
-func (e *wordEstimator) unionLookup(en *ixEntry, l int) efloat.E {
+func (r *wordRun) unionLookup(en *ixEntry, l int) efloat.E {
 	if en.set < 0 {
-		return e.wordLookup(en.targets[0], l)
+		return r.wordLookup(en.targets[0], l)
 	}
-	v, _ := e.unions.Get(en.set, l)
+	v, _ := r.unions.Get(en.set, l)
 	return v
 }
 
-// countFreshParallel runs the overlap-sampling loop for union branch j
-// at length l: e.samples word draws, counting those not covered by an
+// countFresh runs the overlap-sampling loop for union branch j at
+// length l: r.samples word draws, counting those not covered by an
 // earlier branch. The draws are independent given the (already
-// computed) memo tables, so they fan out across the trial's worker
-// samplers; per-sample sub-RNGs keep the count identical for every
-// worker count.
-func (e *wordEstimator) countFreshParallel(targets []int, j, l int, site uint64) int {
-	e.unionSamples += e.samples
-	workers := e.workers
-	if workers > e.samples {
-		workers = e.samples
-	}
-	for len(e.workerSmps) < workers {
-		e.workerSmps = append(e.workerSmps, e.newSampler(0))
-	}
-	if workers <= 1 {
-		if len(e.workerSmps) == 0 {
-			e.workerSmps = append(e.workerSmps, e.newSampler(0))
-		}
-		s := e.workerSmps[0]
-		fresh := s.countFresh(targets, j, l, site, 0, e.samples, 1)
-		e.rejections += s.rejections
-		e.acceptCount += s.acceptChecks
-		s.rejections, s.acceptChecks = 0, 0
-		return fresh
-	}
-	counts := make([]int, workers)
-	var busy []int64
-	if e.timed {
-		busy = make([]int64, workers)
-		e.workerSpawns += int64(workers)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pprof.Do(context.Background(), pprof.Labels("pqe_engine", "countnfa", "pqe_stage", "overlap"), func(context.Context) {
-				var t0 time.Time
-				if busy != nil {
-					t0 = time.Now()
-				}
-				counts[w] = e.workerSmps[w].countFresh(targets, j, l, site, w, e.samples, workers)
-				if busy != nil {
-					busy[w] = time.Since(t0).Nanoseconds()
-				}
-			})
-		}(w)
-	}
-	wg.Wait()
-	fresh := 0
-	for w := 0; w < workers; w++ {
-		fresh += counts[w]
-		e.rejections += e.workerSmps[w].rejections
-		e.acceptCount += e.workerSmps[w].acceptChecks
-		e.workerSmps[w].rejections, e.workerSmps[w].acceptChecks = 0, 0
-		if busy != nil {
-			e.workerBusyNs += busy[w]
-		}
-	}
-	return fresh
+// computed) memo tables, so they fan out as chunks on the call's
+// scheduler, executed by whichever workers are idle; per-sample
+// sub-RNGs keep the count identical for every worker count and
+// partition.
+func (r *wordRun) countFresh(targets []int, j, l int, site uint64) int {
+	r.unionSamples += r.samples
+	call := r.call
+	return r.w.Sum(r.samples, func(w *sched.Worker, lo, hi int) int {
+		s := call.sampler(w.ID())
+		s.bind(r)
+		return s.countFresh(targets, j, l, site, lo, hi)
+	})
 }
 
-// sampleWordTop draws a word of length n from L_n(M) on the trial's
-// persistent top-level sampling session, or nil if empty. topLevel(n)
-// must have been computed.
-func (e *wordEstimator) sampleWordTop(n int) []int {
-	if e.top == nil {
-		e.top = e.newSampler(uint64(e.seed) ^ splitmix.TopSamplerSalt)
-	}
-	return e.top.sampleTop(n)
-}
-
-// SampleWord draws one near-uniform word of length n from L_n(M) using a
-// fresh estimator, or nil if the language is empty. This mirrors the
-// uniform-generation facet of [5].
+// SampleWord draws one near-uniform word of length n from L_n(M), or
+// nil if the language is empty. This mirrors the uniform-generation
+// facet of [5].
 func SampleWord(m *NFA, n int, opts CountOptions) []int {
 	opts = opts.withDefaults()
-	e := newWordEstimator(m, opts)
-	if e.topLevel(n).IsZero() {
-		return nil
-	}
-	return e.sampleWordTop(n)
+	pl, _ := planFor(m)
+	call := newCallState(pl, opts.procs)
+	var r *wordRun
+	var word []int
+	sched.Run(sched.Config{Procs: opts.procs, Trials: 1, Labels: schedLabels}, func(w *sched.Worker, _ int) {
+		r = pl.getRun(opts, opts.Rng.Int63())
+		r.w, r.call = w, call
+		r.ensurePfx(n)
+		if r.topLevel(n).IsZero() {
+			return
+		}
+		word = r.topSampler().sampleTop(n)
+	})
+	pl.release([]*wordRun{r}, call)
+	return word
 }

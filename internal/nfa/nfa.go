@@ -49,6 +49,10 @@ type NFA struct {
 	// or acceptance-testing on it concurrently is not supported.
 	version uint64
 	idx     atomic.Pointer[denseIndex]
+	// cplan caches the counting engine's per-automaton plan (pool of
+	// runs and samplers over the dense index), keyed by version like
+	// idx. See plan.go.
+	cplan atomic.Pointer[wordPlan]
 }
 
 // New returns an empty NFA over a fresh alphabet.

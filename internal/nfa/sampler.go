@@ -8,12 +8,13 @@ import (
 	"pqe/internal/splitmix"
 )
 
-// sampler is a sampling session over a frozen estimator: it draws words
-// reading the memo tables and the automaton's dense index but never
-// writing them, so any number of samplers may run concurrently over one
-// estimator. All scratch state (subset-simulation bitsets, weight
-// buffers, word buffer, rejection counter) lives here, one sampler per
-// goroutine.
+// sampler is a sampling session over a frozen run: it draws words
+// reading the memo tables and the plan's dense index but never writing
+// them, so any number of samplers may run concurrently over one run.
+// All scratch state (subset-simulation bitsets, word buffer, rejection
+// counter) lives here; the scheduler binds one sampler per worker,
+// rebinding it to the chunk's run at every chunk boundary (bind), so a
+// sampler serves many trials within a call.
 //
 // The invariant the read-only lookups rely on: a sampler is only ever
 // asked for (state, length) pairs whose estimates were computed — the
@@ -21,47 +22,32 @@ import (
 // its sampling consults (all strictly smaller lengths), and the
 // top-level APIs run topLevel before sampling.
 type sampler struct {
-	e          *wordEstimator
+	r          *wordRun
 	rng        splitmix.Stream
-	cur, next  bitset.Set   // subset-simulation scratch for acceptsSet
-	wfree      [][]efloat.E // free list of weight buffers
-	wordBuf    []int        // transient word for overlap testing
+	cur, next  bitset.Set // subset-simulation scratch for acceptsSet
+	wordBuf    []int      // transient word for overlap testing
 	rejections int
 	// acceptChecks counts subset-simulation membership tests (one per
-	// acceptsSet call), flushed to the estimator like rejections.
+	// acceptsSet call), summed per call like rejections.
 	acceptChecks int
 }
 
-func (e *wordEstimator) newSampler(state uint64) *sampler {
+func newSampler(pl *wordPlan) *sampler {
 	return &sampler{
-		e:    e,
-		rng:  splitmix.New(state),
-		cur:  bitset.New(e.m.numStates),
-		next: bitset.New(e.m.numStates),
+		cur:  bitset.New(pl.m.numStates),
+		next: bitset.New(pl.m.numStates),
 	}
 }
 
-// getW borrows a weight buffer of length n from the free list; putW
-// returns it. A free list rather than a single scratch slice because
-// the canonical-rejection retry loop holds its weights across nested
-// sampling calls.
-func (s *sampler) getW(n int) []efloat.E {
-	if k := len(s.wfree); k > 0 {
-		w := s.wfree[k-1]
-		s.wfree = s.wfree[:k-1]
-		if cap(w) >= n {
-			return w[:n]
-		}
-	}
-	return make([]efloat.E, n)
-}
-
-func (s *sampler) putW(w []efloat.E) {
-	s.wfree = append(s.wfree, w)
-}
+// bind points the sampler at a run. Samplers are plan-scoped (the
+// bitsets are sized to the automaton), so binding only swaps the memo
+// tables it reads.
+func (s *sampler) bind(r *wordRun) { s.r = r }
 
 // pick returns an index with probability proportional to the weights,
-// or -1 if all are zero.
+// or -1 if all are zero. It is the reference implementation that
+// pickRow's cached binary search must match draw-for-draw (pinned by
+// TestPickRowMatchesPick); the hot paths all go through pickRow.
 func (s *sampler) pick(weights []efloat.E) int {
 	total := efloat.Sum(weights...)
 	if total.IsZero() {
@@ -83,18 +69,52 @@ func (s *sampler) pick(weights []efloat.E) int {
 	return last
 }
 
-// countFresh draws the overlap samples start, start+stride, … < samples
-// for union branch j at length l and counts those landing outside all
-// earlier branches. Each sample runs on its own derived PRNG, so the
-// count is independent of how samples are partitioned across workers.
-func (s *sampler) countFresh(targets []int, j, l int, site uint64, start, samples, stride int) int {
+// pickRow is pick over a cached prefix row: one uniform variate, one
+// binary search for the leftmost index whose prefix sum exceeds the
+// target. Zero weights leave the prefix sum unchanged (efloat.Add
+// returns the other operand exactly when one side is Zero), so the
+// leftmost crossing index always carries nonzero weight and equals the
+// index the reference scan stops at; the row's last field reproduces
+// the scan's fallback when rounding pushes the target to the total.
+func (s *sampler) pickRow(p *prefixRow) int {
+	cum := p.cum
+	n := len(cum)
+	if n == 0 {
+		return -1
+	}
+	total := cum[n-1]
+	if total.IsZero() {
+		return -1
+	}
+	target := total.MulFloat(s.rng.Float64())
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if target.Less(cum[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < n {
+		return lo
+	}
+	return p.last
+}
+
+// countFresh draws the overlap samples lo ≤ i < hi for union branch j
+// at length l and counts those landing outside all earlier branches.
+// Each sample runs on its own PRNG derived from (trial seed, site, i),
+// so the count is independent of how samples are partitioned across
+// workers and chunks.
+func (s *sampler) countFresh(targets []int, j, l int, site uint64, lo, hi int) int {
 	if cap(s.wordBuf) < l {
 		s.wordBuf = make([]int, l)
 	}
 	buf := s.wordBuf[:l]
 	fresh := 0
-	for i := start; i < samples; i += stride {
-		s.rng = splitmix.Derive(s.e.seed, site, i)
+	for i := lo; i < hi; i++ {
+		s.rng = splitmix.Derive(s.r.seed, site, i)
 		if !s.sampleFrom(targets[j], 0, buf) {
 			continue
 		}
@@ -114,18 +134,13 @@ func (s *sampler) countFresh(targets []int, j, l int, site uint64, start, sample
 // from branch j is kept only if no earlier branch accepts its suffix,
 // which makes the draw uniform over the union.
 func (s *sampler) sampleFrom(q, pos int, out []int) bool {
-	e := s.e
+	r := s.r
 	rem := len(out) - pos
 	if rem == 0 {
-		return e.finals.Has(q)
+		return r.finals.Has(q)
 	}
-	entries := e.ix.states[q]
-	w := s.getW(len(entries))
-	for i := range entries {
-		w[i] = e.unionLookup(&entries[i], rem-1)
-	}
-	i := s.pick(w)
-	s.putW(w)
+	entries := r.pl.ix.states[q]
+	i := s.pickRow(r.entryRow(q, rem))
 	if i < 0 {
 		return false
 	}
@@ -135,17 +150,14 @@ func (s *sampler) sampleFrom(q, pos int, out []int) bool {
 	if len(targets) == 1 {
 		return s.sampleFrom(targets[0], pos+1, out)
 	}
-	tw := s.getW(len(targets))
-	for j, t := range targets {
-		tw[j] = e.wordLookup(t, rem-1)
-	}
-	maxRetry := e.maxRetry
+	trow := r.targetRow(en.set, rem-1)
+	maxRetry := r.maxRetry
 	if maxRetry <= 0 {
 		maxRetry = 32 * len(targets)
 	}
 	have := false
-	for r := 0; r < maxRetry; r++ {
-		j := s.pick(tw)
+	for retry := 0; retry < maxRetry; retry++ {
+		j := s.pickRow(trow)
 		if j < 0 {
 			break
 		}
@@ -154,12 +166,10 @@ func (s *sampler) sampleFrom(q, pos int, out []int) bool {
 		}
 		have = true
 		if j == 0 || !s.acceptsSet(targets[:j], out[pos+1:]) {
-			s.putW(tw)
 			return true
 		}
 		s.rejections++
 	}
-	s.putW(tw)
 	// Retry budget exhausted: keep the latest complete draw (slightly
 	// biased towards multiply-covered words; the budget makes this path
 	// rare).
@@ -172,7 +182,7 @@ func (s *sampler) sampleFrom(q, pos int, out []int) bool {
 // intersection with the finals bitset.
 func (s *sampler) acceptsSet(states []int, word []int) bool {
 	s.acceptChecks++
-	ix := s.e.ix
+	ix := s.r.pl.ix
 	cur, next := s.cur, s.next
 	cur.Clear()
 	for _, q := range states {
@@ -196,16 +206,17 @@ func (s *sampler) acceptsSet(states []int, word []int) bool {
 			return false
 		}
 	}
-	return cur.Intersects(s.e.finals)
+	return cur.Intersects(s.r.finals)
 }
 
 // sampleTop draws a near-uniform word of length n from L_n(M) into a
 // fresh slice, resolving the union over initial states by the same
-// canonical-first rejection as branch sampling. Returns nil if the
-// language is (estimated) empty.
+// canonical-first rejection as branch sampling (the interned top set's
+// prefix row, when |I| > 1). Returns nil if the language is (estimated)
+// empty.
 func (s *sampler) sampleTop(n int) []int {
-	e := s.e
-	targets := e.m.initial
+	r := s.r
+	targets := r.pl.m.initial
 	if len(targets) == 0 {
 		return nil
 	}
@@ -216,14 +227,11 @@ func (s *sampler) sampleTop(n int) []int {
 		}
 		return out
 	}
-	tw := s.getW(len(targets))
-	for j, t := range targets {
-		tw[j] = e.wordLookup(t, n)
-	}
+	trow := r.targetRow(r.pl.ix.topSet, n)
 	maxRetry := 32 * (len(targets) + 1)
 	have := false
-	for r := 0; r < maxRetry; r++ {
-		j := s.pick(tw)
+	for retry := 0; retry < maxRetry; retry++ {
+		j := s.pickRow(trow)
 		if j < 0 {
 			break
 		}
@@ -232,12 +240,10 @@ func (s *sampler) sampleTop(n int) []int {
 		}
 		have = true
 		if j == 0 || !s.acceptsSet(targets[:j], out) {
-			s.putW(tw)
 			return out
 		}
 		s.rejections++
 	}
-	s.putW(tw)
 	if !have {
 		return nil
 	}

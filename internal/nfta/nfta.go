@@ -48,6 +48,36 @@ type NFTA struct {
 	bySymAr   map[symArity][]int // (symbol, arity) -> transition indices
 	seen      map[string]bool
 	acc       atomic.Pointer[accIndex]
+	plan      atomic.Pointer[enginePlanBox]
+}
+
+// enginePlanBox pairs a counting engine's cached per-automaton plan
+// with the structural fingerprint it was built from, the same lazy
+// keying as accIndex. The value is opaque to this package: the engine
+// (internal/count) defines the plan type, and keeping the slot here
+// lets every session over one automaton share one plan without an
+// import cycle.
+type enginePlanBox struct {
+	trans  int
+	states int
+	v      any
+}
+
+// EnginePlan returns the value stored by SetEnginePlan, if the
+// automaton's structure (transition and state counts) is unchanged
+// since it was stored.
+func (a *NFTA) EnginePlan() (any, bool) {
+	if b := a.plan.Load(); b != nil && b.trans == len(a.trans) && b.states == a.numStates {
+		return b.v, true
+	}
+	return nil, false
+}
+
+// SetEnginePlan caches an engine plan on the automaton, keyed to its
+// current structure. Concurrent builders may race to store; each keeps
+// a fully usable plan either way, and the last store wins.
+func (a *NFTA) SetEnginePlan(v any) {
+	a.plan.Store(&enginePlanBox{trans: len(a.trans), states: a.numStates, v: v})
 }
 
 // accIndex is a dense (symbol, arity) → transitions lookup for the

@@ -189,15 +189,24 @@ type Options struct {
 	MaxWidth int
 	// ForceFPRAS routes even safe queries through the FPRAS.
 	ForceFPRAS bool
+	// MaxProcs bounds the workers of the counting engines' unified
+	// work-stealing scheduler, which dispatches whole trials and chunks
+	// of their overlap-sampling loops onto one pool
+	// (runtime.NumCPU() is a good setting for large instances). For a
+	// fixed Seed the result is bit-identical at every MaxProcs value.
+	// 0 derives the worker count from the deprecated Parallel/Workers
+	// pair (1 when both are unset).
+	MaxProcs int
 	// Parallel runs the estimator's independent trials on separate
 	// goroutines; results are identical to sequential runs with the
 	// same Seed.
+	//
+	// Deprecated: set MaxProcs. Parallel maps to MaxProcs = Trials.
 	Parallel bool
 	// Workers bounds the goroutines the counting engine uses inside
-	// each trial's overlap-sampling loops (0 or 1 = sequential,
-	// runtime.NumCPU() is a good setting for large instances). For a
-	// fixed Seed the result is bit-identical at every Workers value;
-	// Workers and Parallel compose.
+	// each trial's overlap-sampling loops (0 or 1 = sequential).
+	//
+	// Deprecated: set MaxProcs. Workers > 1 maps to MaxProcs = Workers.
 	Workers int
 	// Telemetry, when non-nil, collects stage traces, pipeline metrics
 	// and per-trial convergence records for every evaluation using these
@@ -217,6 +226,7 @@ func (o *Options) core() core.Options {
 		Seed:       o.Seed,
 		MaxWidth:   o.MaxWidth,
 		ForceFPRAS: o.ForceFPRAS,
+		MaxProcs:   o.MaxProcs,
 		Parallel:   o.Parallel,
 		Workers:    o.Workers,
 		Obs:        o.Telemetry.scope(),
