@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-compare experiments experiments-md fuzz testkit soak loc clean
+.PHONY: all build vet test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak loc clean
 
 all: build vet test
 
@@ -38,11 +38,22 @@ bench-json:
 BENCH_MAX_REGRESS ?= 0.25
 bench-compare:
 	$(GO) run ./cmd/pqebench -json -maxprocs 4 \
-		-json-out /tmp/BENCH_countnfta.json -json-nfa-out /tmp/BENCH_countnfa.json
+		-json-out /tmp/BENCH_countnfta.json -json-nfa-out /tmp/BENCH_countnfa.json \
+		-json-churn-out /tmp/BENCH_churn.json
 	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
 		BENCH_countnfta.json /tmp/BENCH_countnfta.json
 	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
 		BENCH_countnfa.json /tmp/BENCH_countnfa.json
+	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
+		BENCH_churn.json /tmp/BENCH_churn.json
+
+# Long randomized delta soak: interleave random fact-level deltas with
+# estimates and check every estimate is bit-identical to a from-scratch
+# session at the same database version. DELTA_STEPS deltas per case.
+DELTA_STEPS ?= 200
+delta-soak:
+	PQE_TESTKIT_DELTA_STEPS=$(DELTA_STEPS) $(GO) test ./internal/testkit \
+		-run TestDeltaSoak -timeout 60m -v
 
 # Regenerate the experiment tables (text).
 experiments:

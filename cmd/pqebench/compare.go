@@ -36,9 +36,13 @@ func loadCompareFile(path string) (*compareFile, error) {
 
 // runCompare prints per-row ns_per_op and allocs_per_op deltas between
 // two bench JSON files (rows matched by (name, workers)) and a geomean
-// summary of the ns ratios. With maxRegress > 0 it returns an error if
-// any matched row's ns_per_op grew by more than that fraction — the CI
-// bench-delta lane's failure condition.
+// summary of the ns ratios. Rows present in only one file are reported
+// explicitly as added (new workloads without a baseline) or removed
+// (baseline workloads that disappeared — often an accidental rename
+// that would otherwise silently drop a regression gate). With
+// maxRegress > 0 it returns an error if any matched row's ns_per_op
+// grew by more than that fraction — the CI bench-delta lane's failure
+// condition.
 func runCompare(oldPath, newPath string, maxRegress float64, stdout io.Writer) error {
 	oldF, err := loadCompareFile(oldPath)
 	if err != nil {
@@ -59,11 +63,18 @@ func runCompare(oldPath, newPath string, maxRegress float64, stdout io.Writer) e
 
 	fmt.Fprintf(stdout, "%-40s %4s %14s %14s %8s %10s\n",
 		"name", "w", "old ns/op", "new ns/op", "Δns", "Δallocs")
+	newRows := make(map[key]bool, len(newF.Results))
 	logSum, matched := 0.0, 0
-	var regressions []string
+	var regressions, added []string
 	for _, nr := range newF.Results {
+		newRows[key{nr.Name, nr.Workers}] = true
 		or, ok := oldRows[key{nr.Name, nr.Workers}]
-		if !ok || or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+		if !ok {
+			added = append(added, fmt.Sprintf("%s (workers=%d): %d ns/op, %d allocs/op",
+				nr.Name, nr.Workers, nr.NsPerOp, nr.AllocsPerOp))
+			continue
+		}
+		if or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
 			continue
 		}
 		ratio := float64(nr.NsPerOp) / float64(or.NsPerOp)
@@ -79,6 +90,18 @@ func runCompare(oldPath, newPath string, maxRegress float64, stdout io.Writer) e
 			regressions = append(regressions,
 				fmt.Sprintf("%s (workers=%d): %+.1f%%", nr.Name, nr.Workers, 100*(ratio-1)))
 		}
+	}
+	var removed []string
+	for _, or := range oldF.Results {
+		if !newRows[key{or.Name, or.Workers}] {
+			removed = append(removed, fmt.Sprintf("%s (workers=%d)", or.Name, or.Workers))
+		}
+	}
+	for _, r := range added {
+		fmt.Fprintln(stdout, "ADDED (no baseline):", r)
+	}
+	for _, r := range removed {
+		fmt.Fprintln(stdout, "REMOVED (baseline only):", r)
 	}
 	if matched == 0 {
 		return fmt.Errorf("no rows matched between %s and %s", oldPath, newPath)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,8 +40,10 @@ func TestRunJSONBench(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")
 	nfaPath := filepath.Join(dir, "bench_nfa.json")
+	churnPath := filepath.Join(dir, "bench_churn.json")
 	var out, errOut strings.Builder
-	if err := run([]string{"-json", "-json-out", path, "-json-nfa-out", nfaPath, "-workers", "2"}, &out, &errOut); err != nil {
+	if err := run([]string{"-json", "-json-out", path, "-json-nfa-out", nfaPath,
+		"-json-churn-out", churnPath, "-workers", "2"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -89,6 +92,135 @@ func TestRunJSONBench(t *testing.T) {
 		if r.Stats == nil || r.Stats.WordKeys <= 0 || r.Stats.UnionSamples <= 0 {
 			t.Errorf("%s: missing engine stats: %+v", r.Name, r.Stats)
 		}
+	}
+
+	data, err = os.ReadFile(churnPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf benchFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if cf.Suite != "churn" {
+		t.Errorf("suite = %q", cf.Suite)
+	}
+	// Every churn workload comes in an incremental/session row and a
+	// rebuild/fresh row; the incremental side must win on allocations
+	// for the small batch sizes, and on time too wherever the savings
+	// are a structural share of the build — the PR's contract. The one
+	// carve-out is ChurnPath's ns/op: the string pipeline's assembly
+	// replays the whole NFA every build (symbol numbering follows
+	// global fact positions, which any churn shifts), so the
+	// incremental side only saves the key scan and the dirty join
+	// lists — a real but single-digit-percent time edge that sits
+	// inside run-to-run noise. There it must merely stay within 15% of
+	// the rebuild; the allocation win stays strict.
+	nsFails := checkChurnRows(t, cf.Results)
+	if len(nsFails) > 0 {
+		// The ns comparisons measure wall time and lose their margin
+		// when the whole test suite runs in parallel on a loaded
+		// machine; one re-measurement of just the churn suite on a miss
+		// keeps the gate meaningful without making it flaky. The
+		// allocation comparisons are load-immune and never retried.
+		t.Logf("retrying churn suite after timing misses: %v", nsFails)
+		retryPath := filepath.Join(dir, "bench_churn_retry.json")
+		if err := runJSONBenchChurn(retryPath, cf.Epsilon, cf.Seed, 2, &out); err != nil {
+			t.Fatal(err)
+		}
+		data, err = os.ReadFile(retryPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cf2 benchFile
+		if err := json.Unmarshal(data, &cf2); err != nil {
+			t.Fatalf("not valid JSON: %v", err)
+		}
+		for _, miss := range checkChurnRows(t, cf2.Results) {
+			t.Error(miss)
+		}
+	}
+}
+
+// checkChurnRows validates the churn suite's incremental-vs-rebuild
+// contract: every incremental/session row must beat its rebuild/fresh
+// counterpart on allocations (reported via t.Errorf — deterministic)
+// for the small batch sizes, and on time (returned as retryable
+// failures) — except ChurnPath's ns/op, which gets 15% slack: its
+// assembly replays the whole NFA (symbol numbering follows global fact
+// positions, which any churn shifts), so the incremental side only
+// saves the key scan and the dirty join lists, a single-digit-percent
+// edge inside run-to-run noise.
+func checkChurnRows(t *testing.T, results []benchRecord) []string {
+	t.Helper()
+	rows := make(map[string]benchRecord, len(results))
+	for _, r := range results {
+		if r.Ops <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Name, r)
+		}
+		rows[fmt.Sprintf("%s@w%d", r.Name, r.Workers)] = r
+	}
+	var nsFails []string
+	for name, inc := range rows {
+		base := strings.Replace(strings.Replace(name, "/incremental", "/rebuild", 1), "/session", "/fresh", 1)
+		if base == name {
+			continue
+		}
+		full, ok := rows[base]
+		if !ok {
+			t.Errorf("%s has no %s counterpart", name, base)
+			continue
+		}
+		if !strings.Contains(name, "/n=1/") && !strings.Contains(name, "/n=10/") {
+			continue
+		}
+		nsBound := full.NsPerOp
+		if strings.HasPrefix(name, "ChurnPath/") {
+			nsBound = full.NsPerOp + full.NsPerOp*15/100
+		}
+		if inc.NsPerOp >= nsBound {
+			nsFails = append(nsFails, fmt.Sprintf("%s (%d ns/op) did not beat %s (bound %d ns/op)", name, inc.NsPerOp, base, nsBound))
+		}
+		if inc.AllocsPerOp >= full.AllocsPerOp {
+			t.Errorf("%s (%d allocs/op) did not beat %s (%d allocs/op)", name, inc.AllocsPerOp, base, full.AllocsPerOp)
+		}
+	}
+	return nsFails
+}
+
+// TestRunCompareAddedRemoved pins the explicit added/removed row
+// reporting: rows without a baseline and baseline rows that vanished
+// must both be called out, not silently skipped.
+func TestRunCompareAddedRemoved(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	write := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldPath, `{"suite":"churn","results":[
+		{"name":"Shared/row","workers":1,"ns_per_op":100,"allocs_per_op":10},
+		{"name":"Old/only","workers":1,"ns_per_op":50,"allocs_per_op":5}]}`)
+	write(newPath, `{"suite":"churn","results":[
+		{"name":"Shared/row","workers":1,"ns_per_op":110,"allocs_per_op":10},
+		{"name":"New/only","workers":2,"ns_per_op":70,"allocs_per_op":7}]}`)
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-compare", oldPath, newPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "ADDED (no baseline): New/only (workers=2): 70 ns/op, 7 allocs/op") {
+		t.Errorf("added row not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "REMOVED (baseline only): Old/only (workers=1)") {
+		t.Errorf("removed row not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "Shared/row") || !strings.Contains(got, "geomean") {
+		t.Errorf("matched row or geomean missing:\n%s", got)
 	}
 }
 

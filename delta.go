@@ -1,0 +1,136 @@
+package pqe
+
+import (
+	"fmt"
+	"math/big"
+
+	"pqe/internal/pdb"
+)
+
+// Delta is an ordered batch of fact-level mutations, built with the
+// chainable Insert/Delete/Reweight methods and applied atomically with
+// Database.ApplyDelta or Estimator.ApplyDelta:
+//
+//	delta := pqe.NewDelta().
+//	    Insert("R", big.NewRat(1, 2), "a", "b").
+//	    Delete("S", "x", "y").
+//	    Reweight("T", big.NewRat(2, 3), "c")
+//
+// Ops validate when the delta is applied, against the database with the
+// preceding ops virtually in effect — so one delta may delete a fact
+// and re-insert it. On any invalid op nothing is applied.
+type Delta struct {
+	ops []deltaOp
+}
+
+type deltaOp struct {
+	kind pdb.DeltaKind
+	fact pdb.Fact
+	prob *big.Rat // nil means probability 1 (inserts/reweights)
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta { return &Delta{} }
+
+// Insert adds a fact-insertion op. prob is the new fact's probability
+// (nil means 1); the fact must be absent when the delta is applied.
+func (d *Delta) Insert(relation string, prob *big.Rat, args ...string) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: pdb.DeltaInsert, fact: pdb.NewFact(relation, args...), prob: prob})
+	return d
+}
+
+// Delete adds a fact-deletion op. The fact must be present when the
+// delta is applied.
+func (d *Delta) Delete(relation string, args ...string) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: pdb.DeltaDelete, fact: pdb.NewFact(relation, args...)})
+	return d
+}
+
+// Reweight adds an op that replaces the probability of an existing fact
+// (nil means 1) without changing the fact ordering — the mutation
+// estimator sessions absorb by re-weighting alone.
+func (d *Delta) Reweight(relation string, prob *big.Rat, args ...string) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: pdb.DeltaReweight, fact: pdb.NewFact(relation, args...), prob: prob})
+	return d
+}
+
+// Len returns the number of ops in the batch.
+func (d *Delta) Len() int { return len(d.ops) }
+
+// String renders the delta as a replayable op trace, e.g.
+// "+R(a,b):1/2 -S(x,y) ~T(c):2/3".
+func (d *Delta) String() string {
+	ops, err := d.compile()
+	if err != nil {
+		return fmt.Sprintf("invalid delta: %v", err)
+	}
+	return ops.String()
+}
+
+// compile lowers the builder ops to the internal representation,
+// validating probability ranges.
+func (d *Delta) compile() (pdb.Delta, error) {
+	ops := make(pdb.Delta, len(d.ops))
+	for i, op := range d.ops {
+		p := pdb.ProbOne
+		if op.prob != nil {
+			if op.prob.Sign() < 0 || op.prob.Cmp(big.NewRat(1, 1)) > 0 {
+				return nil, fmt.Errorf("pqe: delta op %d: probability %v outside [0,1]", i, op.prob)
+			}
+			p = pdb.ProbFromRat(op.prob)
+		}
+		ops[i] = pdb.DeltaOp{Kind: op.kind, Fact: op.fact, Prob: p}
+	}
+	return ops, nil
+}
+
+// DeltaSummary reports what an applied delta did.
+type DeltaSummary struct {
+	Inserts   int
+	Deletes   int
+	Reweights int
+	// Version is the database version after the delta (see
+	// Database.Version).
+	Version uint64
+}
+
+func summary(s pdb.DeltaSummary) DeltaSummary {
+	return DeltaSummary{Inserts: s.Inserts, Deletes: s.Deletes, Reweights: s.Reweights, Version: s.Version}
+}
+
+// ApplyDelta applies the batch to the database atomically: either every
+// op validates (in order, each against the result of the preceding
+// ones) and all are applied, or none are and the database is unchanged.
+func (d *Database) ApplyDelta(delta *Delta) (DeltaSummary, error) {
+	ops, err := delta.compile()
+	if err != nil {
+		return DeltaSummary{}, err
+	}
+	s, err := d.h.ApplyDelta(ops)
+	return summary(s), err
+}
+
+// Version returns the database's mutation counter. It increases with
+// every AddFact, applied delta op, or other mutation; estimator
+// sessions use it to detect changes made behind their back.
+func (d *Database) Version() uint64 { return d.h.Version() }
+
+// ApplyDelta applies a fact-level delta to the session's database and
+// incrementally maintains the session's caches. Reweight-only deltas
+// keep every automaton and rebuild just the probability weighting on
+// the next evaluation; inserts and deletes re-derive only the automaton
+// parts that touch the changed relations. Estimates after ApplyDelta
+// are bit-identical to those of a fresh Estimator on the same database
+// state with the same options and seed.
+//
+// The delta mutates the *Database passed to NewEstimator (they share
+// storage), so other sessions over the same database will notice the
+// version change and rebuild.
+func (e *Estimator) ApplyDelta(delta *Delta) (DeltaSummary, error) {
+	ops, err := delta.compile()
+	if err != nil {
+		return DeltaSummary{}, err
+	}
+	s, err := e.est.ApplyDelta(ops)
+	return summary(s), err
+}

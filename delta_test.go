@@ -1,0 +1,142 @@
+package pqe
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+)
+
+func TestDeltaBuilderAndString(t *testing.T) {
+	delta := NewDelta().
+		Insert("R", big.NewRat(1, 2), "a", "b").
+		Delete("S", "x", "y").
+		Reweight("T", big.NewRat(2, 3), "c")
+	if delta.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", delta.Len())
+	}
+	if got, want := delta.String(), "+R(a,b):1/2 -S(x,y) ~T(c):2/3"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	// nil probability means 1.
+	if got, want := NewDelta().Insert("R", nil, "a").String(), "+R(a):1"; got != want {
+		t.Errorf("nil-prob insert = %q, want %q", got, want)
+	}
+}
+
+func TestDatabaseApplyDelta(t *testing.T) {
+	d := smallPathDB(t)
+	v0 := d.Version()
+	sum, err := d.ApplyDelta(NewDelta().
+		Insert("R3", big.NewRat(1, 3), "d", "f").
+		Delete("R1", "a", "c").
+		Reweight("R2", big.NewRat(1, 5), "b", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Inserts != 1 || sum.Deletes != 1 || sum.Reweights != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.Version <= v0 || d.Version() != sum.Version {
+		t.Errorf("version did not advance: %d -> %d (summary %d)", v0, d.Version(), sum.Version)
+	}
+	if d.Size() != 5 {
+		t.Errorf("size = %d, want 5", d.Size())
+	}
+
+	// Atomicity: a batch with one bad op applies nothing.
+	v1 := d.Version()
+	if _, err := d.ApplyDelta(NewDelta().
+		Insert("R3", nil, "d", "g").
+		Delete("R1", "no", "such")); err == nil {
+		t.Fatal("invalid delta was accepted")
+	}
+	if d.Version() != v1 || d.Size() != 5 {
+		t.Errorf("rejected delta mutated the database (version %d -> %d)", v1, d.Version())
+	}
+
+	// Probability range validation happens before any mutation.
+	if _, err := d.ApplyDelta(NewDelta().Insert("R3", big.NewRat(3, 2), "d", "g")); err == nil {
+		t.Fatal("out-of-range probability was accepted")
+	}
+	if d.Version() != v1 {
+		t.Error("rejected probability mutated the database")
+	}
+}
+
+// The public session contract: estimates across ApplyDelta match a
+// fresh estimator at the same database state, reweights stay on the
+// rebind path, and structural deltas stay on the incremental path.
+func TestEstimatorApplyDelta(t *testing.T) {
+	q := PathQuery("R", 3)
+	d := smallPathDB(t)
+	opts := &Options{Epsilon: 0.2, Trials: 3, Seed: 7}
+	est := NewEstimator(q, d, opts)
+	if _, err := est.Estimate(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := est.ApplyDelta(NewDelta().Reweight("R1", big.NewRat(9, 10), "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Estimate(q, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("after reweight delta: session %v != fresh %v", got, fresh)
+	}
+	st := est.BuildStats()
+	if st.URReductions != 1 || st.IncrementalUR != 0 {
+		t.Errorf("reweight delta rebuilt the automaton: %+v", st)
+	}
+
+	if _, err := est.ApplyDelta(NewDelta().
+		Insert("R2", big.NewRat(1, 4), "c", "e").
+		Delete("R1", "a", "c")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = est.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err = Estimate(q, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Errorf("after structural delta: session %v != fresh %v", got, fresh)
+	}
+	st = est.BuildStats()
+	if st.URReductions != 2 || st.IncrementalUR != 1 {
+		t.Errorf("structural delta did not take the incremental path: %+v", st)
+	}
+}
+
+// ExampleEstimator_ApplyDelta shows a session absorbing fact-level
+// updates without rebuilding the automata from scratch.
+func ExampleEstimator_ApplyDelta() {
+	q := PathQuery("R", 3)
+	d := NewDatabase()
+	d.AddFact("R1", big.NewRat(1, 2), "a", "b")
+	d.AddFact("R2", big.NewRat(1, 2), "b", "c")
+	d.AddFact("R3", big.NewRat(1, 2), "c", "d")
+
+	opts := &Options{Epsilon: 0.1, Trials: 3, Seed: 1}
+	est := NewEstimator(q, d, opts)
+	before, _ := est.Estimate(nil)
+
+	// One update batch: a new edge appears, an old one gets likelier.
+	est.ApplyDelta(NewDelta().
+		Insert("R3", big.NewRat(1, 2), "c", "e").
+		Reweight("R1", big.NewRat(3, 4), "a", "b"))
+	after, _ := est.Estimate(nil)
+
+	fmt.Printf("before: %.4f\n", before)
+	fmt.Printf("after:  %.4f\n", after)
+	// Output:
+	// before: 0.1250
+	// after:  0.2812
+}

@@ -18,8 +18,11 @@ import (
 // multiplier weighting is rebuilt, the decomposition and base automata
 // survive. Passing a database whose fact set or ordering differs
 // rebuilds the database-keyed stages instead — results always match a
-// fresh estimator. BuildStats exposes the construction counters so
-// callers can observe the cache behaviour.
+// fresh estimator. ApplyDelta mutates the database through the session
+// and maintains the caches incrementally: reweights rebuild only the
+// weighting, inserts and deletes re-derive only the automaton parts
+// over the changed relations. BuildStats exposes the construction
+// counters so callers can observe the cache behaviour.
 //
 // An Estimator is not safe for concurrent use.
 type Estimator struct {
@@ -62,16 +65,24 @@ type BuildStats struct {
 	// Weightings counts probability-multiplier expansions — the only
 	// stage that reruns after SetProbabilities.
 	Weightings int
+	// IncrementalUR and IncrementalPath count the constructions (subsets
+	// of URReductions and PathAutomata) that were served incrementally
+	// after an ApplyDelta: only the automaton parts over the mutated
+	// relations were re-derived.
+	IncrementalUR   int
+	IncrementalPath int
 }
 
 // BuildStats returns the construction counters accumulated so far.
 func (e *Estimator) BuildStats() BuildStats {
 	s := e.est.BuildStats()
 	return BuildStats{
-		Decompositions: s.Decompositions,
-		URReductions:   s.URReductions,
-		PathAutomata:   s.PathAutomata,
-		Weightings:     s.Weightings,
+		Decompositions:  s.Decompositions,
+		URReductions:    s.URReductions,
+		PathAutomata:    s.PathAutomata,
+		Weightings:      s.Weightings,
+		IncrementalUR:   s.IncrementalUR,
+		IncrementalPath: s.IncrementalPath,
 	}
 }
 

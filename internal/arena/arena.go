@@ -1,0 +1,76 @@
+// Package arena provides a reusable slab allocator for build scratch.
+// The automaton constructions allocate many short tuples (children
+// lists, annotation strings, target sets) whose lifetimes all end
+// together — when the built automaton is replaced by the next build.
+// A Slab hands out sub-slices of large chunks and recycles every chunk
+// on Reset, so a steady-state rebuild loop stops paying per-tuple
+// allocations (and the GC stops tracing them individually).
+package arena
+
+// Slab is a chunked bump allocator for []T scratch. The zero value is
+// ready to use. Not safe for concurrent use.
+//
+// Two sharp edges, both accepted by every caller in this repo:
+//
+//   - Alloc returns memory that may contain stale values from before
+//     the last Reset; callers must fully overwrite it.
+//   - Reset recycles every slice handed out since the previous Reset.
+//     Callers must not Reset while anything that escaped (e.g. a built
+//     automaton sharing children tuples) is still live.
+type Slab[T any] struct {
+	chunks [][]T
+	big    [][]T // oversize allocations, dropped on Reset
+	ci     int   // current chunk
+	off    int   // offset into chunks[ci]
+	total  int   // elements handed out since Reset
+}
+
+// slabChunk is the default chunk length (in elements, not bytes).
+const slabChunk = 4096
+
+// Alloc returns a slice of length and capacity n. Contents are
+// unspecified; the caller must overwrite every element. The capacity is
+// clipped to n so an accidental append cannot bleed into a neighbor.
+func (s *Slab[T]) Alloc(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	s.total += n
+	if n > slabChunk {
+		buf := make([]T, n)
+		s.big = append(s.big, buf)
+		return buf
+	}
+	if s.ci < len(s.chunks) && s.off+n > slabChunk {
+		s.ci++
+		s.off = 0
+	}
+	if s.ci >= len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, slabChunk))
+		s.ci = len(s.chunks) - 1
+		s.off = 0
+	}
+	buf := s.chunks[s.ci][s.off : s.off+n : s.off+n]
+	s.off += n
+	return buf
+}
+
+// Append1 returns a 1-element slice holding v — the common case for
+// singleton children tuples.
+func (s *Slab[T]) Append1(v T) []T {
+	buf := s.Alloc(1)
+	buf[0] = v
+	return buf
+}
+
+// Reset recycles all regular chunks for reuse and drops oversize
+// allocations. Every slice previously returned by Alloc becomes
+// invalid.
+func (s *Slab[T]) Reset() {
+	s.ci, s.off, s.total = 0, 0, 0
+	s.big = nil
+}
+
+// Allocated returns the number of elements handed out since the last
+// Reset (a cheap cross-check for tests and stats).
+func (s *Slab[T]) Allocated() int { return s.total }

@@ -1,0 +1,78 @@
+package arena
+
+import "testing"
+
+func TestSlabAllocAndReset(t *testing.T) {
+	var s Slab[int]
+	a := s.Alloc(3)
+	b := s.Alloc(2)
+	for i := range a {
+		a[i] = 10 + i
+	}
+	for i := range b {
+		b[i] = 20 + i
+	}
+	if a[2] != 12 || b[0] != 20 || b[1] != 21 {
+		t.Fatalf("slabs overlap: a=%v b=%v", a, b)
+	}
+	if got := s.Allocated(); got != 5 {
+		t.Fatalf("Allocated = %d, want 5", got)
+	}
+	// Capacity is clipped: appending must not scribble on b.
+	a = append(a, 99)
+	if b[0] != 20 {
+		t.Fatal("append to a bled into b")
+	}
+	s.Reset()
+	if got := s.Allocated(); got != 0 {
+		t.Fatalf("Allocated after Reset = %d", got)
+	}
+	c := s.Alloc(3)
+	for i := range c {
+		c[i] = 30 + i
+	}
+	if c[0] != 30 {
+		t.Fatalf("post-Reset alloc broken: %v", c)
+	}
+}
+
+func TestSlabOversize(t *testing.T) {
+	var s Slab[byte]
+	big := s.Alloc(3 * slabChunk)
+	if len(big) != 3*slabChunk {
+		t.Fatalf("oversize len = %d", len(big))
+	}
+	small := s.Alloc(8)
+	if len(small) != 8 {
+		t.Fatalf("small after oversize len = %d", len(small))
+	}
+	s.Reset()
+	if s.Allocated() != 0 {
+		t.Fatal("Reset did not clear Allocated")
+	}
+}
+
+func TestSlabChunkRollover(t *testing.T) {
+	var s Slab[int32]
+	seen := make(map[*int32]bool)
+	for i := 0; i < 10000; i++ {
+		buf := s.Alloc(3)
+		buf[0], buf[1], buf[2] = int32(i), int32(i), int32(i)
+		if seen[&buf[0]] {
+			t.Fatal("same backing address handed out twice before Reset")
+		}
+		seen[&buf[0]] = true
+	}
+	if s.Allocated() != 30000 {
+		t.Fatalf("Allocated = %d", s.Allocated())
+	}
+	// After Reset the same chunks come back.
+	s.Reset()
+	buf := s.Alloc(3)
+	if !seen[&buf[0]] {
+		t.Fatal("Reset did not recycle chunks")
+	}
+	if s.Append1(7)[0] != 7 {
+		t.Fatal("Append1 broken")
+	}
+}

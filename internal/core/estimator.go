@@ -34,6 +34,13 @@ type BuildStats struct {
 	// Weightings counts multiplier-gadget expansions (tree or string),
 	// the only stage that reruns when probabilities change.
 	Weightings int
+	// IncrementalUR counts UR constructions served by an incremental
+	// builder rebuild (a subset of URReductions): after an ApplyDelta,
+	// only vertices over mutated relations re-enumerate.
+	IncrementalUR int
+	// IncrementalPath counts path-automaton constructions served by an
+	// incremental builder rebuild (a subset of PathAutomata).
+	IncrementalPath int
 }
 
 // Estimator is a reusable evaluation session for one (query, database)
@@ -68,8 +75,20 @@ type Estimator struct {
 	decErr  error
 	decDone bool
 
-	// Probability-independent, keyed to the fact set of d.
+	// srcVersion is the database/instance version the caches were last
+	// synchronized to. Public entry points compare it against the live
+	// version and drop every database-keyed cache on drift, so mutating
+	// the instance behind the session's back degrades to a full rebuild
+	// instead of silently stale estimates. ApplyDelta is the fast path
+	// that keeps the caches and advances the version.
+	srcVersion uint64
+
+	// Probability-independent, keyed to the fact set of d. The builders
+	// carry the incremental construction caches across ApplyDelta calls;
+	// they are bound to the projDB value and dropped with it.
 	projDB   *pdb.Database // d projected to the query's relations
+	urb      *reduction.URBuilder
+	pathb    *reduction.PathBuilder
 	urRed    *reduction.URReduction
 	urErr    error
 	urDone   bool
@@ -91,13 +110,13 @@ type Estimator struct {
 // probabilistic database H. Nothing is built until the first call that
 // needs it.
 func NewEstimator(q *cq.Query, h *pdb.Probabilistic, opts Options) *Estimator {
-	return &Estimator{q: q, h: h, d: h.DB(), opts: opts, sc: sessionScope(opts.Obs)}
+	return &Estimator{q: q, h: h, d: h.DB(), opts: opts, sc: sessionScope(opts.Obs), srcVersion: h.Version()}
 }
 
 // NewUREstimator prepares a uniform-reliability-only session over a
 // plain database (no probabilities; the probability methods error).
 func NewUREstimator(q *cq.Query, d *pdb.Database, opts Options) *Estimator {
-	return &Estimator{q: q, d: d, opts: opts, sc: sessionScope(opts.Obs)}
+	return &Estimator{q: q, d: d, opts: opts, sc: sessionScope(opts.Obs), srcVersion: d.Version()}
 }
 
 // sessionScope guarantees the estimator a registry: a caller-supplied
@@ -115,10 +134,137 @@ func sessionScope(s *obs.Scope) *obs.Scope {
 func (e *Estimator) BuildStats() BuildStats {
 	reg := e.sc.Registry()
 	return BuildStats{
-		Decompositions: int(reg.Counter("pqe_build_decompositions_total").Value()),
-		URReductions:   int(reg.Counter("pqe_build_ur_reductions_total").Value()),
-		PathAutomata:   int(reg.Counter("pqe_build_path_automata_total").Value()),
-		Weightings:     int(reg.Counter("pqe_build_weightings_total").Value()),
+		Decompositions:  int(reg.Counter("pqe_build_decompositions_total").Value()),
+		URReductions:    int(reg.Counter("pqe_build_ur_reductions_total").Value()),
+		PathAutomata:    int(reg.Counter("pqe_build_path_automata_total").Value()),
+		Weightings:      int(reg.Counter("pqe_build_weightings_total").Value()),
+		IncrementalUR:   int(reg.Counter("pqe_build_ur_incremental_total").Value()),
+		IncrementalPath: int(reg.Counter("pqe_build_path_incremental_total").Value()),
+	}
+}
+
+// invalidateWeighted drops the probability-dependent caches: the
+// projected instance and both weighted reductions.
+func (e *Estimator) invalidateWeighted() {
+	e.projH = nil
+	e.pqeRed, e.pqeErr, e.pqeDone = nil, nil, false
+	e.pathPQERed, e.pathPQEErr, e.pathPQEDone = nil, nil, false
+}
+
+// invalidateStructural drops the built automata but keeps the
+// incremental builders: the next construction re-derives only the parts
+// over relations reported dirty.
+func (e *Estimator) invalidateStructural() {
+	e.urRed, e.urErr, e.urDone = nil, nil, false
+	e.pathAuto, e.pathErr, e.pathDone = nil, nil, false
+	e.invalidateWeighted()
+}
+
+// invalidateAll additionally drops the projection and the builders —
+// the full-rebuild path for fact sets the session has no delta trail
+// for.
+func (e *Estimator) invalidateAll() {
+	e.projDB = nil
+	e.urb, e.pathb = nil, nil
+	e.invalidateStructural()
+}
+
+// version returns the live mutation counter of the session's source
+// instance.
+func (e *Estimator) version() uint64 {
+	if e.h != nil {
+		return e.h.Version()
+	}
+	return e.d.Version()
+}
+
+// syncVersion degrades gracefully when the instance was mutated behind
+// the session's back (not through ApplyDelta or SetProbabilities): any
+// version drift drops every database-keyed cache, builders included, so
+// the next use rebuilds from scratch rather than serving estimates for
+// a database that no longer exists.
+func (e *Estimator) syncVersion() {
+	if v := e.version(); v != e.srcVersion {
+		e.invalidateAll()
+		e.sc.Counter("pqe_estimator_rebuilds_total").Inc()
+		e.srcVersion = v
+	}
+}
+
+// ApplyDelta applies a fact-level delta to the session's database and
+// incrementally maintains every cache that can survive it, routing by
+// what the delta touches:
+//
+//   - reweight-only deltas over query relations keep all automata and
+//     invalidate just the multiplier weightings (the rebind path);
+//   - structural ops (insert/delete) over query relations update the
+//     projected database in place, mark the touched relations dirty in
+//     the incremental builders, and drop only the built automata — the
+//     next estimate re-enumerates only the dirty parts;
+//   - ops entirely outside the query's relations invalidate nothing
+//     (the |D|-dependent rescaling reads the live size).
+//
+// The delta is validated against the full instance first and applied
+// atomically: on error the database and the session are unchanged.
+// Estimates after ApplyDelta are bit-identical to those of a fresh
+// session on the same database state with the same options and seed.
+func (e *Estimator) ApplyDelta(delta pdb.Delta) (pdb.DeltaSummary, error) {
+	e.syncVersion()
+	var sum pdb.DeltaSummary
+	var err error
+	if e.h != nil {
+		sum, err = e.h.ApplyDelta(delta)
+	} else {
+		sum, err = e.d.ApplyDelta(delta)
+	}
+	if err != nil {
+		return sum, err
+	}
+	rels := e.q.RelationSet()
+	structural, reweighted := false, false
+	for _, op := range delta {
+		if !rels[op.Fact.Relation] {
+			continue // invisible to the projected pipelines
+		}
+		switch op.Kind {
+		case pdb.DeltaInsert:
+			structural = true
+			if e.projDB != nil {
+				e.projDB.Add(op.Fact)
+			}
+			e.noteMutation(op.Fact.Relation, false)
+		case pdb.DeltaDelete:
+			structural = true
+			if e.projDB != nil {
+				e.projDB.Remove(op.Fact)
+			}
+			e.noteMutation(op.Fact.Relation, true)
+		case pdb.DeltaReweight:
+			reweighted = true
+		}
+	}
+	switch {
+	case structural:
+		e.invalidateStructural()
+		e.sc.Counter("pqe_estimator_delta_structural_total").Inc()
+	case reweighted:
+		e.invalidateWeighted()
+		e.sc.Counter("pqe_estimator_rebinds_total").Inc()
+	default:
+		e.sc.Counter("pqe_estimator_delta_foreign_total").Inc()
+	}
+	e.srcVersion = e.version()
+	return sum, nil
+}
+
+// noteMutation forwards a dirty-relation mark to whichever incremental
+// builders exist.
+func (e *Estimator) noteMutation(rel string, withDelete bool) {
+	if e.urb != nil {
+		e.urb.NoteMutation(rel, withDelete)
+	}
+	if e.pathb != nil {
+		e.pathb.NoteMutation(rel, withDelete)
 	}
 }
 
@@ -137,18 +283,15 @@ func (e *Estimator) SetProbabilities(h *pdb.Probabilistic) error {
 		return fmt.Errorf("core: estimator was built without probabilities")
 	}
 	if !sameFactOrdering(e.d, h.DB()) {
-		e.projDB = nil
-		e.urRed, e.urErr, e.urDone = nil, nil, false
-		e.pathAuto, e.pathErr, e.pathDone = nil, nil, false
+		e.invalidateAll()
 		e.sc.Counter("pqe_estimator_rebuilds_total").Inc()
 	} else {
+		e.invalidateWeighted()
 		e.sc.Counter("pqe_estimator_rebinds_total").Inc()
 	}
 	e.h = h
 	e.d = h.DB()
-	e.projH = nil
-	e.pqeRed, e.pqeErr, e.pqeDone = nil, nil, false
-	e.pathPQERed, e.pathPQEErr, e.pathPQEDone = nil, nil, false
+	e.srcVersion = h.Version()
 	return nil
 }
 
@@ -250,7 +393,20 @@ func (e *Estimator) urReduction() (*reduction.URReduction, error) {
 	}
 	e.sc.Counter("pqe_build_ur_reductions_total").Inc()
 	sc, span := e.sc.Span("pqe.build_ur")
-	e.urRed, e.urErr = reduction.BuildURObs(e.q, e.proj(), dec, sc)
+	if e.urb == nil {
+		var berr error
+		e.urb, berr = reduction.NewURBuilder(e.q, e.proj(), dec)
+		if berr != nil {
+			span.End()
+			e.urErr = berr
+			return nil, berr
+		}
+	} else {
+		// The builder carries enumeration caches from the previous build;
+		// only vertices over relations dirtied by ApplyDelta re-derive.
+		e.sc.Counter("pqe_build_ur_incremental_total").Inc()
+	}
+	e.urRed, e.urErr = e.urb.Build(sc)
 	if span != nil && e.urRed != nil {
 		span.SetAttr("states", e.urRed.Auto.NumStates())
 		span.SetAttr("tree_size", e.urRed.TreeSize)
@@ -274,7 +430,18 @@ func (e *Estimator) pathAutomaton() (*nfa.NFA, error) {
 	}
 	e.sc.Counter("pqe_build_path_automata_total").Inc()
 	sc, span := e.sc.Span("pqe.build_path_nfa")
-	m, err := reduction.PathNFA(e.q, e.proj())
+	if e.pathb == nil {
+		var berr error
+		e.pathb, berr = reduction.NewPathBuilder(e.q, e.proj())
+		if berr != nil {
+			span.End()
+			e.pathErr = berr
+			return nil, berr
+		}
+	} else {
+		e.sc.Counter("pqe_build_path_incremental_total").Inc()
+	}
+	m, err := e.pathb.Build()
 	if err != nil {
 		span.End()
 		e.pathErr = err
@@ -332,6 +499,7 @@ func (e *Estimator) pathPQEReduction() (*reduction.PathPQEReduction, error) {
 // pipeline, reusing the cached automaton. opts supplies the counting
 // knobs for this call.
 func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
+	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.path_estimate")
 	defer span.End()
 	m, err := e.pathAutomaton()
@@ -348,6 +516,7 @@ func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
 // UREstimate approximates UR(Q, D) through the Theorem 3 tree pipeline,
 // reusing the cached reduction.
 func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
+	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.ur_estimate")
 	defer span.End()
 	red, err := e.urReduction()
@@ -364,6 +533,7 @@ func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
 	if e.h == nil {
 		return 0, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.pqe_estimate")
 	defer span.End()
 	weighted, err := e.pqeReduction()
@@ -380,6 +550,7 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 	if e.h == nil {
 		return 0, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.path_pqe_estimate")
 	defer span.End()
 	red, err := e.pathPQEReduction()
@@ -397,6 +568,7 @@ func (e *Estimator) Evaluate(opts Options) (Result, error) {
 	if e.h == nil {
 		return Result{}, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	e.syncVersion()
 	class := e.Class()
 	if class.Safe && !opts.ForceFPRAS && !e.opts.ForceFPRAS {
 		p, err := safeplan.Evaluate(e.q, e.h)
@@ -420,6 +592,7 @@ func (e *Estimator) Evaluate(opts Options) (Result, error) {
 // SampleSatisfying draws a near-uniform satisfying subinstance through
 // the cached UR reduction (see the package-level SampleSatisfying).
 func (e *Estimator) SampleSatisfying(opts Options) ([]bool, error) {
+	e.syncVersion()
 	red, err := e.urReduction()
 	if err != nil {
 		return nil, err
@@ -444,6 +617,7 @@ func (e *Estimator) SampleWorld(opts Options) ([]bool, error) {
 	if e.h == nil {
 		return nil, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	e.syncVersion()
 	red, err := e.urReduction()
 	if err != nil {
 		return nil, err

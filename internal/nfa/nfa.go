@@ -110,6 +110,30 @@ func (m *NFA) AddTransitionSym(q, sym, r int) {
 	m.version++
 }
 
+// SetTargetsSym installs targets as δ(q, sym) in one step, replacing
+// any existing set. targets must be sorted ascending and duplicate-free;
+// the automaton takes ownership of the slice (no copy), so the caller
+// must not modify it afterwards. Builders that emit each (state, symbol)
+// pair exactly once with naturally sorted targets use this to skip the
+// per-element sorted-insert of AddTransitionSym.
+func (m *NFA) SetTargetsSym(q, sym int, targets []int) {
+	m.checkState(q)
+	for i, r := range targets {
+		m.checkState(r)
+		if i > 0 && targets[i-1] >= r {
+			panic(fmt.Sprintf("nfa: SetTargetsSym targets not sorted/unique: %v", targets))
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	if m.trans[q] == nil {
+		m.trans[q] = make(map[int][]int, 2)
+	}
+	m.trans[q][sym] = targets
+	m.version++
+}
+
 func (m *NFA) checkState(q int) {
 	if q < 0 || q >= m.numStates {
 		panic(fmt.Sprintf("nfa: state %d out of range [0,%d)", q, m.numStates))

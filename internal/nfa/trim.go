@@ -74,10 +74,35 @@ func (m *NFA) Trim() *NFA {
 			out.SetFinal(keep[q])
 		}
 	})
-	m.EachTransition(func(from, sym, to int) {
-		if keep[from] >= 0 && keep[to] >= 0 {
-			out.AddTransitionSym(keep[from], sym, keep[to])
+	// Copy transitions per (state, symbol) entry: keep is monotone over
+	// surviving states, so a filtered-and-renumbered target set stays
+	// sorted and installs in one step; all sets share one backing
+	// buffer.
+	total := 0
+	for q := 0; q < m.numStates; q++ {
+		if keep[q] < 0 {
+			continue
 		}
-	})
+		for _, en := range ix.states[q] {
+			total += len(en.targets)
+		}
+	}
+	buf := make([]int, 0, total)
+	for q := 0; q < m.numStates; q++ {
+		if keep[q] < 0 {
+			continue
+		}
+		for _, en := range ix.states[q] {
+			start := len(buf)
+			for _, r := range en.targets {
+				if keep[r] >= 0 {
+					buf = append(buf, keep[r])
+				}
+			}
+			if len(buf) > start {
+				out.SetTargetsSym(keep[q], en.sym, buf[start:len(buf):len(buf)])
+			}
+		}
+	}
 	return out
 }

@@ -68,8 +68,21 @@ func (a *AugNFTA) SetInitial(q int) {
 // Initial returns s_init.
 func (a *AugNFTA) Initial() int { return a.initial }
 
-// AddTransition adds (from, label, children). An empty label is λ.
+// AddTransition adds (from, label, children). An empty label is λ. Both
+// the label and the children slices are copied.
 func (a *AugNFTA) AddTransition(from int, label []AugSymbol, children ...int) {
+	a.addTransition(from, append([]AugSymbol(nil), label...), append([]int(nil), children...))
+}
+
+// AddTransitionShared is AddTransition without the defensive copies:
+// the automaton takes ownership of label and children, which the caller
+// must keep immutable for the automaton's lifetime. For builders whose
+// labels and tuples live in caches or arenas outliving the automaton.
+func (a *AugNFTA) AddTransitionShared(from int, label []AugSymbol, children []int) {
+	a.addTransition(from, label, children)
+}
+
+func (a *AugNFTA) addTransition(from int, label []AugSymbol, children []int) {
 	if from < 0 || from >= a.numStates {
 		panic(fmt.Sprintf("nfta: state %d out of range", from))
 	}
@@ -78,11 +91,7 @@ func (a *AugNFTA) AddTransition(from int, label []AugSymbol, children ...int) {
 			panic(fmt.Sprintf("nfta: state %d out of range", c))
 		}
 	}
-	a.trans = append(a.trans, AugTransition{
-		From:     from,
-		Label:    append([]AugSymbol(nil), label...),
-		Children: append([]int(nil), children...),
-	})
+	a.trans = append(a.trans, AugTransition{From: from, Label: label, Children: children})
 }
 
 // Transitions returns the transition list.
@@ -113,36 +122,75 @@ func (a *AugNFTA) Translate() (*NFTA, error) {
 	if a.initial < 0 {
 		return nil, fmt.Errorf("nfta: augmented NFTA has no initial state")
 	}
-	out := NewWithSymbols(a.Symbols)
+	// The intermediate is fed straight into EliminateLambda, whose work
+	// automaton deduplicates, so skipping dedup here is safe even for
+	// sources with duplicate transitions.
+	out := newNoDedup(a.Symbols)
 	for i := 0; i < a.numStates; i++ {
 		out.AddState()
 	}
 	out.SetInitial(a.initial)
+	need := 0
+	for _, tr := range a.trans {
+		if len(tr.Label) == 0 {
+			need++
+			continue
+		}
+		for _, g := range tr.Label {
+			need++
+			if g.Optional {
+				need++
+			}
+		}
+	}
+	out.grow(need)
+
+	// negOf memoizes the interned negation per symbol: the per-element
+	// "¬" + name string build dominates translation allocations
+	// otherwise. (In the reductions the negations are pre-interned and
+	// this is a pure array lookup.)
+	var negOf []int
+	negSym := func(sym int) int {
+		for sym >= len(negOf) {
+			negOf = append(negOf, -1)
+		}
+		if negOf[sym] < 0 {
+			negOf[sym] = a.Symbols.Intern(NegName(a.Symbols.Name(sym)))
+		}
+		return negOf[sym]
+	}
 
 	for _, tr := range a.trans {
 		if len(tr.Label) == 0 {
-			out.AddLambda(tr.From, tr.Children...)
+			// λ annotation: out is transient, so sharing the source's
+			// children tuple is safe (EliminateLambda copies).
+			out.AddTransitionShared(tr.From, Lambda, tr.Children)
 			continue
 		}
 		// Stage 1: chain through fresh states; stage 2: expand ? on the
-		// fly.
+		// fly. One chain buffer serves all intermediate singleton
+		// children tuples of this transition.
+		var chain []int
+		if len(tr.Label) > 1 {
+			chain = make([]int, len(tr.Label)-1)
+		}
 		cur := tr.From
 		for i, g := range tr.Label {
 			lastPos := i == len(tr.Label)-1
-			var next int
 			var children []int
 			if lastPos {
 				children = tr.Children
 			} else {
-				next = out.AddState()
-				children = []int{next}
+				chain[i] = out.AddState()
+				children = chain[i : i+1 : i+1]
 			}
-			name := a.Symbols.Name(g.Sym)
-			out.AddTransition(cur, name, children...)
+			out.AddTransitionShared(cur, g.Sym, children)
 			if g.Optional {
-				out.AddTransition(cur, NegName(name), children...)
+				out.AddTransitionShared(cur, negSym(g.Sym), children)
 			}
-			cur = next
+			if !lastPos {
+				cur = chain[i]
+			}
 		}
 	}
 	return EliminateLambda(out)

@@ -18,18 +18,120 @@ import "fmt"
 // An error is returned if the initial state can λ-expand into a forest
 // of length ≠ 1 (the language would contain non-trees) or if a λ-cycle
 // prevents the fixpoint from converging within a generous bound.
+//
+// Duplicate (from, sym, children) triples — in the input or produced by
+// the closure — collapse at their first occurrence. Duplicates share a
+// From state by definition, so deduplication runs per source state over
+// its (typically tiny) out-transition group, instead of routing every
+// transition of the automaton through a string-keyed map: on the
+// reduction pipeline, where this runs on every build over tens of
+// thousands of chain transitions of which only a handful are λ, the
+// global map dominated the whole translation.
+//
+// The result may share children tuples with a; treat a as immutable for
+// the result's lifetime.
 func EliminateLambda(a *NFTA) (*NFTA, error) {
 	if a.Initial() < 0 {
 		return nil, fmt.Errorf("nfta: initial state unset")
 	}
-	// Work on a mutable transition set, deduplicated by key.
-	work := NewWithSymbols(a.Symbols)
-	for i := 0; i < a.NumStates(); i++ {
-		work.AddState()
+	// Mutable transition list, seeded with the source's transitions in
+	// order; closure-derived transitions append. drop marks input
+	// duplicates, which are skipped everywhere below — the output then
+	// lists first occurrences and derived transitions in exactly the
+	// order the deduplicating work-automaton formulation produced.
+	src := a.Transitions()
+	trans := append(make([]Transition, 0, len(src)+len(src)/16+64), src...)
+	drop := make([]bool, len(trans), cap(trans))
+
+	// CSR index of the input by From; extra collects appended
+	// transitions per state (only λ-sources and splice targets grow).
+	numStates := a.NumStates()
+	off := make([]int32, numStates+1)
+	for _, tr := range src {
+		off[tr.From+1]++
 	}
-	work.SetInitial(a.Initial())
-	for _, tr := range a.Transitions() {
-		work.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+	for q := 0; q < numStates; q++ {
+		off[q+1] += off[q]
+	}
+	csr := make([]int32, len(src))
+	cur := append([]int32(nil), off[:numStates]...)
+	for j, tr := range src {
+		csr[cur[tr.From]] = int32(j)
+		cur[tr.From]++
+	}
+	var extra map[int][]int32
+
+	equalTr := func(x Transition, sym int, children []int) bool {
+		if x.Sym != sym || len(x.Children) != len(children) {
+			return false
+		}
+		for i, c := range x.Children {
+			if c != children[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Input dedup, per From group.
+	for q := 0; q < numStates; q++ {
+		group := csr[off[q]:off[q+1]]
+		for i := 1; i < len(group); i++ {
+			ti := trans[group[i]]
+			for _, j := range group[:i] {
+				if !drop[j] && equalTr(trans[j], ti.Sym, ti.Children) {
+					drop[group[i]] = true
+					break
+				}
+			}
+		}
+	}
+
+	var lambdas []int32
+	for j, tr := range trans {
+		if tr.Sym == Lambda && !drop[j] {
+			lambdas = append(lambdas, int32(j))
+		}
+	}
+
+	// add appends (from, sym, children) unless the state already has an
+	// identical transition, mirroring the dedup of AddTransitionSym but
+	// scoped to the one state that can hold a duplicate.
+	add := func(from, sym int, children []int) {
+		for _, j := range csr[off[from]:off[from+1]] {
+			if !drop[j] && equalTr(trans[j], sym, children) {
+				return
+			}
+		}
+		for _, j := range extra[from] {
+			if equalTr(trans[j], sym, children) {
+				return
+			}
+		}
+		j := int32(len(trans))
+		trans = append(trans, Transition{From: from, Sym: sym, Children: children})
+		drop = append(drop, false)
+		if extra == nil {
+			extra = make(map[int][]int32)
+		}
+		extra[from] = append(extra[from], j)
+		if sym == Lambda {
+			lambdas = append(lambdas, j)
+		}
+	}
+
+	// liveFrom materializes the current out-transition indices of q into
+	// buf (CSR entries first, then appends — insertion order), snapshot
+	// semantics for the copy loops below.
+	var srcBuf []int32
+	liveFrom := func(q int) []int32 {
+		srcBuf = srcBuf[:0]
+		for _, j := range csr[off[q]:off[q+1]] {
+			if !drop[j] {
+				srcBuf = append(srcBuf, j)
+			}
+		}
+		return append(srcBuf, extra[q]...)
 	}
 
 	// The number of distinct transitions over fixed states, symbols and
@@ -41,23 +143,26 @@ func EliminateLambda(a *NFTA) (*NFTA, error) {
 		if round == maxRounds {
 			return nil, fmt.Errorf("nfta: λ-elimination did not converge (λ-cycle?)")
 		}
-		before := work.NumTransitions()
-		trs := append([]Transition(nil), work.Transitions()...)
-		for _, lam := range trs {
-			if lam.Sym != Lambda {
-				continue
-			}
+		before := len(trans)
+		snapLam := len(lambdas)
+		for li := 0; li < snapLam; li++ {
+			lam := trans[lambdas[li]]
 			if len(lam.Children) == 1 {
 				// ε-move: copy r's transitions to s.
-				for _, tr := range work.From(lam.Children[0]) {
-					work.AddTransitionSym(lam.From, tr.Sym, tr.Children...)
+				for _, j := range liveFrom(lam.Children[0]) {
+					tr := trans[j]
+					add(lam.From, tr.Sym, tr.Children)
 				}
 				continue
 			}
 			// Forest splice: replace one occurrence of s at a time in
-			// every children tuple; the fixpoint covers multiple
-			// occurrences and cascades.
-			for _, tr := range trs {
+			// every children tuple known at round start; the fixpoint
+			// covers multiple occurrences and cascades.
+			for ti := 0; ti < before; ti++ {
+				if drop[ti] {
+					continue
+				}
+				tr := trans[ti]
 				for pos, c := range tr.Children {
 					if c != lam.From {
 						continue
@@ -66,34 +171,43 @@ func EliminateLambda(a *NFTA) (*NFTA, error) {
 					spliced = append(spliced, tr.Children[:pos]...)
 					spliced = append(spliced, lam.Children...)
 					spliced = append(spliced, tr.Children[pos+1:]...)
-					work.AddTransitionSym(tr.From, tr.Sym, spliced...)
+					add(tr.From, tr.Sym, spliced)
 				}
 			}
 		}
-		if work.NumTransitions() == before {
+		if len(trans) == before {
 			break
 		}
 	}
 
 	// λ-expansion of the initial state into a non-unary forest has no
 	// tree semantics.
-	for _, tr := range work.From(work.Initial()) {
-		if tr.Sym == Lambda && len(tr.Children) != 1 {
+	for _, j := range liveFrom(a.Initial()) {
+		if tr := trans[j]; tr.Sym == Lambda && len(tr.Children) != 1 {
 			return nil, fmt.Errorf("nfta: initial state λ-expands to a forest of length %d", len(tr.Children))
 		}
 	}
 
-	// Copy over everything except λ-transitions.
-	out := NewWithSymbols(a.Symbols)
-	for i := 0; i < a.NumStates(); i++ {
+	// Copy over everything except λ-transitions and dropped duplicates.
+	// The survivors are duplicate-free, so the copy skips its own dedup
+	// and shares the children tuples (immutable by contract).
+	out := newNoDedup(a.Symbols)
+	for i := 0; i < numStates; i++ {
 		out.AddState()
 	}
 	out.SetInitial(a.Initial())
-	for _, tr := range work.Transitions() {
-		if tr.Sym == Lambda {
+	live := 0
+	for j, tr := range trans {
+		if !drop[j] && tr.Sym != Lambda {
+			live++
+		}
+	}
+	out.grow(live)
+	for j, tr := range trans {
+		if drop[j] || tr.Sym == Lambda {
 			continue
 		}
-		out.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+		out.AddTransitionShared(tr.From, tr.Sym, tr.Children)
 	}
 	return out, nil
 }

@@ -130,11 +130,15 @@ func DigitsFor(mult *big.Int) int {
 // 0…0 through the binary representation of n−1. Each accepted tree is
 // thereby replicated exactly n times (once per digit string), with
 // 2K−1 ≤ O(log n + padding) fresh states per transition (Remark 2).
+// The source transition list must be duplicate-free (the weighting
+// constructions guarantee it: they add one weighted transition per
+// distinct source transition); the translation then emits no duplicate
+// transitions and skips per-transition deduplication entirely.
 func (a *MultNFTA) Translate() (*NFTA, error) {
 	if a.initial < 0 {
 		return nil, fmt.Errorf("nfta: NFTA with multipliers has no initial state")
 	}
-	out := NewWithSymbols(a.Symbols)
+	out := newNoDedup(a.Symbols)
 	for i := 0; i < a.numStates; i++ {
 		out.AddState()
 	}
@@ -147,7 +151,9 @@ func (a *MultNFTA) Translate() (*NFTA, error) {
 			continue // contributes no trees
 		}
 		if tr.Digits == 0 {
-			out.AddTransitionSym(tr.From, tr.Sym, tr.Children...)
+			// The result may share tuples with the source automaton,
+			// whose lifetime contains the translation's.
+			out.AddTransitionShared(tr.From, tr.Sym, tr.Children)
 			continue
 		}
 		k := tr.Digits
@@ -166,13 +172,20 @@ func (a *MultNFTA) Translate() (*NFTA, error) {
 			eq[i] = out.AddState()
 			free[i] = out.AddState()
 		}
-		out.AddTransitionSym(tr.From, tr.Sym, eq[0])
+		// One buffer serves every singleton children tuple of this
+		// transition's comparator (≤ 4 per digit plus the head).
+		buf := make([]int, 0, 4*k+1)
+		singleton := func(v int) []int {
+			buf = append(buf, v)
+			return buf[len(buf)-1 : len(buf) : len(buf)]
+		}
 		childrenOf := func(next int, last bool) []int {
 			if last {
 				return tr.Children
 			}
-			return []int{next}
+			return singleton(next)
 		}
+		out.AddTransitionShared(tr.From, tr.Sym, singleton(eq[0]))
 		for i := 0; i < k; i++ {
 			last := i == k-1
 			var eqNext, freeNext int
@@ -180,14 +193,14 @@ func (a *MultNFTA) Translate() (*NFTA, error) {
 				eqNext, freeNext = eq[i+1], free[i+1]
 			}
 			if bits[i] == 1 {
-				out.AddTransitionSym(eq[i], d0, childrenOf(freeNext, last)...)
-				out.AddTransitionSym(eq[i], d1, childrenOf(eqNext, last)...)
+				out.AddTransitionShared(eq[i], d0, childrenOf(freeNext, last))
+				out.AddTransitionShared(eq[i], d1, childrenOf(eqNext, last))
 			} else {
-				out.AddTransitionSym(eq[i], d0, childrenOf(eqNext, last)...)
+				out.AddTransitionShared(eq[i], d0, childrenOf(eqNext, last))
 			}
 			// The free track accepts both digits.
-			out.AddTransitionSym(free[i], d0, childrenOf(freeNext, last)...)
-			out.AddTransitionSym(free[i], d1, childrenOf(freeNext, last)...)
+			out.AddTransitionShared(free[i], d0, childrenOf(freeNext, last))
+			out.AddTransitionShared(free[i], d1, childrenOf(freeNext, last))
 		}
 	}
 	return out, nil

@@ -44,41 +44,55 @@ type NFTA struct {
 	initial   int
 	trans     []Transition
 	numLambda int
-	byFrom    map[int][]int      // state -> transition indices
-	bySymAr   map[symArity][]int // (symbol, arity) -> transition indices
-	seen      map[string]bool
-	acc       atomic.Pointer[accIndex]
-	plan      atomic.Pointer[enginePlanBox]
+	// seen deduplicates transitions; nil disables deduplication for
+	// constructions whose output is duplicate-free by construction
+	// (translations, λ-elimination, trim), where the key-string build
+	// and map insert per transition are pure overhead.
+	seen map[string]bool
+	// version counts structural mutations (states, transitions, initial
+	// state). The lazily built caches below — and the counting engine's
+	// plan — are keyed to it, so a mutation can never alias a stale
+	// cache, even when it leaves the transition and state counts
+	// unchanged (e.g. SetInitial).
+	version uint64
+	acc     atomic.Pointer[accIndex]
+	from    atomic.Pointer[fromIndex]
+	plan    atomic.Pointer[enginePlanBox]
 }
 
 // enginePlanBox pairs a counting engine's cached per-automaton plan
-// with the structural fingerprint it was built from, the same lazy
-// keying as accIndex. The value is opaque to this package: the engine
+// with the structural version it was built at, the same lazy keying as
+// accIndex. The value is opaque to this package: the engine
 // (internal/count) defines the plan type, and keeping the slot here
 // lets every session over one automaton share one plan without an
 // import cycle.
 type enginePlanBox struct {
-	trans  int
-	states int
-	v      any
+	version uint64
+	v       any
 }
 
 // EnginePlan returns the value stored by SetEnginePlan, if the
-// automaton's structure (transition and state counts) is unchanged
-// since it was stored.
+// automaton's structural version is unchanged since it was stored.
+// (An earlier revision keyed the cache by (len(trans), numStates),
+// which collides for structurally different automata of equal sizes —
+// SetInitial, in particular, changes the language without changing
+// either count.)
 func (a *NFTA) EnginePlan() (any, bool) {
-	if b := a.plan.Load(); b != nil && b.trans == len(a.trans) && b.states == a.numStates {
+	if b := a.plan.Load(); b != nil && b.version == a.version {
 		return b.v, true
 	}
 	return nil, false
 }
 
 // SetEnginePlan caches an engine plan on the automaton, keyed to its
-// current structure. Concurrent builders may race to store; each keeps
-// a fully usable plan either way, and the last store wins.
+// current structural version. Concurrent builders may race to store;
+// each keeps a fully usable plan either way, and the last store wins.
 func (a *NFTA) SetEnginePlan(v any) {
-	a.plan.Store(&enginePlanBox{trans: len(a.trans), states: a.numStates, v: v})
+	a.plan.Store(&enginePlanBox{version: a.version, v: v})
 }
+
+// Version returns the monotone structural mutation counter.
+func (a *NFTA) Version() uint64 { return a.version }
 
 // accIndex is a dense (symbol, arity) → transitions lookup for the
 // acceptance hot path: one slice indexing instead of a map hash per
@@ -89,14 +103,14 @@ func (a *NFTA) SetEnginePlan(v any) {
 type accIndex struct {
 	nsyms, maxAr int
 	cells        [][]int32 // sym*(maxAr+1)+arity -> transition indices
-	built        int       // len(trans) at build time
+	built        uint64    // automaton version at build time
 }
 
 func (a *NFTA) accIdx() *accIndex {
-	if idx := a.acc.Load(); idx != nil && idx.built == len(a.trans) {
+	if idx := a.acc.Load(); idx != nil && idx.built == a.version {
 		return idx
 	}
-	idx := &accIndex{nsyms: a.Symbols.Size(), maxAr: a.MaxArity(), built: len(a.trans)}
+	idx := &accIndex{nsyms: a.Symbols.Size(), maxAr: a.MaxArity(), built: a.version}
 	idx.cells = make([][]int32, idx.nsyms*(idx.maxAr+1))
 	for j, tr := range a.trans {
 		if tr.Sym == Lambda {
@@ -117,6 +131,43 @@ func (x *accIndex) lookup(sym, arity int) []int32 {
 	return x.cells[sym*(x.maxAr+1)+arity]
 }
 
+// fromIndex is a CSR state → transition-indices lookup, rebuilt lazily
+// on version change exactly like accIndex. Keeping it out of insert
+// matters: the reduction pipeline materializes the same construction
+// several times (translation, λ-elimination, trim), and an eager
+// per-insert index pays two map appends per transition on automata
+// whose index is consulted once, if ever.
+type fromIndex struct {
+	off   []int32 // off[q]..off[q+1]: slots of state q in idx
+	idx   []int32 // transition indices grouped by From, insertion order
+	built uint64  // automaton version at build time
+}
+
+func (a *NFTA) fromIdx() *fromIndex {
+	if ix := a.from.Load(); ix != nil && ix.built == a.version {
+		return ix
+	}
+	ix := &fromIndex{built: a.version}
+	ix.off = make([]int32, a.numStates+1)
+	for _, tr := range a.trans {
+		ix.off[tr.From+1]++
+	}
+	for q := 0; q < a.numStates; q++ {
+		ix.off[q+1] += ix.off[q]
+	}
+	ix.idx = make([]int32, len(a.trans))
+	cur := append([]int32(nil), ix.off[:a.numStates]...)
+	for j, tr := range a.trans {
+		ix.idx[cur[tr.From]] = int32(j)
+		cur[tr.From]++
+	}
+	a.from.Store(ix)
+	return ix
+}
+
+// of returns the indices of the transitions out of state q.
+func (x *fromIndex) of(q int) []int32 { return x.idx[x.off[q]:x.off[q+1]] }
+
 type symArity struct{ sym, arity int }
 
 // New returns an empty NFTA over a fresh alphabet. The initial state
@@ -130,15 +181,26 @@ func NewWithSymbols(sym *alphabet.Interner) *NFTA {
 	return &NFTA{
 		Symbols: sym,
 		initial: -1,
-		byFrom:  make(map[int][]int),
-		bySymAr: make(map[symArity][]int),
 		seen:    make(map[string]bool),
+	}
+}
+
+// newNoDedup returns an empty NFTA that skips transition deduplication.
+// Only for constructions that never feed it a duplicate (from, sym,
+// children) triple: a duplicate would be stored twice and double-count
+// in the engines. Callers in this package: translations over
+// duplicate-free sources, λ-elimination's final copy, Trim.
+func newNoDedup(sym *alphabet.Interner) *NFTA {
+	return &NFTA{
+		Symbols: sym,
+		initial: -1,
 	}
 }
 
 // AddState allocates a new state.
 func (a *NFTA) AddState() int {
 	a.numStates++
+	a.version++
 	return a.numStates - 1
 }
 
@@ -149,6 +211,7 @@ func (a *NFTA) NumStates() int { return a.numStates }
 func (a *NFTA) SetInitial(q int) {
 	a.checkState(q)
 	a.initial = q
+	a.version++
 }
 
 // Initial returns s_init (-1 if unset).
@@ -172,25 +235,52 @@ func (a *NFTA) AddLambda(from int, children ...int) {
 }
 
 // AddTransitionSym adds a transition with an interned symbol ID (or
-// Lambda).
+// Lambda). The children slice is copied.
 func (a *NFTA) AddTransitionSym(from, sym int, children ...int) {
+	a.insert(from, sym, children, true)
+}
+
+// AddTransitionShared is AddTransitionSym without the defensive copy:
+// the automaton takes ownership of children, which the caller must not
+// modify afterwards. For builders whose tuples come from an arena with
+// the same lifetime as the automaton.
+func (a *NFTA) AddTransitionShared(from, sym int, children []int) {
+	a.insert(from, sym, children, false)
+}
+
+// grow reserves capacity for n more transitions. The construction
+// pipeline materializes transition lists whose exact sizes are known
+// (or tightly bounded) up front; reserving once avoids the append
+// doubling that otherwise dominates allocation volume.
+func (a *NFTA) grow(n int) {
+	if cap(a.trans)-len(a.trans) < n {
+		nt := make([]Transition, len(a.trans), len(a.trans)+n)
+		copy(nt, a.trans)
+		a.trans = nt
+	}
+}
+
+func (a *NFTA) insert(from, sym int, children []int, copyChildren bool) {
 	a.checkState(from)
 	for _, c := range children {
 		a.checkState(c)
 	}
-	tr := Transition{From: from, Sym: sym, Children: append([]int(nil), children...)}
-	k := tr.key()
-	if a.seen[k] {
-		return
+	if copyChildren {
+		children = append([]int(nil), children...)
 	}
-	a.seen[k] = true
+	tr := Transition{From: from, Sym: sym, Children: children}
+	if a.seen != nil {
+		k := tr.key()
+		if a.seen[k] {
+			return
+		}
+		a.seen[k] = true
+	}
 	if sym == Lambda {
 		a.numLambda++
 	}
-	a.byFrom[from] = append(a.byFrom[from], len(a.trans))
-	sa := symArity{sym, len(children)}
-	a.bySymAr[sa] = append(a.bySymAr[sa], len(a.trans))
 	a.trans = append(a.trans, tr)
+	a.version++
 }
 
 // Transitions returns all transitions. The slice must not be modified.
@@ -198,7 +288,7 @@ func (a *NFTA) Transitions() []Transition { return a.trans }
 
 // From returns the transitions out of state q.
 func (a *NFTA) From(q int) []Transition {
-	idx := a.byFrom[q]
+	idx := a.fromIdx().of(q)
 	out := make([]Transition, len(idx))
 	for i, j := range idx {
 		out[i] = a.trans[j]
@@ -249,7 +339,7 @@ func (a *NFTA) acceptingStates(t *Tree) map[int]bool {
 		childAcc[i] = a.acceptingStates(c)
 	}
 	acc := make(map[int]bool)
-	for _, j := range a.bySymAr[symArity{t.Sym, len(t.Children)}] {
+	for _, j := range a.accIdx().lookup(t.Sym, len(t.Children)) {
 		tr := a.trans[j]
 		if acc[tr.From] {
 			continue

@@ -9,16 +9,24 @@ package nfta
 // estimator never has to consider shrinks its memo tables and
 // membership checks. L(Trim(T)) = L(T) at every size.
 //
-// The automaton must be λ-free.
+// The automaton must be λ-free. Its transition list must not contain
+// duplicates — guaranteed for automata built through the deduplicating
+// AddTransitionSym path and for the translations in this package.
 func (a *NFTA) Trim() *NFTA {
 	if a.HasLambda() {
 		panic("nfta: Trim on automaton with λ-transitions")
 	}
-	// Productive: least fixpoint over transitions.
+	// Productive: least fixpoint over transitions. The scan runs in
+	// reverse list order: the translations emit chains parent-first, so
+	// a forward pass propagates productivity one link per round (rounds
+	// proportional to the longest chain), while a reverse pass walks
+	// each chain end-to-start and converges in a couple of rounds. The
+	// fixpoint is the same either way.
 	productive := make([]bool, a.numStates)
 	for changed := true; changed; {
 		changed = false
-		for _, tr := range a.trans {
+		for i := len(a.trans) - 1; i >= 0; i-- {
+			tr := a.trans[i]
 			if productive[tr.From] {
 				continue
 			}
@@ -39,12 +47,14 @@ func (a *NFTA) Trim() *NFTA {
 	// all productive (unproductive children kill the branch anyway).
 	reachable := make([]bool, a.numStates)
 	if a.initial >= 0 {
+		ix := a.fromIdx()
 		queue := []int{a.initial}
 		reachable[a.initial] = true
 		for len(queue) > 0 {
 			q := queue[0]
 			queue = queue[1:]
-			for _, tr := range a.From(q) {
+			for _, j := range ix.of(q) {
+				tr := a.trans[j]
 				usable := true
 				for _, c := range tr.Children {
 					if !productive[c] {
@@ -66,7 +76,11 @@ func (a *NFTA) Trim() *NFTA {
 	}
 
 	keep := make([]int, a.numStates) // old -> new, -1 dropped
-	out := NewWithSymbols(a.Symbols)
+	// The source transition list is deduplicated (or duplicate-free by
+	// construction), and renumbering is injective, so the output needs
+	// no dedup of its own; kept children tuples are carved out of one
+	// backing buffer.
+	out := newNoDedup(a.Symbols)
 	for q := 0; q < a.numStates; q++ {
 		if reachable[q] && productive[q] {
 			keep[q] = out.AddState()
@@ -82,21 +96,32 @@ func (a *NFTA) Trim() *NFTA {
 	if a.initial >= 0 {
 		out.SetInitial(keep[a.initial])
 	}
+	total, kept := 0, 0
+	for _, tr := range a.trans {
+		if keep[tr.From] >= 0 {
+			total += len(tr.Children)
+			kept++
+		}
+	}
+	out.grow(kept)
+	buf := make([]int, 0, total)
 	for _, tr := range a.trans {
 		if keep[tr.From] < 0 {
 			continue
 		}
 		ok := true
-		children := make([]int, len(tr.Children))
-		for i, c := range tr.Children {
+		start := len(buf)
+		for _, c := range tr.Children {
 			if keep[c] < 0 {
 				ok = false
 				break
 			}
-			children[i] = keep[c]
+			buf = append(buf, keep[c])
 		}
 		if ok {
-			out.AddTransitionSym(keep[tr.From], tr.Sym, children...)
+			out.AddTransitionShared(keep[tr.From], tr.Sym, buf[start:len(buf):len(buf)])
+		} else {
+			buf = buf[:start]
 		}
 	}
 	return out

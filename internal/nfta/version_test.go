@@ -1,0 +1,115 @@
+package nfta
+
+import "testing"
+
+// TestEnginePlanInvalidatedBySetInitial is the regression test for the
+// old (len(trans), numStates) plan key: SetInitial changes the language
+// without changing either count, so the old key would have returned the
+// stale plan. The version key must miss.
+func TestEnginePlanInvalidatedBySetInitial(t *testing.T) {
+	a := New()
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.AddTransition(q0, "a")
+	a.AddTransition(q1, "b")
+	a.SetInitial(q0)
+
+	a.SetEnginePlan("plan-for-q0")
+	if v, ok := a.EnginePlan(); !ok || v != "plan-for-q0" {
+		t.Fatalf("EnginePlan after store = %v, %v", v, ok)
+	}
+
+	// Same transition count, same state count, different automaton.
+	a.SetInitial(q1)
+	if v, ok := a.EnginePlan(); ok {
+		t.Fatalf("stale engine plan %v survived SetInitial", v)
+	}
+}
+
+func TestEnginePlanInvalidatedByMutations(t *testing.T) {
+	a := New()
+	q0 := a.AddState()
+	a.AddTransition(q0, "a")
+	a.SetInitial(q0)
+	a.SetEnginePlan(42)
+
+	a.AddTransitionSym(q0, a.Symbols.Intern("b"))
+	if _, ok := a.EnginePlan(); ok {
+		t.Fatal("stale engine plan survived AddTransitionSym")
+	}
+	a.SetEnginePlan(43)
+	// A deduplicated re-add is not a mutation: the plan must survive.
+	a.AddTransitionSym(q0, a.Symbols.Intern("b"))
+	if v, ok := a.EnginePlan(); !ok || v != 43 {
+		t.Fatalf("plan dropped by a no-op duplicate add: %v, %v", v, ok)
+	}
+	a.AddState()
+	if _, ok := a.EnginePlan(); ok {
+		t.Fatal("stale engine plan survived AddState")
+	}
+}
+
+func TestVersionMonotone(t *testing.T) {
+	a := New()
+	v := a.Version()
+	q0 := a.AddState()
+	if a.Version() <= v {
+		t.Fatal("AddState did not bump version")
+	}
+	v = a.Version()
+	a.SetInitial(q0)
+	if a.Version() <= v {
+		t.Fatal("SetInitial did not bump version")
+	}
+	v = a.Version()
+	a.AddTransition(q0, "x")
+	if a.Version() <= v {
+		t.Fatal("AddTransition did not bump version")
+	}
+}
+
+// hasDuplicateTransitions scans a transition list for duplicate
+// (from, sym, children) triples — the invariant the no-dedup outputs
+// rely on.
+func hasDuplicateTransitions(a *NFTA) bool {
+	seen := make(map[string]bool, len(a.trans))
+	for _, tr := range a.trans {
+		k := tr.key()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+// TestNoDedupOutputsAreDuplicateFree pins the duplicate-freedom of the
+// construction outputs that skip the dedup map, driving them through an
+// augmented NFTA that itself contains a duplicate transition.
+func TestNoDedupOutputsAreDuplicateFree(t *testing.T) {
+	aug := NewAugmented(New().Symbols)
+	root := aug.AddState()
+	leafA := aug.AddState()
+	leafB := aug.AddState()
+	symA := aug.Symbols.Intern("A(x)")
+	symB := aug.Symbols.Intern("B(x)")
+	label := []AugSymbol{Opt(symA), Plain(symB)}
+	aug.AddTransition(root, label, leafA, leafB)
+	aug.AddTransition(root, label, leafA, leafB) // duplicate source transition
+	aug.AddTransition(leafA, []AugSymbol{Plain(symA)})
+	aug.AddTransition(leafA, []AugSymbol{Plain(symA)}) // duplicate single-element label
+	aug.AddTransition(leafB, []AugSymbol{Plain(symB)})
+	aug.SetInitial(root)
+
+	auto, err := aug.Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasDuplicateTransitions(auto) {
+		t.Fatalf("Translate emitted duplicate transitions:\n%s", auto)
+	}
+	trimmed := auto.Trim()
+	if hasDuplicateTransitions(trimmed) {
+		t.Fatalf("Trim emitted duplicate transitions:\n%s", trimmed)
+	}
+}

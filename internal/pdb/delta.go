@@ -1,0 +1,188 @@
+package pdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeltaKind distinguishes the three fact-level mutations a delta can
+// carry.
+type DeltaKind int
+
+const (
+	// DeltaInsert adds a new fact (with its probability label on a
+	// probabilistic instance). The fact must be absent.
+	DeltaInsert DeltaKind = iota
+	// DeltaDelete removes an existing fact. The fact must be present.
+	DeltaDelete
+	// DeltaReweight replaces the probability label of an existing fact
+	// without touching the fact ordering. Probabilistic instances only.
+	DeltaReweight
+)
+
+// String names the kind with the sigil used in rendered traces.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaInsert:
+		return "+"
+	case DeltaDelete:
+		return "-"
+	case DeltaReweight:
+		return "~"
+	}
+	return fmt.Sprintf("DeltaKind(%d)", int(k))
+}
+
+// DeltaOp is one fact-level mutation. Prob is used by inserts and
+// reweights and ignored by deletes.
+type DeltaOp struct {
+	Kind DeltaKind
+	Fact Fact
+	Prob Prob
+}
+
+// Insert, Delete and Reweight build the three op kinds.
+func Insert(f Fact, p Prob) DeltaOp   { return DeltaOp{Kind: DeltaInsert, Fact: f, Prob: p} }
+func Delete(f Fact) DeltaOp           { return DeltaOp{Kind: DeltaDelete, Fact: f} }
+func Reweight(f Fact, p Prob) DeltaOp { return DeltaOp{Kind: DeltaReweight, Fact: f, Prob: p} }
+
+// String renders the op, e.g. "+R(a,b):1/2", "-S(x,y)", "~R(a,b):1/3".
+func (op DeltaOp) String() string {
+	switch op.Kind {
+	case DeltaDelete:
+		return "-" + op.Fact.Key()
+	default:
+		return op.Kind.String() + op.Fact.Key() + ":" + op.Prob.String()
+	}
+}
+
+// Delta is an ordered batch of fact-level mutations, applied atomically:
+// either every op validates (against the sequentially evolving instance,
+// so a delta may delete and then re-insert one fact) and all are
+// applied, or none are and the instance is untouched.
+type Delta []DeltaOp
+
+// Structural reports whether the delta contains inserts or deletes —
+// ops that change the fact ordering, as opposed to reweight-only deltas
+// that leave every ordering-keyed artifact valid.
+func (d Delta) Structural() bool {
+	for _, op := range d {
+		if op.Kind != DeltaReweight {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the delta as a replayable space-separated op trace.
+func (d Delta) String() string {
+	parts := make([]string, len(d))
+	for i, op := range d {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// DeltaSummary reports what an applied delta did.
+type DeltaSummary struct {
+	Inserts   int
+	Deletes   int
+	Reweights int
+	// Version is the instance version after the delta.
+	Version uint64
+}
+
+// Structural reports whether the applied delta changed the fact
+// ordering.
+func (s DeltaSummary) Structural() bool { return s.Inserts > 0 || s.Deletes > 0 }
+
+// validateDelta checks every op against the instance with the preceding
+// ops virtually applied (an overlay of presence changes), without
+// mutating anything. allowReweight gates DeltaReweight (plain Database
+// instances carry no labels).
+func validateDelta(db *Database, delta Delta, allowReweight bool) error {
+	var overlay map[string]bool // key -> present after preceding ops
+	present := func(f Fact) bool {
+		if p, ok := overlay[f.Key()]; ok {
+			return p
+		}
+		return db.Contains(f)
+	}
+	mark := func(f Fact, p bool) {
+		if overlay == nil {
+			overlay = make(map[string]bool, len(delta))
+		}
+		overlay[f.Key()] = p
+	}
+	for i, op := range delta {
+		switch op.Kind {
+		case DeltaInsert:
+			if present(op.Fact) {
+				return fmt.Errorf("pdb: delta op %d inserts existing fact %v", i, op.Fact)
+			}
+			mark(op.Fact, true)
+		case DeltaDelete:
+			if !present(op.Fact) {
+				return fmt.Errorf("pdb: delta op %d deletes nonexistent fact %v", i, op.Fact)
+			}
+			mark(op.Fact, false)
+		case DeltaReweight:
+			if !allowReweight {
+				return fmt.Errorf("pdb: delta op %d reweights fact %v on an unweighted database", i, op.Fact)
+			}
+			if !present(op.Fact) {
+				return fmt.Errorf("pdb: delta op %d reweights nonexistent fact %v", i, op.Fact)
+			}
+		default:
+			return fmt.Errorf("pdb: delta op %d has unknown kind %d", i, int(op.Kind))
+		}
+	}
+	return nil
+}
+
+// ApplyDelta applies the batch to the probabilistic instance. On error
+// the instance is unchanged; on success every op was applied in order
+// and the summary carries the new version.
+func (h *Probabilistic) ApplyDelta(delta Delta) (DeltaSummary, error) {
+	if err := validateDelta(h.db, delta, true); err != nil {
+		return DeltaSummary{}, err
+	}
+	var s DeltaSummary
+	for _, op := range delta {
+		switch op.Kind {
+		case DeltaInsert:
+			h.Add(op.Fact, op.Prob)
+			s.Inserts++
+		case DeltaDelete:
+			h.Remove(op.Fact)
+			s.Deletes++
+		case DeltaReweight:
+			h.Reweight(op.Fact, op.Prob)
+			s.Reweights++
+		}
+	}
+	s.Version = h.Version()
+	return s, nil
+}
+
+// ApplyDelta applies the batch to the plain instance. Reweight ops are
+// rejected (there are no labels to reweight). On error the instance is
+// unchanged.
+func (d *Database) ApplyDelta(delta Delta) (DeltaSummary, error) {
+	if err := validateDelta(d, delta, false); err != nil {
+		return DeltaSummary{}, err
+	}
+	var s DeltaSummary
+	for _, op := range delta {
+		switch op.Kind {
+		case DeltaInsert:
+			d.Add(op.Fact)
+			s.Inserts++
+		case DeltaDelete:
+			d.Remove(op.Fact)
+			s.Deletes++
+		}
+	}
+	s.Version = d.Version()
+	return s, nil
+}

@@ -1,0 +1,201 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func factList(d *Database) string {
+	keys := make([]string, d.Size())
+	for i, f := range d.Facts() {
+		keys[i] = f.Key()
+	}
+	return strings.Join(keys, " ")
+}
+
+func TestRemovePreservesOrder(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("S", "b"), NewFact("R", "c"), NewFact("S", "d"))
+	v0 := d.Version()
+	if !d.Remove(NewFact("S", "b")) {
+		t.Fatal("Remove of present fact reported absent")
+	}
+	if got, want := factList(d), "R(a) R(c) S(d)"; got != want {
+		t.Fatalf("order after Remove = %q, want %q", got, want)
+	}
+	if d.Version() <= v0 {
+		t.Fatalf("version did not grow: %d -> %d", v0, d.Version())
+	}
+	if d.IndexOf(NewFact("S", "d")) != 2 || d.IndexOf(NewFact("R", "c")) != 1 {
+		t.Fatal("index not recompacted after Remove")
+	}
+	if d.Remove(NewFact("S", "b")) {
+		t.Fatal("Remove of absent fact reported present")
+	}
+}
+
+func TestDeltaDeleteNonexistentIsAtomic(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a", "b"), ProbHalf)
+	h.Add(NewFact("R", "b", "c"), ProbHalf)
+	v0 := h.Version()
+	before := h.String()
+
+	// Op 0 would apply; op 1 must fail validation and leave H untouched.
+	_, err := h.ApplyDelta(Delta{
+		Reweight(NewFact("R", "a", "b"), NewProb(1, 3)),
+		Delete(NewFact("R", "z", "z")),
+	})
+	if err == nil {
+		t.Fatal("delete of nonexistent fact did not error")
+	}
+	if h.Version() != v0 {
+		t.Fatalf("failed delta bumped version %d -> %d", v0, h.Version())
+	}
+	if h.String() != before {
+		t.Fatalf("failed delta mutated instance: %s -> %s", before, h.String())
+	}
+}
+
+func TestDeltaInsertExistingErrors(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), ProbHalf)
+	if _, err := h.ApplyDelta(Delta{Insert(NewFact("R", "a"), ProbHalf)}); err == nil {
+		t.Fatal("insert of existing fact did not error")
+	}
+	if _, err := h.ApplyDelta(Delta{Reweight(NewFact("S", "x"), ProbHalf)}); err == nil {
+		t.Fatal("reweight of nonexistent fact did not error")
+	}
+}
+
+func TestDeltaSequentialOverlay(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), ProbHalf)
+	// Delete then re-insert the same fact within one delta: legal, and
+	// the fact moves to the end of the ordering.
+	h.Add(NewFact("R", "b"), ProbHalf)
+	sum, err := h.ApplyDelta(Delta{
+		Delete(NewFact("R", "a")),
+		Insert(NewFact("R", "a"), NewProb(1, 4)),
+	})
+	if err != nil {
+		t.Fatalf("delete-then-reinsert delta: %v", err)
+	}
+	if sum.Inserts != 1 || sum.Deletes != 1 || sum.Reweights != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if !sum.Structural() {
+		t.Fatal("summary not structural")
+	}
+	if got, want := factList(h.DB()), "R(b) R(a)"; got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+	if h.Prob(NewFact("R", "a")).String() != "1/4" {
+		t.Fatalf("reinserted prob = %v", h.Prob(NewFact("R", "a")))
+	}
+	// Inserting a fact twice within one delta must fail even though it
+	// is absent from the base instance.
+	if _, err := h.ApplyDelta(Delta{
+		Insert(NewFact("S", "s"), ProbHalf),
+		Insert(NewFact("S", "s"), ProbHalf),
+	}); err == nil {
+		t.Fatal("double insert within one delta did not error")
+	}
+	if h.DB().Contains(NewFact("S", "s")) {
+		t.Fatal("failed delta left a partial insert behind")
+	}
+}
+
+func TestDeltaDeleteThenReinsertLastRestoresOrdering(t *testing.T) {
+	// Deleting the last fact and re-inserting it restores the exact fact
+	// ordering — the pdb-level half of the round-trip property (the
+	// estimator-level half, bit-identical estimates, lives in core).
+	h := Empty()
+	h.Add(NewFact("R", "a", "b"), ProbHalf)
+	h.Add(NewFact("R", "b", "c"), NewProb(1, 3))
+	before := factList(h.DB())
+	last := NewFact("R", "b", "c")
+
+	if _, err := h.ApplyDelta(Delta{Delete(last)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ApplyDelta(Delta{Insert(last, NewProb(1, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if got := factList(h.DB()); got != before {
+		t.Fatalf("ordering after round trip = %q, want %q", got, before)
+	}
+	if h.Prob(last).String() != "1/3" {
+		t.Fatalf("prob after round trip = %v", h.Prob(last))
+	}
+}
+
+func TestDeltaReweightOnlyIsNonStructural(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), ProbHalf)
+	v0 := h.Version()
+	d := Delta{Reweight(NewFact("R", "a"), NewProb(2, 3))}
+	if d.Structural() {
+		t.Fatal("reweight-only delta claims structural")
+	}
+	sum, err := h.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Structural() || sum.Reweights != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if h.DB().Version() != v0 {
+		t.Fatalf("reweight bumped the structural version %d -> %d", v0, h.DB().Version())
+	}
+	if h.Version() <= v0 {
+		t.Fatalf("reweight did not bump the instance version")
+	}
+	if h.ProbAt(0).String() != "2/3" {
+		t.Fatalf("prob = %v", h.ProbAt(0))
+	}
+}
+
+func TestDatabaseApplyDeltaRejectsReweight(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"))
+	if _, err := d.ApplyDelta(Delta{Reweight(NewFact("R", "a"), ProbHalf)}); err == nil {
+		t.Fatal("reweight on plain Database did not error")
+	}
+	sum, err := d.ApplyDelta(Delta{Insert(NewFact("R", "b"), Prob{}), Delete(NewFact("R", "a"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Inserts != 1 || sum.Deletes != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if got, want := factList(d), "R(b)"; got != want {
+		t.Fatalf("facts = %q, want %q", got, want)
+	}
+}
+
+func TestDeltaString(t *testing.T) {
+	d := Delta{
+		Insert(NewFact("R", "a", "b"), ProbHalf),
+		Delete(NewFact("S", "x")),
+		Reweight(NewFact("R", "a", "b"), NewProb(1, 3)),
+	}
+	if got, want := d.String(), "+R(a,b):1/2 -S(x) ~R(a,b):1/3"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestCloneVersionsAndIndependence(t *testing.T) {
+	h := Empty()
+	h.Add(NewFact("R", "a"), ProbHalf)
+	h.Reweight(NewFact("R", "a"), NewProb(1, 3))
+	c := h.Clone()
+	if c.Version() != h.Version() {
+		t.Fatalf("clone version %d != source %d", c.Version(), h.Version())
+	}
+	c.Add(NewFact("R", "z"), ProbHalf)
+	if h.DB().Contains(NewFact("R", "z")) {
+		t.Fatal("clone shares storage with source")
+	}
+	if c.Version() <= h.Version() {
+		t.Fatal("clone mutation did not advance its version")
+	}
+}

@@ -65,9 +65,15 @@ func (f Fact) Equal(g Fact) bool {
 // The order is the insertion order; it is stable and serves as the fixed
 // total ordering ≺ᵢ on the facts of each relation that the automaton
 // constructions require.
+//
+// The instance is a continuously updatable value: every structural
+// mutation (an actual insert or removal) bumps a monotone version
+// counter, so caches built over a snapshot of the fact ordering can be
+// keyed to Version instead of comparing fact lists.
 type Database struct {
-	facts []Fact
-	index map[string]int // fact key -> position in facts
+	facts   []Fact
+	index   map[string]int // fact key -> position in facts
+	version uint64
 }
 
 // NewDatabase returns an empty database.
@@ -93,8 +99,33 @@ func (d *Database) Add(f Fact) int {
 	i := len(d.facts)
 	d.facts = append(d.facts, f)
 	d.index[f.Key()] = i
+	d.version++
 	return i
 }
+
+// Remove deletes a fact, preserving the relative order of the remaining
+// facts (deletion keeps every per-relation ≺ᵢ ordering intact). It
+// reports whether the fact was present.
+func (d *Database) Remove(f Fact) bool {
+	k := f.Key()
+	i, ok := d.index[k]
+	if !ok {
+		return false
+	}
+	delete(d.index, k)
+	copy(d.facts[i:], d.facts[i+1:])
+	d.facts = d.facts[:len(d.facts)-1]
+	for j := i; j < len(d.facts); j++ {
+		d.index[d.facts[j].Key()] = j
+	}
+	d.version++
+	return true
+}
+
+// Version returns the monotone mutation counter: it grows on every
+// actual insert or removal and never decreases. Equal versions of one
+// Database value imply an unchanged fact ordering.
+func (d *Database) Version() uint64 { return d.version }
 
 // Size returns |D|, the number of facts.
 func (d *Database) Size() int { return len(d.facts) }
@@ -116,6 +147,16 @@ func (d *Database) Contains(f Fact) bool {
 // absent.
 func (d *Database) IndexOf(f Fact) int {
 	if i, ok := d.index[f.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// IndexOfKey is IndexOf addressed by the fact's canonical Key() string,
+// avoiding the key rebuild when the caller already holds one (symbol
+// names in the automata are fact keys).
+func (d *Database) IndexOfKey(k string) int {
+	if i, ok := d.index[k]; ok {
 		return i
 	}
 	return -1
@@ -177,7 +218,9 @@ func (d *Database) Subinstance(mask []bool) *Database {
 	return out
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database. The copy starts at the
+// source's version, so version-keyed artifacts remain comparable across
+// a snapshot ("a fresh build at the same database version").
 func (d *Database) Clone() *Database {
 	out := NewDatabase()
 	for _, f := range d.facts {
@@ -185,6 +228,7 @@ func (d *Database) Clone() *Database {
 		copy(args, f.Args)
 		out.Add(Fact{Relation: f.Relation, Args: args})
 	}
+	out.version = d.version
 	return out
 }
 
@@ -292,10 +336,14 @@ func (p Prob) BitSize() int {
 	return r.Num().BitLen() + r.Denom().BitLen()
 }
 
-// Probabilistic is a probabilistic database instance H = (D, π).
+// Probabilistic is a probabilistic database instance H = (D, π). Like
+// Database it is versioned: structural mutations bump the underlying
+// database counter and probability relabelings bump a separate one, and
+// Version exposes their monotone sum.
 type Probabilistic struct {
 	db    *Database
 	probs []Prob // parallel to db.Facts()
+	pver  uint64 // probability-relabel counter
 }
 
 // NewProbabilistic wraps a database with the uniform probability p on
@@ -320,13 +368,55 @@ func Empty() *Probabilistic {
 }
 
 // Add inserts a fact with its probability. Re-adding an existing fact
-// overwrites its probability.
+// overwrites its probability (a relabel, bumping the version).
 func (h *Probabilistic) Add(f Fact, p Prob) {
 	i := h.db.Add(f)
 	if i == len(h.probs) {
 		h.probs = append(h.probs, p)
 	} else {
 		h.probs[i] = p
+		h.pver++
+	}
+}
+
+// Remove deletes a fact and its probability label, preserving the order
+// of the remaining facts. It reports whether the fact was present.
+func (h *Probabilistic) Remove(f Fact) bool {
+	i := h.db.IndexOf(f)
+	if i < 0 {
+		return false
+	}
+	h.db.Remove(f)
+	copy(h.probs[i:], h.probs[i+1:])
+	h.probs = h.probs[:len(h.probs)-1]
+	return true
+}
+
+// Reweight replaces π(f) in place, bumping the version. It reports
+// whether the fact was present; an absent fact leaves H unchanged.
+func (h *Probabilistic) Reweight(f Fact, p Prob) bool {
+	i := h.db.IndexOf(f)
+	if i < 0 {
+		return false
+	}
+	h.probs[i] = p
+	h.pver++
+	return true
+}
+
+// Version returns a monotone counter combining the structural version
+// of the underlying database and the probability-relabel count. Equal
+// versions of one Probabilistic value imply identical fact ordering and
+// labels.
+func (h *Probabilistic) Version() uint64 { return h.db.version + h.pver }
+
+// Clone returns a deep copy of the instance, starting at the source's
+// version.
+func (h *Probabilistic) Clone() *Probabilistic {
+	return &Probabilistic{
+		db:    h.db.Clone(),
+		probs: append([]Prob(nil), h.probs...),
+		pver:  h.pver,
 	}
 }
 

@@ -1,0 +1,744 @@
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"pqe/internal/alphabet"
+	"pqe/internal/arena"
+	"pqe/internal/cq"
+	"pqe/internal/hypertree"
+	"pqe/internal/nfa"
+	"pqe/internal/nfta"
+	"pqe/internal/obs"
+	"pqe/internal/pdb"
+)
+
+// This file implements incremental automaton construction: builders that
+// keep the expensive enumeration state of a reduction (per-relation fact
+// lists, bag-state sets, annotation labels, child-combination tuples,
+// join lists) across database mutations, and on each Build re-derive
+// only the parts touching relations marked dirty since the last build.
+//
+// The assembly step — numbering states, emitting transitions, the λ-free
+// translation and the trim — always replays from the cached parts, in
+// exactly the order of a from-scratch build. Estimates are pure
+// functions of the automaton structure (state numbering, symbol IDs,
+// transition order all feed the per-site RNG derivation), so the
+// incremental path must produce a *structurally identical* automaton,
+// not merely an equivalent one; replaying the deterministic assembly
+// from caches whose content is pinned to equal the fresh enumeration
+// achieves that by construction. See DESIGN.md §12.
+//
+// Symbol canonicalization: every build interns, up front, pos(fᵢ) = 2i
+// and neg(fᵢ) = 2i+1 for the i-th fact of the (projected) database.
+// Cached labels store these IDs; after an insert old indices are
+// unchanged (facts append), and after a delete the surviving indices
+// shift, so clean vertices' cached labels are renumbered through a
+// remap table instead of being rebuilt.
+
+// urRelCache holds the ≺ᵢ-ordered facts of one query relation together
+// with their projected (global) database positions and canonical
+// pos/neg symbol names.
+type urRelCache struct {
+	facts   []pdb.Fact
+	pos     []int    // facts[j] is the pos[j]-th fact of the database
+	keys    []string // facts[j].Key()
+	negKeys []string // NegName(keys[j])
+
+	cur      int  // sync-pass cursor
+	dirtyNow bool // sync-pass: relation is being rebuilt
+}
+
+// urVertexCache holds the derived state of one decomposition vertex.
+type urVertexCache struct {
+	covered []int              // atoms labeled at this vertex, ascending
+	states  []*bagState        // S(p), in enumeration order
+	labels  [][]nfta.AugSymbol // labels[s]: annotation of states[s]
+	combos  [][][]int32        // combos[s]: child-state index tuples
+}
+
+// URBuilder incrementally maintains the Proposition 1 reduction for a
+// fixed (query, database value, decomposition) triple. After mutating
+// the database, call NoteMutation for every touched relation, then
+// Build; vertices none of whose bag atoms range over a dirty relation
+// keep their enumerated states, labels and child combinations.
+//
+// The builder trusts NoteMutation: mutating a relation's facts without
+// reporting it desynchronizes the caches (the sync pass panics when it
+// can detect the drift). The database value must remain the one passed
+// to NewURBuilder.
+type URBuilder struct {
+	q        *cq.Query
+	d        *pdb.Database
+	dec      *hypertree.Decomposition // normalized
+	covering []int
+	byRel    map[string]*urRelCache
+	vertices []urVertexCache
+
+	keys    []string // canonical fact keys, database order (last sync)
+	negKeys []string
+
+	dirty     map[string]bool
+	hadDelete bool
+	built     bool
+
+	children arena.Slab[int] // children tuples; reset at each assembly
+}
+
+// NewURBuilder validates the query and normalizes the decomposition
+// (complete, re-rooted at a covering vertex, binarized), returning a
+// builder with every relation initially dirty.
+func NewURBuilder(q *cq.Query, d *pdb.Database, dec *hypertree.Decomposition) (*URBuilder, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("reduction: query %q has self-joins", q)
+	}
+	if !dec.IsComplete() {
+		if err := dec.Complete(); err != nil {
+			return nil, err
+		}
+	}
+	ndec, err := dec.ReRootAtCoveringVertex()
+	if err != nil {
+		return nil, err
+	}
+	ndec = ndec.Binarize()
+	covering := make([]int, q.Len())
+	for m := range q.Atoms {
+		cv := ndec.CoveringVertex(m)
+		if cv == nil {
+			return nil, fmt.Errorf("reduction: atom %s has no covering vertex", q.Atoms[m])
+		}
+		covering[m] = cv.ID
+	}
+	b := &URBuilder{
+		q:        q,
+		d:        d,
+		dec:      ndec,
+		covering: covering,
+		byRel:    make(map[string]*urRelCache),
+		vertices: make([]urVertexCache, ndec.Size()),
+		dirty:    make(map[string]bool),
+	}
+	for r := range q.RelationSet() {
+		b.byRel[r] = &urRelCache{}
+		b.dirty[r] = true
+	}
+	for _, p := range ndec.Nodes() {
+		vc := &b.vertices[p.ID]
+		atoms := append([]int(nil), p.Xi...)
+		sort.Ints(atoms)
+		for _, m := range atoms {
+			if covering[m] == p.ID {
+				vc.covered = append(vc.covered, m)
+			}
+		}
+	}
+	return b, nil
+}
+
+// NoteMutation records that the facts of relation rel changed since the
+// last Build. withDelete reports whether any fact was removed — removals
+// shift the projected positions of later facts, which forces a symbol
+// renumbering of the clean vertices' cached labels.
+func (b *URBuilder) NoteMutation(rel string, withDelete bool) {
+	b.dirty[rel] = true
+	if withDelete {
+		b.hadDelete = true
+	}
+}
+
+// Build produces the reduction at the database's current state,
+// re-enumerating only vertices over dirty relations and replaying the
+// deterministic assembly. The result is structurally identical to a
+// from-scratch BuildURObs on the same inputs. The previous Build's
+// reduction is invalidated (its automata share tuples with the
+// builder's arena, which is recycled here).
+func (b *URBuilder) Build(sc *obs.Scope) (*URReduction, error) {
+	// Vertex dirtiness: a vertex re-enumerates iff any atom of its bag
+	// ranges over a dirty relation; its child-combination tuples also
+	// re-enumerate when a child's state list changed.
+	vDirty := make([]bool, b.dec.Size())
+	for _, p := range b.dec.Nodes() {
+		for _, m := range p.Xi {
+			if b.dirty[b.q.Atoms[m].Relation] {
+				vDirty[p.ID] = true
+				break
+			}
+		}
+	}
+	cDirty := make([]bool, b.dec.Size())
+	for _, p := range b.dec.Nodes() {
+		cDirty[p.ID] = vDirty[p.ID]
+		for _, c := range p.Children {
+			if vDirty[c.ID] {
+				cDirty[p.ID] = true
+			}
+		}
+	}
+	// remap[old] = new projected index of the fact that held projected
+	// index old at the last sync, -1 if since deleted. Only needed when
+	// a delete shifted positions AND some clean vertex keeps cached
+	// labels to renumber; inserts append and leave old indices
+	// unchanged, and an all-dirty build rebuilds every label anyway.
+	anyClean := false
+	for _, p := range b.dec.Nodes() {
+		if !vDirty[p.ID] {
+			anyClean = true
+			break
+		}
+	}
+	var remap []int32
+	if b.built && b.hadDelete && anyClean {
+		remap = make([]int32, len(b.keys))
+		for i, k := range b.keys {
+			remap[i] = int32(b.d.IndexOfKey(k))
+		}
+	}
+	if err := b.syncFacts(); err != nil {
+		return nil, err
+	}
+	if remap != nil {
+		for _, p := range b.dec.Nodes() {
+			if vDirty[p.ID] {
+				continue // rebuilt below with fresh symbols
+			}
+			for _, lab := range b.vertices[p.ID].labels {
+				for x := range lab {
+					old := lab[x].Sym
+					ni := remap[old>>1]
+					if ni < 0 {
+						// A deleted fact can only appear in labels of
+						// vertices covering its relation, all dirty.
+						panic(fmt.Sprintf("reduction: deleted fact %s referenced by a clean vertex label", b.keys[old>>1]))
+					}
+					lab[x].Sym = int(ni)<<1 | old&1
+				}
+			}
+		}
+	}
+	for _, p := range b.dec.Nodes() {
+		if !vDirty[p.ID] {
+			continue
+		}
+		vc := &b.vertices[p.ID]
+		vc.states = b.bagStatesOf(p)
+		b.buildLabels(vc)
+	}
+	for _, p := range b.dec.Nodes() {
+		if !cDirty[p.ID] {
+			continue
+		}
+		vc := &b.vertices[p.ID]
+		vc.combos = make([][][]int32, len(vc.states))
+		for si, sp := range vc.states {
+			vc.combos[si] = b.childCombos(sp, p)
+		}
+	}
+	for r := range b.dirty {
+		delete(b.dirty, r)
+	}
+	b.hadDelete = false
+	b.built = true
+	return b.assemble(sc)
+}
+
+// syncFacts brings the per-relation caches in line with the database:
+// dirty relations rescan their facts (and canonical key strings), clean
+// ones refresh only the projected positions. It also rebuilds the
+// global key arrays used to seed the canonical interner. A fact over a
+// relation outside the query aborts the sync (caches stay dirty, so the
+// next Build rescans).
+func (b *URBuilder) syncFacts() error {
+	for r, rc := range b.byRel {
+		rc.cur = 0
+		rc.dirtyNow = b.dirty[r]
+		if rc.dirtyNow {
+			rc.facts = rc.facts[:0]
+			rc.pos = rc.pos[:0]
+			rc.keys = rc.keys[:0]
+			rc.negKeys = rc.negKeys[:0]
+		}
+	}
+	keys := make([]string, b.d.Size())
+	negKeys := make([]string, b.d.Size())
+	for i, f := range b.d.Facts() {
+		rc := b.byRel[f.Relation]
+		if rc == nil {
+			return fmt.Errorf("reduction: database fact %v over relation not in query; project first", f)
+		}
+		j := rc.cur
+		rc.cur++
+		if rc.dirtyNow {
+			k := f.Key()
+			rc.facts = append(rc.facts, f)
+			rc.pos = append(rc.pos, i)
+			rc.keys = append(rc.keys, k)
+			rc.negKeys = append(rc.negKeys, nfta.NegName(k))
+		} else {
+			if j >= len(rc.facts) {
+				panic(fmt.Sprintf("reduction: relation %s changed without NoteMutation", f.Relation))
+			}
+			rc.pos[j] = i
+		}
+		keys[i] = rc.keys[j]
+		negKeys[i] = rc.negKeys[j]
+	}
+	for r, rc := range b.byRel {
+		if !rc.dirtyNow && rc.cur != len(rc.facts) {
+			panic(fmt.Sprintf("reduction: relation %s changed without NoteMutation", r))
+		}
+	}
+	b.keys = keys
+	b.negKeys = negKeys
+	return nil
+}
+
+// bagStatesOf enumerates the consistent fact assignments for ξ(p) from
+// the cached per-relation fact lists, in the same order as a fresh
+// enumeration over the database.
+func (b *URBuilder) bagStatesOf(p *hypertree.Node) []*bagState {
+	atoms := p.Xi
+	var out []*bagState
+	witness := make(map[int]pdb.Fact, len(atoms))
+	asg := make(cq.Assignment)
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(atoms) {
+			w := make(map[int]pdb.Fact, len(witness))
+			for k, v := range witness {
+				w[k] = v
+			}
+			out = append(out, &bagState{witness: w, asg: asg.Clone()})
+			return
+		}
+		m := atoms[i]
+		atom := b.q.Atoms[m]
+		for _, f := range b.byRel[atom.Relation].facts {
+			if f.Arity() != atom.Arity() {
+				continue
+			}
+			added, ok := tryBind(atom, f, asg)
+			if !ok {
+				continue
+			}
+			witness[m] = f
+			rec(i + 1)
+			delete(witness, m)
+			for _, v := range added {
+				delete(asg, v)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// buildLabels rebuilds the annotation labels of a vertex: for every
+// atom labeled at the vertex, in ≺atoms order, the full ≺ᵢ-ordered fact
+// list of its relation, optional except the state's witness. All labels
+// of the vertex share one backing array; symbols use the canonical
+// pos(fᵢ) = 2·(projected index) numbering.
+func (b *URBuilder) buildLabels(vc *urVertexCache) {
+	width := 0
+	for _, m := range vc.covered {
+		width += len(b.byRel[b.q.Atoms[m].Relation].facts)
+	}
+	vc.labels = make([][]nfta.AugSymbol, len(vc.states))
+	if width == 0 {
+		return // empty labels stay nil: λ annotations
+	}
+	backing := make([]nfta.AugSymbol, 0, width*len(vc.states))
+	for si, sp := range vc.states {
+		start := len(backing)
+		for _, m := range vc.covered {
+			rc := b.byRel[b.q.Atoms[m].Relation]
+			w := sp.witness[m]
+			for j, f := range rc.facts {
+				sym := rc.pos[j] << 1
+				if f.Equal(w) {
+					backing = append(backing, nfta.Plain(sym))
+				} else {
+					backing = append(backing, nfta.Opt(sym))
+				}
+			}
+		}
+		vc.labels[si] = backing[start:len(backing):len(backing)]
+	}
+}
+
+// leafCombo is the single empty child tuple of a leaf vertex.
+var leafCombo = [][]int32{nil}
+
+// childCombos enumerates, as tuples of child-state indices, the
+// combinations of child states consistent with the parent state and
+// pairwise consistent (conditions 2–4 of the Proposition 1
+// construction), in the same order as the fresh enumeration.
+func (b *URBuilder) childCombos(sp *bagState, p *hypertree.Node) [][]int32 {
+	if len(p.Children) == 0 {
+		return leafCombo
+	}
+	var out [][]int32
+	combo := make([]*bagState, 0, len(p.Children))
+	idx := make([]int32, len(p.Children))
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(p.Children) {
+			out = append(out, append([]int32(nil), idx...))
+			return
+		}
+		child := p.Children[ci]
+		for k, cs := range b.vertices[child.ID].states {
+			if !sp.asg.Consistent(cs.asg) {
+				continue
+			}
+			ok := true
+			for _, prev := range combo {
+				if !prev.asg.Consistent(cs.asg) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			combo = append(combo, cs)
+			idx[ci] = int32(k)
+			rec(ci + 1)
+			combo = combo[:len(combo)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// assemble replays the deterministic automaton assembly from the caches:
+// state numbering in vertex order, the initial state's λ-moves to the
+// root states, then every vertex's transitions, followed by the λ-free
+// translation and the trim. Children tuples come from the builder's
+// arena; labels are shared from the vertex caches.
+func (b *URBuilder) assemble(sc *obs.Scope) (*URReduction, error) {
+	symbols := alphabet.New()
+	for i := range b.keys {
+		symbols.Intern(b.keys[i])    // 2i
+		symbols.Intern(b.negKeys[i]) // 2i+1
+	}
+	aug := nfta.NewAugmented(symbols)
+	b.children.Reset()
+	for _, p := range b.dec.Nodes() {
+		for _, s := range b.vertices[p.ID].states {
+			s.id = aug.AddState()
+		}
+	}
+	initial := aug.AddState()
+	aug.SetInitial(initial)
+	for _, s := range b.vertices[b.dec.Root.ID].states {
+		aug.AddTransitionShared(initial, nil, b.children.Append1(s.id))
+	}
+	for _, p := range b.dec.Nodes() {
+		vc := &b.vertices[p.ID]
+		for si, sp := range vc.states {
+			label := vc.labels[si]
+			for _, combo := range vc.combos[si] {
+				ids := b.children.Alloc(len(combo))
+				for t, ci := range combo {
+					ids[t] = b.vertices[p.Children[t].ID].states[ci].id
+				}
+				aug.AddTransitionShared(sp.id, label, ids)
+			}
+		}
+	}
+
+	_, tlspan := sc.Span("reduction.translate")
+	auto, err := aug.Translate()
+	tlspan.End()
+	if err != nil {
+		return nil, err
+	}
+	_, tspan := sc.Span("pqe.trim_ur")
+	auto = auto.Trim()
+	if tspan != nil {
+		tspan.SetAttr("states", auto.NumStates())
+	}
+	tspan.End()
+	return &URReduction{
+		Query:    b.q,
+		DB:       b.d,
+		Dec:      b.dec,
+		Aug:      aug,
+		Auto:     auto,
+		TreeSize: b.d.Size(),
+		Symbols:  symbols,
+	}, nil
+}
+
+// pathAtomCache holds the ≺ᵢ-ordered binary facts of one path atom's
+// relation with projected positions and canonical symbol names.
+type pathAtomCache struct {
+	facts   []pdb.Fact
+	pos     []int
+	keys    []string
+	negKeys []string
+
+	cur      int
+	dirtyNow bool
+}
+
+// PathBuilder incrementally maintains the Section 3 string-automaton
+// construction for a fixed (path query, database value) pair. Dirty
+// relations rescan their fact lists and rebuild the adjacent join
+// lists; everything else is kept. As with URBuilder, Build replays the
+// deterministic assembly so the result is structurally identical to a
+// fresh PathNFA, and each Build invalidates the previous one's
+// automaton (shared target tuples live in the builder's arena).
+type PathBuilder struct {
+	q      *cq.Query
+	d      *pdb.Database
+	relIdx map[string]int // relation -> atom index
+
+	atoms   []pathAtomCache
+	joins   [][][]int32 // joins[i][k]: witness k of atom i -> joining fact indices of atom i+1, ascending
+	joinsOK []bool
+
+	keys    []string
+	negKeys []string
+
+	dirty map[string]bool
+	built bool
+
+	targets arena.Slab[int] // target tuples; reset at each assembly
+}
+
+// NewPathBuilder validates the query shape and returns a builder with
+// every relation initially dirty.
+func NewPathBuilder(q *cq.Query, d *pdb.Database) (*PathBuilder, error) {
+	if !q.IsPath() {
+		return nil, fmt.Errorf("reduction: query %q is not a path query", q)
+	}
+	if !q.SelfJoinFree() {
+		return nil, fmt.Errorf("reduction: query %q has self-joins", q)
+	}
+	n := q.Len()
+	b := &PathBuilder{
+		q:       q,
+		d:       d,
+		relIdx:  make(map[string]int, n),
+		atoms:   make([]pathAtomCache, n),
+		joins:   make([][][]int32, n-1),
+		joinsOK: make([]bool, n-1),
+		dirty:   make(map[string]bool, n),
+	}
+	for i, atom := range q.Atoms {
+		b.relIdx[atom.Relation] = i
+		b.dirty[atom.Relation] = true
+	}
+	return b, nil
+}
+
+// NoteMutation records that the facts of relation rel changed since the
+// last Build. The path construction caches no symbol IDs across builds,
+// so deletions need no extra handling; the parameter mirrors
+// URBuilder.NoteMutation.
+func (b *PathBuilder) NoteMutation(rel string, _ bool) {
+	b.dirty[rel] = true
+}
+
+// Build produces the Section 3 automaton at the database's current
+// state, structurally identical to a from-scratch PathNFA on the same
+// inputs.
+func (b *PathBuilder) Build() (*nfa.NFA, error) {
+	n := b.q.Len()
+	aDirty := make([]bool, n)
+	for i, atom := range b.q.Atoms {
+		aDirty[i] = b.dirty[atom.Relation]
+	}
+	// The fresh path validates arity per atom before the empty-language
+	// check, and only then rejects foreign facts; the sync pass tolerates
+	// them so the error order matches.
+	foreignErr := b.syncFacts()
+	for i, atom := range b.q.Atoms {
+		if !aDirty[i] {
+			continue // validated when last scanned
+		}
+		for _, f := range b.atoms[i].facts {
+			if f.Arity() != 2 {
+				return nil, fmt.Errorf("reduction: fact %v of relation %s is not binary", f, atom.Relation)
+			}
+		}
+	}
+	empty := false
+	for i := range b.atoms {
+		if len(b.atoms[i].facts) == 0 {
+			empty = true
+			break
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if aDirty[i] || aDirty[i+1] {
+			b.joinsOK[i] = false
+		}
+	}
+	if empty {
+		// Some atom has no candidate witnesses: the language is empty.
+		// Caches are synced; join rebuilds wait until they are needed.
+		for r := range b.dirty {
+			delete(b.dirty, r)
+		}
+		b.built = true
+		m := nfa.New()
+		q0 := m.AddState()
+		m.SetInitial(q0)
+		return m, nil
+	}
+	if foreignErr != nil {
+		return nil, foreignErr
+	}
+	for i := 0; i+1 < n; i++ {
+		if !b.joinsOK[i] {
+			b.buildJoins(i)
+			b.joinsOK[i] = true
+		}
+	}
+	for r := range b.dirty {
+		delete(b.dirty, r)
+	}
+	b.built = true
+	return b.assemble(), nil
+}
+
+// syncFacts is the path analogue of URBuilder.syncFacts. Foreign facts
+// are skipped and reported (not fatal here: the fresh path checks them
+// only after the empty-language check).
+func (b *PathBuilder) syncFacts() error {
+	for i := range b.atoms {
+		ac := &b.atoms[i]
+		ac.cur = 0
+		ac.dirtyNow = b.dirty[b.q.Atoms[i].Relation]
+		if ac.dirtyNow {
+			ac.facts = ac.facts[:0]
+			ac.pos = ac.pos[:0]
+			ac.keys = ac.keys[:0]
+			ac.negKeys = ac.negKeys[:0]
+		}
+	}
+	keys := make([]string, b.d.Size())
+	negKeys := make([]string, b.d.Size())
+	var foreignErr error
+	for i, f := range b.d.Facts() {
+		ai, ok := b.relIdx[f.Relation]
+		if !ok {
+			if foreignErr == nil {
+				foreignErr = fmt.Errorf("reduction: database contains fact %v over a relation not in the query; project first", f)
+			}
+			continue
+		}
+		ac := &b.atoms[ai]
+		j := ac.cur
+		ac.cur++
+		if ac.dirtyNow {
+			k := f.Key()
+			ac.facts = append(ac.facts, f)
+			ac.pos = append(ac.pos, i)
+			ac.keys = append(ac.keys, k)
+			ac.negKeys = append(ac.negKeys, nfta.NegName(k))
+		} else {
+			if j >= len(ac.facts) {
+				panic(fmt.Sprintf("reduction: relation %s changed without NoteMutation", f.Relation))
+			}
+			ac.pos[j] = i
+		}
+		keys[i] = ac.keys[j]
+		negKeys[i] = ac.negKeys[j]
+	}
+	for i := range b.atoms {
+		ac := &b.atoms[i]
+		if !ac.dirtyNow && ac.cur != len(ac.facts) {
+			panic(fmt.Sprintf("reduction: relation %s changed without NoteMutation", b.q.Atoms[i].Relation))
+		}
+	}
+	b.keys = keys
+	b.negKeys = negKeys
+	return foreignErr
+}
+
+// buildJoins rebuilds the block-end join lists between atoms i and i+1:
+// for each witness fact of atom i, the ascending indices of the
+// atom-i+1 facts whose first argument equals the witness's second.
+func (b *PathBuilder) buildJoins(i int) {
+	next := b.atoms[i+1].facts
+	groups := make(map[string][]int32)
+	for k2, f2 := range next {
+		groups[f2.Args[0]] = append(groups[f2.Args[0]], int32(k2))
+	}
+	cur := b.atoms[i].facts
+	joins := make([][]int32, len(cur))
+	for k, w := range cur {
+		joins[k] = groups[w.Args[1]]
+	}
+	b.joins[i] = joins
+}
+
+// assemble replays the deterministic state numbering and transition
+// emission of the fresh construction: states in [atom][position][witness]
+// order, block-advance and join transitions with canonically numbered
+// pos/neg symbols (2·index / 2·index+1), target tuples from the
+// builder's arena.
+func (b *PathBuilder) assemble() *nfa.NFA {
+	n := b.q.Len()
+	m := nfa.New()
+	for i := range b.keys {
+		m.Symbols.Intern(b.keys[i])    // 2i
+		m.Symbols.Intern(b.negKeys[i]) // 2i+1
+	}
+	base := make([]int, n)
+	for i := range b.atoms {
+		ci := len(b.atoms[i].facts)
+		base[i] = m.AddStates(ci * ci)
+	}
+	sEnd := m.AddState()
+	m.SetFinal(sEnd)
+	b.targets.Reset()
+	for i := 0; i < n; i++ {
+		ac := &b.atoms[i]
+		ci := len(ac.facts)
+		for k := 0; k < ci; k++ {
+			for j := 0; j < ci; j++ {
+				// state (i, j, k) = about to emit the presence bit of
+				// fact j, witness k.
+				s := base[i] + j*ci + k
+				var tgts []int
+				if j+1 < ci {
+					tgts = b.targets.Append1(base[i] + (j+1)*ci + k)
+				} else if i+1 < n {
+					join := b.joins[i][k]
+					tgts = b.targets.Alloc(len(join))
+					for t, k2 := range join {
+						// state (i+1, 0, k2): ascending in k2.
+						tgts[t] = base[i+1] + int(k2)
+					}
+				} else {
+					tgts = b.targets.Append1(sEnd)
+				}
+				if len(tgts) == 0 {
+					continue // no joining witness: dead end
+				}
+				psym := ac.pos[j] << 1
+				m.SetTargetsSym(s, psym, tgts)
+				if j != k {
+					m.SetTargetsSym(s, psym|1, tgts)
+				}
+			}
+		}
+	}
+	c0 := len(b.atoms[0].facts)
+	initial := make([]int, c0)
+	for k := 0; k < c0; k++ {
+		initial[k] = base[0] + k // state (0, 0, k)
+	}
+	m.SetInitial(initial...)
+	return m
+}

@@ -1,0 +1,175 @@
+package reduction
+
+import (
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/gen"
+	"pqe/internal/hypertree"
+	"pqe/internal/pdb"
+)
+
+// Construction benchmarks for the incremental builders against their
+// from-scratch counterparts. The churn variants mutate the facts of a
+// single relation (the middle atom's) between builds — the localized
+// workload incremental maintenance targets; cmd/pqebench commits the
+// corresponding regression-gated numbers in BENCH_churn.json.
+
+// churnRelStep removes the rotating victim fact of rel and re-inserts
+// it with a "~" toggled on its last argument, keeping |D| constant.
+func churnRelStep(d *pdb.Database, rel string, ctr int) (del, ins pdb.Fact) {
+	facts := d.FactsOf(rel)
+	del = facts[ctr%len(facts)]
+	args := append([]string(nil), del.Args...)
+	last := len(args) - 1
+	if n := len(args[last]); n > 0 && args[last][n-1] == '~' {
+		args[last] = args[last][:n-1]
+	} else {
+		args[last] += "~"
+	}
+	ins = pdb.NewFact(del.Relation, args...)
+	d.Remove(del)
+	d.Add(ins)
+	return del, ins
+}
+
+func BenchmarkURBuildFresh(b *testing.B) {
+	q := cq.PathQuery("R", 3)
+	d := gen.SparsePathInstance(q, 50, 2, gen.ProbHalf, 1).DB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := hypertree.Decompose(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := BuildUR(q, d, dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkURBuildClean measures a no-delta rebuild: all caches warm,
+// the builder only replays the deterministic assembly.
+func BenchmarkURBuildClean(b *testing.B) {
+	q := cq.PathQuery("R", 3)
+	d := gen.SparsePathInstance(q, 50, 2, gen.ProbHalf, 1).DB()
+	dec, err := hypertree.Decompose(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bu, err := NewURBuilder(q, d, dec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bu.Build(nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bu.Build(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchURChurn(b *testing.B, n int, incr bool) {
+	q := cq.PathQuery("R", 6)
+	d := gen.SparsePathInstance(q, 26, 2, gen.ProbHalf, 1).DB()
+	rel := q.Atoms[q.Len()/2].Relation
+	ctr := 0
+	if incr {
+		dec, err := hypertree.Decompose(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bu, err := NewURBuilder(q, d, dec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bu.Build(nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				del, ins := churnRelStep(d, rel, ctr)
+				ctr++
+				bu.NoteMutation(del.Relation, true)
+				bu.NoteMutation(ins.Relation, false)
+			}
+			if _, err := bu.Build(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			churnRelStep(d, rel, ctr)
+			ctr++
+		}
+		dec, err := hypertree.Decompose(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := BuildUR(q, d, dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkURChurnN1Incremental(b *testing.B)  { benchURChurn(b, 1, true) }
+func BenchmarkURChurnN1Rebuild(b *testing.B)      { benchURChurn(b, 1, false) }
+func BenchmarkURChurnN10Incremental(b *testing.B) { benchURChurn(b, 10, true) }
+func BenchmarkURChurnN10Rebuild(b *testing.B)     { benchURChurn(b, 10, false) }
+
+func benchPathChurn(b *testing.B, n int, incr bool) {
+	q := cq.PathQuery("R", 6)
+	d := gen.SparsePathInstance(q, 26, 2, gen.ProbHalf, 1).DB()
+	rel := q.Atoms[q.Len()/2].Relation
+	ctr := 0
+	if incr {
+		bu, err := NewPathBuilder(q, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bu.Build(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				del, ins := churnRelStep(d, rel, ctr)
+				ctr++
+				bu.NoteMutation(del.Relation, true)
+				bu.NoteMutation(ins.Relation, false)
+			}
+			if _, err := bu.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			churnRelStep(d, rel, ctr)
+			ctr++
+		}
+		if _, err := PathNFA(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathChurnN1Incremental(b *testing.B)  { benchPathChurn(b, 1, true) }
+func BenchmarkPathChurnN1Rebuild(b *testing.B)      { benchPathChurn(b, 1, false) }
+func BenchmarkPathChurnN10Incremental(b *testing.B) { benchPathChurn(b, 10, true) }
+func BenchmarkPathChurnN10Rebuild(b *testing.B)     { benchPathChurn(b, 10, false) }

@@ -1,0 +1,306 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/hypertree"
+	"pqe/internal/nfa"
+	"pqe/internal/nfta"
+	"pqe/internal/pdb"
+)
+
+// renderNFTA serializes the full structure of an NFTA — state count,
+// initial state, numeric symbol IDs, transition order — so equality of
+// renders is structural identity, the invariant the estimators' RNG
+// site derivation depends on.
+func renderNFTA(a *nfta.NFTA) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states=%d init=%d\n", a.NumStates(), a.Initial())
+	for _, tr := range a.Transitions() {
+		fmt.Fprintf(&b, "%d %d %v\n", tr.From, tr.Sym, tr.Children)
+	}
+	return b.String()
+}
+
+func renderUR(ur *URReduction) string {
+	return strings.Join(ur.Symbols.Names(), "|") + "\n" +
+		renderNFTA(ur.Auto) +
+		fmt.Sprintf("tree=%d\n", ur.TreeSize)
+}
+
+// renderNFA serializes an NFA structurally. Transition lines are sorted
+// because EachTransition's order is not part of the structure (targets
+// live in per-state maps).
+func renderNFA(m *nfa.NFA) string {
+	var lines []string
+	m.EachTransition(func(from, sym, to int) {
+		lines = append(lines, fmt.Sprintf("%06d %06d %06d", from, sym, to))
+	})
+	sort.Strings(lines)
+	return fmt.Sprintf("states=%d init=%v finals=%v syms=%s\n%s",
+		m.NumStates(), m.Initial(), m.Finals(),
+		strings.Join(m.Symbols.Names(), "|"), strings.Join(lines, "\n"))
+}
+
+// flipFact inserts the fact if absent, removes it if present, and
+// reports the mutation to the builder via note.
+func flipFact(d *pdb.Database, f pdb.Fact, note func(rel string, withDelete bool)) {
+	if d.Contains(f) {
+		d.Remove(f)
+		note(f.Relation, true)
+	} else {
+		d.Add(f)
+		note(f.Relation, false)
+	}
+}
+
+// TestURBuilderMatchesFresh drives a URBuilder through randomized
+// insert/delete sequences and checks after every build that the
+// incrementally maintained reduction is structurally identical to a
+// from-scratch build at the same database state.
+func TestURBuilderMatchesFresh(t *testing.T) {
+	queries := []*cq.Query{
+		cq.PathQuery("R", 2),
+		cq.StarQuery("R", 3),
+		cq.MustParse("R1(x,y), R2(y,z), R3(y,w)"),
+	}
+	consts := []string{"a", "b", "c"}
+	for qi, q := range queries {
+		rng := rand.New(rand.NewSource(int64(100 + qi)))
+		rels := make([]string, 0, q.Len())
+		for r := range q.RelationSet() {
+			rels = append(rels, r)
+		}
+		sort.Strings(rels)
+
+		d := pdb.NewDatabase()
+		for _, r := range rels {
+			for j := 0; j < 3; j++ {
+				d.Add(pdb.NewFact(r, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))]))
+			}
+		}
+		dec, err := hypertree.Decompose(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		b, err := NewURBuilder(q, d, dec)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		check := func(step int) {
+			t.Helper()
+			inc, err := b.Build(nil)
+			if err != nil {
+				t.Fatalf("query %d step %d: incremental build: %v", qi, step, err)
+			}
+			freshDec, err := hypertree.Decompose(q)
+			if err != nil {
+				t.Fatalf("query %d step %d: %v", qi, step, err)
+			}
+			fresh, err := BuildUR(q, d, freshDec)
+			if err != nil {
+				t.Fatalf("query %d step %d: fresh build: %v", qi, step, err)
+			}
+			if gi, gf := renderUR(inc), renderUR(fresh); gi != gf {
+				t.Fatalf("query %d step %d: incremental reduction diverged from fresh\nD = %s\nincremental:\n%s\nfresh:\n%s",
+					qi, step, d, gi, gf)
+			}
+		}
+		check(-1)
+		for step := 0; step < 30; step++ {
+			f := pdb.NewFact(rels[rng.Intn(len(rels))],
+				consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+			flipFact(d, f, b.NoteMutation)
+			// Occasionally batch two mutations per build.
+			if rng.Intn(3) == 0 {
+				g := pdb.NewFact(rels[rng.Intn(len(rels))],
+					consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+				flipFact(d, g, b.NoteMutation)
+			}
+			check(step)
+		}
+	}
+}
+
+// TestURBuilderRemapsCleanLabels pins the delete-renumbering path: a
+// deletion in R1 shifts the projected positions of every R2 fact, so
+// the R2 vertex — clean, never re-enumerated — must have its cached
+// label symbols remapped, not rebuilt.
+func TestURBuilderRemapsCleanLabels(t *testing.T) {
+	q := cq.MustParse("R1(x,y), R2(y,z)")
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R1", "a", "c"),
+		pdb.NewFact("R2", "b", "d"),
+		pdb.NewFact("R2", "c", "d"),
+	)
+	dec, err := hypertree.Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewURBuilder(q, d, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the first R1 fact: every R2 position shifts down by one.
+	d.Remove(pdb.NewFact("R1", "a", "b"))
+	b.NoteMutation("R1", true)
+	inc, err := b.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshDec, err := hypertree.Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildUR(q, d, freshDec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi, gf := renderUR(inc), renderUR(fresh); gi != gf {
+		t.Fatalf("remapped reduction diverged from fresh\nincremental:\n%s\nfresh:\n%s", gi, gf)
+	}
+}
+
+// TestURBuilderReusesCleanVertices is the white-box incrementality
+// check: a vertex whose bag does not touch the mutated relation must
+// keep its enumerated state list (same backing objects), not
+// re-enumerate it.
+func TestURBuilderReusesCleanVertices(t *testing.T) {
+	q := cq.MustParse("R1(x,y), R2(y,z)")
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R2", "b", "c"),
+	)
+	dec, err := hypertree.Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewURBuilder(q, d, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	clean := -1
+	for _, p := range b.dec.Nodes() {
+		onlyR1 := len(p.Xi) > 0
+		for _, m := range p.Xi {
+			if q.Atoms[m].Relation != "R1" {
+				onlyR1 = false
+			}
+		}
+		if onlyR1 && len(b.vertices[p.ID].states) > 0 {
+			clean = p.ID
+			break
+		}
+	}
+	if clean < 0 {
+		t.Fatal("no R1-only vertex in the decomposition")
+	}
+	before := b.vertices[clean].states[0]
+
+	d.Add(pdb.NewFact("R2", "b", "d"))
+	b.NoteMutation("R2", false)
+	if _, err := b.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.vertices[clean].states[0] != before {
+		t.Fatal("clean vertex was re-enumerated on a mutation of an unrelated relation")
+	}
+}
+
+// TestPathBuilderMatchesFresh is the string-automaton analogue of
+// TestURBuilderMatchesFresh, including transitions through the
+// empty-relation (trivial automaton) regime.
+func TestPathBuilderMatchesFresh(t *testing.T) {
+	consts := []string{"a", "b", "c"}
+	for _, n := range []int{2, 3} {
+		q := cq.PathQuery("R", n)
+		rng := rand.New(rand.NewSource(int64(200 + n)))
+		rels := make([]string, n)
+		for i := range rels {
+			rels[i] = fmt.Sprintf("R%d", i+1)
+		}
+		d := pdb.NewDatabase()
+		for _, r := range rels {
+			for j := 0; j < 2; j++ {
+				d.Add(pdb.NewFact(r, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))]))
+			}
+		}
+		b, err := NewPathBuilder(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(step int) {
+			t.Helper()
+			inc, err := b.Build()
+			if err != nil {
+				t.Fatalf("n=%d step %d: incremental build: %v", n, step, err)
+			}
+			fresh, err := PathNFA(q, d)
+			if err != nil {
+				t.Fatalf("n=%d step %d: fresh build: %v", n, step, err)
+			}
+			if gi, gf := renderNFA(inc), renderNFA(fresh); gi != gf {
+				t.Fatalf("n=%d step %d: incremental NFA diverged from fresh\nD = %s\nincremental:\n%s\nfresh:\n%s",
+					n, step, d, gi, gf)
+			}
+		}
+		check(-1)
+		for step := 0; step < 40; step++ {
+			f := pdb.NewFact(rels[rng.Intn(n)],
+				consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+			flipFact(d, f, b.NoteMutation)
+			check(step)
+		}
+		// Force the empty-relation regime and the way back out.
+		for _, f := range append([]pdb.Fact(nil), d.FactsOf(rels[n-1])...) {
+			d.Remove(f)
+			b.NoteMutation(rels[n-1], true)
+		}
+		check(1000)
+		d.Add(pdb.NewFact(rels[n-1], "a", "b"))
+		b.NoteMutation(rels[n-1], false)
+		check(1001)
+	}
+}
+
+// TestPathBuilderReusesCleanJoins checks that a mutation in the last
+// relation leaves the join lists of earlier block boundaries untouched
+// (same backing slices).
+func TestPathBuilderReusesCleanJoins(t *testing.T) {
+	q := cq.PathQuery("R", 3)
+	d := pdb.FromFacts(
+		pdb.NewFact("R1", "a", "b"),
+		pdb.NewFact("R2", "b", "c"),
+		pdb.NewFact("R2", "b", "d"),
+		pdb.NewFact("R3", "c", "e"),
+	)
+	b, err := NewPathBuilder(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	before := &b.joins[0][0]
+
+	d.Add(pdb.NewFact("R3", "d", "e"))
+	b.NoteMutation("R3", false)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if &b.joins[0][0] != before {
+		t.Fatal("clean join list was rebuilt on a mutation of an unrelated relation")
+	}
+}

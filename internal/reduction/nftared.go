@@ -1,9 +1,6 @@
 package reduction
 
 import (
-	"fmt"
-	"sort"
-
 	"pqe/internal/alphabet"
 	"pqe/internal/cq"
 	"pqe/internal/hypertree"
@@ -51,137 +48,16 @@ func BuildUR(q *cq.Query, d *pdb.Database, dec *hypertree.Decomposition) (*URRed
 // BuildURObs is BuildUR with telemetry: the λ-elimination translation
 // and the trim each get a stage span under sc. A nil scope behaves
 // exactly like BuildUR.
+//
+// It is a from-scratch run of the incremental URBuilder (every relation
+// dirty); callers that re-estimate after database deltas should hold a
+// URBuilder instead and pay only for the dirty vertices.
 func BuildURObs(q *cq.Query, d *pdb.Database, dec *hypertree.Decomposition, sc *obs.Scope) (*URReduction, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	if !q.SelfJoinFree() {
-		return nil, fmt.Errorf("reduction: query %q has self-joins", q)
-	}
-	rels := q.RelationSet()
-	for _, f := range d.Facts() {
-		if !rels[f.Relation] {
-			return nil, fmt.Errorf("reduction: database fact %v over relation not in query; project first", f)
-		}
-	}
-	if !dec.IsComplete() {
-		if err := dec.Complete(); err != nil {
-			return nil, err
-		}
-	}
-	dec, err := dec.ReRootAtCoveringVertex()
+	b, err := NewURBuilder(q, d, dec)
 	if err != nil {
 		return nil, err
 	}
-	dec = dec.Binarize()
-
-	symbols := alphabet.New()
-	aug := nfta.NewAugmented(symbols)
-
-	// covering[m] = BFS ID of the ≺vertices-minimal covering vertex of
-	// atom m.
-	covering := make([]int, q.Len())
-	for m := range q.Atoms {
-		cv := dec.CoveringVertex(m)
-		if cv == nil {
-			return nil, fmt.Errorf("reduction: atom %s has no covering vertex", q.Atoms[m])
-		}
-		covering[m] = cv.ID
-	}
-
-	// Enumerate the states S(p) of every vertex.
-	states := make([][]*bagState, dec.Size())
-	for _, p := range dec.Nodes() {
-		sts, err := bagStates(q, d, p)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range sts {
-			s.id = aug.AddState()
-		}
-		states[p.ID] = sts
-	}
-	initial := aug.AddState()
-	aug.SetInitial(initial)
-	for _, s := range states[dec.Root.ID] {
-		aug.AddTransition(initial, nil, s.id) // unary λ: ε-move to a root state
-	}
-
-	// Transitions: for every vertex, every state, every consistent
-	// combination of child states.
-	for _, p := range dec.Nodes() {
-		for _, sp := range states[p.ID] {
-			label := annotation(q, d, symbols, p, covering, sp)
-			combos := consistentChildCombos(sp, p, states)
-			for _, combo := range combos {
-				aug.AddTransition(sp.id, label, combo...)
-			}
-		}
-	}
-
-	_, tlspan := sc.Span("reduction.translate")
-	auto, err := aug.Translate()
-	tlspan.End()
-	if err != nil {
-		return nil, err
-	}
-	// Dead bag states (witness combinations whose subtrees can never
-	// complete) are common; trimming them shrinks every downstream
-	// counting table without changing the language.
-	_, tspan := sc.Span("pqe.trim_ur")
-	auto = auto.Trim()
-	if tspan != nil {
-		tspan.SetAttr("states", auto.NumStates())
-	}
-	tspan.End()
-	return &URReduction{
-		Query:    q,
-		DB:       d,
-		Dec:      dec,
-		Aug:      aug,
-		Auto:     auto,
-		TreeSize: d.Size(),
-		Symbols:  symbols,
-	}, nil
-}
-
-// bagStates enumerates the consistent fact assignments for ξ(p).
-func bagStates(q *cq.Query, d *pdb.Database, p *hypertree.Node) ([]*bagState, error) {
-	atoms := p.Xi
-	var out []*bagState
-	witness := make(map[int]pdb.Fact, len(atoms))
-	asg := make(cq.Assignment)
-
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(atoms) {
-			w := make(map[int]pdb.Fact, len(witness))
-			for k, v := range witness {
-				w[k] = v
-			}
-			out = append(out, &bagState{witness: w, asg: asg.Clone()})
-			return
-		}
-		m := atoms[i]
-		atom := q.Atoms[m]
-		for _, f := range d.FactsOf(atom.Relation) {
-			if f.Arity() != atom.Arity() {
-				continue
-			}
-			added, ok := tryBind(atom, f, asg)
-			if !ok {
-				continue
-			}
-			witness[m] = f
-			rec(i + 1)
-			delete(witness, m)
-			for _, v := range added {
-				delete(asg, v)
-			}
-		}
-	}
-	rec(0)
-	return out, nil
+	return b.Build(sc)
 }
 
 // tryBind extends asg so atom maps to f, returning the newly bound
@@ -202,74 +78,4 @@ func tryBind(atom cq.Atom, f pdb.Fact, asg cq.Assignment) ([]string, bool) {
 		added = append(added, v)
 	}
 	return added, true
-}
-
-// annotation builds the label string L for a vertex state: for every
-// atom whose ≺vertices-minimal covering vertex is p, in ≺atoms order,
-// the full ≺ᵢ-ordered list of facts of the atom's relation, each marked
-// optional ("?") except the state's witness for that atom, which must be
-// present.
-func annotation(q *cq.Query, d *pdb.Database, symbols *alphabet.Interner, p *hypertree.Node, covering []int, sp *bagState) []nfta.AugSymbol {
-	var label []nfta.AugSymbol
-	atoms := append([]int(nil), p.Xi...)
-	sort.Ints(atoms)
-	for _, m := range atoms {
-		if covering[m] != p.ID {
-			continue
-		}
-		w := sp.witness[m]
-		for _, f := range d.FactsOf(q.Atoms[m].Relation) {
-			sym := symbols.Intern(f.Key())
-			if f.Equal(w) {
-				label = append(label, nfta.Plain(sym))
-			} else {
-				label = append(label, nfta.Opt(sym))
-			}
-		}
-	}
-	return label
-}
-
-// consistentChildCombos enumerates, for a parent state, the tuples of
-// child states (one per child vertex, in child order) that are
-// consistent with the parent and pairwise consistent (conditions 2–4 of
-// the Proposition 1 construction).
-func consistentChildCombos(sp *bagState, p *hypertree.Node, states [][]*bagState) [][]int {
-	if len(p.Children) == 0 {
-		return [][]int{nil}
-	}
-	var out [][]int
-	combo := make([]*bagState, 0, len(p.Children))
-	var rec func(ci int)
-	rec = func(ci int) {
-		if ci == len(p.Children) {
-			ids := make([]int, len(combo))
-			for i, s := range combo {
-				ids[i] = s.id
-			}
-			out = append(out, ids)
-			return
-		}
-		child := p.Children[ci]
-		for _, sc := range states[child.ID] {
-			if !sp.asg.Consistent(sc.asg) {
-				continue
-			}
-			ok := true
-			for _, prev := range combo {
-				if !prev.asg.Consistent(sc.asg) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			combo = append(combo, sc)
-			rec(ci + 1)
-			combo = combo[:len(combo)-1]
-		}
-	}
-	rec(0)
-	return out
 }

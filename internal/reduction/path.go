@@ -14,11 +14,8 @@
 package reduction
 
 import (
-	"fmt"
-
 	"pqe/internal/cq"
 	"pqe/internal/nfa"
-	"pqe/internal/nfta"
 	"pqe/internal/pdb"
 )
 
@@ -37,101 +34,14 @@ import (
 // position must emit a positive literal; all other positions emit
 // either. At the end of a relation block the automaton
 // non-deterministically commits to a joining witness for the next atom.
+//
+// It is a from-scratch run of the incremental PathBuilder (every
+// relation dirty); callers that re-estimate after database deltas should
+// hold a PathBuilder instead and pay only for the dirty relation blocks.
 func PathNFA(q *cq.Query, d *pdb.Database) (*nfa.NFA, error) {
-	if !q.IsPath() {
-		return nil, fmt.Errorf("reduction: query %q is not a path query", q)
+	b, err := NewPathBuilder(q, d)
+	if err != nil {
+		return nil, err
 	}
-	if !q.SelfJoinFree() {
-		return nil, fmt.Errorf("reduction: query %q has self-joins", q)
-	}
-	n := q.Len()
-	facts := make([][]pdb.Fact, n) // facts[i] = ordered Rᵢ₊₁-facts
-	for i, atom := range q.Atoms {
-		fs := d.FactsOf(atom.Relation)
-		for _, f := range fs {
-			if f.Arity() != 2 {
-				return nil, fmt.Errorf("reduction: fact %v of relation %s is not binary", f, atom.Relation)
-			}
-		}
-		facts[i] = fs
-	}
-	for i := range facts {
-		if len(facts[i]) == 0 {
-			// Some atom has no candidate witnesses: the language is
-			// empty. Build a trivially empty automaton.
-			m := nfa.New()
-			q0 := m.AddState()
-			m.SetInitial(q0)
-			return m, nil
-		}
-	}
-	for _, f := range d.Facts() {
-		found := false
-		for _, atom := range q.Atoms {
-			if atom.Relation == f.Relation {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("reduction: database contains fact %v over a relation not in the query; project first", f)
-		}
-	}
-
-	m := nfa.New()
-	// state[i][j][k]: atom i, fact position j ∈ [0, len(facts[i])),
-	// witness k.
-	state := make([][][]int, n)
-	for i := range state {
-		ci := len(facts[i])
-		state[i] = make([][]int, ci)
-		for j := range state[i] {
-			state[i][j] = make([]int, ci)
-			for k := range state[i][j] {
-				state[i][j][k] = m.AddState()
-			}
-		}
-	}
-	sEnd := m.AddState()
-	m.SetFinal(sEnd)
-
-	pos := func(f pdb.Fact) int { return m.Symbols.Intern(f.Key()) }
-	neg := func(f pdb.Fact) int { return m.Symbols.Intern(nfta.NegName(f.Key())) }
-
-	for i := 0; i < n; i++ {
-		ci := len(facts[i])
-		for k := 0; k < ci; k++ {
-			witness := facts[i][k]
-			for j := 0; j < ci; j++ {
-				f := facts[i][j]
-				// Successor states after emitting fact j's literal.
-				var nexts []int
-				if j+1 < ci {
-					nexts = []int{state[i][j+1][k]}
-				} else if i+1 < n {
-					// Block end: commit to a joining witness for atom
-					// i+1: facts R_{i+2}... whose first argument equals
-					// the witness's second argument.
-					for k2, f2 := range facts[i+1] {
-						if f2.Args[0] == witness.Args[1] {
-							nexts = append(nexts, state[i+1][0][k2])
-						}
-					}
-				} else {
-					nexts = []int{sEnd}
-				}
-				for _, nx := range nexts {
-					m.AddTransitionSym(state[i][j][k], pos(f), nx)
-					if j != k {
-						m.AddTransitionSym(state[i][j][k], neg(f), nx)
-					}
-				}
-			}
-		}
-	}
-	// Initial states: first fact position of atom 1, any witness.
-	for k := range facts[0] {
-		m.SetInitial(state[0][0][k])
-	}
-	return m, nil
+	return b.Build()
 }

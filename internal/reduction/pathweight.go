@@ -1,12 +1,10 @@
 package reduction
 
 import (
-	"fmt"
 	"math/big"
 
 	"pqe/internal/cq"
 	"pqe/internal/nfa"
-	"pqe/internal/nfta"
 	"pqe/internal/pdb"
 )
 
@@ -67,29 +65,20 @@ func WeightPathNFA(q *cq.Query, h *pdb.Probabilistic, base *nfa.NFA) (*PathPQERe
 	}
 	mult.SetInitial(base.Initial()...)
 	mult.SetFinal(base.Finals()...)
+	resolved := resolveFactSymbols(base.Symbols, d)
 	var buildErr error
 	base.EachTransition(func(from, sym, to int) {
 		if buildErr != nil {
 			return
 		}
-		name := base.Symbols.Name(sym)
-		factName := name
-		negated := false
-		if b, ok := nfta.IsNegName(name); ok {
-			factName, negated = b, true
-		}
-		fact, err := pdb.ParseFact(factName)
-		if err != nil {
-			buildErr = fmt.Errorf("reduction: transition symbol %q is not a fact literal: %v", name, err)
+		r := resolved[sym]
+		if r < 0 {
+			buildErr = factSymbolError(base.Symbols, sym)
 			return
 		}
-		idx := d.IndexOf(fact)
-		if idx < 0 {
-			buildErr = fmt.Errorf("reduction: transition fact %v not in database", fact)
-			return
-		}
+		idx := int(r >> 1)
 		w := posMult[idx]
-		if negated {
+		if r&1 == 1 {
 			w = negMult[idx]
 		}
 		if err := mult.AddTransition(from, sym, w, budgets[idx], to); err != nil {

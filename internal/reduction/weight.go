@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"pqe/internal/alphabet"
 	"pqe/internal/cq"
 	"pqe/internal/hypertree"
 	"pqe/internal/nfta"
@@ -81,23 +82,15 @@ func WeightUR(ur *URReduction, h *pdb.Probabilistic) (*PQEReduction, error) {
 		mult.AddState()
 	}
 	mult.SetInitial(ur.Auto.Initial())
+	resolved := resolveFactSymbols(ur.Symbols, d)
 	for _, tr := range ur.Auto.Transitions() {
-		name := ur.Symbols.Name(tr.Sym)
-		base, negated := nfta.IsNegName(name)
-		factName := name
-		if negated {
-			factName = base
+		r := resolved[tr.Sym]
+		if r < 0 {
+			return nil, factSymbolError(ur.Symbols, tr.Sym)
 		}
-		fact, err := pdb.ParseFact(factName)
-		if err != nil {
-			return nil, fmt.Errorf("reduction: transition symbol %q is not a fact literal: %v", name, err)
-		}
-		idx := d.IndexOf(fact)
-		if idx < 0 {
-			return nil, fmt.Errorf("reduction: transition fact %v not in database", fact)
-		}
+		idx := int(r >> 1)
 		m := posMult[idx]
-		if negated {
+		if r&1 == 1 {
 			m = negMult[idx]
 		}
 		if err := mult.AddTransition(tr.From, tr.Sym, m, budgets[idx], tr.Children...); err != nil {
@@ -126,4 +119,44 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// resolveFactSymbols maps every interned symbol to its fact's database
+// position: resolved[sym] = 2·index | neg, or -1 when the symbol does
+// not name a fact of d (digit symbols from an earlier weighting over
+// the same interner, or a genuinely missing fact — the caller tells the
+// two apart with factSymbolError on use). Symbol names produced by the
+// reductions are canonical fact keys, so resolution is one map lookup
+// per symbol instead of a fact-literal parse per transition.
+func resolveFactSymbols(symbols *alphabet.Interner, d *pdb.Database) []int32 {
+	names := symbols.Names()
+	resolved := make([]int32, len(names))
+	for id, name := range names {
+		factName := name
+		var neg int32
+		if base, ok := nfta.IsNegName(name); ok {
+			factName, neg = base, 1
+		}
+		if i := d.IndexOfKey(factName); i >= 0 {
+			resolved[id] = int32(i)<<1 | neg
+		} else {
+			resolved[id] = -1
+		}
+	}
+	return resolved
+}
+
+// factSymbolError reconstructs the precise failure for a transition
+// symbol that resolveFactSymbols could not map to a database fact.
+func factSymbolError(symbols *alphabet.Interner, sym int) error {
+	name := symbols.Name(sym)
+	factName := name
+	if base, ok := nfta.IsNegName(name); ok {
+		factName = base
+	}
+	fact, err := pdb.ParseFact(factName)
+	if err != nil {
+		return fmt.Errorf("reduction: transition symbol %q is not a fact literal: %v", name, err)
+	}
+	return fmt.Errorf("reduction: transition fact %v not in database", fact)
 }

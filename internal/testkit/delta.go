@@ -1,0 +1,172 @@
+package testkit
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pqe/internal/core"
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+	"pqe/internal/splitmix"
+)
+
+// checkDeltaIncremental: an estimator session maintained through
+// ApplyDelta must be bit-identical — same seed, every MaxProcs — to a
+// from-scratch estimator at the same database version. This is the
+// property that makes the incremental automaton construction safe to
+// trust: the memoized rebuild may not perturb state numbering, symbol
+// interning or transition order, because any of those shifts the
+// per-site RNG streams and the estimate with them. Failures carry the
+// replayable delta trace.
+func checkDeltaIncremental(c *Case, cfg Config) error {
+	return runDeltaSession(c, cfg, 3, deltaChecksPerStep)
+}
+
+// deltaChecksPerStep compares the session against fresh estimators at
+// MaxProcs 1 and 3 after each applied delta.
+var deltaChecksPerStep = []int{1, 3}
+
+// DeltaSoak drives one long randomized delta session for the case:
+// steps delta batches, each followed by the bit-identity comparison of
+// checkDeltaIncremental. It is the nightly endurance variant; the
+// returned error includes the full replayable delta trace.
+func DeltaSoak(c *Case, cfg Config, steps int) error {
+	return runDeltaSession(c, cfg, steps, deltaChecksPerStep)
+}
+
+// runDeltaSession is the shared engine: clone the case instance, run a
+// session over it, interleave seeded random deltas with estimates, and
+// after every delta compare against a from-scratch estimator on a
+// clone, at every MaxProcs in procs.
+func runDeltaSession(c *Case, cfg Config, steps int, procs []int) error {
+	if c.H.Size() == 0 {
+		return nil
+	}
+	opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Seed: evalSeed(c, siteDelta, 0), Obs: cfg.Obs}
+	h := c.H.Clone()
+	est := core.NewEstimator(c.Query, h, opts)
+	if _, err := est.PQEEstimate(opts); err != nil {
+		return skipUnsupported(err)
+	}
+	s := splitmix.Derive(c.Seed, siteDelta, c.Index)
+	rng := rand.New(rand.NewSource(int64(s.Uint64() >> 1)))
+	var trace []string
+	for step := 0; step < steps; step++ {
+		delta := randomDelta(rng, c.Query, h)
+		if len(delta) == 0 {
+			continue
+		}
+		trace = append(trace, delta.String())
+		if _, err := est.ApplyDelta(delta); err != nil {
+			return fmt.Errorf("step %d: ApplyDelta: %v\ntrace: %s", step, err, renderTrace(trace))
+		}
+		for _, mp := range procs {
+			copts := opts
+			copts.MaxProcs = mp
+			got, err := est.PQEEstimate(copts)
+			if err != nil {
+				return fmt.Errorf("step %d (MaxProcs=%d): session: %v\ntrace: %s", step, mp, err, renderTrace(trace))
+			}
+			fresh, err := core.NewEstimator(c.Query, h.Clone(), copts).PQEEstimate(copts)
+			if err != nil {
+				return fmt.Errorf("step %d (MaxProcs=%d): fresh: %v\ntrace: %s", step, mp, err, renderTrace(trace))
+			}
+			if got != fresh {
+				return fmt.Errorf("step %d (MaxProcs=%d): incremental session %g != from-scratch estimator %g\ntrace: %s",
+					step, mp, got, fresh, renderTrace(trace))
+			}
+		}
+	}
+	return nil
+}
+
+// renderTrace renders the applied delta batches as a replayable
+// sequence, one batch per line.
+func renderTrace(trace []string) string {
+	return "\n  " + strings.Join(trace, "\n  ")
+}
+
+// deltaMaxGrowth bounds how far a delta session may grow the instance
+// beyond the generator's cap, so soak sessions stay small.
+const deltaMaxGrowth = 4
+
+// randomDelta draws a small valid delta batch (1–2 ops) over the
+// query's relations: inserts of fresh facts, deletes and reweights of
+// present ones. Validity is tracked against the instance with the
+// batch's earlier ops virtually applied, mirroring pdb's own overlay
+// validation, so generated batches always apply.
+func randomDelta(rng *rand.Rand, q *cq.Query, h *pdb.Probabilistic) pdb.Delta {
+	rels := make([]string, 0, q.Len())
+	arity := make(map[string]int)
+	for _, a := range q.Atoms {
+		if _, ok := arity[a.Relation]; !ok {
+			arity[a.Relation] = a.Arity()
+			rels = append(rels, a.Relation)
+		}
+	}
+	sort.Strings(rels)
+	consts := []string{"a", "b", "c", "d0", "d1"}
+
+	overlay := make(map[string]bool)
+	present := func(f pdb.Fact) bool {
+		if p, ok := overlay[f.Key()]; ok {
+			return p
+		}
+		return h.DB().Contains(f)
+	}
+	// candidates lists the query-relation facts present under the overlay.
+	candidates := func() []pdb.Fact {
+		var out []pdb.Fact
+		for _, r := range rels {
+			for _, f := range h.DB().FactsOf(r) {
+				if present(f) {
+					out = append(out, f)
+				}
+			}
+		}
+		return out
+	}
+
+	var delta pdb.Delta
+	n := 1 + rng.Intn(2)
+	for attempt := 0; len(delta) < n && attempt < 8; attempt++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			if h.Size()+len(delta) >= MaxFacts+deltaMaxGrowth {
+				continue
+			}
+			r := rels[rng.Intn(len(rels))]
+			args := make([]string, arity[r])
+			for i := range args {
+				args[i] = consts[rng.Intn(len(consts))]
+			}
+			f := pdb.NewFact(r, args...)
+			if present(f) {
+				continue
+			}
+			p := pdb.ProbFromRat(big.NewRat(int64(1+rng.Intn(3)), 4))
+			delta = append(delta, pdb.Insert(f, p))
+			overlay[f.Key()] = true
+		case 1: // delete
+			cand := candidates()
+			if len(cand) == 0 {
+				continue
+			}
+			f := cand[rng.Intn(len(cand))]
+			delta = append(delta, pdb.Delete(f))
+			overlay[f.Key()] = false
+		default: // reweight
+			cand := candidates()
+			if len(cand) == 0 {
+				continue
+			}
+			f := cand[rng.Intn(len(cand))]
+			p := pdb.ProbFromRat(big.NewRat(int64(1+rng.Intn(3)), 4))
+			delta = append(delta, pdb.Reweight(f, p))
+		}
+	}
+	return delta
+}

@@ -21,6 +21,7 @@ const (
 	siteWorkers
 	siteRelabel
 	siteUnion
+	siteDelta
 )
 
 // unionMaxFacts gates the union-bound property: it enumerates the
@@ -47,6 +48,9 @@ func RunMetamorphic(c *Case, cfg Config, b *Budget) error {
 	}
 	if err := checkUnionBound(c, cfg, b); err != nil {
 		return fmt.Errorf("union: %w", err)
+	}
+	if err := checkDeltaIncremental(c, cfg); err != nil {
+		return fmt.Errorf("delta: %w", err)
 	}
 	return nil
 }

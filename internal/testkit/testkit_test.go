@@ -130,6 +130,36 @@ func TestMetamorphic(t *testing.T) {
 	}
 }
 
+// TestDeltaSoak is the endurance variant of the delta bit-identity
+// property: long sessions of interleaved random deltas and estimates,
+// each estimate compared against a from-scratch estimator. The short
+// default keeps CI fast; the nightly lane raises the step count with
+// PQE_TESTKIT_DELTA_STEPS. Failures go through fail(), so the repro —
+// including the replayable delta trace in the error — lands in
+// PQE_TESTKIT_REPRO_DIR when configured.
+func TestDeltaSoak(t *testing.T) {
+	steps := 8
+	if env := os.Getenv("PQE_TESTKIT_DELTA_STEPS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("PQE_TESTKIT_DELTA_STEPS=%q: %v", env, err)
+		}
+		steps = v
+	} else if testing.Short() {
+		steps = 3
+	}
+	cfg := Defaults()
+	for _, i := range suiteCases(t) {
+		c := NewCase(*flagSeed, i)
+		cfg.Obs = caseScope()
+		if err := DeltaSoak(c, cfg, steps); err != nil {
+			fail(t, c, err, cfg.Obs, func(cand *Case) bool {
+				return DeltaSoak(cand, cfg, steps) != nil
+			})
+		}
+	}
+}
+
 // TestConfigObsThreading pins the failure-report contract: a scope in
 // Config reaches the engines, so when fail() renders it the trace and
 // counters are actually there.
