@@ -39,13 +39,15 @@ BENCH_MAX_REGRESS ?= 0.25
 bench-compare:
 	$(GO) run ./cmd/pqebench -json -maxprocs 4 \
 		-json-out /tmp/BENCH_countnfta.json -json-nfa-out /tmp/BENCH_countnfa.json \
-		-json-churn-out /tmp/BENCH_churn.json
+		-json-churn-out /tmp/BENCH_churn.json -json-router-out /tmp/BENCH_router.json
 	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
 		BENCH_countnfta.json /tmp/BENCH_countnfta.json
 	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
 		BENCH_countnfa.json /tmp/BENCH_countnfa.json
 	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
 		BENCH_churn.json /tmp/BENCH_churn.json
+	$(GO) run ./cmd/pqebench -compare -max-regress $(BENCH_MAX_REGRESS) \
+		BENCH_router.json /tmp/BENCH_router.json
 
 # Long randomized delta soak: interleave random fact-level deltas with
 # estimates and check every estimate is bit-identical to a from-scratch

@@ -3,15 +3,19 @@
 //
 // Usage:
 //
-//	pqe -query "R(x,y), S(y,z)" -db data.pdb [-eps 0.1] [-seed 1] [-fpras] [-exact]
-//	    [-debug-addr :8080] [-trace-json trace.json]
+//	pqe -query "R(x,y), S(y,z)" -db data.pdb [-eps 0.1] [-delta 0.1] [-seed 1]
+//	    [-strategy auto] [-fpras] [-exact] [-debug-addr :8080] [-trace-json trace.json]
 //
 // The database file has one fact per line: "R(a, b) : 3/4" (fractions
-// or exact decimals; omitted probability means 1). By default the tool
-// routes safe queries to an exact safe plan and unsafe bounded-width
-// self-join-free queries to the combined-complexity FPRAS of van
-// Bremen & Meel (PODS 2023); -fpras forces the FPRAS, -exact adds a
-// brute-force check (tiny databases only).
+// or exact decimals; omitted probability means 1). By default
+// (-strategy auto) the tool routes with the full cost-based router:
+// safe queries to an exact safe plan, provably small lineages to exact
+// weighted model counting, and the rest of the tractable landscape to
+// the combined-complexity FPRAS of van Bremen & Meel (PODS 2023) with
+// anytime sequential stopping. -strategy legacy restores the two-way
+// safe/FPRAS routing; -strategy force-<engine> pins one algorithm;
+// -fpras forces the tree FPRAS; -exact adds a brute-force check (tiny
+// databases only).
 package main
 
 import (
@@ -38,8 +42,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		queryStr  = fs.String("query", "", "conjunctive query, e.g. 'R(x,y), S(y,z)'")
 		dbPath    = fs.String("db", "", "probabilistic database file")
 		eps       = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
+		delta     = fs.Float64("delta", 0, "anytime stopping failure target δ (0 = engine default ≈ 0.1)")
 		seed      = fs.Int64("seed", 1, "random seed")
-		fpras     = fs.Bool("fpras", false, "force the FPRAS even for safe queries")
+		strategy  = fs.String("strategy", "auto", "routing: auto, legacy, or force-{safeplan,obdd,lineage,nfta,nfa,montecarlo}")
+		fpras     = fs.Bool("fpras", false, "force the FPRAS even for safe queries (alias for -strategy force-nfta)")
 		exactBF   = fs.Bool("exact", false, "also run the brute-force oracle (|D| ≤ 30)")
 		ur        = fs.Bool("ur", false, "compute uniform reliability (subinstance count) instead of probability")
 		explain   = fs.Bool("explain", false, "print the evaluation plan instead of evaluating")
@@ -100,7 +106,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers > 0 {
 		procs = *workers
 	}
-	opts := &pqe.Options{Epsilon: *eps, Seed: *seed, ForceFPRAS: *fpras, MaxProcs: procs, Telemetry: tel}
+	// -strategy legacy restores the pre-router two-way routing; -fpras
+	// maps to forcing the tree FPRAS, overriding -strategy.
+	strat := *strategy
+	if strat == "legacy" {
+		strat = ""
+	}
+	if *fpras {
+		strat = "force-nfta"
+	}
+	opts := &pqe.Options{Epsilon: *eps, Delta: *delta, Seed: *seed, Strategy: strat, MaxProcs: procs, Telemetry: tel}
 	// One session for every mode: the decomposition and the automata are
 	// built once and shared by the probability estimate and each
 	// sampled world.
@@ -133,6 +148,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		kind = "exact"
 	}
 	fmt.Fprintf(stdout, "Pr(Q) = %.8g   (%s; %s)\n", res.Probability, kind, res.Method)
+	if res.Reason != "" {
+		fmt.Fprintf(stdout, "route: %s\n", res.Reason)
+	}
 
 	if *exactBF {
 		bf, err := pqe.BruteForceProbability(q, db)

@@ -35,15 +35,50 @@ func TestRunSafeQuery(t *testing.T) {
 	}
 }
 
-func TestRunFPRASQuery(t *testing.T) {
+func TestRunSmallLineageExact(t *testing.T) {
+	// A tiny unsafe path query: under the default auto routing the
+	// small-lineage rule answers it exactly.
 	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 1/2\nR3(c,d) : 1/2\n")
 	var out, errOut strings.Builder
 	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db, "-eps", "0.1", "-seed", "3"}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
+	s := out.String()
+	if !strings.Contains(s, "exact") || !strings.Contains(s, "0.125") {
+		t.Errorf("small-lineage query not answered exactly: %s", s)
+	}
+	if !strings.Contains(s, "route:") {
+		t.Errorf("missing routing reason: %s", s)
+	}
+}
+
+func TestRunFPRASQuery(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 1/2\nR3(c,d) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db,
+		"-eps", "0.1", "-seed", "3", "-strategy", "legacy"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out.String(), "approximate") {
-		t.Errorf("unsafe query not approximate: %s", out.String())
+		t.Errorf("unsafe query not approximate under legacy routing: %s", out.String())
+	}
+}
+
+func TestRunForcedStrategy(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 1/2\nR3(c,d) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db,
+		"-eps", "0.1", "-seed", "3", "-strategy", "force-nfa"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "path NFA") {
+		t.Errorf("forced strategy not honored: %s", out.String())
+	}
+	if err := run([]string{"-query", "R1(x,y)", "-db", db, "-strategy", "force-warp"}, &out, &errOut); err == nil {
+		t.Error("unknown strategy accepted")
 	}
 }
 
@@ -84,13 +119,26 @@ func TestRunMissingDBFile(t *testing.T) {
 func TestRunExplain(t *testing.T) {
 	db := writeDB(t, "R1(a,b) : 1/2\nR2(b,c) : 2/3\nR3(c,d) : 1/2\n")
 	var out, errOut strings.Builder
-	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db, "-explain"}, &out, &errOut)
+	err := run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db, "-explain",
+		"-strategy", "force-nfta"}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"route:", "decomposition:", "counted tree size"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Under the default auto routing this tiny instance explains to the
+	// exact small-lineage route instead.
+	out.Reset()
+	err = run([]string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db, "-explain"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"obdd", "reason:", "small lineage"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("auto explain missing %q:\n%s", want, out.String())
 		}
 	}
 }

@@ -41,8 +41,9 @@ func loadCompareFile(path string) (*compareFile, error) {
 // (baseline workloads that disappeared — often an accidental rename
 // that would otherwise silently drop a regression gate). With
 // maxRegress > 0 it returns an error if any matched row's ns_per_op
-// grew by more than that fraction — the CI bench-delta lane's failure
-// condition.
+// grew by more than that fraction, or if any baseline row disappeared
+// — the CI bench-delta lane's failure conditions. A vanished row is a
+// gate failure because an unbounded regression hides behind a rename.
 func runCompare(oldPath, newPath string, maxRegress float64, stdout io.Writer) error {
 	oldF, err := loadCompareFile(oldPath)
 	if err != nil {
@@ -114,6 +115,10 @@ func runCompare(oldPath, newPath string, maxRegress float64, stdout io.Writer) e
 			fmt.Fprintln(stdout, "REGRESSION:", r)
 		}
 		return fmt.Errorf("%d row(s) regressed beyond %.0f%%", len(regressions), 100*maxRegress)
+	}
+	if maxRegress > 0 && len(removed) > 0 {
+		return fmt.Errorf("%d baseline row(s) missing from %s (rename or dropped workload evades the regression gate)",
+			len(removed), newPath)
 	}
 	return nil
 }

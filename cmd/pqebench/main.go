@@ -9,7 +9,7 @@
 //	pqebench -markdown        # GitHub-flavored markdown (EXPERIMENTS.md)
 //	pqebench -eps 0.05 -seed 7 -quick
 //	pqebench -maxprocs 8      # counting-engine scheduler workers
-//	pqebench -json            # engine micro-benchmarks -> BENCH_countnfta.json + BENCH_countnfa.json + BENCH_churn.json
+//	pqebench -json            # engine micro-benchmarks -> BENCH_countnfta.json + BENCH_countnfa.json + BENCH_churn.json + BENCH_router.json
 //	pqebench -compare old.json new.json   # per-row ns/allocs deltas + geomean
 package main
 
@@ -36,20 +36,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pqebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp           = fs.String("exp", "all", "experiment ID (T1, E2..E11, A1, A2) or 'all'")
-		eps           = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
-		seed          = fs.Int64("seed", 1, "random seed")
-		quick         = fs.Bool("quick", false, "shrink sweeps for a fast pass")
-		markdown      = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
-		maxprocs      = fs.Int("maxprocs", 0, "workers of the counting engines' unified scheduler (default: -workers)")
-		workers       = fs.Int("workers", runtime.NumCPU(), "deprecated alias for -maxprocs")
-		compare       = fs.Bool("compare", false, "compare two bench JSON files given as positional args: per-row ns_per_op/allocs deltas and a geomean summary")
-		maxRegress    = fs.Float64("max-regress", 0, "with -compare, exit non-zero if any row's ns_per_op regresses by more than this fraction (0 disables; 0.25 = 25%)")
-		jsonOut       = fs.Bool("json", false, "run the CountNFTA + CountNFA micro-benchmarks and write -json-out / -json-nfa-out instead of experiment tables")
-		jsonPath      = fs.String("json-out", "BENCH_countnfta.json", "output path for the tree-engine suite under -json")
-		jsonNFAPath   = fs.String("json-nfa-out", "BENCH_countnfa.json", "output path for the string-engine suite under -json")
-		jsonChurnPath = fs.String("json-churn-out", "BENCH_churn.json", "output path for the fact-churn (incremental vs rebuild) suite under -json")
-		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while the suite runs (CPU profiles carry the engines' pqe_engine/pqe_stage labels)")
+		exp            = fs.String("exp", "all", "experiment ID (T1, E2..E11, A1, A2) or 'all'")
+		eps            = fs.Float64("eps", 0.1, "FPRAS target relative error ε")
+		seed           = fs.Int64("seed", 1, "random seed")
+		quick          = fs.Bool("quick", false, "shrink sweeps for a fast pass")
+		markdown       = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+		maxprocs       = fs.Int("maxprocs", 0, "workers of the counting engines' unified scheduler (default: -workers)")
+		workers        = fs.Int("workers", runtime.NumCPU(), "deprecated alias for -maxprocs")
+		compare        = fs.Bool("compare", false, "compare two bench JSON files given as positional args: per-row ns_per_op/allocs deltas and a geomean summary")
+		maxRegress     = fs.Float64("max-regress", 0, "with -compare, exit non-zero if any row's ns_per_op regresses by more than this fraction (0 disables; 0.25 = 25%)")
+		jsonOut        = fs.Bool("json", false, "run the CountNFTA + CountNFA micro-benchmarks and write -json-out / -json-nfa-out instead of experiment tables")
+		jsonPath       = fs.String("json-out", "BENCH_countnfta.json", "output path for the tree-engine suite under -json")
+		jsonNFAPath    = fs.String("json-nfa-out", "BENCH_countnfa.json", "output path for the string-engine suite under -json")
+		jsonChurnPath  = fs.String("json-churn-out", "BENCH_churn.json", "output path for the fact-churn (incremental vs rebuild) suite under -json")
+		jsonRouterPath = fs.String("json-router-out", "BENCH_router.json", "output path for the routed-vs-forced-FPRAS mixed workload under -json")
+		debugAddr      = fs.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while the suite runs (CPU profiles carry the engines' pqe_engine/pqe_stage labels)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +83,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := runJSONBenchNFA(*jsonNFAPath, *eps, *seed, procs, stdout); err != nil {
 			return err
 		}
-		return runJSONBenchChurn(*jsonChurnPath, *eps, *seed, procs, stdout)
+		if err := runJSONBenchChurn(*jsonChurnPath, *eps, *seed, procs, stdout); err != nil {
+			return err
+		}
+		return runJSONBenchRouter(*jsonRouterPath, *eps, *seed, procs, stdout)
 	}
 
 	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick, Workers: procs}

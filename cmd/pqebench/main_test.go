@@ -41,9 +41,10 @@ func TestRunJSONBench(t *testing.T) {
 	path := filepath.Join(dir, "bench.json")
 	nfaPath := filepath.Join(dir, "bench_nfa.json")
 	churnPath := filepath.Join(dir, "bench_churn.json")
+	routerPath := filepath.Join(dir, "bench_router.json")
 	var out, errOut strings.Builder
 	if err := run([]string{"-json", "-json-out", path, "-json-nfa-out", nfaPath,
-		"-json-churn-out", churnPath, "-workers", "2"}, &out, &errOut); err != nil {
+		"-json-churn-out", churnPath, "-json-router-out", routerPath, "-workers", "2"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -139,6 +140,103 @@ func TestRunJSONBench(t *testing.T) {
 		for _, miss := range checkChurnRows(t, cf2.Results) {
 			t.Error(miss)
 		}
+	}
+
+	data, err = os.ReadFile(routerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf routerBenchFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if rf.Suite != "router" {
+		t.Errorf("suite = %q", rf.Suite)
+	}
+	// 3 workloads × 2 modes at workers=1 plus the same at workers=2.
+	if len(rf.Results) != 12 {
+		t.Fatalf("got %d results, want 12", len(rf.Results))
+	}
+	for _, r := range rf.Results {
+		if r.Ops <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Name, r)
+		}
+		switch {
+		case strings.HasPrefix(r.Name, "ForcedFPRAS/"):
+			if r.Exact || r.TrialsPerOp <= 0 {
+				t.Errorf("%s: forced FPRAS row not sampled: %+v", r.Name, r)
+			}
+		case strings.HasPrefix(r.Name, "Routed/wide_fpras/"):
+			if r.Exact || r.TrialsPerOp <= 0 {
+				t.Errorf("%s: wide workload not routed to sampling: %+v", r.Name, r)
+			}
+		default: // Routed hierarchical and small-lineage rows.
+			if !r.Exact || r.TrialsPerOp != 0 {
+				t.Errorf("%s: expected an exact route with no trials: %+v", r.Name, r)
+			}
+		}
+	}
+	// The router's headline contract on the mixed workload.
+	if rf.RoutedSpeedupGeomean < 2 {
+		t.Errorf("routed speedup geomean %.2f, want ≥ 2", rf.RoutedSpeedupGeomean)
+	}
+	// Anytime stopping must never spend more trials than the forced
+	// fixed schedule on the same workload.
+	trials := make(map[string]int64, len(rf.Results))
+	for _, r := range rf.Results {
+		trials[fmt.Sprintf("%s@w%d", r.Name, r.Workers)] = r.TrialsPerOp
+	}
+	for key, routed := range trials {
+		if !strings.HasPrefix(key, "Routed/wide_fpras/") {
+			continue
+		}
+		forced, ok := trials[strings.Replace(key, "Routed/", "ForcedFPRAS/", 1)]
+		if !ok {
+			t.Errorf("%s has no forced counterpart", key)
+			continue
+		}
+		if routed > forced {
+			t.Errorf("%s executed %d trials, forced schedule only %d", key, routed, forced)
+		}
+	}
+}
+
+// TestRunCompareMaxRegressRemovedRow pins the gate fix: with
+// -max-regress set, a baseline row that vanished must fail the run,
+// not just print a REMOVED line — otherwise renaming a workload
+// silently retires its regression gate.
+func TestRunCompareMaxRegressRemovedRow(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	write := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldPath, `{"suite":"router","results":[
+		{"name":"Shared/row","workers":1,"ns_per_op":100,"allocs_per_op":10},
+		{"name":"Old/only","workers":1,"ns_per_op":50,"allocs_per_op":5}]}`)
+	write(newPath, `{"suite":"router","results":[
+		{"name":"Shared/row","workers":1,"ns_per_op":100,"allocs_per_op":10}]}`)
+
+	var out, errOut strings.Builder
+	// Without a gate the removed row is report-only.
+	if err := run([]string{"-compare", oldPath, newPath}, &out, &errOut); err != nil {
+		t.Fatalf("ungated compare failed: %v", err)
+	}
+	// With the gate it must fail even though no matched row regressed.
+	out.Reset()
+	err := run([]string{"-compare", "-max-regress", "0.25", oldPath, newPath}, &out, &errOut)
+	if err == nil {
+		t.Fatal("removed baseline row passed under -max-regress")
+	}
+	if !strings.Contains(err.Error(), "baseline row(s) missing") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if !strings.Contains(out.String(), "REMOVED (baseline only): Old/only (workers=1)") {
+		t.Errorf("removed row not reported:\n%s", out.String())
 	}
 }
 

@@ -114,6 +114,7 @@ func (e *Estimator) Probability(opts *Options) (Result, error) {
 		Probability:  res.Probability,
 		Exact:        res.Exact,
 		Method:       string(res.Method),
+		Reason:       res.Reason,
 		Width:        res.Class.Width,
 		Safe:         res.Class.Safe,
 		SelfJoinFree: res.Class.SelfJoinFree,

@@ -45,6 +45,18 @@ type Options struct {
 	// ForceFPRAS disables safe-plan routing in Evaluate, forcing the
 	// automaton pipeline even for safe queries.
 	ForceFPRAS bool
+	// Strategy selects how Evaluate routes. "" keeps the legacy routing
+	// (safe → safe plan, else tree FPRAS). "auto" enables the full
+	// cost-based router of internal/router — Table 1 classification plus
+	// a small-lineage exact route — and anytime sequential stopping in
+	// the FPRAS engines. "force-<engine>" (safeplan, obdd, lineage,
+	// nfta, nfa, montecarlo) pins one strategy unconditionally.
+	Strategy string
+	// Delta is the anytime stopping certificate's failure-probability
+	// target in (0,1); ≤ 0 uses the engines' default. Setting it > 0
+	// also enables sequential stopping under the legacy ("" Strategy)
+	// routing.
+	Delta float64
 	// MaxProcs bounds the workers of the counters' unified scheduler,
 	// which dispatches whole trials and chunks of their overlap-sampling
 	// loops (0 derives the count from the deprecated Parallel/Workers
@@ -77,12 +89,20 @@ type Options struct {
 	Obs *obs.Scope
 }
 
+// anytime reports whether the FPRAS counting calls use sequential
+// stopping: always under strategy routing, opt-in via Delta under the
+// legacy routing (so default-options runs keep their fixed schedule and
+// stay bit-identical to previous releases).
+func (o Options) anytime() bool { return o.Strategy != "" || o.Delta > 0 }
+
 func (o Options) countOptions(sc *obs.Scope) count.Options {
 	return count.Options{
 		Epsilon:  o.Epsilon,
 		Trials:   o.Trials,
 		Samples:  o.Samples,
 		Seed:     o.seed(),
+		Anytime:  o.anytime(),
+		Delta:    o.Delta,
 		MaxProcs: o.MaxProcs,
 		Parallel: o.Parallel,
 		Workers:  o.Workers,
@@ -97,6 +117,8 @@ func (o Options) nfaOptions(sc *obs.Scope) nfa.CountOptions {
 		Trials:   o.Trials,
 		Samples:  o.Samples,
 		Seed:     o.seed(),
+		Anytime:  o.anytime(),
+		Delta:    o.Delta,
 		MaxProcs: o.MaxProcs,
 		Parallel: o.Parallel,
 		Workers:  o.Workers,
@@ -179,8 +201,12 @@ func PathPQEEstimate(q *cq.Query, h *pdb.Probabilistic, opts Options) (float64, 
 type Method string
 
 const (
-	MethodSafePlan  Method = "safe-plan (exact, Dalvi–Suciu)"
-	MethodFPRASTree Method = "fpras (NFTA, Theorem 1)"
+	MethodSafePlan   Method = "safe-plan (exact, Dalvi–Suciu)"
+	MethodFPRASTree  Method = "fpras (NFTA, Theorem 1)"
+	MethodFPRASPath  Method = "fpras (path NFA, Theorem 2)"
+	MethodOBDD       Method = "obdd-wmc (exact, lineage OBDD)"
+	MethodLineage    Method = "lineage-wmc (exact, Shannon expansion)"
+	MethodMonteCarlo Method = "monte-carlo (additive sampling baseline)"
 )
 
 // Result is the outcome of Evaluate.
@@ -189,6 +215,8 @@ type Result struct {
 	Exact       bool
 	Method      Method
 	Class       Classification
+	// Reason explains the routing decision (strategy routing only).
+	Reason string
 }
 
 // Evaluate routes a query to the best applicable algorithm, mirroring

@@ -11,6 +11,7 @@ import (
 	"pqe/internal/obs"
 	"pqe/internal/pdb"
 	"pqe/internal/reduction"
+	"pqe/internal/router"
 	"pqe/internal/safeplan"
 )
 
@@ -70,6 +71,10 @@ type Estimator struct {
 
 	class     Classification
 	classDone bool
+
+	// routeDec memoizes the auto-routing decision of internal/router.
+	// It reads fact counts, so structural invalidation drops it.
+	routeDec *router.Decision
 
 	dec     *hypertree.Decomposition
 	decErr  error
@@ -157,6 +162,7 @@ func (e *Estimator) invalidateWeighted() {
 func (e *Estimator) invalidateStructural() {
 	e.urRed, e.urErr, e.urDone = nil, nil, false
 	e.pathAuto, e.pathErr, e.pathDone = nil, nil, false
+	e.routeDec = nil
 	e.invalidateWeighted()
 }
 
@@ -563,12 +569,21 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 
 // Evaluate routes to the best applicable algorithm (the Table 1
 // landscape), like the package-level Evaluate but over the session's
-// caches.
+// caches. With a Strategy set (per call or on the session) the full
+// cost-based router decides — or a forced engine runs unconditionally;
+// otherwise the legacy two-way routing below applies.
 func (e *Estimator) Evaluate(opts Options) (Result, error) {
 	if e.h == nil {
 		return Result{}, fmt.Errorf("core: estimator was built without probabilities")
 	}
 	e.syncVersion()
+	strategy := opts.Strategy
+	if strategy == "" {
+		strategy = e.opts.Strategy
+	}
+	if strategy != "" {
+		return e.evaluateRouted(strategy, opts)
+	}
 	class := e.Class()
 	if class.Safe && !opts.ForceFPRAS && !e.opts.ForceFPRAS {
 		p, err := safeplan.Evaluate(e.q, e.h)

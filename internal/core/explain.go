@@ -6,6 +6,7 @@ import (
 
 	"pqe/internal/cq"
 	"pqe/internal/pdb"
+	"pqe/internal/router"
 )
 
 // Report describes how a query would be evaluated, without running the
@@ -17,6 +18,7 @@ type Report struct {
 	Query         string
 	Class         Classification
 	Route         Method
+	Reason        string // routing rationale (strategy routing only)
 	Decomposition string // pretty-printed, FPRAS route only
 	// Automaton sizes (FPRAS route only).
 	AugSize          int // augmented NFTA encoding size
@@ -41,12 +43,45 @@ func Explain(q *cq.Query, h *pdb.Probabilistic, opts Options) (*Report, error) {
 func (e *Estimator) Explain(opts Options) (*Report, error) {
 	class := e.Class()
 	r := &Report{Query: e.q.String(), Class: class}
-	if class.Safe && !opts.ForceFPRAS && !e.opts.ForceFPRAS {
-		r.Route = MethodSafePlan
-		return r, nil
+	strategy := opts.Strategy
+	if strategy == "" {
+		strategy = e.opts.Strategy
 	}
-	if !class.SelfJoinFree || !class.BoundedHW {
-		return r, fmt.Errorf("%w: %q", ErrUnsupported, e.q)
+	if strategy != "" {
+		dec, err := e.decideStrategy(strategy)
+		if err != nil {
+			return r, err
+		}
+		r.Reason = dec.Reason
+		switch dec.Strategy {
+		case router.SafePlan:
+			r.Route = MethodSafePlan
+			return r, nil
+		case router.OBDD:
+			r.Route = MethodOBDD
+			return r, nil
+		case router.Lineage:
+			r.Route = MethodLineage
+			return r, nil
+		case router.MonteCarlo:
+			r.Route = MethodMonteCarlo
+			return r, nil
+		case router.PathNFA:
+			r.Route = MethodFPRASPath
+			return r, nil
+		case router.NFTA:
+			// Fall through to the FPRAS plan details below.
+		default:
+			return r, fmt.Errorf("%w: %q (%s)", ErrUnsupported, e.q, dec.Reason)
+		}
+	} else {
+		if class.Safe && !opts.ForceFPRAS && !e.opts.ForceFPRAS {
+			r.Route = MethodSafePlan
+			return r, nil
+		}
+		if !class.SelfJoinFree || !class.BoundedHW {
+			return r, fmt.Errorf("%w: %q", ErrUnsupported, e.q)
+		}
 	}
 	r.Route = MethodFPRASTree
 
@@ -78,8 +113,18 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "class:   self-join-free=%v  width=%d (bounded=%v)  safe=%v  path=%v\n",
 		r.Class.SelfJoinFree, r.Class.Width, r.Class.BoundedHW, r.Class.Safe, r.Class.Path)
 	fmt.Fprintf(&b, "route:   %s\n", r.Route)
+	if r.Reason != "" {
+		fmt.Fprintf(&b, "reason:  %s\n", r.Reason)
+	}
 	if r.Route == MethodSafePlan {
 		fmt.Fprintf(&b, "         (exact: independent project/join rules; no automaton is built)\n")
+		return b.String()
+	}
+	if r.Route != MethodFPRASTree && r.Route != MethodFPRASPath {
+		return b.String()
+	}
+	if r.Route == MethodFPRASPath {
+		fmt.Fprintf(&b, "         (string automaton; Theorem 2 pipeline, no tree machinery)\n")
 		return b.String()
 	}
 	fmt.Fprintf(&b, "decomposition:\n")

@@ -58,6 +58,7 @@ import (
 	"pqe/internal/nfta"
 	"pqe/internal/obs"
 	"pqe/internal/sched"
+	"pqe/internal/seqstop"
 )
 
 // Options configures the estimator. The zero value gets sensible
@@ -78,6 +79,22 @@ type Options struct {
 	Seed int64
 	// Rng supplies randomness when non-nil.
 	Rng *rand.Rand
+	// Anytime enables sequential stopping: trials run in deterministic
+	// batches (a pure function of (Epsilon, Delta, Trials), never of
+	// wall-clock time or MaxProcs) and the call stops at the earliest
+	// batch whose per-trial log₂ estimates all agree within the ε-band,
+	// provided a conservative δ-derived floor of trials has run. Trials
+	// is the hard cap — an anytime call never runs more trials than the
+	// fixed schedule would, and when the certificate never fires it runs
+	// exactly the fixed schedule. See internal/seqstop for the
+	// statistics.
+	Anytime bool
+	// Delta is the anytime certificate's failure-probability target in
+	// (0,1); ≤ 0 uses seqstop.DefaultDelta. Ignored unless Anytime.
+	Delta float64
+	// MinTrials overrides the δ-derived trial floor (clamped to
+	// [1, Trials]). Ignored unless Anytime.
+	MinTrials int
 	// MaxProcs bounds the workers of the call's unified scheduler, which
 	// dispatches whole trials and, within them, chunks of the
 	// overlap-sampling loops (work-stealing, so a straggler trial never
@@ -188,18 +205,14 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		callStart = time.Now()
 	}
 	results := make([]efloat.E, opts.Trials)
+	log2s := make([]float64, opts.Trials)
 	seeds := make([]int64, opts.Trials)
 	for t := range seeds {
 		seeds[t] = opts.Rng.Int63()
 	}
 	runs := make([]*run, opts.Trials)
 	call := newCallState(pl, opts.procs)
-	st := sched.Run(sched.Config{
-		Procs:  opts.procs,
-		Trials: opts.Trials,
-		Timed:  timed,
-		Labels: schedLabels,
-	}, func(w *sched.Worker, t int) {
+	trial := func(w *sched.Worker, t int) {
 		tspan := span.Start("trial")
 		var tt0 time.Time
 		if conv != nil || tspan != nil {
@@ -210,16 +223,17 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		r.ensurePfx(n)
 		results[t] = r.treeEst(a.Initial(), n)
 		runs[t] = r
+		log2 := math.Inf(-1)
+		if !results[t].IsZero() {
+			log2 = results[t].Log2()
+		}
+		log2s[t] = log2
 		if tspan != nil {
 			tspan.SetAttr("trial", t)
 			tspan.SetAttr("union_samples", r.unionSamples)
 			tspan.End()
 		}
 		if conv != nil {
-			log2 := math.Inf(-1)
-			if !results[t].IsZero() {
-				log2 = results[t].Log2()
-			}
 			conv.Record(obs.TrialRecord{
 				Engine:       "countnfta",
 				Call:         callID,
@@ -231,9 +245,53 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 				Elapsed:      time.Since(tt0),
 			})
 		}
-	})
+	}
+	// The anytime path runs the same trials (same per-trial seeds, so
+	// every executed trial is bit-identical to the fixed schedule's) in
+	// deterministic batches, stopping at the earliest batch whose
+	// spread certificate meets (ε, δ); the fixed path is one batch of
+	// all Trials. Batch boundaries and the stop decision depend only on
+	// (ε, δ, Trials) and the per-trial estimates — never on MaxProcs or
+	// wall-clock time — so both paths are deterministic at every worker
+	// count.
+	var st sched.Stats
+	executed := opts.Trials
+	if opts.Anytime {
+		sp := seqstop.New(opts.Epsilon, opts.Delta, opts.Trials, opts.MinTrials)
+		executed = 0
+		for executed < opts.Trials {
+			base := executed
+			next := sp.NextBatch(base)
+			bst := sched.Run(sched.Config{
+				Procs:  opts.procs,
+				Trials: next - base,
+				Timed:  timed,
+				Labels: schedLabels,
+			}, func(w *sched.Worker, t int) { trial(w, base+t) })
+			st.Accumulate(bst)
+			executed = next
+			if sp.Stop(log2s[:executed]) {
+				break
+			}
+		}
+	} else {
+		st = sched.Run(sched.Config{
+			Procs:  opts.procs,
+			Trials: opts.Trials,
+			Timed:  timed,
+			Labels: schedLabels,
+		}, trial)
+	}
+	saved := opts.Trials - executed
+	results = results[:executed]
+	if span != nil {
+		span.SetAttr("trials_executed", executed)
+	}
 	if opts.Stats != nil {
 		for _, r := range runs {
+			if r == nil {
+				continue
+			}
 			opts.Stats.TreeKeys += r.trees.Keys()
 			opts.Stats.ForestKeys += r.forests.Keys()
 			opts.Stats.UnionSamples += r.unionSamples
@@ -247,7 +305,11 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
 	if reg := sc.Registry(); reg != nil {
-		flushRegistry(reg, pl, runs, call, st, planHit, time.Since(callStart))
+		flushRegistry(reg, pl, runs[:executed], call, st, planHit, time.Since(callStart))
+		reg.Counter("countnfta_trials_saved_total").Add(int64(saved))
+		if saved > 0 {
+			reg.Counter("countnfta_anytime_stops_total").Inc()
+		}
 	}
 	span.End()
 	pl.release(runs, call)

@@ -14,6 +14,7 @@ import (
 	"pqe/internal/efloat"
 	"pqe/internal/obs"
 	"pqe/internal/sched"
+	"pqe/internal/seqstop"
 )
 
 // CountOptions configures the CountNFA approximation scheme.
@@ -41,6 +42,22 @@ type CountOptions struct {
 	Seed int64
 	// Rng, when non-nil, supplies randomness.
 	Rng *rand.Rand
+	// Anytime enables sequential stopping: trials run in deterministic
+	// batches (a pure function of (Epsilon, Delta, Trials), never of
+	// wall-clock time or MaxProcs) and the call stops at the earliest
+	// batch whose per-trial log₂ estimates all agree within the ε-band,
+	// provided a conservative δ-derived floor of trials has run. Trials
+	// is the hard cap — an anytime call never runs more trials than the
+	// fixed schedule would, and when the certificate never fires it runs
+	// exactly the fixed schedule. See internal/seqstop for the
+	// statistics.
+	Anytime bool
+	// Delta is the anytime certificate's failure-probability target in
+	// (0,1); ≤ 0 uses seqstop.DefaultDelta. Ignored unless Anytime.
+	Delta float64
+	// MinTrials overrides the δ-derived trial floor (clamped to
+	// [1, Trials]). Ignored unless Anytime.
+	MinTrials int
 	// MaxProcs bounds the workers of the call's unified scheduler, which
 	// dispatches whole trials and, within them, chunks of the
 	// overlap-sampling loops (work-stealing, so a straggler trial never
@@ -148,18 +165,14 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		callStart = time.Now()
 	}
 	results := make([]efloat.E, opts.Trials)
+	log2s := make([]float64, opts.Trials)
 	seeds := make([]int64, opts.Trials)
 	for t := range seeds {
 		seeds[t] = opts.Rng.Int63()
 	}
 	runs := make([]*wordRun, opts.Trials)
 	call := newCallState(pl, opts.procs)
-	st := sched.Run(sched.Config{
-		Procs:  opts.procs,
-		Trials: opts.Trials,
-		Timed:  timed,
-		Labels: schedLabels,
-	}, func(w *sched.Worker, t int) {
+	trial := func(w *sched.Worker, t int) {
 		tspan := span.Start("trial")
 		var tt0 time.Time
 		if conv != nil || tspan != nil {
@@ -170,16 +183,17 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		r.ensurePfx(n)
 		results[t] = r.topLevel(n)
 		runs[t] = r
+		log2 := math.Inf(-1)
+		if !results[t].IsZero() {
+			log2 = results[t].Log2()
+		}
+		log2s[t] = log2
 		if tspan != nil {
 			tspan.SetAttr("trial", t)
 			tspan.SetAttr("union_samples", r.unionSamples)
 			tspan.End()
 		}
 		if conv != nil {
-			log2 := math.Inf(-1)
-			if !results[t].IsZero() {
-				log2 = results[t].Log2()
-			}
 			conv.Record(obs.TrialRecord{
 				Engine:       "countnfa",
 				Call:         callID,
@@ -191,9 +205,53 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 				Elapsed:      time.Since(tt0),
 			})
 		}
-	})
+	}
+	// The anytime path runs the same trials (same per-trial seeds, so
+	// every executed trial is bit-identical to the fixed schedule's) in
+	// deterministic batches, stopping at the earliest batch whose
+	// spread certificate meets (ε, δ); the fixed path is one batch of
+	// all Trials. Batch boundaries and the stop decision depend only on
+	// (ε, δ, Trials) and the per-trial estimates — never on MaxProcs or
+	// wall-clock time — so both paths are deterministic at every worker
+	// count.
+	var st sched.Stats
+	executed := opts.Trials
+	if opts.Anytime {
+		sp := seqstop.New(opts.Epsilon, opts.Delta, opts.Trials, opts.MinTrials)
+		executed = 0
+		for executed < opts.Trials {
+			base := executed
+			next := sp.NextBatch(base)
+			bst := sched.Run(sched.Config{
+				Procs:  opts.procs,
+				Trials: next - base,
+				Timed:  timed,
+				Labels: schedLabels,
+			}, func(w *sched.Worker, t int) { trial(w, base+t) })
+			st.Accumulate(bst)
+			executed = next
+			if sp.Stop(log2s[:executed]) {
+				break
+			}
+		}
+	} else {
+		st = sched.Run(sched.Config{
+			Procs:  opts.procs,
+			Trials: opts.Trials,
+			Timed:  timed,
+			Labels: schedLabels,
+		}, trial)
+	}
+	saved := opts.Trials - executed
+	results = results[:executed]
+	if span != nil {
+		span.SetAttr("trials_executed", executed)
+	}
 	if opts.Stats != nil {
 		for _, r := range runs {
+			if r == nil {
+				continue
+			}
 			opts.Stats.record(r)
 		}
 		rej, _ := call.totals()
@@ -205,7 +263,11 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		opts.Stats.AllocBytes += m1.TotalAlloc - m0.TotalAlloc
 	}
 	if reg := sc.Registry(); reg != nil {
-		flushRegistry(reg, pl, runs, call, st, planHit, time.Since(callStart))
+		flushRegistry(reg, pl, runs[:executed], call, st, planHit, time.Since(callStart))
+		reg.Counter("countnfa_trials_saved_total").Add(int64(saved))
+		if saved > 0 {
+			reg.Counter("countnfa_anytime_stops_total").Inc()
+		}
 	}
 	span.End()
 	pl.release(runs, call)

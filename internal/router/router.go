@@ -1,0 +1,207 @@
+// Package router implements the cost-based strategy selection of the
+// evaluation pipeline: given a query's Table 1 classification and cheap
+// database statistics, it picks the cheapest algorithm whose guarantee
+// meets the request — exact when exact is polynomial (or the instance
+// is small enough to afford it), the combined-complexity FPRAS
+// otherwise.
+//
+// The decision procedure mirrors the landscape of van Bremen and Meel's
+// Table 1:
+//
+//   - hierarchical (safe) queries have an exact polynomial Dalvi–Suciu
+//     safe plan — approximation would be strictly worse;
+//   - queries whose lineage is provably small (the witness bound
+//     ∏ᵢ |facts(Rᵢ)| over the query's atoms) are answered exactly by
+//     weighted model counting over the lineage — OBDD compilation
+//     first, Shannon expansion as fallback — sidestepping sampling
+//     error entirely;
+//   - everything else in the tractable cells (self-join-free, bounded
+//     hypertree width) goes to the FPRAS: the string engine for path
+//     queries over binary facts (no tree machinery needed), the tree
+//     engine otherwise;
+//   - the open cells (self-joins with large lineage, unbounded width)
+//     remain unsupported, exactly as the paper leaves them open.
+//
+// Decisions are pure functions of the inputs: the same query,
+// classification and database statistics always produce the same
+// strategy, so routed runs stay reproducible. Ties never arise — the
+// rules are ordered and the first match wins.
+package router
+
+import (
+	"fmt"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// Strategy names one evaluation algorithm (or the auto decision).
+type Strategy string
+
+const (
+	// Auto lets Decide pick.
+	Auto Strategy = "auto"
+	// SafePlan is the exact Dalvi–Suciu safe plan (safe queries only).
+	SafePlan Strategy = "safeplan"
+	// OBDD is exact weighted model counting over an OBDD compiled from
+	// the query's DNF lineage (falls back to Lineage when compilation
+	// exceeds its node budget).
+	OBDD Strategy = "obdd"
+	// Lineage is exact weighted model counting by Shannon expansion
+	// over the DNF lineage.
+	Lineage Strategy = "lineage"
+	// NFTA is the Theorem 1 FPRAS over the tree automaton.
+	NFTA Strategy = "nfta"
+	// PathNFA is the Theorem 2 / footnote 2 FPRAS over the string
+	// automaton (self-join-free path queries over binary facts).
+	PathNFA Strategy = "nfa"
+	// MonteCarlo is the naive additive-error sampling baseline. Never
+	// chosen automatically (its guarantee is weaker than every other
+	// route); available forced, for comparison runs.
+	MonteCarlo Strategy = "montecarlo"
+	// Unsupported marks the open cells of Table 1.
+	Unsupported Strategy = "unsupported"
+)
+
+// Parse resolves a strategy knob string: "" and "auto" mean Auto,
+// "force-<engine>" forces one engine unconditionally.
+func Parse(s string) (Strategy, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "force-safeplan":
+		return SafePlan, nil
+	case "force-obdd":
+		return OBDD, nil
+	case "force-lineage":
+		return Lineage, nil
+	case "force-nfta":
+		return NFTA, nil
+	case "force-nfa":
+		return PathNFA, nil
+	case "force-montecarlo":
+		return MonteCarlo, nil
+	default:
+		return "", fmt.Errorf("router: unknown strategy %q (want auto or force-{safeplan,obdd,lineage,nfta,nfa,montecarlo})", s)
+	}
+}
+
+// Class is the query's Table 1 classification, mirrored from the core
+// package (which imports this one).
+type Class struct {
+	SelfJoinFree bool
+	BoundedHW    bool
+	Safe         bool
+	Path         bool
+	Width        int
+}
+
+// Config tunes the decision thresholds. The zero value uses defaults.
+type Config struct {
+	// MaxLineageClauses is the small-lineage threshold: when the
+	// witness bound is at most this many clauses, exact WMC over the
+	// lineage is considered cheap enough to beat sampling. ≤ 0 uses
+	// DefaultMaxLineageClauses.
+	MaxLineageClauses int64
+}
+
+// DefaultMaxLineageClauses bounds the lineage size the exact WMC route
+// will take on: Shannon expansion is worst-case exponential in the
+// clause count, and OBDD compilation can blow up similarly, so the
+// threshold stays small enough that even the worst case is fast.
+const DefaultMaxLineageClauses = 512
+
+func (c Config) maxLineage() int64 {
+	if c.MaxLineageClauses <= 0 {
+		return DefaultMaxLineageClauses
+	}
+	return c.MaxLineageClauses
+}
+
+// Decision is the routing outcome.
+type Decision struct {
+	Strategy Strategy
+	// Exact reports whether the strategy computes the probability
+	// exactly (no sampling error).
+	Exact bool
+	// Reason is the first matching rule, for telemetry and Explain.
+	Reason string
+	// WitnessBound is ∏ᵢ |facts(Rᵢ)| (−1 when it overflows the
+	// threshold), the lineage-size bound the small-lineage rule tested.
+	WitnessBound int64
+}
+
+// WitnessBound returns ∏ over the query's atoms of the fact count of
+// the atom's relation — an upper bound on the number of lineage clauses
+// (every clause picks one fact per atom). Returns −1 as soon as the
+// product exceeds limit, so the bound costs O(|Q|) regardless of the
+// database size.
+func WitnessBound(q *cq.Query, d *pdb.Database, limit int64) int64 {
+	bound := int64(1)
+	for _, a := range q.Atoms {
+		n := int64(len(d.FactsOf(a.Relation)))
+		if n == 0 {
+			return 0 // some relation is empty: the lineage is empty
+		}
+		if bound > limit/n {
+			return -1
+		}
+		bound *= n
+	}
+	return bound
+}
+
+// binaryFacts reports whether every fact over the query's relations is
+// binary — the precondition of the string-automaton pipeline.
+func binaryFacts(q *cq.Query, d *pdb.Database) bool {
+	for _, a := range q.Atoms {
+		for _, f := range d.FactsOf(a.Relation) {
+			if f.Arity() != 2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Decide picks the strategy for evaluating q over d given its
+// classification. A pure function of its inputs: rules are tried in a
+// fixed order and the first match wins, so the same (query, database
+// statistics, classification) always routes identically.
+func Decide(q *cq.Query, d *pdb.Database, class Class, cfg Config) Decision {
+	if class.Safe {
+		return Decision{
+			Strategy: SafePlan,
+			Exact:    true,
+			Reason:   "hierarchical (safe) query: exact safe plan is polynomial",
+		}
+	}
+	wb := WitnessBound(q, d, cfg.maxLineage())
+	if wb >= 0 {
+		return Decision{
+			Strategy:     OBDD,
+			Exact:        true,
+			Reason:       fmt.Sprintf("small lineage (witness bound %d ≤ %d): exact WMC beats sampling", wb, cfg.maxLineage()),
+			WitnessBound: wb,
+		}
+	}
+	if class.SelfJoinFree && class.Path && binaryFacts(q, d) {
+		return Decision{
+			Strategy:     PathNFA,
+			Reason:       "self-join-free path query over binary facts: string-automaton FPRAS",
+			WitnessBound: -1,
+		}
+	}
+	if class.SelfJoinFree && class.BoundedHW {
+		return Decision{
+			Strategy:     NFTA,
+			Reason:       fmt.Sprintf("self-join-free, width %d: tree-automaton FPRAS", class.Width),
+			WitnessBound: -1,
+		}
+	}
+	return Decision{
+		Strategy:     Unsupported,
+		Reason:       "open cell of Table 1 (self-joins with large lineage, or unbounded width)",
+		WitnessBound: -1,
+	}
+}

@@ -1,0 +1,140 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"pqe/internal/cq"
+	"pqe/internal/pdb"
+)
+
+// pathDB builds a database with n binary facts per relation of a
+// k-atom path query R0(x0,x1), …, and returns both.
+func pathDB(k, n int) (*cq.Query, *pdb.Database) {
+	q := cq.PathQuery("R", k)
+	d := pdb.NewDatabase()
+	for i := 1; i <= k; i++ {
+		for j := 0; j < n; j++ {
+			d.Add(pdb.NewFact(fmt.Sprintf("R%d", i), fmt.Sprintf("a%d", j), fmt.Sprintf("b%d", j)))
+		}
+	}
+	return q, d
+}
+
+func TestParse(t *testing.T) {
+	for s, want := range map[string]Strategy{
+		"":                 Auto,
+		"auto":             Auto,
+		"force-safeplan":   SafePlan,
+		"force-obdd":       OBDD,
+		"force-lineage":    Lineage,
+		"force-nfta":       NFTA,
+		"force-nfa":        PathNFA,
+		"force-montecarlo": MonteCarlo,
+	} {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := Parse("force-quantum"); err == nil {
+		t.Error("Parse accepted an unknown strategy")
+	}
+}
+
+func TestWitnessBound(t *testing.T) {
+	q, d := pathDB(3, 4)
+	if wb := WitnessBound(q, d, 1000); wb != 64 {
+		t.Errorf("witness bound %d, want 4³ = 64", wb)
+	}
+	if wb := WitnessBound(q, d, 63); wb != -1 {
+		t.Errorf("witness bound %d, want -1 (over limit)", wb)
+	}
+	// An empty relation empties the lineage.
+	empty := pdb.NewDatabase()
+	empty.Add(pdb.NewFact("R1", "a", "b"))
+	if wb := WitnessBound(q, empty, 1000); wb != 0 {
+		t.Errorf("witness bound %d over empty relations, want 0", wb)
+	}
+}
+
+func TestDecideSafe(t *testing.T) {
+	q := cq.StarQuery("R", 2)
+	d := pdb.NewDatabase()
+	dec := Decide(q, d, Class{SelfJoinFree: true, Safe: true, BoundedHW: true, Width: 1}, Config{})
+	if dec.Strategy != SafePlan || !dec.Exact {
+		t.Errorf("safe query routed to %v (exact=%v), want safeplan exact", dec.Strategy, dec.Exact)
+	}
+}
+
+func TestDecideSmallLineage(t *testing.T) {
+	q, d := pathDB(3, 4) // witness bound 64
+	dec := Decide(q, d, Class{SelfJoinFree: true, Path: true, BoundedHW: true, Width: 1}, Config{})
+	if dec.Strategy != OBDD || !dec.Exact {
+		t.Errorf("small-lineage query routed to %v (exact=%v), want obdd exact", dec.Strategy, dec.Exact)
+	}
+	if dec.WitnessBound != 64 {
+		t.Errorf("witness bound %d, want 64", dec.WitnessBound)
+	}
+}
+
+func TestDecidePathFPRAS(t *testing.T) {
+	q, d := pathDB(3, 9) // witness bound 729 > default 512
+	dec := Decide(q, d, Class{SelfJoinFree: true, Path: true, BoundedHW: true, Width: 1}, Config{})
+	if dec.Strategy != PathNFA || dec.Exact {
+		t.Errorf("wide path query routed to %v (exact=%v), want nfa approximate", dec.Strategy, dec.Exact)
+	}
+	// A non-binary fact on a query relation disables the string engine.
+	d.Add(pdb.NewFact("R1", "a", "b", "c"))
+	dec = Decide(q, d, Class{SelfJoinFree: true, Path: true, BoundedHW: true, Width: 1}, Config{})
+	if dec.Strategy != NFTA {
+		t.Errorf("ternary-fact path query routed to %v, want nfta", dec.Strategy)
+	}
+}
+
+func TestDecideTreeFPRAS(t *testing.T) {
+	q, d := pathDB(3, 9)
+	dec := Decide(q, d, Class{SelfJoinFree: true, BoundedHW: true, Width: 2}, Config{})
+	if dec.Strategy != NFTA || dec.Exact {
+		t.Errorf("non-path query routed to %v, want nfta", dec.Strategy)
+	}
+}
+
+func TestDecideOpenCells(t *testing.T) {
+	q, d := pathDB(3, 9)
+	for _, class := range []Class{
+		{SelfJoinFree: false, BoundedHW: true},
+		{SelfJoinFree: true, BoundedHW: false},
+	} {
+		if dec := Decide(q, d, class, Config{}); dec.Strategy != Unsupported {
+			t.Errorf("class %+v routed to %v, want unsupported", class, dec.Strategy)
+		}
+	}
+	// ... but self-joins with small lineage are still exactly solvable.
+	qsj := cq.New(cq.NewAtom("R0", "x", "y"), cq.NewAtom("R0", "y", "z"))
+	small := pdb.NewDatabase()
+	small.Add(pdb.NewFact("R0", "a", "b"))
+	small.Add(pdb.NewFact("R0", "b", "c"))
+	if dec := Decide(qsj, small, Class{SelfJoinFree: false}, Config{}); dec.Strategy != OBDD {
+		t.Errorf("small self-join routed to %v, want obdd", dec.Strategy)
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	q, d := pathDB(4, 7)
+	class := Class{SelfJoinFree: true, Path: true, BoundedHW: true, Width: 1}
+	base := Decide(q, d, class, Config{})
+	for i := 0; i < 100; i++ {
+		if got := Decide(q, d, class, Config{}); got != base {
+			t.Fatalf("decision changed across calls: %+v vs %+v", got, base)
+		}
+	}
+}
+
+func TestConfigThreshold(t *testing.T) {
+	q, d := pathDB(3, 9) // witness bound 729
+	dec := Decide(q, d, Class{SelfJoinFree: true, Path: true, BoundedHW: true, Width: 1}, Config{MaxLineageClauses: 1000})
+	if dec.Strategy != OBDD {
+		t.Errorf("raised threshold: routed to %v, want obdd", dec.Strategy)
+	}
+}

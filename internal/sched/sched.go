@@ -49,6 +49,23 @@ type Stats struct {
 	BusyNs   int64 // summed chunk execution time (Timed only)
 }
 
+// Accumulate folds another Run's statistics into s (keeping the larger
+// MaxQueue) — the anytime engines run one scheduler pool per trial
+// batch and report the batches' combined effort.
+func (s *Stats) Accumulate(o Stats) {
+	if o.Procs > s.Procs {
+		s.Procs = o.Procs
+	}
+	s.Spawns += o.Spawns
+	s.Batches += o.Batches
+	s.Chunks += o.Chunks
+	s.Steals += o.Steals
+	s.BusyNs += o.BusyNs
+	if o.MaxQueue > s.MaxQueue {
+		s.MaxQueue = o.MaxQueue
+	}
+}
+
 // Worker is the execution context handed to trial bodies and chunk
 // functions. Its ID is a dense index in [0, Procs), stable for the
 // worker's lifetime, so callers can maintain worker-local scratch

@@ -1,0 +1,151 @@
+// Package seqstop implements the deterministic anytime trial schedule
+// shared by the approximate counting engines (internal/count,
+// internal/nfa): sequential stopping for the median-of-trials
+// confidence-boosting loop, so each counting call spends only the
+// trials its (ε, δ) target needs instead of a fixed worst-case count.
+//
+// The statistics follow the sequential-estimation idea behind the
+// union-of-CQ FPRAS of Arenas et al. ("When is Approximate Counting for
+// Conjunctive Queries Tractable?"): each engine trial lands within
+// (1±ε) of the true count with probability ≥ 3/4 (the per-trial
+// Chebyshev guarantee the fixed median schedule amplifies). The anytime
+// schedule watches the empirical spread of the per-trial log₂
+// estimates:
+//
+//   - If all executed trials agree within the ε-band
+//     band = log₂(1+ε) − log₂(1−ε), the upper median can only miss a
+//     (1±ε)-consistent value if *every* trial missed simultaneously —
+//     probability ≤ (1/4)^k after k trials. The conservative floor
+//     therefore runs at least k ≥ log₄(1/δ) trials (and never fewer
+//     than 3, nor an even count) before the certificate may fire, so
+//     an early stop carries failure probability ≤ δ.
+//   - If the trials disagree, batches keep running up to the fixed
+//     trial count (the hard cap), which is exactly the schedule the
+//     engines ran before sequential stopping existed: the guarantee is
+//     never weaker than the fixed count's.
+//
+// Determinism: the schedule is a pure function of (ε, δ, cap) and the
+// per-trial estimates, which are themselves pure functions of the trial
+// seeds. Batch boundaries never depend on wall-clock time or the
+// scheduler's worker count, so an anytime call returns bit-identical
+// results at every MaxProcs setting.
+package seqstop
+
+import "math"
+
+// DefaultDelta is the failure-probability target used when a caller
+// enables anytime stopping without choosing δ. It roughly matches the
+// amplification the engines' default 5-trial median provides
+// (P[Binomial(5, 1/4) ≥ 3] ≈ 0.104).
+const DefaultDelta = 0.1
+
+// batchStep is how many extra trials each post-floor batch adds before
+// the spread is re-examined.
+const batchStep = 2
+
+// Plan is the deterministic trial schedule of one anytime counting
+// call. Construct it with New; the zero value stops immediately.
+type Plan struct {
+	// Cap is the hard cap: the fixed trial count the caller would have
+	// run without sequential stopping. The schedule never exceeds it.
+	Cap int
+	// Floor is the conservative minimum number of trials executed
+	// before the spread certificate may stop the call.
+	Floor int
+	// Band is the log₂ spread within which all trials must agree for
+	// the certificate to fire: log₂(1+ε) − log₂(1−ε).
+	Band float64
+	// Delta is the resolved failure-probability target.
+	Delta float64
+}
+
+// New derives the schedule for one counting call. epsilon is the
+// per-trial relative-error target in (0,1); delta ≤ 0 uses
+// DefaultDelta; cap is the fixed trial count (the hard cap); minTrials
+// > 0 overrides the derived floor (still clamped to [1, cap]).
+func New(epsilon, delta float64, cap, minTrials int) Plan {
+	if delta <= 0 || delta >= 1 {
+		delta = DefaultDelta
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	floor := minTrials
+	if floor <= 0 {
+		// k trials all missing (1±ε) at once has probability ≤ (1/4)^k;
+		// k ≥ log₄(1/δ) drives that below δ. Never fewer than 3, and
+		// keep the count odd so the upper median is a single trial.
+		floor = int(math.Ceil(math.Log(1/delta) / math.Log(4)))
+		if floor < 3 {
+			floor = 3
+		}
+		if floor%2 == 0 {
+			floor++
+		}
+	}
+	if floor > cap {
+		floor = cap
+	}
+	if floor < 1 {
+		floor = 1
+	}
+	return Plan{
+		Cap:   cap,
+		Floor: floor,
+		Band:  math.Log2(1+epsilon) - math.Log2(1-epsilon),
+		Delta: delta,
+	}
+}
+
+// NextBatch returns the trial count after the next batch given that
+// executed trials have already run: the floor first, then batchStep
+// more per batch, clamped to the cap. A pure function of the plan and
+// executed — never of wall-clock time or worker count.
+func (p Plan) NextBatch(executed int) int {
+	next := p.Floor
+	if executed >= p.Floor {
+		next = executed + batchStep
+	}
+	if next > p.Cap {
+		next = p.Cap
+	}
+	if next <= executed { // degenerate plans (cap ≤ executed)
+		next = executed
+	}
+	return next
+}
+
+// Stop reports whether the executed trials' log₂ estimates satisfy the
+// empirical accuracy certificate: at least Floor trials ran and their
+// spread (max − min) is within Band. A zero estimate is encoded as
+// -Inf; all-zero trials have spread 0 (they agree the count is zero),
+// while a mix of zero and nonzero estimates never stops early.
+func (p Plan) Stop(log2Estimates []float64) bool {
+	if len(log2Estimates) < p.Floor {
+		return false
+	}
+	return Spread(log2Estimates) <= p.Band
+}
+
+// Spread returns max − min over the log₂ estimates, treating the
+// all-(-Inf) case (every trial estimated zero) as 0 agreement, and any
+// zero/nonzero mix as +Inf disagreement.
+func Spread(log2Estimates []float64) float64 {
+	if len(log2Estimates) == 0 {
+		return math.Inf(1)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range log2Estimates {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	spread := hi - lo
+	if math.IsNaN(spread) { // (-Inf) − (-Inf): all trials estimated zero
+		return 0
+	}
+	return spread
+}

@@ -1,0 +1,111 @@
+package seqstop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloorDerivation(t *testing.T) {
+	cases := []struct {
+		delta float64
+		cap   int
+		floor int
+	}{
+		{0.1, 5, 3},    // log₄(10) ≈ 1.66 → 2 → min 3
+		{0.25, 5, 3},   // log₄(4) = 1 → min 3
+		{0.01, 9, 5},   // log₄(100) ≈ 3.32 → 4 → odd 5
+		{0.001, 11, 5}, // log₄(1000) ≈ 4.98 → 5
+		{1e-6, 11, 11}, // log₄(1e6) ≈ 9.97 → 10 → odd 11
+		{1e-9, 11, 11}, // floor clamps to cap
+		{0, 5, 3},      // default δ
+	}
+	for _, c := range cases {
+		p := New(0.1, c.delta, c.cap, 0)
+		if p.Floor != c.floor {
+			t.Errorf("New(δ=%v, cap=%d): floor %d, want %d", c.delta, c.cap, p.Floor, c.floor)
+		}
+		if p.Floor > p.Cap {
+			t.Errorf("New(δ=%v, cap=%d): floor %d exceeds cap", c.delta, c.cap, p.Floor)
+		}
+	}
+}
+
+func TestMinTrialsOverride(t *testing.T) {
+	p := New(0.1, 0.1, 9, 7)
+	if p.Floor != 7 {
+		t.Errorf("minTrials override: floor %d, want 7", p.Floor)
+	}
+	if p := New(0.1, 0.1, 5, 100); p.Floor != 5 {
+		t.Errorf("minTrials beyond cap: floor %d, want 5", p.Floor)
+	}
+}
+
+func TestNextBatchSchedule(t *testing.T) {
+	p := New(0.1, 0.1, 11, 0) // floor 3
+	var got []int
+	executed := 0
+	for executed < p.Cap {
+		executed = p.NextBatch(executed)
+		got = append(got, executed)
+	}
+	want := []int{3, 5, 7, 9, 11}
+	if len(got) != len(want) {
+		t.Fatalf("schedule %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", got, want)
+		}
+	}
+	// Cap smaller than the derived floor: one batch of cap trials.
+	p = New(0.1, 0.1, 2, 0)
+	if n := p.NextBatch(0); n != 2 {
+		t.Errorf("cap<floor first batch = %d, want 2", n)
+	}
+}
+
+func TestStopCertificate(t *testing.T) {
+	p := New(0.1, 0.1, 9, 0) // floor 3, band = log2(1.1)-log2(0.9)
+	if p.Stop([]float64{10, 10}) {
+		t.Error("stopped below the floor")
+	}
+	if !p.Stop([]float64{10, 10.01, 9.99}) {
+		t.Error("agreeing trials past the floor should stop")
+	}
+	if p.Stop([]float64{10, 12, 10}) {
+		t.Error("spread beyond the band should not stop")
+	}
+	// All-zero estimates agree (spread 0).
+	inf := math.Inf(-1)
+	if !p.Stop([]float64{inf, inf, inf}) {
+		t.Error("all-zero trials should stop")
+	}
+	// Zero/nonzero mix never stops.
+	if p.Stop([]float64{inf, 10, 10}) {
+		t.Error("zero/nonzero mix must not stop")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	inf := math.Inf(-1)
+	if s := Spread(nil); !math.IsInf(s, 1) {
+		t.Errorf("Spread(nil) = %v, want +Inf", s)
+	}
+	if s := Spread([]float64{inf, inf}); s != 0 {
+		t.Errorf("Spread(all -Inf) = %v, want 0", s)
+	}
+	if s := Spread([]float64{inf, 3}); !math.IsInf(s, 1) {
+		t.Errorf("Spread(mixed) = %v, want +Inf", s)
+	}
+	if s := Spread([]float64{1, 4, 2}); s != 3 {
+		t.Errorf("Spread = %v, want 3", s)
+	}
+}
+
+func TestBandMatchesEpsilon(t *testing.T) {
+	p := New(0.2, 0.1, 5, 0)
+	want := math.Log2(1.2) - math.Log2(0.8)
+	if math.Abs(p.Band-want) > 1e-15 {
+		t.Errorf("band %v, want %v", p.Band, want)
+	}
+}

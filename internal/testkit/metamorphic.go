@@ -9,6 +9,7 @@ import (
 	"pqe/internal/core"
 	"pqe/internal/cq"
 	"pqe/internal/exact"
+	"pqe/internal/obs"
 	"pqe/internal/pdb"
 	"pqe/internal/splitmix"
 )
@@ -22,6 +23,8 @@ const (
 	siteRelabel
 	siteUnion
 	siteDelta
+	siteRouteDet
+	siteAnytime
 )
 
 // unionMaxFacts gates the union-bound property: it enumerates the
@@ -51,6 +54,12 @@ func RunMetamorphic(c *Case, cfg Config, b *Budget) error {
 	}
 	if err := checkDeltaIncremental(c, cfg); err != nil {
 		return fmt.Errorf("delta: %w", err)
+	}
+	if err := checkRouteDeterministic(c, cfg); err != nil {
+		return fmt.Errorf("route-deterministic: %w", err)
+	}
+	if err := checkAnytime(c, cfg, b); err != nil {
+		return fmt.Errorf("anytime: %w", err)
 	}
 	return nil
 }
@@ -242,6 +251,97 @@ func checkUnionBound(c *Case, cfg Config, b *Budget) error {
 	b.Charge(cfg.checkDelta())
 	if lastErr != nil {
 		return lastErr
+	}
+	return nil
+}
+
+// checkRouteDeterministic: under Strategy auto the routing decision is
+// a pure function of (query, database) — a repeat run through a fresh
+// session picks the same strategy for the same reason and returns the
+// bit-identical probability, and so does every MaxProcs setting,
+// extending the workers-identity contract through the dispatch layer.
+func checkRouteDeterministic(c *Case, cfg Config) error {
+	opts := core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials,
+		Seed: evalSeed(c, siteRouteDet, 0), Strategy: "auto", Obs: cfg.Obs}
+	ref, err := core.Evaluate(c.Query, c.H, opts)
+	if err != nil {
+		return skipUnsupported(err)
+	}
+	again, err := core.Evaluate(c.Query, c.H, opts)
+	if err != nil {
+		return err
+	}
+	if again.Method != ref.Method || again.Reason != ref.Reason {
+		return fmt.Errorf("routing changed between runs: %v (%q) vs %v (%q)",
+			again.Method, again.Reason, ref.Method, ref.Reason)
+	}
+	if again.Probability != ref.Probability {
+		return fmt.Errorf("repeat run gives %g, first gave %g", again.Probability, ref.Probability)
+	}
+	for _, procs := range []int{2, 8} {
+		o := opts
+		o.MaxProcs = procs
+		got, err := core.Evaluate(c.Query, c.H, o)
+		if err != nil {
+			return err
+		}
+		if got.Probability != ref.Probability || got.Method != ref.Method {
+			return fmt.Errorf("MaxProcs=%d gives %g via %v, base %g via %v",
+				procs, got.Probability, got.Method, ref.Probability, ref.Method)
+		}
+	}
+	return nil
+}
+
+// Anytime check knobs: a trial cap high enough that the δ-derived
+// floor (≈13 trials at δ=1e-7) leaves the certificate room to stop
+// early while still being capped by the fixed schedule.
+const (
+	anytimeDelta  = 1e-7
+	anytimeTrials = 15
+)
+
+// anytimeTolerance is the relative error an early-stopped run
+// guarantees with failure probability ≤ δ: every kept trial sits
+// within the stopping band of a (1±ε)-good one, so the median is off
+// by at most (1+ε)²/(1−ε) − 1.
+func anytimeTolerance(eps float64) float64 {
+	return (1+eps)*(1+eps)/(1-eps) - 1
+}
+
+// checkAnytime: a sequentially-stopped estimate must stay inside the
+// (ε, δ) envelope its certificate promises — charged to the budget at
+// exactly δ — and must never execute more trials than the fixed
+// schedule it is capped by; the trials it skips must be accounted as
+// saved.
+func checkAnytime(c *Case, cfg Config, b *Budget) error {
+	exactP, err := exact.PQE(c.Query, c.H)
+	if err != nil {
+		return err
+	}
+	seed := evalSeed(c, siteAnytime, 0)
+	regA := obs.NewRegistry()
+	vA, err := core.PQEEstimate(c.Query, c.H, core.Options{Epsilon: cfg.Epsilon, Trials: anytimeTrials,
+		Delta: anytimeDelta, Seed: seed, Obs: obs.NewScope(nil, regA, nil)})
+	if err != nil {
+		return skipUnsupported(err)
+	}
+	regF := obs.NewRegistry()
+	if _, err := core.PQEEstimate(c.Query, c.H, core.Options{Epsilon: cfg.Epsilon, Trials: anytimeTrials,
+		Seed: seed, Obs: obs.NewScope(nil, regF, nil)}); err != nil {
+		return err
+	}
+	ran := regA.Counter("countnfta_trials_total").Value()
+	fixed := regF.Counter("countnfta_trials_total").Value()
+	if ran > fixed {
+		return fmt.Errorf("anytime executed %d trials, fixed schedule %d", ran, fixed)
+	}
+	if saved := regA.Counter("countnfta_trials_saved_total").Value(); ran+saved != fixed {
+		return fmt.Errorf("executed %d + saved %d trials ≠ fixed schedule %d", ran, saved, fixed)
+	}
+	b.Charge(anytimeDelta)
+	if err := CheckRel(exactP, vA, anytimeTolerance(cfg.Epsilon)); err != nil {
+		return fmt.Errorf("early-stopped estimate outside its (ε, δ) envelope: %w", err)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package testkit
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/big"
 
 	"pqe/internal/core"
 	"pqe/internal/exact"
@@ -22,6 +24,10 @@ const (
 	siteUR
 	sitePathUR
 	siteMC
+	siteRouted
+	siteForcedFPRAS
+	siteForcedPath
+	siteForcedMC
 )
 
 // lineageLimit bounds witness enumeration; with |D| ≤ MaxFacts the true
@@ -157,6 +163,150 @@ func RunDifferential(c *Case, cfg Config, b *Budget) error {
 		}
 	} else if !errors.Is(err, obdd.ErrTooLarge) {
 		return fmt.Errorf("obdd: %w", err)
+	}
+
+	// Routing layer: the auto router and every forced strategy must all
+	// reproduce the oracle through core.Evaluate, and pinning the
+	// strategy the router picked must reproduce the routed answer bit
+	// for bit.
+	if err := checkRouted(c, cfg, b, exactP); err != nil {
+		return fmt.Errorf("routed: %w", err)
+	}
+	return nil
+}
+
+// routedDelta keeps the sequential-stopping floor at the trial cap, so
+// a routed FPRAS run degenerates to the fixed median schedule and the
+// median-of-trials certificate (checkDelta) prices its check. The
+// genuinely early-stopped regime is priced separately by the anytime
+// metamorphic check.
+const routedDelta = 1e-9
+
+// floatTol allows only float64 rounding between an exact route's float
+// output and the rational oracle.
+const floatTol = 1e-12
+
+// forceOf maps a routed method to the Strategy value that pins it.
+var forceOf = map[core.Method]string{
+	core.MethodSafePlan:  "force-safeplan",
+	core.MethodOBDD:      "force-obdd",
+	core.MethodLineage:   "force-lineage",
+	core.MethodFPRASTree: "force-nfta",
+	core.MethodFPRASPath: "force-nfa",
+}
+
+// checkRouted cross-checks the strategy-routing layer: the auto route
+// against the oracle (exactly for exact routes, statistically for
+// FPRAS routes), the routed answer against the same strategy forced
+// with identical options (bit-identity: routing must only select,
+// never perturb), and every forced strategy against the oracle.
+// Strategies that decline the instance are skipped, as elsewhere.
+func checkRouted(c *Case, cfg Config, b *Budget, exactP *big.Rat) error {
+	want, _ := exactP.Float64()
+	routedOpts := func(a int) core.Options {
+		return core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials, Delta: routedDelta,
+			Seed: evalSeed(c, siteRouted, a), Strategy: "auto", Obs: cfg.Obs}
+	}
+	res, err := core.Evaluate(c.Query, c.H, routedOpts(0))
+	if errors.Is(err, core.ErrUnsupported) {
+		return nil // the router may legitimately decline (open cells)
+	}
+	if err != nil {
+		return err
+	}
+	if res.Exact {
+		if math.Abs(res.Probability-want) > floatTol {
+			return fmt.Errorf("exact route %v: got %g, oracle %g", res.Method, res.Probability, want)
+		}
+	} else {
+		lastErr := CheckRel(exactP, res.Probability, cfg.Tolerance())
+		for a := 1; a <= cfg.Retries && lastErr != nil; a++ {
+			r, err := core.Evaluate(c.Query, c.H, routedOpts(a))
+			if err != nil {
+				return err
+			}
+			lastErr = CheckRel(exactP, r.Probability, cfg.Tolerance())
+		}
+		b.Charge(cfg.checkDelta())
+		if lastErr != nil {
+			return fmt.Errorf("auto via %v: %w", res.Method, lastErr)
+		}
+	}
+
+	force, ok := forceOf[res.Method]
+	if !ok {
+		return fmt.Errorf("auto picked unexpected method %v", res.Method)
+	}
+	fopts := routedOpts(0)
+	fopts.Strategy = force
+	fres, err := core.Evaluate(c.Query, c.H, fopts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", force, err)
+	}
+	if fres.Probability != res.Probability {
+		return fmt.Errorf("%s gives %g, auto routing gave %g", force, fres.Probability, res.Probability)
+	}
+
+	// Forced exact strategies: rational agreement with the oracle up to
+	// one float rounding, no budget charge.
+	forcedExact := []string{"force-obdd", "force-lineage"}
+	if safeplan.IsSafe(c.Query) {
+		forcedExact = append(forcedExact, "force-safeplan")
+	}
+	for _, f := range forcedExact {
+		r, err := core.Evaluate(c.Query, c.H, core.Options{Epsilon: cfg.Epsilon,
+			Seed: evalSeed(c, siteRouted, 0), Strategy: f, Obs: cfg.Obs})
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if !r.Exact || math.Abs(r.Probability-want) > floatTol {
+			return fmt.Errorf("%s: got %g (exact=%v), oracle %g", f, r.Probability, r.Exact, want)
+		}
+	}
+
+	// Forced FPRAS strategies: statistical checks with retries, like
+	// the direct engine checks above.
+	statForced := func(f string, site uint64) error {
+		var lastErr error
+		for a := 0; a <= cfg.Retries; a++ {
+			r, err := core.Evaluate(c.Query, c.H, core.Options{Epsilon: cfg.Epsilon, Trials: cfg.Trials,
+				Delta: routedDelta, Seed: evalSeed(c, site, a), Strategy: f, Obs: cfg.Obs})
+			if err != nil {
+				lastErr = err
+				break
+			}
+			lastErr = CheckRel(exactP, r.Probability, cfg.Tolerance())
+			if lastErr == nil {
+				break
+			}
+		}
+		if errors.Is(lastErr, core.ErrUnsupported) {
+			return nil
+		}
+		b.Charge(cfg.checkDelta())
+		if lastErr != nil {
+			return fmt.Errorf("%s: %w", f, lastErr)
+		}
+		return nil
+	}
+	if err := statForced("force-nfta", siteForcedFPRAS); err != nil {
+		return err
+	}
+	if c.Query.IsPath() {
+		if err := statForced("force-nfa", siteForcedPath); err != nil {
+			return err
+		}
+	}
+
+	// Forced Monte Carlo: additive Hoeffding tolerance, one attempt.
+	mcr, err := core.Evaluate(c.Query, c.H, core.Options{Samples: cfg.MCSamples,
+		Seed: evalSeed(c, siteForcedMC, 0), Strategy: "force-montecarlo", Obs: cfg.Obs})
+	if err != nil {
+		return fmt.Errorf("force-montecarlo: %w", err)
+	}
+	b.Charge(cfg.MCDelta)
+	if err := CheckAbs(exactP, mcr.Probability, cfg.MCTolerance()); err != nil {
+		return fmt.Errorf("force-montecarlo: %w", err)
 	}
 	return nil
 }

@@ -189,6 +189,26 @@ type Options struct {
 	MaxWidth int
 	// ForceFPRAS routes even safe queries through the FPRAS.
 	ForceFPRAS bool
+	// Strategy selects how Probability routes. "" keeps the legacy
+	// two-way routing (safe → exact plan, else tree FPRAS). "auto"
+	// enables the full cost-based router: hierarchical queries go to the
+	// exact safe plan, provably small lineages to exact weighted model
+	// counting (OBDD with Shannon-expansion fallback), path queries over
+	// binary facts to the string-automaton FPRAS, and the rest of the
+	// tractable landscape to the tree-automaton FPRAS — plus anytime
+	// sequential stopping in the FPRAS engines (see Delta).
+	// "force-<engine>" (safeplan, obdd, lineage, nfta, nfa, montecarlo)
+	// pins one strategy unconditionally.
+	Strategy string
+	// Delta is the failure-probability target of the anytime stopping
+	// certificate in (0,1); ≤ 0 uses a default matching the fixed
+	// 5-trial schedule (δ ≈ 0.1). Under Strategy "" (legacy routing),
+	// setting Delta > 0 opts the FPRAS engines into sequential stopping:
+	// trials run in deterministic batches and the call stops as soon as
+	// the executed trials certify the (ε, δ) target, with the fixed
+	// Trials count as a hard cap. Results stay bit-identical for a fixed
+	// Seed at every MaxProcs setting.
+	Delta float64
 	// MaxProcs bounds the workers of the counting engines' unified
 	// work-stealing scheduler, which dispatches whole trials and chunks
 	// of their overlap-sampling loops onto one pool
@@ -226,6 +246,8 @@ func (o *Options) core() core.Options {
 		Seed:       o.Seed,
 		MaxWidth:   o.MaxWidth,
 		ForceFPRAS: o.ForceFPRAS,
+		Strategy:   o.Strategy,
+		Delta:      o.Delta,
 		MaxProcs:   o.MaxProcs,
 		Parallel:   o.Parallel,
 		Workers:    o.Workers,
@@ -241,6 +263,8 @@ type Result struct {
 	Exact bool
 	// Method names the algorithm used.
 	Method string
+	// Reason explains the routing decision (Strategy routing only).
+	Reason string
 	// Width is the (generalized) hypertree width of the query.
 	Width int
 	// Safe and SelfJoinFree are the query's Table 1 coordinates.
@@ -260,6 +284,7 @@ func Probability(q *Query, d *Database, opts *Options) (Result, error) {
 		Probability:  res.Probability,
 		Exact:        res.Exact,
 		Method:       string(res.Method),
+		Reason:       res.Reason,
 		Width:        res.Class.Width,
 		Safe:         res.Class.Safe,
 		SelfJoinFree: res.Class.SelfJoinFree,

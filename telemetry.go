@@ -142,7 +142,11 @@ func (t *Telemetry) WriteReport(w io.Writer) error {
 
 // Reset clears the trace and convergence records (the monotonic metric
 // counters are kept), so long-lived collectors can bound their memory
-// between evaluations.
+// between evaluations. An OnTrial subscription survives Reset —
+// including one registered while an evaluation is in flight on another
+// goroutine — so a live convergence feed never has to re-register; the
+// call numbering also continues, keeping later TrialUpdate.Call values
+// distinct from earlier ones.
 func (t *Telemetry) Reset() {
 	if t == nil {
 		return

@@ -148,6 +148,63 @@ func TestTelemetryOnTrial(t *testing.T) {
 	}
 }
 
+// Reset between evaluations must not disturb an OnTrial subscription:
+// the callback keeps firing afterwards (with fresh call numbers), so a
+// live convergence feed never has to re-register. Reset is also called
+// concurrently with a running evaluation — the subscription must keep
+// firing through it.
+func TestTelemetryResetKeepsOnTrial(t *testing.T) {
+	tel := NewTelemetry()
+	var mu sync.Mutex
+	var updates []TrialUpdate
+	tel.OnTrial(func(u TrialUpdate) {
+		mu.Lock()
+		updates = append(updates, u)
+		mu.Unlock()
+	})
+	opts := &Options{Epsilon: 0.4, Seed: 5, Telemetry: tel}
+	if _, err := UniformReliability(StarQuery("S", 3), starDB(t), opts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	before := len(updates)
+	var maxCall int64
+	for _, u := range updates {
+		if u.Call > maxCall {
+			maxCall = u.Call
+		}
+	}
+	mu.Unlock()
+	if before == 0 {
+		t.Fatal("OnTrial never fired before Reset")
+	}
+
+	tel.Reset()
+
+	// A concurrent Reset mid-evaluation must not drop the subscription
+	// either (the -race lane checks the synchronization).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tel.Reset()
+	}()
+	if _, err := UniformReliability(StarQuery("S", 3), starDB(t), opts); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(updates) <= before {
+		t.Fatal("OnTrial stopped firing after Reset")
+	}
+	for _, u := range updates[before:] {
+		if u.Call <= maxCall {
+			t.Fatalf("call numbering restarted after Reset: call %d ≤ earlier max %d", u.Call, maxCall)
+		}
+	}
+}
+
 // A nil collector must be accepted everywhere.
 func TestNilTelemetry(t *testing.T) {
 	var tel *Telemetry
