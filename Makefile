@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak loc clean
+.PHONY: all build vet test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak serve-smoke loc clean
 
 all: build vet test
 
@@ -76,6 +76,14 @@ fuzz:
 # Long-mode differential + metamorphic suites (96 cases each).
 testkit:
 	$(GO) test -v -run 'TestDifferential|TestMetamorphic' ./internal/testkit/
+
+# Scripted workload against a real pqed listener: one-shot vs streamed
+# bit-identity, a same-seed burst, a delta round-trip with a 409 replay,
+# and a /metrics scrape asserting zero shed at this low load. The
+# scrape lands in SERVE_SMOKE_OUT (CI uploads it as an artifact).
+SERVE_SMOKE_OUT ?= /tmp/pqed-metrics.prom
+serve-smoke:
+	$(GO) run ./cmd/pqed -smoke -smoke-out $(SERVE_SMOKE_OUT)
 
 # The nightly-CI workload, locally: 10x case budget on a chosen seed.
 soak:

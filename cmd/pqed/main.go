@@ -1,0 +1,152 @@
+// Command pqed serves the pqe engines over HTTP/JSON: estimate
+// endpoints (one-shot and SSE-streamed anytime convergence), fact-level
+// deltas with optimistic version checks, and the combined service +
+// engine metrics, all against a shared worker budget with 429
+// backpressure.
+//
+// Usage:
+//
+//	pqed -addr :8080 -db data.pdb [-db name=other.pdb ...]
+//	     [-budget N] [-max-sessions N] [-queue-wait 2s] [-timeout 30s]
+//	     [-drain-timeout 10s]
+//	pqed -smoke [-smoke-out metrics.prom]
+//
+// Databases are the same one-fact-per-line files cmd/pqe reads; a bare
+// path serves as "default", "name=path" under that name. The server
+// drains gracefully on SIGINT/SIGTERM: in-flight requests finish (up
+// to -drain-timeout), new ones get 503.
+//
+// -smoke runs a self-contained smoke workload against an in-process
+// listener — a scripted mix of one-shot, streamed and delta requests —
+// then scrapes /metrics, verifies nothing was shed at low load, writes
+// the scrape to -smoke-out (default stdout) and exits non-zero on any
+// failure. CI uses it as the serve-smoke lane.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"pqe"
+	"pqe/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pqed:", err)
+		os.Exit(1)
+	}
+}
+
+// dbFlags collects repeated -db flags ("path" or "name=path").
+type dbFlags []string
+
+func (d *dbFlags) String() string     { return strings.Join(*d, ",") }
+func (d *dbFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pqed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var dbs dbFlags
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		budget       = fs.Int("budget", runtime.NumCPU(), "shared worker-token budget across concurrent requests")
+		maxSessions  = fs.Int("max-sessions", 64, "estimator session LRU capacity")
+		queueWait    = fs.Duration("queue-wait", 2*time.Second, "max admission wait before shedding with 429")
+		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline (requests may set timeout_ms)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+		smoke        = fs.Bool("smoke", false, "run the in-process smoke workload and exit")
+		smokeOut     = fs.String("smoke-out", "", "write the smoke /metrics scrape to this file (default stdout)")
+	)
+	fs.Var(&dbs, "db", "database file to serve: 'path' (as \"default\") or 'name=path'; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Budget:         *budget,
+		MaxSessions:    *maxSessions,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+	})
+	if len(dbs) == 0 {
+		if !*smoke {
+			fs.Usage()
+			return fmt.Errorf("at least one -db is required (or -smoke)")
+		}
+		srv.AddDatabase("default", demoDatabase())
+	}
+	for _, spec := range dbs {
+		name, path := "default", spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+		}
+		db, err := pqe.LoadDatabase(path)
+		if err != nil {
+			return fmt.Errorf("loading %q: %w", spec, err)
+		}
+		srv.AddDatabase(name, db)
+		fmt.Fprintf(stderr, "serving %q: %d facts (version %d)\n", name, db.Size(), db.Version())
+	}
+
+	if *smoke {
+		return runSmoke(srv, stdout, stderr, *smokeOut)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "pqed listening on %s\n", *addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "pqed: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop admitting work, let in-flight requests finish, then close
+	// the listener and connections.
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(stderr, "pqed: drain incomplete: %v\n", err)
+	}
+	return hs.Shutdown(dctx)
+}
+
+// demoDatabase is the built-in instance the smoke workload runs
+// against: a 3-step path shape (unsafe, so estimates exercise the
+// FPRAS) with enough facts to take a few trial batches.
+func demoDatabase() *pqe.Database {
+	d := pqe.NewDatabase()
+	add := func(rel, a, b string, num, den int64) {
+		if err := d.AddFact(rel, big.NewRat(num, den), a, b); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		a := fmt.Sprintf("a%d", i)
+		b := fmt.Sprintf("b%d", i%2)
+		c := fmt.Sprintf("c%d", i%3)
+		add("R1", a, b, 1, 2)
+		add("R2", b, c, 2, 3)
+		add("R3", c, "t", 3, 4)
+	}
+	return d
+}

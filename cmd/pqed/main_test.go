@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeWorkload runs the full in-process smoke lane: scripted
+// one-shot, streamed, burst and delta traffic against a loopback
+// listener, then the /metrics scrape with the zero-shed assertion.
+// This is exactly what `make serve-smoke` runs in CI.
+func TestSmokeWorkload(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-smoke", "-smoke-out", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -smoke: %v\nstderr:\n%s", err, stderr.String())
+	}
+	metrics, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"pqed_requests_total", "pqed_inflight", "pqed_queue_wait_seconds",
+		"pqed_requests_shed_total", "pqed_session_hits_total",
+	} {
+		if !bytes.Contains(metrics, []byte(family)) {
+			t.Errorf("metrics artifact missing %s", family)
+		}
+	}
+	if !strings.Contains(stderr.String(), "smoke: ok") {
+		t.Errorf("smoke did not report ok:\n%s", stderr.String())
+	}
+}
+
+// TestSmokeToStdout: without -smoke-out the scrape lands on stdout.
+func TestSmokeToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-smoke"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -smoke: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "pqed_requests_total") {
+		t.Error("stdout scrape missing pqed_requests_total")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("run without -db or -smoke should fail")
+	}
+	if err := run([]string{"-db", "/does/not/exist.pdb", "-smoke"}, &stdout, &stderr); err == nil {
+		t.Error("run with a missing database file should fail")
+	}
+	if err := run([]string{"-bogus-flag"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+// TestSmokeWithDatabaseFile: -db name=path loads and serves a real
+// database file through the same smoke workload's server (the workload
+// itself runs against "default", which -db also provides here).
+func TestSmokeWithDatabaseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facts.pdb")
+	db := demoDatabase()
+	if err := os.WriteFile(path, []byte(db.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-db", path, "-smoke"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -db -smoke: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "serving \"default\"") {
+		t.Errorf("database file was not loaded:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pqe/internal/serve"
+)
+
+// runSmoke drives a scripted workload through a real loopback listener
+// and asserts the service behaved: every request succeeded, one-shot
+// and streamed estimates agree bit-for-bit, the delta bumped the
+// version, and — at this low offered load — nothing was shed. It then
+// scrapes /metrics, checks the pqed_* families are present, and writes
+// the scrape to outPath (stdout when empty) for the CI artifact.
+func runSmoke(srv *serve.Server, stdout, stderr io.Writer, outPath string) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(stderr, "smoke: serving on %s\n", base)
+
+	query := "R1(x,y), R2(y,z), R3(z,w)"
+	body := func(seed int64) string {
+		return fmt.Sprintf(`{"query":%q,"database":"default","options":{"epsilon":0.3,"trials":5,"seed":%d,"max_procs":2,"timeout_ms":30000}}`, query, seed)
+	}
+
+	// Phase 1: sequential one-shot estimates (a session miss then hits).
+	var oneShot string
+	for i := 0; i < 3; i++ {
+		resp, err := postJSON(base+"/v1/estimate", body(7))
+		if err != nil {
+			return fmt.Errorf("estimate %d: %w", i, err)
+		}
+		p := fmt.Sprint(resp["probability"])
+		if oneShot == "" {
+			oneShot = p
+		} else if p != oneShot {
+			return fmt.Errorf("estimate %d: probability %s != first %s (determinism)", i, p, oneShot)
+		}
+	}
+	fmt.Fprintf(stderr, "smoke: one-shot probability %s\n", oneShot)
+
+	// Phase 2: streamed estimate must match the one-shot bit-for-bit.
+	streamed, trials, err := streamEstimate(base+"/v1/estimate/stream", body(7))
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if streamed != oneShot {
+		return fmt.Errorf("streamed probability %s != one-shot %s", streamed, oneShot)
+	}
+	fmt.Fprintf(stderr, "smoke: streamed matches (%d trial events)\n", trials)
+
+	// Phase 3: a small concurrent burst, all with the same seed — every
+	// response must carry the identical estimate.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := postJSON(base+"/v1/estimate", body(7))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p := fmt.Sprint(resp["probability"]); p != oneShot {
+				errs <- fmt.Errorf("concurrent estimate %s != %s", p, oneShot)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("burst: %w", err)
+	}
+
+	// Phase 4: delta with version check, then re-estimate (new value may
+	// differ — the database changed — but must again be deterministic).
+	dbsResp, err := getJSON(base + "/v1/databases")
+	if err != nil {
+		return fmt.Errorf("databases: %w", err)
+	}
+	version := currentVersion(dbsResp)
+	deltaBody := fmt.Sprintf(`{"database":"default","base_version":%d,"ops":[{"op":"insert","relation":"R1","args":["a9","b0"],"prob":"1/3"}]}`, version)
+	if _, err := postJSON(base+"/v1/delta", deltaBody); err != nil {
+		return fmt.Errorf("delta: %w", err)
+	}
+	after1, err := postJSON(base+"/v1/estimate", body(7))
+	if err != nil {
+		return fmt.Errorf("post-delta estimate: %w", err)
+	}
+	after2, err := postJSON(base+"/v1/estimate", body(7))
+	if err != nil {
+		return fmt.Errorf("post-delta estimate: %w", err)
+	}
+	if fmt.Sprint(after1["probability"]) != fmt.Sprint(after2["probability"]) {
+		return fmt.Errorf("post-delta estimates disagree")
+	}
+	// A stale delta must 409.
+	resp, err := http.Post(base+"/v1/delta", "application/json", strings.NewReader(deltaBody))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("stale delta: status %d, want 409", resp.StatusCode)
+	}
+	fmt.Fprintln(stderr, "smoke: delta + stale-version check ok")
+
+	// Phase 5: scrape and verify metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{"pqed_requests_total", "pqed_inflight", "pqed_queue_wait_seconds", "pqed_request_seconds", "pqed_session_hits_total", "pqed_session_misses_total", "pqed_requests_shed_total"} {
+		if !bytes.Contains(metrics, []byte(family)) {
+			return fmt.Errorf("/metrics is missing %s", family)
+		}
+	}
+	if shed := metricValue(metrics, "pqed_requests_shed_total"); shed != 0 {
+		return fmt.Errorf("pqed_requests_shed_total = %g at low load, want 0", shed)
+	}
+
+	out := io.Writer(stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := out.Write(metrics); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "smoke: ok")
+	return nil
+}
+
+func postJSON(url, body string) (map[string]any, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func getJSON(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// streamEstimate consumes an SSE response and returns the final
+// result's probability (as its JSON literal) plus the trial-event
+// count.
+func streamEstimate(url, body string) (probability string, trials int, err error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return "", 0, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "trial":
+				trials++
+			case "error":
+				return "", trials, fmt.Errorf("stream error: %s", data)
+			case "result":
+				var m map[string]any
+				if err := json.Unmarshal([]byte(data), &m); err != nil {
+					return "", trials, err
+				}
+				return fmt.Sprint(m["probability"]), trials, nil
+			}
+		}
+	}
+	return "", trials, fmt.Errorf("stream ended without a result event (%v)", sc.Err())
+}
+
+// currentVersion digs the "default" database's version out of the
+// /v1/databases response.
+func currentVersion(resp map[string]any) uint64 {
+	list, _ := resp["databases"].([]any)
+	for _, it := range list {
+		m, _ := it.(map[string]any)
+		if m["name"] == "default" {
+			v, _ := m["version"].(float64)
+			return uint64(v)
+		}
+	}
+	return 0
+}
+
+// metricValue extracts a metric's value from a Prometheus text scrape
+// (0 when absent).
+func metricValue(metrics []byte, name string) float64 {
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}

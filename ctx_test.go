@@ -1,0 +1,131 @@
+package pqe
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCtxAlreadyCancelled: an Options.Ctx that is cancelled before the
+// call starts makes every estimate entry point return ctx.Err() without
+// doing any sampling work.
+func TestCtxAlreadyCancelled(t *testing.T) {
+	q := PathQuery("R", 3)
+	d := smallPathDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := &Options{Epsilon: 0.2, Trials: 3, Seed: 7, Ctx: ctx}
+
+	if _, err := Estimate(q, d, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("Estimate: err = %v, want context.Canceled", err)
+	}
+	if _, err := UniformReliability(q, d, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("UniformReliability: err = %v, want context.Canceled", err)
+	}
+	est := NewEstimator(q, d, opts)
+	if _, err := est.Estimate(nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("Estimator.Estimate: err = %v, want context.Canceled", err)
+	}
+	if _, err := est.Probability(nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("Estimator.Probability: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCtxCancelMidSampling: a context cancelled from inside the
+// sampling loop (here: the first per-trial convergence callback) stops
+// the call at the next trial-batch boundary — the engine never starts
+// the remaining batches — and the call reports ctx.Err() instead of a
+// value.
+func TestCtxCancelMidSampling(t *testing.T) {
+	q := PathQuery("R", 3)
+	d := smallPathDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var trials atomic.Int64
+	tel := NewTelemetry()
+	tel.OnTrial(func(TrialUpdate) {
+		if trials.Add(1) == 1 {
+			cancel()
+		}
+	})
+	// Anytime mode (Delta > 0) with a hard certificate and a tall trial
+	// cap: without cancellation this schedule runs many batches.
+	opts := &Options{
+		Epsilon:   0.2,
+		Trials:    64,
+		Delta:     1e-12,
+		Seed:      7,
+		Ctx:       ctx,
+		Telemetry: tel,
+	}
+	if _, err := Estimate(q, d, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Estimate: err = %v, want context.Canceled", err)
+	}
+	if n := trials.Load(); n == 0 || n >= 64 {
+		t.Errorf("trials executed = %d, want in [1, 64): cancellation must stop within one batch", n)
+	}
+}
+
+// TestCtxDeadlineUR: EstimateUR-side (UniformReliability) honours a
+// cancelled context mid-sampling too, through both the tree and the
+// string pipelines.
+func TestCtxDeadlineUR(t *testing.T) {
+	d := smallPathDB(t)
+	for _, tc := range []struct {
+		name string
+		q    *Query
+	}{
+		{"path-string-pipeline", PathQuery("R", 3)},
+		// A non-path shape routes through the tree pipeline (UREstimate).
+		{"tree-pipeline", MustParseQuery("R1(x,y), R2(y,z), R3(w,z)")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var trials atomic.Int64
+			tel := NewTelemetry()
+			tel.OnTrial(func(TrialUpdate) {
+				if trials.Add(1) == 1 {
+					cancel()
+				}
+			})
+			opts := &Options{
+				Epsilon:   0.2,
+				Trials:    64,
+				Delta:     1e-12,
+				Seed:      7,
+				Ctx:       ctx,
+				Telemetry: tel,
+			}
+			if _, err := UniformReliability(tc.q, d, opts); !errors.Is(err, context.Canceled) {
+				t.Fatalf("UniformReliability: err = %v, want context.Canceled", err)
+			}
+			if n := trials.Load(); n == 0 || n >= 64 {
+				t.Errorf("trials executed = %d, want in [1, 64)", n)
+			}
+		})
+	}
+}
+
+// TestCtxNoPerturbation: attaching a live (never-cancelled) context
+// must not change seeded results — bit-identical to a nil-Ctx run.
+func TestCtxNoPerturbation(t *testing.T) {
+	q := PathQuery("R", 3)
+	d := smallPathDB(t)
+	base := &Options{Epsilon: 0.2, Trials: 5, Seed: 11}
+	want, err := Estimate(q, d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx := *base
+	withCtx.Ctx = context.Background()
+	got, err := Estimate(q, d, &withCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Estimate with Ctx = %v, without = %v; want bit-identical", got, want)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"pqe/internal/count"
@@ -87,6 +88,22 @@ type Options struct {
 	// an Estimator still keeps a private registry so BuildStats works;
 	// tracing and convergence stay off.
 	Obs *obs.Scope
+	// Ctx, when non-nil, bounds the call: the FPRAS sampling loops
+	// observe cancellation at every trial-batch boundary (plus queued
+	// trials and overlap dispatches) and the estimate entry points return
+	// Ctx.Err() instead of a value. Construction stages are not
+	// interruptible — a deadline that expires mid-build is reported at
+	// the next check. Nil means no deadline (the previous behaviour).
+	Ctx context.Context
+}
+
+// ctxErr surfaces a cancelled call's context error (nil Ctx never
+// cancels).
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // anytime reports whether the FPRAS counting calls use sequential
@@ -108,6 +125,7 @@ func (o Options) countOptions(sc *obs.Scope) count.Options {
 		Workers:  o.Workers,
 		Stats:    o.CountStats,
 		Obs:      sc,
+		Ctx:      o.Ctx,
 	}
 }
 
@@ -124,6 +142,7 @@ func (o Options) nfaOptions(sc *obs.Scope) nfa.CountOptions {
 		Workers:  o.Workers,
 		Stats:    o.NFAStats,
 		Obs:      sc,
+		Ctx:      o.Ctx,
 	}
 }
 

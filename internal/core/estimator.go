@@ -505,6 +505,9 @@ func (e *Estimator) pathPQEReduction() (*reduction.PathPQEReduction, error) {
 // pipeline, reusing the cached automaton. opts supplies the counting
 // knobs for this call.
 func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
+	if err := opts.ctxErr(); err != nil {
+		return efloat.Zero, err
+	}
 	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.path_estimate")
 	defer span.End()
@@ -514,6 +517,9 @@ func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
 	}
 	proj := e.proj()
 	c := nfa.Count(m, proj.Size(), opts.nfaOptions(sc))
+	if err := opts.ctxErr(); err != nil {
+		return efloat.Zero, err // the counting loop bailed early; its value is garbage
+	}
 	// UR(Q, D) = UR(Q, D') · 2^(|D|−|D'|): facts over relations outside
 	// the query are free to be present or absent.
 	return c.Mul(efloat.Pow2(int64(e.d.Size() - proj.Size()))), nil
@@ -522,6 +528,9 @@ func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
 // UREstimate approximates UR(Q, D) through the Theorem 3 tree pipeline,
 // reusing the cached reduction.
 func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
+	if err := opts.ctxErr(); err != nil {
+		return efloat.Zero, err
+	}
 	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.ur_estimate")
 	defer span.End()
@@ -530,6 +539,9 @@ func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
 		return efloat.Zero, err
 	}
 	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions(sc))
+	if err := opts.ctxErr(); err != nil {
+		return efloat.Zero, err // the counting loop bailed early; its value is garbage
+	}
 	return c.Mul(efloat.Pow2(int64(e.d.Size() - e.proj().Size()))), nil
 }
 
@@ -539,6 +551,9 @@ func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
 	if e.h == nil {
 		return 0, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	if err := opts.ctxErr(); err != nil {
+		return 0, err
+	}
 	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.pqe_estimate")
 	defer span.End()
@@ -547,6 +562,9 @@ func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
 		return 0, err
 	}
 	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions(sc))
+	if err := opts.ctxErr(); err != nil {
+		return 0, err // the counting loop bailed early; its value is garbage
+	}
 	return c.Ratio(efloat.FromBigInt(weighted.DenProduct)), nil
 }
 
@@ -556,6 +574,9 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 	if e.h == nil {
 		return 0, fmt.Errorf("core: estimator was built without probabilities")
 	}
+	if err := opts.ctxErr(); err != nil {
+		return 0, err
+	}
 	e.syncVersion()
 	sc, span := e.scope(opts).Span("pqe.path_pqe_estimate")
 	defer span.End()
@@ -564,6 +585,9 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 		return 0, err
 	}
 	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions(sc))
+	if err := opts.ctxErr(); err != nil {
+		return 0, err // the counting loop bailed early; its value is garbage
+	}
 	return c.Ratio(efloat.FromBigInt(red.DenProduct)), nil
 }
 
@@ -575,6 +599,9 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 func (e *Estimator) Evaluate(opts Options) (Result, error) {
 	if e.h == nil {
 		return Result{}, fmt.Errorf("core: estimator was built without probabilities")
+	}
+	if err := opts.ctxErr(); err != nil {
+		return Result{}, err
 	}
 	e.syncVersion()
 	strategy := opts.Strategy

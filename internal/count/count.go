@@ -45,6 +45,7 @@
 package count
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -122,9 +123,22 @@ type Options struct {
 	// convergence records. A nil Scope disables all of it at the cost of
 	// a pointer test.
 	Obs *obs.Scope
+	// Ctx, when non-nil, lets callers cancel a call mid-sampling:
+	// cancellation is observed at every trial-batch boundary, before each
+	// queued trial starts, and before each overlap-sampling dispatch, so
+	// a cancelled call abandons its remaining work within one batch. The
+	// value Trees returns after a cancellation is meaningless — callers
+	// must check Ctx.Err() and discard it (internal/core does). A nil Ctx
+	// (the default) never cancels and adds no per-sample cost.
+	Ctx context.Context
 
 	// procs is the resolved scheduler width, filled by withDefaults.
 	procs int
+}
+
+// cancelled reports whether the call's context has been cancelled.
+func (o Options) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // Stats reports how much work the estimator did.
@@ -213,6 +227,9 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 	runs := make([]*run, opts.Trials)
 	call := newCallState(pl, opts.procs)
 	trial := func(w *sched.Worker, t int) {
+		if opts.cancelled() {
+			return // queued after cancellation; the caller discards the call
+		}
 		tspan := span.Start("trial")
 		var tt0 time.Time
 		if conv != nil || tspan != nil {
@@ -260,6 +277,9 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 		sp := seqstop.New(opts.Epsilon, opts.Delta, opts.Trials, opts.MinTrials)
 		executed = 0
 		for executed < opts.Trials {
+			if opts.cancelled() {
+				break // per-batch deadline check; result is discarded
+			}
 			base := executed
 			next := sp.NextBatch(base)
 			bst := sched.Run(sched.Config{
@@ -313,6 +333,9 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 	}
 	span.End()
 	pl.release(runs, call)
+	if len(results) == 0 {
+		return efloat.Zero // cancelled before any batch ran; caller discards
+	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
 }
@@ -415,6 +438,11 @@ type run struct {
 	memoHits     int    // estimation-path memo-table hits (misses = keys)
 	siteSeq      uint64 // sampling-site counter for sub-RNG derivation
 
+	// ctx cancels overlap-sampling dispatches mid-trial; the trial's
+	// tables then hold garbage, which is fine because the whole call's
+	// result is discarded by the caller (see Options.Ctx).
+	ctx context.Context
+
 	w    *sched.Worker // scheduler worker driving this trial
 	call *callState    // per-call shared worker samplers
 
@@ -432,6 +460,7 @@ func (r *run) reset() {
 	clear(r.splitPfx)
 	r.pfx.reset()
 	r.unionSamples, r.memoHits, r.siteSeq = 0, 0, 0
+	r.ctx = nil
 	r.w, r.call, r.top = nil, nil, nil
 }
 
@@ -517,6 +546,9 @@ func (r *run) unionLookup(en *symTrans, n int) efloat.E {
 func (r *run) countFresh(tuples []int, j, n int) int {
 	site := r.siteSeq
 	r.siteSeq++
+	if r.ctx != nil && r.ctx.Err() != nil {
+		return 0 // cancelled: skip the dispatch, the call is discarded
+	}
 	r.unionSamples += r.samples
 	call := r.call
 	return r.w.Sum(r.samples, func(w *sched.Worker, lo, hi int) int {

@@ -1,6 +1,7 @@
 package nfa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -85,9 +86,22 @@ type CountOptions struct {
 	// convergence records. A nil Scope disables all of it at the cost of
 	// a pointer test.
 	Obs *obs.Scope
+	// Ctx, when non-nil, lets callers cancel a call mid-sampling:
+	// cancellation is observed at every trial-batch boundary, before each
+	// queued trial starts, and before each overlap-sampling dispatch, so
+	// a cancelled call abandons its remaining work within one batch. The
+	// value Count returns after a cancellation is meaningless — callers
+	// must check Ctx.Err() and discard it (internal/core does). A nil Ctx
+	// (the default) never cancels and adds no per-sample cost.
+	Ctx context.Context
 
 	// procs is the resolved scheduler width, filled by withDefaults.
 	procs int
+}
+
+// cancelled reports whether the call's context has been cancelled.
+func (o CountOptions) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // Stats reports how much work the estimator did.
@@ -173,6 +187,9 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 	runs := make([]*wordRun, opts.Trials)
 	call := newCallState(pl, opts.procs)
 	trial := func(w *sched.Worker, t int) {
+		if opts.cancelled() {
+			return // queued after cancellation; the caller discards the call
+		}
 		tspan := span.Start("trial")
 		var tt0 time.Time
 		if conv != nil || tspan != nil {
@@ -220,6 +237,9 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 		sp := seqstop.New(opts.Epsilon, opts.Delta, opts.Trials, opts.MinTrials)
 		executed = 0
 		for executed < opts.Trials {
+			if opts.cancelled() {
+				break // per-batch deadline check; result is discarded
+			}
 			base := executed
 			next := sp.NextBatch(base)
 			bst := sched.Run(sched.Config{
@@ -271,6 +291,9 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 	}
 	span.End()
 	pl.release(runs, call)
+	if len(results) == 0 {
+		return efloat.Zero // cancelled before any batch ran; caller discards
+	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
 	return results[len(results)/2]
 }
@@ -352,6 +375,11 @@ type wordRun struct {
 	unionSamples int
 	memoHits     int // estimation-path memo-table hits (misses = keys)
 
+	// ctx cancels overlap-sampling dispatches mid-trial; the trial's
+	// tables then hold garbage, which is fine because the whole call's
+	// result is discarded by the caller (see CountOptions.Ctx).
+	ctx context.Context
+
 	w    *sched.Worker // scheduler worker driving this trial
 	call *callState    // per-call shared worker samplers
 
@@ -367,6 +395,7 @@ func (r *wordRun) reset() {
 	clear(r.targetPfx)
 	r.pfx.reset()
 	r.unionSamples, r.memoHits = 0, 0
+	r.ctx = nil
 	r.w, r.call, r.top = nil, nil, nil
 }
 
@@ -478,6 +507,9 @@ func (r *wordRun) unionLookup(en *ixEntry, l int) efloat.E {
 // sub-RNGs keep the count identical for every worker count and
 // partition.
 func (r *wordRun) countFresh(targets []int, j, l int, site uint64) int {
+	if r.ctx != nil && r.ctx.Err() != nil {
+		return 0 // cancelled: skip the dispatch, the call is discarded
+	}
 	r.unionSamples += r.samples
 	call := r.call
 	return r.w.Sum(r.samples, func(w *sched.Worker, lo, hi int) int {

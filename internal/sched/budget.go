@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// Budget is a weighted FIFO admission semaphore over scheduler slots.
+// It sits in front of the work-stealing scheduler: a caller that wants
+// to run a counting call with MaxProcs = n first acquires n tokens, so
+// the sum of concurrently admitted calls' worker counts never exceeds
+// the process-wide budget. Waiters are granted strictly in arrival
+// order — a wide request at the head of the queue blocks narrower
+// later arrivals instead of being starved by them.
+//
+// All methods are safe for concurrent use.
+type Budget struct {
+	mu      sync.Mutex
+	cap     int
+	used    int
+	waiters []*budgetWaiter // FIFO; nil entries are abandoned slots
+}
+
+type budgetWaiter struct {
+	n     int
+	ready chan struct{} // closed when granted
+}
+
+// NewBudget returns a budget of the given capacity (minimum 1).
+func NewBudget(capacity int) *Budget {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Budget{cap: capacity}
+}
+
+// Capacity returns the total token count.
+func (b *Budget) Capacity() int { return b.cap }
+
+// InUse returns the currently acquired token count.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Waiting returns the number of queued waiters.
+func (b *Budget) Waiting() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := 0
+	for _, w := range b.waiters {
+		if w != nil {
+			k++
+		}
+	}
+	return k
+}
+
+// clamp bounds a request to something grantable: at least one token,
+// at most the whole budget (a wider request would deadlock).
+func (b *Budget) clamp(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > b.cap {
+		n = b.cap
+	}
+	return n
+}
+
+// TryAcquire acquires n tokens (clamped to [1, Capacity]) without
+// blocking. It returns the granted count, or 0 when the tokens are not
+// immediately available or waiters are already queued (FIFO: a
+// non-blocking caller must not overtake the queue).
+func (b *Budget) TryAcquire(n int) int {
+	n = b.clamp(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.queuedLocked() || b.used+n > b.cap {
+		return 0
+	}
+	b.used += n
+	return n
+}
+
+// Acquire acquires n tokens (clamped to [1, Capacity]), blocking in
+// FIFO order until they are available or ctx is done. It returns the
+// granted count; the caller must Release exactly that count. On
+// cancellation it returns 0 and ctx.Err(), and no tokens are held.
+func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
+	n = b.clamp(n)
+	b.mu.Lock()
+	if !b.queuedLocked() && b.used+n <= b.cap {
+		b.used += n
+		b.mu.Unlock()
+		return n, nil
+	}
+	if ctx != nil && ctx.Err() != nil {
+		b.mu.Unlock()
+		return 0, ctx.Err()
+	}
+	w := &budgetWaiter{n: n, ready: make(chan struct{})}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-done:
+		b.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: hand the tokens
+			// back rather than racing the caller's error path.
+			b.used -= w.n
+			b.grantLocked()
+			b.mu.Unlock()
+			return 0, ctx.Err()
+		default:
+		}
+		for i, q := range b.waiters {
+			if q == w {
+				b.waiters[i] = nil
+				break
+			}
+		}
+		// Abandoning the head may unblock the next waiter.
+		b.grantLocked()
+		b.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// Release returns n tokens and wakes queued waiters in order.
+func (b *Budget) Release(n int) {
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		b.mu.Unlock()
+		panic("sched: Budget.Release of unacquired tokens")
+	}
+	b.grantLocked()
+	b.mu.Unlock()
+}
+
+// queuedLocked reports whether any live waiter is queued.
+func (b *Budget) queuedLocked() bool {
+	for _, w := range b.waiters {
+		if w != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// grantLocked grants queued waiters from the head while they fit,
+// compacting abandoned entries as it goes. FIFO: it stops at the first
+// live waiter that does not fit.
+func (b *Budget) grantLocked() {
+	i := 0
+	for ; i < len(b.waiters); i++ {
+		w := b.waiters[i]
+		if w == nil {
+			continue
+		}
+		if b.used+w.n > b.cap {
+			break
+		}
+		b.used += w.n
+		close(w.ready)
+		b.waiters[i] = nil
+	}
+	// Drop the fully consumed prefix so the queue does not grow without
+	// bound across bursts.
+	j := 0
+	for ; j < len(b.waiters) && b.waiters[j] == nil; j++ {
+	}
+	if j > 0 {
+		b.waiters = append(b.waiters[:0], b.waiters[j:]...)
+	}
+}

@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBudgetTryAcquire(t *testing.T) {
+	b := NewBudget(4)
+	if got := b.TryAcquire(3); got != 3 {
+		t.Fatalf("TryAcquire(3) = %d, want 3", got)
+	}
+	if got := b.TryAcquire(2); got != 0 {
+		t.Fatalf("TryAcquire(2) over capacity = %d, want 0", got)
+	}
+	if got := b.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	b.Release(3)
+	// Requests clamp to capacity instead of deadlocking.
+	if got := b.TryAcquire(99); got != 4 {
+		t.Fatalf("TryAcquire(99) = %d, want clamp to 4", got)
+	}
+	b.Release(4)
+	if got := b.TryAcquire(0); got != 1 {
+		t.Fatalf("TryAcquire(0) = %d, want clamp to 1", got)
+	}
+	b.Release(1)
+}
+
+func TestBudgetFIFO(t *testing.T) {
+	b := NewBudget(4)
+	if _, err := b.Acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-capacity requests so grants serialize: waiter i+1 can only
+	// be granted after waiter i releases, making the grant order
+	// exactly the queue order. Each waiter is launched only after the
+	// previous one is observably enqueued, so the queue order is
+	// deterministic too.
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := b.Acquire(context.Background(), 4)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			b.Release(n)
+		}()
+		for b.Waiting() != i {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.Release(4)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("grant order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestBudgetNoOvertake: with a waiter queued, a non-blocking acquire
+// is refused even when enough tokens are free for it — narrow requests
+// must not starve a wide waiter.
+func TestBudgetNoOvertake(t *testing.T) {
+	b := NewBudget(4)
+	if _, err := b.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, err := b.Acquire(context.Background(), 2) // needs 2, only 1 free
+		if err != nil {
+			t.Errorf("wide waiter: %v", err)
+			return
+		}
+		b.Release(n)
+	}()
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Errorf("TryAcquire(1) = %d with a queued waiter, want 0 (no overtaking)", got)
+	}
+	b.Release(3)
+	<-done
+}
+
+func TestBudgetAcquireCancel(t *testing.T) {
+	b := NewBudget(2)
+	if _, err := b.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Acquire(ctx, 1)
+		errc <- err
+	}()
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire after cancel: err = %v, want context.Canceled", err)
+	}
+	if got := b.Waiting(); got != 0 {
+		t.Fatalf("Waiting after cancel = %d, want 0", got)
+	}
+	// The abandoned waiter must not wedge the queue: a later waiter
+	// still gets granted on release.
+	go func() {
+		n, err := b.Acquire(context.Background(), 2)
+		if err == nil {
+			b.Release(n)
+		}
+		errc <- err
+	}()
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Release(2)
+	if err := <-errc; err != nil {
+		t.Fatalf("post-cancel Acquire: %v", err)
+	}
+}
+
+func TestBudgetCancelledBeforeAcquire(t *testing.T) {
+	b := NewBudget(2)
+	if _, err := b.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n, err := b.Acquire(ctx, 1); n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire(cancelled) = (%d, %v), want (0, context.Canceled)", n, err)
+	}
+	b.Release(2)
+}
+
+// TestBudgetStress hammers the budget from many goroutines and checks
+// the capacity invariant is never violated. Run under -race for the
+// concurrency guarantees.
+func TestBudgetStress(t *testing.T) {
+	const cap = 6
+	b := NewBudget(cap)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				want := 1 + (g+i)%cap
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if (g+i)%7 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+				}
+				n, err := b.Acquire(ctx, want)
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					continue
+				}
+				cur := inUse.Add(int64(n))
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				if cur > cap {
+					t.Errorf("in-use %d exceeds capacity %d", cur, cap)
+				}
+				inUse.Add(-int64(n))
+				b.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.InUse() != 0 {
+		t.Errorf("InUse after drain = %d, want 0", b.InUse())
+	}
+	if b.Waiting() != 0 {
+		t.Errorf("Waiting after drain = %d, want 0", b.Waiting())
+	}
+	if peak.Load() == 0 {
+		t.Error("no acquisition ever succeeded")
+	}
+}

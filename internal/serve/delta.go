@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/big"
+	"net/http"
+
+	"pqe"
+)
+
+// deltaRequest is the body of POST /v1/delta.
+type deltaRequest struct {
+	Database string `json:"database"`
+	// BaseVersion, when present, is an optimistic concurrency check:
+	// the delta applies only if the database is still at this version,
+	// otherwise the request fails with 409 and the current version.
+	BaseVersion *uint64       `json:"base_version"`
+	Ops         []deltaOpJSON `json:"ops"`
+}
+
+type deltaOpJSON struct {
+	Op       string   `json:"op"` // "insert", "delete" or "reweight"
+	Relation string   `json:"relation"`
+	Args     []string `json:"args"`
+	// Prob is a rational ("2/3") or decimal ("0.5") probability;
+	// required for insert and reweight, ignored for delete.
+	Prob string `json:"prob"`
+}
+
+type deltaResponse struct {
+	Database  string `json:"database"`
+	Version   uint64 `json:"version"`
+	Inserts   int    `json:"inserts"`
+	Deletes   int    `json:"deletes"`
+	Reweights int    `json:"reweights"`
+}
+
+// handleDelta applies a fact-level delta under the database write lock:
+// it waits for in-flight estimates over this database to finish, checks
+// the optimistic version, applies atomically, and retires every cached
+// session of the database (their keys embed the old version).
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("pqed_deltas_total").Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req deltaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Database == "" {
+		req.Database = "default"
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty delta")
+		return
+	}
+	delta := pqe.NewDelta()
+	for i, op := range req.Ops {
+		var prob *big.Rat
+		if op.Op == "insert" || op.Op == "reweight" {
+			if op.Prob == "" {
+				writeError(w, http.StatusBadRequest, "op %d: %s needs a prob", i, op.Op)
+				return
+			}
+			prob = new(big.Rat)
+			if _, ok := prob.SetString(op.Prob); !ok {
+				writeError(w, http.StatusBadRequest, "op %d: bad prob %q", i, op.Prob)
+				return
+			}
+		}
+		switch op.Op {
+		case "insert":
+			delta.Insert(op.Relation, prob, op.Args...)
+		case "delete":
+			delta.Delete(op.Relation, op.Args...)
+		case "reweight":
+			delta.Reweight(op.Relation, prob, op.Args...)
+		default:
+			writeError(w, http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	ent := s.dbs[req.Database]
+	s.mu.Unlock()
+	if ent == nil {
+		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		return
+	}
+
+	ent.mu.Lock()
+	if req.BaseVersion != nil && *req.BaseVersion != ent.db.Version() {
+		cur := ent.db.Version()
+		ent.mu.Unlock()
+		s.reg.Counter("pqed_delta_conflicts_total").Inc()
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:   "stale base_version",
+			Version: cur,
+		})
+		return
+	}
+	sum, err := ent.db.ApplyDelta(delta)
+	version := ent.db.Version()
+	ent.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "delta rejected: %v", err)
+		return
+	}
+	// Sessions for the pre-delta version can never be hit again (the
+	// key embeds the version); drop them now so their automata free.
+	s.mu.Lock()
+	s.sessions.evictDatabase(req.Database, s.reg)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Database:  req.Database,
+		Version:   version,
+		Inserts:   sum.Inserts,
+		Deletes:   sum.Deletes,
+		Reweights: sum.Reweights,
+	})
+}

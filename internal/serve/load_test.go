@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadMixedTraffic hammers the server from many goroutine clients
+// with a mix of easy estimates, streamed estimates, hard estimates and
+// deltas, against a deliberately small worker budget. It asserts:
+//
+//   - no request is starved: with a generous queue wait every request
+//     completes (FIFO admission — wide requests are not overtaken
+//     forever by narrow ones);
+//   - nothing is shed at this queue-wait (pqed_requests_shed_total 0);
+//   - concurrent identical requests are bit-identical: every estimate
+//     of the fixed-seed query against the static database returns the
+//     same float64 bits, one-shot and streamed alike.
+//
+// Deltas run against a second database so they cannot perturb the
+// bit-identity assertion. Run with -race: the point is exercising the
+// admission, session-LRU and SSE paths concurrently.
+func TestLoadMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	s := NewServer(Config{Budget: 2, QueueWait: 60 * time.Second, MaxSessions: 8})
+	s.AddDatabase("static", testDB(t, 4))
+	s.AddDatabase("mutable", testDB(t, 4))
+	ts := httptestServer(t, s)
+
+	staticBody := fmt.Sprintf(`{"query":%q,"database":"static","options":{"epsilon":0.5,"trials":3,"seed":7,"max_procs":2}}`, pathQuery)
+	hardBody := fmt.Sprintf(`{"query":%q,"database":"static","options":{"epsilon":0.35,"trials":3,"seed":7,"max_procs":2}}`, pathQuery)
+
+	var (
+		mu        sync.Mutex
+		seenBits  = map[string]map[uint64]bool{} // body -> distinct result bits
+		completed atomic.Int64
+	)
+	record := func(body string, p float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		m := seenBits[body]
+		if m == nil {
+			m = map[uint64]bool{}
+			seenBits[body] = m
+		}
+		m[math.Float64bits(p)] = true
+	}
+
+	const clients = 12
+	const iters = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*iters)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (c + i) % 4 {
+				case 0: // easy one-shot
+					resp, data := post(t, ts+"/v1/estimate", staticBody)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("client %d: easy status %d: %s", c, resp.StatusCode, data)
+						continue
+					}
+					var r estimateResponse
+					if err := json.Unmarshal(data, &r); err != nil {
+						errs <- err
+						continue
+					}
+					record(staticBody, r.Probability)
+					completed.Add(1)
+				case 1: // streamed
+					r, _, err := streamResult(t, ts, staticBody)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: stream: %w", c, err)
+						continue
+					}
+					record(staticBody, r.Probability)
+					completed.Add(1)
+				case 2: // harder estimate, still bounded
+					resp, data := post(t, ts+"/v1/estimate", hardBody)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("client %d: hard status %d: %s", c, resp.StatusCode, data)
+						continue
+					}
+					var r estimateResponse
+					if err := json.Unmarshal(data, &r); err != nil {
+						errs <- err
+						continue
+					}
+					record(hardBody, r.Probability)
+					completed.Add(1)
+				case 3: // delta traffic on the mutable database
+					body := fmt.Sprintf(`{"database":"mutable","ops":[{"op":"insert","relation":"R1","args":["x%d_%d","b0"],"prob":"1/4"}]}`, c, i)
+					resp, data := post(t, ts+"/v1/delta", body)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("client %d: delta status %d: %s", c, resp.StatusCode, data)
+						continue
+					}
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got, want := completed.Load(), int64(clients*iters); got != want {
+		t.Errorf("completed %d/%d requests (starvation?)", got, want)
+	}
+	for body, bits := range seenBits {
+		if len(bits) != 1 {
+			t.Errorf("request %s returned %d distinct results, want 1 (bit-identity)", body, len(bits))
+		}
+	}
+	if shed := s.Registry().Counter("pqed_requests_shed_total").Value(); shed != 0 {
+		t.Errorf("pqed_requests_shed_total = %d under generous queue wait, want 0", shed)
+	}
+	if inflight := s.Registry().Gauge("pqed_inflight").Value(); inflight != 0 {
+		t.Errorf("pqed_inflight = %v after drain, want 0", inflight)
+	}
+}
+
+// TestLoadShedAccounting saturates a tiny budget with a short queue
+// wait and checks the books: every 429 the clients saw is counted by
+// pqed_requests_shed_total, every 429 carries Retry-After, and
+// successful responses remain bit-identical.
+func TestLoadShedAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	s := NewServer(Config{Budget: 1, QueueWait: 20 * time.Millisecond})
+	s.AddDatabase("default", testDB(t, 4))
+	ts := httptestServer(t, s)
+
+	// Medium-weight requests so several overlap on the 1-token budget.
+	body := estimateBody(7, 0.35, 3, `,"max_procs":1`)
+	var shed429, ok200 atomic.Int64
+	var mu sync.Mutex
+	bits := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for c := 0; c < 10; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := post(t, ts+"/v1/estimate", body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var r estimateResponse
+				if err := json.Unmarshal(data, &r); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				bits[math.Float64bits(r.Probability)] = true
+				mu.Unlock()
+				ok200.Add(1)
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed429.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Registry().Counter("pqed_requests_shed_total").Value(); got != shed429.Load() {
+		t.Errorf("pqed_requests_shed_total = %d, clients saw %d 429s", got, shed429.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Error("every request was shed; at least the first should be admitted")
+	}
+	if len(bits) > 1 {
+		t.Errorf("successful responses returned %d distinct results, want 1", len(bits))
+	}
+	t.Logf("load: %d ok, %d shed", ok200.Load(), shed429.Load())
+}
+
+// httptestServer mounts the handler and returns the base URL.
+func httptestServer(t testing.TB, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

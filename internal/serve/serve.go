@@ -1,0 +1,481 @@
+// Package serve exposes the pqe engines as a long-lived HTTP/JSON
+// service. A Server owns named probabilistic databases and a bounded
+// LRU of Estimator sessions keyed by (query, database, version), so
+// repeated estimates of the same query reuse the cached decomposition
+// and automata across requests. Concurrent requests are admitted
+// against a shared scheduler budget (sched.Budget): each request holds
+// MaxProcs worker tokens for the duration of its counting call, and a
+// request that cannot be admitted within the configured queue wait is
+// shed with 429 and a Retry-After hint. Per-request deadlines thread a
+// context into the sampling loops, so an expired deadline stops work
+// within one trial batch and surfaces as 504.
+//
+// Endpoints:
+//
+//	POST /v1/estimate          one-shot estimate (JSON in, JSON out)
+//	POST /v1/estimate/stream   same request, SSE: per-trial convergence
+//	                           events, then a final "result" event
+//	POST /v1/delta             fact-level delta with optimistic version
+//	                           check (409 on stale base_version)
+//	GET  /v1/databases         the served databases and their versions
+//	GET  /metrics              pqed_* service metrics + engine metrics
+//	GET  /snapshot.json, /trace.json, /debug/pprof/*  (obs debug)
+//
+// Determinism: the service inherits the engines' invariant that a
+// seeded estimate is a pure function of (query, database, seed) — the
+// same request body returns the bit-identical estimate whether issued
+// one-shot or streamed, sequentially or concurrently with itself.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqe"
+	"pqe/internal/obs"
+	"pqe/internal/sched"
+)
+
+// Config sizes the server. Zero values pick sane defaults.
+type Config struct {
+	// Budget is the shared worker-token pool: the sum of admitted
+	// requests' MaxProcs never exceeds it. Default 4.
+	Budget int
+	// MaxSessions bounds the Estimator session LRU. Default 64.
+	MaxSessions int
+	// QueueWait is how long a request may wait for budget admission
+	// before being shed with 429. Default 2s.
+	QueueWait time.Duration
+	// DefaultTimeout bounds a request that does not set timeout_ms.
+	// Default 30s.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 4
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP service state. Create one with NewServer, mount
+// Handler on a listener, and Drain before exit.
+type Server struct {
+	cfg    Config
+	budget *sched.Budget
+	reg    *obs.Registry  // pqed_* service metrics
+	tel    *pqe.Telemetry // engine-side telemetry (construction stages)
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	dbs      map[string]*dbEntry
+	sessions *sessionLRU
+
+	inflight sync.WaitGroup
+	draining atomic.Bool
+}
+
+// dbEntry is one served database. The RWMutex serializes deltas
+// (writers) against in-flight estimates (readers): an estimate holds
+// the read lock for its whole counting call, so a delta never mutates
+// fact storage under a running sampler.
+type dbEntry struct {
+	name string
+	mu   sync.RWMutex
+	db   *pqe.Database
+}
+
+// NewServer builds a server from cfg with no databases; register them
+// with AddDatabase before serving.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		budget:   sched.NewBudget(cfg.Budget),
+		reg:      obs.NewRegistry(),
+		tel:      pqe.NewTelemetry(),
+		dbs:      make(map[string]*dbEntry),
+		sessions: newSessionLRU(cfg.MaxSessions),
+	}
+	// Touch every pqed_* family now so the full set appears in /metrics
+	// from the first scrape (a counter that never fires still exports 0).
+	for _, name := range []string{
+		"pqed_requests_total", "pqed_requests_shed_total", "pqed_deadlines_total",
+		"pqed_session_hits_total", "pqed_session_misses_total", "pqed_session_evictions_total",
+		"pqed_deltas_total", "pqed_delta_conflicts_total",
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Gauge("pqed_inflight")
+	s.reg.Histogram("pqed_queue_wait_seconds")
+	s.reg.Histogram("pqed_request_seconds")
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/estimate/stream", s.handleEstimateStream)
+	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
+	s.mux.HandleFunc("GET /v1/databases", s.handleDatabases)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("/", s.tel.DebugHandler()) // snapshot.json, trace.json, pprof
+	return s
+}
+
+// AddDatabase registers db under name (replacing any previous
+// registration) and drops sessions keyed to the replaced database.
+func (s *Server) AddDatabase(name string, db *pqe.Database) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dbs[name] = &dbEntry{name: name, db: db}
+	s.sessions.evictDatabase(name, s.reg)
+}
+
+// Handler returns the root handler (the API plus the obs debug
+// endpoints) for mounting on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting new work (503) and waits until every in-flight
+// request has finished or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Budget exposes the admission semaphore (tests saturate it directly
+// to exercise the shed path deterministically).
+func (s *Server) Budget() *sched.Budget { return s.budget }
+
+// Registry exposes the pqed_* metrics registry for tests.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// estimateRequest is the body of /v1/estimate and /v1/estimate/stream.
+type estimateRequest struct {
+	Query    string          `json:"query"`
+	Database string          `json:"database"`
+	Options  estimateOptions `json:"options"`
+}
+
+type estimateOptions struct {
+	// Mode selects the computation: "probability" (routed; default),
+	// "estimate" (FPRAS always) or "ur" (uniform reliability).
+	Mode       string  `json:"mode"`
+	Epsilon    float64 `json:"epsilon"`
+	Trials     int     `json:"trials"`
+	Delta      float64 `json:"delta"`
+	Seed       int64   `json:"seed"`
+	MaxWidth   int     `json:"max_width"`
+	MaxProcs   int     `json:"max_procs"`
+	Strategy   string  `json:"strategy"`
+	ForceFPRAS bool    `json:"force_fpras"`
+	TimeoutMS  int64   `json:"timeout_ms"`
+}
+
+// estimateResponse is the one-shot response body and the streamed
+// "result" event payload.
+type estimateResponse struct {
+	Probability float64 `json:"probability,omitempty"`
+	UR          string  `json:"ur,omitempty"` // mode "ur" only
+	Exact       bool    `json:"exact"`
+	Method      string  `json:"method,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+	Trials      int64   `json:"trials"`
+	Database    string  `json:"database"`
+	Version     uint64  `json:"version"`
+	Cache       string  `json:"cache"` // session LRU: "hit" or "miss"
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Version carries the current database version on 409 responses.
+	Version uint64 `json:"version,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit performs the shared request prologue: drain check, body decode,
+// query parse, database lookup, budget admission, deadline setup. On
+// success it returns a prepared call; the caller must invoke
+// call.release() when done. On failure it has already written the
+// response and returns nil.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) *call {
+	s.reg.Counter("pqed_requests_total").Inc()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil
+	}
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil
+	}
+	q, err := pqe.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return nil
+	}
+	if req.Database == "" {
+		req.Database = "default"
+	}
+	s.mu.Lock()
+	ent := s.dbs[req.Database]
+	s.mu.Unlock()
+	if ent == nil {
+		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		return nil
+	}
+	switch req.Options.Mode {
+	case "", "probability", "estimate", "ur":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Options.Mode)
+		return nil
+	}
+
+	// Admission: hold MaxProcs tokens of the shared budget for the
+	// duration of the counting call, waiting at most QueueWait.
+	s.inflight.Add(1)
+	s.reg.Gauge("pqed_inflight").Add(1)
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), s.cfg.QueueWait)
+	t0 := time.Now()
+	tokens, err := s.budget.Acquire(waitCtx, req.Options.MaxProcs)
+	cancelWait()
+	wait := time.Since(t0)
+	s.reg.Histogram("pqed_queue_wait_seconds").Observe(wait.Seconds())
+	if err != nil {
+		s.reg.Gauge("pqed_inflight").Add(-1)
+		s.inflight.Done()
+		if r.Context().Err() != nil {
+			// Client went away while queued; nothing to say to it.
+			writeError(w, http.StatusRequestTimeout, "client cancelled while queued")
+			return nil
+		}
+		s.reg.Counter("pqed_requests_shed_total").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueueWait)))
+		writeError(w, http.StatusTooManyRequests,
+			"budget saturated: %d/%d workers in use, %d queued",
+			s.budget.InUse(), s.budget.Capacity(), s.budget.Waiting())
+		return nil
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.Options.TimeoutMS > 0 {
+		timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return &call{s: s, req: req, q: q, ent: ent, tokens: tokens, ctx: ctx, cancel: cancel, start: t0}
+}
+
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int(wait / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// call is one admitted estimate request.
+type call struct {
+	s      *Server
+	req    estimateRequest
+	q      *pqe.Query
+	ent    *dbEntry
+	tokens int
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+}
+
+func (c *call) release() {
+	c.cancel()
+	c.s.budget.Release(c.tokens)
+	c.s.reg.Gauge("pqed_inflight").Add(-1)
+	c.s.reg.Histogram("pqed_request_seconds").Observe(time.Since(c.start).Seconds())
+	c.s.inflight.Done()
+}
+
+// options builds the per-call pqe.Options: the request knobs, the
+// deadline context, and a per-request telemetry whose OnTrial feed
+// counts trials (and, when streaming, emits SSE events). Attaching
+// telemetry never perturbs seeded results, so one-shot and streamed
+// runs of the same request are bit-identical.
+func (c *call) options(tel *pqe.Telemetry) *pqe.Options {
+	o := c.req.Options
+	return &pqe.Options{
+		Epsilon:    o.Epsilon,
+		Trials:     o.Trials,
+		Delta:      o.Delta,
+		Seed:       o.Seed,
+		MaxWidth:   o.MaxWidth,
+		MaxProcs:   o.MaxProcs,
+		Strategy:   o.Strategy,
+		ForceFPRAS: o.ForceFPRAS,
+		Ctx:        c.ctx,
+		Telemetry:  tel,
+	}
+}
+
+// run executes the admitted request against its session, counting
+// trials through a per-request telemetry (onTrial, when non-nil, also
+// observes each update — the streaming endpoint's SSE feed). The
+// returned response is ready to serialize; a non-nil error carries the
+// HTTP status in the int.
+func (c *call) run(onTrial func(pqe.TrialUpdate)) (estimateResponse, int, error) {
+	s := c.s
+	// The read lock spans session lookup and the counting call: a delta
+	// (writer) can neither mutate fact storage under a running sampler
+	// nor bump the version between lookup and estimate.
+	c.ent.mu.RLock()
+	defer c.ent.mu.RUnlock()
+	version := c.ent.db.Version()
+	sess, hit := s.sessionFor(c.req, c.q, c.ent, version)
+	if hit {
+		s.reg.Counter("pqed_session_hits_total").Inc()
+	} else {
+		s.reg.Counter("pqed_session_misses_total").Inc()
+	}
+
+	var trials atomic.Int64
+	tel := pqe.NewTelemetry()
+	tel.OnTrial(func(u pqe.TrialUpdate) {
+		trials.Add(1)
+		if onTrial != nil {
+			onTrial(u)
+		}
+	})
+	opts := c.options(tel)
+
+	// The per-session mutex serializes concurrent identical requests —
+	// an Estimator is not safe for concurrent use. Each request then
+	// runs the same seeded, deterministic call, so concurrent identical
+	// requests return bit-identical estimates.
+	sess.mu.Lock()
+	resp := estimateResponse{Database: c.ent.name, Version: version, Cache: cacheLabel(hit)}
+	var err error
+	switch c.req.Options.Mode {
+	case "ur":
+		var ur *big.Float
+		ur, err = sess.est.UniformReliability(opts)
+		if err == nil {
+			resp.UR = ur.Text('g', 17)
+			resp.Method = "uniform-reliability"
+		}
+	case "estimate":
+		resp.Probability, err = sess.est.Estimate(opts)
+		resp.Method = "fpras (forced)"
+	default: // "", "probability"
+		var res pqe.Result
+		res, err = sess.est.Probability(opts)
+		if err == nil {
+			resp.Probability = res.Probability
+			resp.Exact = res.Exact
+			resp.Method = res.Method
+			resp.Reason = res.Reason
+		}
+	}
+	sess.mu.Unlock()
+	resp.Trials = trials.Load()
+	resp.ElapsedMS = float64(time.Since(c.start)) / float64(time.Millisecond)
+	if err != nil {
+		return resp, errStatus(c, err), err
+	}
+	return resp, http.StatusOK, nil
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// errStatus maps an estimate error to an HTTP status.
+func errStatus(c *call, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		c.s.reg.Counter("pqed_deadlines_total").Inc()
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client disconnect; the status is never seen.
+		return http.StatusRequestTimeout
+	case errors.Is(err, pqe.ErrUnsupported):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	c := s.admit(w, r)
+	if c == nil {
+		return
+	}
+	defer c.release()
+	resp, status, err := c.run(nil)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	type dbInfo struct {
+		Name    string `json:"name"`
+		Version uint64 `json:"version"`
+		Facts   int    `json:"facts"`
+	}
+	s.mu.Lock()
+	infos := make([]dbInfo, 0, len(s.dbs))
+	for _, ent := range s.dbs {
+		ent.mu.RLock()
+		infos = append(infos, dbInfo{Name: ent.name, Version: ent.db.Version(), Facts: ent.db.Size()})
+		ent.mu.RUnlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"databases": infos})
+}
+
+// handleMetrics writes the combined exposition: the pqed_* service
+// registry followed by the engine telemetry's families (pqe_build_*,
+// countnfta_*, countnfa_*). Both are plain Prometheus text, so
+// concatenation is a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Snapshot().WritePrometheus(w)
+	s.tel.WriteMetricsText(w)
+}

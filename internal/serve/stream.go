@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"pqe"
+)
+
+// trialEvent is the payload of one SSE "trial" event: an anytime
+// convergence update from the engines' per-trial feed. Log2Estimate is
+// a pointer because a zero estimate has log₂ = -Inf, which JSON cannot
+// represent; the event carries null instead of being dropped.
+type trialEvent struct {
+	Engine       string   `json:"engine"`
+	Trial        int      `json:"trial"`
+	Trials       int      `json:"trials"`
+	Epsilon      float64  `json:"epsilon"`
+	Log2Estimate *float64 `json:"log2_estimate"`
+	UnionSamples int      `json:"union_samples"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+}
+
+// finiteOrNil maps non-finite floats (±Inf, NaN) to nil so the JSON
+// encoding never fails.
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// sseWriter serializes Server-Sent Events onto a response. Trial
+// callbacks fire concurrently from scheduler workers, so every emit is
+// mutex-guarded; flushes happen per event so clients see estimates as
+// they converge.
+type sseWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (s *sseWriter) emit(event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, data)
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// handleEstimateStream runs the same computation as handleEstimate but
+// streams the engines' per-trial convergence feed as SSE "trial"
+// events, ending with a "result" event (or an "error" event). The
+// final estimate is bit-identical to the one-shot endpoint's for the
+// same request body: the telemetry feed observes the computation
+// without perturbing it.
+func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
+	c := s.admit(w, r)
+	if c == nil {
+		return
+	}
+	defer c.release()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	out := &sseWriter{w: w, fl: fl}
+	if fl != nil {
+		fl.Flush()
+	}
+
+	resp, status, err := c.run(func(u pqe.TrialUpdate) {
+		out.emit("trial", trialEvent{
+			Engine:       u.Engine,
+			Trial:        u.Trial,
+			Trials:       u.Trials,
+			Epsilon:      u.Epsilon,
+			Log2Estimate: finiteOrNil(u.Log2Estimate),
+			UnionSamples: u.UnionSamples,
+			ElapsedMS:    float64(u.Elapsed.Microseconds()) / 1000,
+		})
+	})
+	if err != nil {
+		out.emit("error", map[string]any{"error": err.Error(), "status": status})
+		return
+	}
+	out.emit("result", resp)
+}

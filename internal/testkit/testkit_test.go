@@ -130,6 +130,28 @@ func TestMetamorphic(t *testing.T) {
 	}
 }
 
+// TestDifferentialService cross-checks the HTTP service against direct
+// library calls on the same randomized case stream: every case is
+// loaded through the public text formats, queried over a real loopback
+// listener (one-shot and SSE-streamed), and must agree with the direct
+// pqe.Estimator byte for byte — probability bits, routing method and
+// reason, and trial count. The name keeps it on the CI and nightly
+// -run 'TestDifferential|TestMetamorphic' lanes.
+func TestDifferentialService(t *testing.T) {
+	cfg := Defaults()
+	h := NewServiceHarness()
+	defer h.Close()
+	for _, i := range suiteCases(t) {
+		c := NewCase(*flagSeed, i)
+		cfg.Obs = caseScope()
+		if err := RunServiceDifferential(c, cfg, h); err != nil {
+			fail(t, c, err, cfg.Obs, func(cand *Case) bool {
+				return RunServiceDifferential(cand, cfg, h) != nil
+			})
+		}
+	}
+}
+
 // TestDeltaSoak is the endurance variant of the delta bit-identity
 // property: long sessions of interleaved random deltas and estimates,
 // each estimate compared against a from-scratch estimator. The short

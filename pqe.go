@@ -31,6 +31,7 @@
 package pqe
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -228,6 +229,15 @@ type Options struct {
 	//
 	// Deprecated: set MaxProcs. Workers > 1 maps to MaxProcs = Workers.
 	Workers int
+	// Ctx, when non-nil, bounds the evaluation: the FPRAS sampling
+	// loops observe cancellation at every trial-batch boundary and the
+	// call returns Ctx.Err() instead of an estimate. Automaton
+	// construction stages are not interruptible; a deadline expiring
+	// mid-build is reported at the next boundary. A nil Ctx (the
+	// default) never cancels. Cancellation does not perturb seeded
+	// results: a call that runs to completion is bit-identical with or
+	// without a Ctx attached.
+	Ctx context.Context
 	// Telemetry, when non-nil, collects stage traces, pipeline metrics
 	// and per-trial convergence records for every evaluation using these
 	// options (see NewTelemetry). Collection does not change results:
@@ -252,6 +262,7 @@ func (o *Options) core() core.Options {
 		Parallel:   o.Parallel,
 		Workers:    o.Workers,
 		Obs:        o.Telemetry.scope(),
+		Ctx:        o.Ctx,
 	}
 }
 
