@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak serve-smoke loc clean
+.PHONY: all build vet lint test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak serve-smoke loc clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Source hygiene: go vet plus the forbidden-pattern checks (no
+# fmt.Print*/log.Print* outside cmd/ and examples/ — library code logs
+# through the configured slog logger).
+lint: vet
+	$(GO) test ./internal/lint/
 
 test:
 	$(GO) test ./...

@@ -8,13 +8,20 @@
 //
 //	pqed -addr :8080 -db data.pdb [-db name=other.pdb ...]
 //	     [-budget N] [-max-sessions N] [-queue-wait 2s] [-timeout 30s]
-//	     [-drain-timeout 10s]
+//	     [-drain-timeout 10s] [-log-format text|json]
+//	     [-flight-recorder-size N]
 //	pqed -smoke [-smoke-out metrics.prom]
 //
 // Databases are the same one-fact-per-line files cmd/pqe reads; a bare
 // path serves as "default", "name=path" under that name. The server
 // drains gracefully on SIGINT/SIGTERM: in-flight requests finish (up
 // to -drain-timeout), new ones get 503.
+//
+// Structured access logs go to stderr in the chosen -log-format; each
+// line carries the request's correlation ID (X-Request-Id, generated
+// when absent), route, strategy, database version, outcome and phase
+// timings. The flight recorder keeps the last -flight-recorder-size
+// completed requests browsable at /debug/requests.
 //
 // -smoke runs a self-contained smoke workload against an in-process
 // listener — a scripted mix of one-shot, streamed and delta requests —
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/big"
 	"net/http"
 	"os"
@@ -65,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		queueWait    = fs.Duration("queue-wait", 2*time.Second, "max admission wait before shedding with 429")
 		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline (requests may set timeout_ms)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+		logFormat    = fs.String("log-format", "text", "structured access-log format on stderr: text or json")
+		recorderSize = fs.Int("flight-recorder-size", 256, "completed requests retained for /debug/requests")
 		smoke        = fs.Bool("smoke", false, "run the in-process smoke workload and exit")
 		smokeOut     = fs.String("smoke-out", "", "write the smoke /metrics scrape to this file (default stdout)")
 	)
@@ -73,11 +83,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+
 	srv := serve.NewServer(serve.Config{
-		Budget:         *budget,
-		MaxSessions:    *maxSessions,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *timeout,
+		Budget:             *budget,
+		MaxSessions:        *maxSessions,
+		QueueWait:          *queueWait,
+		DefaultTimeout:     *timeout,
+		Logger:             logger,
+		FlightRecorderSize: *recorderSize,
 	})
 	if len(dbs) == 0 {
 		if !*smoke {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +57,41 @@ func TestFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus-flag"}, &stdout, &stderr); err == nil {
 		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-smoke", "-log-format", "xml"}, &stdout, &stderr); err == nil {
+		t.Error("unknown -log-format should fail")
+	}
+}
+
+// TestSmokeJSONLogs: with -log-format json the access log on stderr is
+// line-delimited JSON whose records carry the correlation ID, route and
+// status of every smoke request.
+func TestSmokeJSONLogs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-smoke", "-log-format", "json", "-flight-recorder-size", "32"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -smoke: %v\nstderr:\n%s", err, stderr.String())
+	}
+	var access int
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // smoke's own progress lines
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSON log line %q: %v", line, err)
+		}
+		if m["msg"] != "request" {
+			continue
+		}
+		access++
+		if m["request_id"] == "" || m["route"] == "" || m["status"] == nil {
+			t.Errorf("access line underattributed: %v", m)
+		}
+	}
+	// The scripted workload issues a dozen-plus requests; every one must
+	// have produced exactly one access line.
+	if access < 12 {
+		t.Errorf("only %d JSON access lines for the smoke workload", access)
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"pqe/internal/serve"
 )
@@ -122,21 +124,41 @@ func runSmoke(srv *serve.Server, stdout, stderr io.Writer, outPath string) error
 	}
 	fmt.Fprintln(stderr, "smoke: delta + stale-version check ok")
 
-	// Phase 5: scrape and verify metrics.
+	// Phase 5: scrape and verify metrics — the flat families, the
+	// outcome-labeled request counter, the phase histograms, and the
+	// runtime-health gauges.
 	mresp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return err
 	}
 	metrics, err := io.ReadAll(mresp.Body)
 	mresp.Body.Close()
-	for _, family := range []string{"pqed_requests_total", "pqed_inflight", "pqed_queue_wait_seconds", "pqed_request_seconds", "pqed_session_hits_total", "pqed_session_misses_total", "pqed_requests_shed_total"} {
+	for _, family := range []string{
+		"pqed_requests_total", "pqed_inflight", "pqed_queue_wait_seconds",
+		"pqed_request_seconds", "pqed_session_hits_total", "pqed_session_misses_total",
+		"pqed_requests_shed_total", "pqed_phase_seconds", "go_goroutines",
+	} {
 		if !bytes.Contains(metrics, []byte(family)) {
 			return fmt.Errorf("/metrics is missing %s", family)
 		}
 	}
+	// Labels render sorted by name, so the successful one-shot estimates
+	// appear as this exact series.
+	if !bytes.Contains(metrics, []byte(`pqed_requests_total{outcome="200",route="estimate"}`)) {
+		return fmt.Errorf(`/metrics is missing the labeled pqed_requests_total{outcome="200",route="estimate"} series`)
+	}
 	if shed := metricValue(metrics, "pqed_requests_shed_total"); shed != 0 {
 		return fmt.Errorf("pqed_requests_shed_total = %g at low load, want 0", shed)
 	}
+
+	// Phase 6: the flight recorder attributes every request — each
+	// completed record carries a correlation ID and a phase breakdown
+	// whose sum stays within the request's wall time (and close to it:
+	// the tracked phases cover all the real work).
+	if err := checkFlightRecorder(base); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "smoke: flight recorder attribution ok")
 
 	out := io.Writer(stdout)
 	if outPath != "" {
@@ -150,7 +172,83 @@ func runSmoke(srv *serve.Server, stdout, stderr io.Writer, outPath string) error
 	if _, err := out.Write(metrics); err != nil {
 		return err
 	}
+	// Stop the runtime collector and settle in-flight accounting so
+	// repeated in-process smokes (the tests) don't pile up pollers.
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("post-smoke drain: %w", err)
+	}
 	fmt.Fprintln(stderr, "smoke: ok")
+	return nil
+}
+
+// checkFlightRecorder scrapes /debug/requests (both renderings) and
+// asserts post-hoc attributability: every completed record has an ID,
+// a route and an outcome, and on successful estimates the phase sum is
+// positive, never exceeds wall time, and leaves only a small
+// unattributed gap (max of 25% of wall and 50ms of slack).
+func checkFlightRecorder(base string) error {
+	snap, err := getJSON(base + "/debug/requests")
+	if err != nil {
+		return fmt.Errorf("/debug/requests: %w", err)
+	}
+	completed, _ := snap["completed"].([]any)
+	if len(completed) == 0 {
+		return fmt.Errorf("/debug/requests: no completed records after the workload")
+	}
+	var checkedPhases int
+	for _, it := range completed {
+		rec, _ := it.(map[string]any)
+		id, _ := rec["id"].(string)
+		route, _ := rec["route"].(string)
+		outcome, _ := rec["outcome"].(float64)
+		if id == "" || route == "" || outcome == 0 {
+			return fmt.Errorf("/debug/requests: unattributable record %v", rec)
+		}
+		if route != "estimate" || outcome != 200 {
+			continue
+		}
+		wall, _ := rec["wall_seconds"].(float64)
+		phases, _ := rec["phases"].(map[string]any)
+		var sum float64
+		for _, v := range phases {
+			sum += v.(float64)
+		}
+		if sum <= 0 {
+			return fmt.Errorf("/debug/requests: record %s has no phase time: %v", id, rec)
+		}
+		if sum > wall+0.005 {
+			return fmt.Errorf("/debug/requests: record %s phase sum %.6fs exceeds wall %.6fs", id, sum, wall)
+		}
+		slack := 0.25 * wall
+		if slack < 0.050 {
+			slack = 0.050
+		}
+		if wall-sum > slack {
+			return fmt.Errorf("/debug/requests: record %s leaves %.6fs of %.6fs unattributed (allowed %.6fs)",
+				id, wall-sum, wall, slack)
+		}
+		checkedPhases++
+	}
+	if checkedPhases == 0 {
+		return fmt.Errorf("/debug/requests: no successful estimate records to check")
+	}
+	// The text rendering serves the same data as a table.
+	resp, err := http.Get(base + "/debug/requests?format=text")
+	if err != nil {
+		return err
+	}
+	table, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, needle := range []string{"ID", "ROUTE", "CODE", "total_completed"} {
+		if !bytes.Contains(table, []byte(needle)) {
+			return fmt.Errorf("/debug/requests?format=text missing %q:\n%s", needle, table)
+		}
+	}
 	return nil
 }
 

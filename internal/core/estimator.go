@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"pqe/internal/count"
 	"pqe/internal/cq"
@@ -68,6 +69,14 @@ type Estimator struct {
 	// tracer and convergence are attached only when the caller provided
 	// them.
 	sc *obs.Scope
+
+	// phases is the phase sink of the call currently executing (bound by
+	// bindPhases at every public entry point, nil when the caller's
+	// scope carries none). Construction stages triggered lazily inside a
+	// call accrue their wall time here as PhaseBuild, so a service can
+	// attribute build cost to the request that paid for it. An Estimator
+	// is not concurrency-safe, so a plain field suffices.
+	phases *obs.Phases
 
 	class     Classification
 	classDone bool
@@ -344,6 +353,29 @@ func (e *Estimator) scope(opts Options) *obs.Scope {
 	return e.sc
 }
 
+// bindPhases points build-time attribution at the calling request's
+// phase sink for the duration of this call.
+func (e *Estimator) bindPhases(opts Options) {
+	e.phases = e.scope(opts).PhasesSink()
+}
+
+// buildStart/buildEnd bracket one construction stage for phase
+// attribution. With no sink bound they cost a pointer test and no
+// clock read, preserving the disabled-path contract.
+func buildStart(ph *obs.Phases) time.Time {
+	if ph == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func buildEnd(ph *obs.Phases, start time.Time) {
+	if ph == nil || start.IsZero() {
+		return
+	}
+	ph.Add(obs.PhaseBuild, time.Since(start))
+}
+
 func (e *Estimator) maxWidth() int {
 	if e.opts.MaxWidth > 0 {
 		return e.opts.MaxWidth
@@ -354,9 +386,11 @@ func (e *Estimator) maxWidth() int {
 func (e *Estimator) decomposition() (*hypertree.Decomposition, error) {
 	if !e.decDone {
 		e.sc.Counter("pqe_build_decompositions_total").Inc()
+		t0 := buildStart(e.phases)
 		_, span := e.sc.Span("pqe.decompose")
 		e.dec, e.decErr = hypertree.Decompose(e.q)
 		span.End()
+		buildEnd(e.phases, t0)
 		e.decDone = true
 	}
 	return e.dec, e.decErr
@@ -398,6 +432,8 @@ func (e *Estimator) urReduction() (*reduction.URReduction, error) {
 		return nil, e.urErr
 	}
 	e.sc.Counter("pqe_build_ur_reductions_total").Inc()
+	t0 := buildStart(e.phases)
+	defer func() { buildEnd(e.phases, t0) }()
 	sc, span := e.sc.Span("pqe.build_ur")
 	if e.urb == nil {
 		var berr error
@@ -435,6 +471,8 @@ func (e *Estimator) pathAutomaton() (*nfa.NFA, error) {
 		return nil, e.pathErr
 	}
 	e.sc.Counter("pqe_build_path_automata_total").Inc()
+	t0 := buildStart(e.phases)
+	defer func() { buildEnd(e.phases, t0) }()
 	sc, span := e.sc.Span("pqe.build_path_nfa")
 	if e.pathb == nil {
 		var berr error
@@ -474,9 +512,11 @@ func (e *Estimator) pqeReduction() (*reduction.PQEReduction, error) {
 		return nil, err
 	}
 	e.sc.Counter("pqe_build_weightings_total").Inc()
+	t0 := buildStart(e.phases)
 	_, span := e.sc.Span("pqe.weight_ur")
 	e.pqeRed, e.pqeErr = reduction.WeightUR(ur, e.projProb())
 	span.End()
+	buildEnd(e.phases, t0)
 	return e.pqeRed, e.pqeErr
 }
 
@@ -495,9 +535,11 @@ func (e *Estimator) pathPQEReduction() (*reduction.PathPQEReduction, error) {
 		return nil, err
 	}
 	e.sc.Counter("pqe_build_weightings_total").Inc()
+	t0 := buildStart(e.phases)
 	_, span := e.sc.Span("pqe.weight_path")
 	e.pathPQERed, e.pathPQEErr = reduction.WeightPathNFA(e.q, e.projProb(), base)
 	span.End()
+	buildEnd(e.phases, t0)
 	return e.pathPQERed, e.pathPQEErr
 }
 
@@ -509,6 +551,7 @@ func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
 		return efloat.Zero, err
 	}
 	e.syncVersion()
+	e.bindPhases(opts)
 	sc, span := e.scope(opts).Span("pqe.path_estimate")
 	defer span.End()
 	m, err := e.pathAutomaton()
@@ -532,6 +575,7 @@ func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
 		return efloat.Zero, err
 	}
 	e.syncVersion()
+	e.bindPhases(opts)
 	sc, span := e.scope(opts).Span("pqe.ur_estimate")
 	defer span.End()
 	red, err := e.urReduction()
@@ -555,6 +599,7 @@ func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
 		return 0, err
 	}
 	e.syncVersion()
+	e.bindPhases(opts)
 	sc, span := e.scope(opts).Span("pqe.pqe_estimate")
 	defer span.End()
 	weighted, err := e.pqeReduction()
@@ -578,6 +623,7 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 		return 0, err
 	}
 	e.syncVersion()
+	e.bindPhases(opts)
 	sc, span := e.scope(opts).Span("pqe.path_pqe_estimate")
 	defer span.End()
 	red, err := e.pathPQEReduction()
@@ -604,6 +650,7 @@ func (e *Estimator) Evaluate(opts Options) (Result, error) {
 		return Result{}, err
 	}
 	e.syncVersion()
+	e.bindPhases(opts)
 	strategy := opts.Strategy
 	if strategy == "" {
 		strategy = e.opts.Strategy
@@ -635,6 +682,7 @@ func (e *Estimator) Evaluate(opts Options) (Result, error) {
 // the cached UR reduction (see the package-level SampleSatisfying).
 func (e *Estimator) SampleSatisfying(opts Options) ([]bool, error) {
 	e.syncVersion()
+	e.bindPhases(opts)
 	red, err := e.urReduction()
 	if err != nil {
 		return nil, err
@@ -660,6 +708,7 @@ func (e *Estimator) SampleWorld(opts Options) ([]bool, error) {
 		return nil, fmt.Errorf("core: estimator was built without probabilities")
 	}
 	e.syncVersion()
+	e.bindPhases(opts)
 	red, err := e.urReduction()
 	if err != nil {
 		return nil, err

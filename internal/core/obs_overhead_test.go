@@ -21,7 +21,16 @@ func TestObsDoesNotPerturbResults(t *testing.T) {
 	d := h.DB()
 	opts := Options{Epsilon: 0.3, Seed: 11, Workers: 2}
 	withObs := opts
-	withObs.Obs = obs.NewScope(obs.NewTracer(), obs.NewRegistry(), obs.NewConvergence())
+	// The instrumented run carries every observational facet at once:
+	// sinks, a request ID, a phase accumulator, and a live runtime
+	// collector polling the same registry — none may perturb the bits.
+	reg := obs.NewRegistry()
+	rc := obs.NewRuntimeCollector(reg, time.Millisecond)
+	rc.Start()
+	defer rc.Stop()
+	withObs.Obs = obs.NewScope(obs.NewTracer(), reg, obs.NewConvergence()).
+		WithRequestID("determinism-check").
+		WithPhases(obs.NewPhases())
 
 	bareUR, err := UREstimate(q, d, opts)
 	if err != nil {
@@ -57,6 +66,14 @@ func TestObsDoesNotPerturbResults(t *testing.T) {
 	}
 	if bareP != tracedP {
 		t.Errorf("PQEEstimate drifted under tracing: %v vs %v", bareP, tracedP)
+	}
+
+	// The phase accumulator actually accrued the builds (the instrumented
+	// runs above constructed automata), and the sum of phases never
+	// exceeds what was observed — sanity that attribution is live in the
+	// very configuration whose determinism was just pinned.
+	if withObs.Obs.PhasesSink().Duration(obs.PhaseBuild) <= 0 {
+		t.Error("instrumented run accrued no build-phase time")
 	}
 }
 

@@ -1,0 +1,131 @@
+// Package lint holds repo-wide source hygiene checks that run as
+// ordinary tests (the CI lint lane is `go vet` plus this package).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// forbiddenCalls are selector calls library code must not make:
+// ad-hoc printing bypasses the structured logger (and the service's
+// request correlation), and direct process exits bypass error returns.
+// Only cmd/ binaries talk to stdio directly.
+var forbiddenCalls = map[string]string{
+	"fmt.Print":   "use the slog logger (or return an error) instead of printing",
+	"fmt.Println": "use the slog logger (or return an error) instead of printing",
+	"fmt.Printf":  "use the slog logger (or return an error) instead of printing",
+	"log.Print":   "use log/slog via the configured logger, not the global log package",
+	"log.Println": "use log/slog via the configured logger, not the global log package",
+	"log.Printf":  "use log/slog via the configured logger, not the global log package",
+	"log.Fatal":   "library code must return errors, not exit the process",
+	"log.Fatalf":  "library code must return errors, not exit the process",
+	"log.Fatalln": "library code must return errors, not exit the process",
+}
+
+// TestNoStrayPrinting parses every non-test Go file outside cmd/ and
+// fails on any forbidden call. Test files may print (the testing
+// package owns their output), and cmd/ binaries own their stdio.
+func TestNoStrayPrinting(t *testing.T) {
+	root := repoRoot(t)
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			// cmd/ and examples/ are binaries that own their stdio.
+			if name == "cmd" || name == "examples" || name == "testdata" ||
+				(strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		// Resolve which forbidden package names this file actually
+		// imports under which local name, so aliased imports are caught
+		// and same-named locals are not.
+		names := map[string]string{} // local name -> import path
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "fmt" && p != "log" {
+				continue
+			}
+			local := p
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			names[local] = p
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, imported := names[id.Name]
+			if !imported {
+				return true
+			}
+			key := pkg + "." + sel.Sel.Name
+			if why, bad := forbiddenCalls[key]; bad {
+				rel, _ := filepath.Rel(root, path)
+				violations = append(violations,
+					fmt.Sprintf("%s:%d: %s — %s", rel, fset.Position(call.Pos()).Line, key, why))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the lint package")
+		}
+		dir = parent
+	}
+}

@@ -13,9 +13,14 @@ import (
 // Snapshot is a point-in-time copy of a registry's metrics, the unit
 // the JSON and Prometheus encoders consume.
 type Snapshot struct {
-	Counters   map[string]int64        `json:"counters,omitempty"`
-	Gauges     map[string]float64      `json:"gauges,omitempty"`
-	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Counters        map[string]int64              `json:"counters,omitempty"`
+	Gauges          map[string]float64            `json:"gauges,omitempty"`
+	Histograms      map[string]HistSnapshot       `json:"histograms,omitempty"`
+	LabeledCounters map[string]LabeledCounterSnap `json:"labeled_counters,omitempty"`
+	LabeledHists    map[string]LabeledHistSnap    `json:"labeled_histograms,omitempty"`
+	// Help carries the registered HELP strings into the Prometheus
+	// encoder; it is not part of the JSON document.
+	Help map[string]string `json:"-"`
 }
 
 // HistSnapshot is one histogram's state: per-bucket counts (the last
@@ -25,6 +30,32 @@ type HistSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+}
+
+// LabeledCounterSnap is one labeled counter family: the label names and
+// every live series, sorted by label values.
+type LabeledCounterSnap struct {
+	Labels []string            `json:"labels"`
+	Series []CounterSeriesSnap `json:"series"`
+}
+
+// CounterSeriesSnap is one series of a labeled counter family.
+type CounterSeriesSnap struct {
+	Values []string `json:"values"`
+	Value  int64    `json:"value"`
+}
+
+// LabeledHistSnap is one labeled histogram family: the label names and
+// every live series, sorted by label values.
+type LabeledHistSnap struct {
+	Labels []string         `json:"labels"`
+	Series []HistSeriesSnap `json:"series"`
+}
+
+// HistSeriesSnap is one series of a labeled histogram family.
+type HistSeriesSnap struct {
+	Values []string     `json:"values"`
+	Hist   HistSnapshot `json:"hist"`
 }
 
 // Snapshot copies the registry's current metric values. An empty (or
@@ -51,19 +82,77 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
 		for name, h := range r.hists {
-			hs := HistSnapshot{
-				Bounds: append([]float64(nil), h.bounds...),
-				Counts: make([]int64, len(h.counts)),
-				Sum:    h.Sum(),
-				Count:  h.Count(),
+			s.Histograms[name] = snapHist(h)
+		}
+	}
+	if len(r.counterVecs) > 0 {
+		s.LabeledCounters = make(map[string]LabeledCounterSnap, len(r.counterVecs))
+		for name, v := range r.counterVecs {
+			snap := LabeledCounterSnap{Labels: append([]string(nil), v.labels...)}
+			v.mu.RLock()
+			for _, ch := range v.series {
+				snap.Series = append(snap.Series, CounterSeriesSnap{
+					Values: append([]string(nil), ch.values...),
+					Value:  ch.c.Value(),
+				})
 			}
-			for i := range h.counts {
-				hs.Counts[i] = h.counts[i].Load()
+			v.mu.RUnlock()
+			sort.Slice(snap.Series, func(i, j int) bool {
+				return lessValues(snap.Series[i].Values, snap.Series[j].Values)
+			})
+			s.LabeledCounters[name] = snap
+		}
+	}
+	if len(r.histVecs) > 0 {
+		s.LabeledHists = make(map[string]LabeledHistSnap, len(r.histVecs))
+		for name, v := range r.histVecs {
+			snap := LabeledHistSnap{Labels: append([]string(nil), v.labels...)}
+			v.mu.RLock()
+			for _, ch := range v.series {
+				snap.Series = append(snap.Series, HistSeriesSnap{
+					Values: append([]string(nil), ch.values...),
+					Hist:   snapHist(ch.h),
+				})
 			}
-			s.Histograms[name] = hs
+			v.mu.RUnlock()
+			sort.Slice(snap.Series, func(i, j int) bool {
+				return lessValues(snap.Series[i].Values, snap.Series[j].Values)
+			})
+			s.LabeledHists[name] = snap
+		}
+	}
+	if len(r.help) > 0 {
+		s.Help = make(map[string]string, len(r.help))
+		for name, h := range r.help {
+			s.Help[name] = h
 		}
 	}
 	return s
+}
+
+func snapHist(h *Histogram) HistSnapshot {
+	hs := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+// lessValues orders label-value tuples lexicographically so snapshot
+// series (and the Prometheus exposition built from them) are
+// deterministic regardless of map iteration order.
+func lessValues(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // WriteJSON renders the snapshot as indented JSON with sorted keys
@@ -76,43 +165,164 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text
-// exposition format, metrics sorted by name.
+// exposition format: one block per metric family — `# HELP` when
+// registered, `# TYPE`, then the samples — with families sorted
+// globally by name, label pairs sorted by label name, and label values
+// escaped per the exposition spec. Output is byte-deterministic for a
+// fixed snapshot.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
-	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), s.Counters[name]); err != nil {
-			return err
-		}
+	type family struct {
+		name string // original registry name (HELP lookup key)
+		typ  string
+		emit func(io.Writer, string) error
 	}
-	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", promName(name), promName(name), promFloat(s.Gauges[name])); err != nil {
+	fams := make([]family, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.LabeledCounters)+len(s.LabeledHists))
+	for name, v := range s.Counters {
+		v := v
+		fams = append(fams, family{name, "counter", func(w io.Writer, pn string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", pn, v)
 			return err
-		}
+		}})
 	}
-	names := make([]string, 0, len(s.Histograms))
-	for name := range s.Histograms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		h := s.Histograms[name]
-		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+	for name, v := range s.Gauges {
+		v := v
+		fams = append(fams, family{name, "gauge", func(w io.Writer, pn string) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", pn, promFloat(v))
 			return err
-		}
-		cum := int64(0)
-		for i, b := range h.Bounds {
-			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum); err != nil {
+		}})
+	}
+	for name, h := range s.Histograms {
+		h := h
+		fams = append(fams, family{name, "histogram", func(w io.Writer, pn string) error {
+			return writePromHist(w, pn, "", h)
+		}})
+	}
+	for name, lc := range s.LabeledCounters {
+		lc := lc
+		fams = append(fams, family{name, "counter", func(w io.Writer, pn string) error {
+			for _, series := range lc.Series {
+				if _, err := fmt.Fprintf(w, "%s{%s} %d\n", pn, promLabels(lc.Labels, series.Values), series.Value); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	for name, lh := range s.LabeledHists {
+		lh := lh
+		fams = append(fams, family{name, "histogram", func(w io.Writer, pn string) error {
+			for _, series := range lh.Series {
+				if err := writePromHist(w, pn, promLabels(lh.Labels, series.Values), series.Hist); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		pn := promName(f.name)
+		if help, ok := s.Help[f.name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, escapeHelp(help)); err != nil {
 				return err
 			}
 		}
-		cum += h.Counts[len(h.Bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-			pn, cum, pn, promFloat(h.Sum), pn, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, f.typ); err != nil {
+			return err
+		}
+		if err := f.emit(w, pn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writePromHist emits one histogram series: cumulative buckets with the
+// `le` label appended after any series labels, then _sum and _count.
+func writePromHist(w io.Writer, pn, labels string, h HistSnapshot) error {
+	join := func(le string) string {
+		if labels == "" {
+			return `le="` + le + `"`
+		}
+		return labels + `,le="` + le + `"`
+	}
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", pn, join(promFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n%s_sum%s %s\n%s_count%s %d\n",
+		pn, join("+Inf"), cum, pn, suffix, promFloat(h.Sum), pn, suffix, h.Count)
+	return err
+}
+
+// promLabels renders `name="value"` pairs sorted by label name, with
+// values escaped per the exposition spec.
+func promLabels(names, values []string) string {
+	type pair struct{ name, value string }
+	pairs := make([]pair, 0, len(names))
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		pairs = append(pairs, pair{promName(n), v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the text exposition
+// format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal in HELP text).
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

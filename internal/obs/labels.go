@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds labeled metric families ("vecs") to the registry: one
+// family name plus a fixed set of label names, with one child metric
+// per distinct label-value tuple. Children are created on first use and
+// cached, so instrumented code resolves a handle once per event and
+// updates it with plain atomics — exactly the flat-metric contract.
+// Everything is nil-safe: a nil vec hands out nil children, which
+// accept every update as a no-op.
+
+// labelKey joins label values into the cache key. \xff cannot appear in
+// the UTF-8 text the callers pass, so the join is unambiguous.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// normalize pads or truncates values to the family's label arity, so a
+// caller passing the wrong count degrades to empty labels instead of
+// corrupting the series map.
+func normalize(values []string, arity int) []string {
+	if len(values) == arity {
+		return values
+	}
+	out := make([]string, arity)
+	copy(out, values)
+	return out
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct {
+	labels []string
+	mu     sync.RWMutex
+	series map[string]*counterChild
+}
+
+type counterChild struct {
+	values []string
+	c      *Counter
+}
+
+// With returns the counter for the given label values (created on first
+// use). A nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	values = normalize(values, len(v.labels))
+	key := labelKey(values)
+	v.mu.RLock()
+	ch := v.series[key]
+	v.mu.RUnlock()
+	if ch != nil {
+		return ch.c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch = v.series[key]; ch == nil {
+		ch = &counterChild{values: append([]string(nil), values...), c: &Counter{}}
+		v.series[key] = ch
+	}
+	return ch.c
+}
+
+// Labels returns the family's label names (nil on a nil vec).
+func (v *CounterVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	return append([]string(nil), v.labels...)
+}
+
+// HistogramVec is a labeled histogram family. Every child shares the
+// bucket bounds fixed at vec creation.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+	mu     sync.RWMutex
+	series map[string]*histChild
+}
+
+type histChild struct {
+	values []string
+	h      *Histogram
+}
+
+// With returns the histogram for the given label values (created on
+// first use). A nil vec returns a nil (no-op) histogram.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	values = normalize(values, len(v.labels))
+	key := labelKey(values)
+	v.mu.RLock()
+	ch := v.series[key]
+	v.mu.RUnlock()
+	if ch != nil {
+		return ch.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch = v.series[key]; ch == nil {
+		ch = &histChild{
+			values: append([]string(nil), values...),
+			h:      &Histogram{bounds: v.bounds, counts: make([]atomic.Int64, len(v.bounds)+1)},
+		}
+		v.series[key] = ch
+	}
+	return ch.h
+}
+
+// CounterVec returns the named labeled counter family, creating it with
+// the given label names on first use (later calls ignore them). A nil
+// registry returns a nil (no-op) vec.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.counterVecs[name]; v == nil {
+		v = &CounterVec{labels: append([]string(nil), labels...), series: make(map[string]*counterChild)}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family, creating it
+// with the given label names and bucket bounds on first use (DefBuckets
+// when none are given; later calls ignore both). A nil registry returns
+// a nil (no-op) vec.
+func (r *Registry) HistogramVec(name string, labels []string, bounds ...float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.histVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.histVecs[name]; v == nil {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		v = &HistogramVec{
+			labels: append([]string(nil), labels...),
+			bounds: b,
+			series: make(map[string]*histChild),
+		}
+		r.histVecs[name] = v
+	}
+	return v
+}
+
+// SetHelp registers the HELP text emitted for the named metric family
+// in the Prometheus exposition. No-op on a nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}

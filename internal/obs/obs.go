@@ -28,6 +28,8 @@ type Scope struct {
 	reg    *Registry
 	conv   *Convergence
 	parent *Span
+	phases *Phases
+	reqID  string
 }
 
 // NewScope bundles the given sinks. Any of them may be nil to disable
@@ -77,6 +79,9 @@ func (s *Scope) Span(name string) (*Scope, *Span) {
 		sp = s.parent.Start(name)
 	} else {
 		sp = s.tracer.Start(name)
+		if s.reqID != "" {
+			sp.SetAttr("request_id", s.reqID)
+		}
 	}
 	child := *s
 	child.parent = sp

@@ -53,6 +53,17 @@ func TestNilScopeNoOps(t *testing.T) {
 	if reg.Counter("c") != nil || reg.Gauge("g") != nil || reg.Histogram("h") != nil {
 		t.Fatal("nil registry returned handles")
 	}
+	if reg.CounterVec("cv", "l") != nil || reg.HistogramVec("hv", []string{"l"}) != nil {
+		t.Fatal("nil registry returned vec handles")
+	}
+	reg.SetHelp("x", "help")
+	var cv *CounterVec
+	cv.With("a").Inc()
+	if cv.Labels() != nil {
+		t.Fatal("nil vec returned labels")
+	}
+	var hv *HistogramVec
+	hv.With("a").Observe(1)
 	snap := reg.Snapshot()
 	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
 		t.Fatal("nil registry snapshot non-empty")
@@ -76,6 +87,11 @@ func TestDisabledPathAllocFree(t *testing.T) {
 		s.Convergence().Record(TrialRecord{})
 		_ = s.Registry()
 		sp.Start("child").End()
+		s.AddPhase(PhaseBuild, 1)
+		_ = s.PhasesSink()
+		_ = s.WithPhases(nil)
+		_ = s.WithRequestID("id")
+		_ = s.RequestID()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation path allocates: %.1f allocs/op, want 0", allocs)
@@ -204,21 +220,94 @@ func TestSnapshotPrometheusGolden(t *testing.T) {
 	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
+	// Families are sorted globally by name regardless of kind.
 	want := strings.Join([]string{
-		"# TYPE pqe_hits_total counter",
-		"pqe_hits_total 5",
-		"# TYPE pqe_interned_sets gauge",
-		"pqe_interned_sets 12",
 		"# TYPE pqe_call_seconds histogram",
 		`pqe_call_seconds_bucket{le="0.1"} 1`,
 		`pqe_call_seconds_bucket{le="1"} 2`,
 		`pqe_call_seconds_bucket{le="+Inf"} 3`,
 		"pqe_call_seconds_sum 3.5625",
 		"pqe_call_seconds_count 3",
+		"# TYPE pqe_hits_total counter",
+		"pqe_hits_total 5",
+		"# TYPE pqe_interned_sets gauge",
+		"pqe_interned_sets 12",
 		"",
 	}, "\n")
 	if sb.String() != want {
 		t.Fatalf("Prometheus snapshot mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestLabeledPrometheusGolden pins the spec-clean exposition for
+// labeled families: HELP/TYPE lines, label pairs sorted by label name,
+// escaped label values, series sorted by value tuple, and the `le`
+// bucket label appended after the series labels.
+func TestLabeledPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("pqed_requests_total", "route", "outcome")
+	v.With("stream", "200").Add(3)
+	v.With("estimate", "200").Add(7)
+	v.With("estimate", "504").Inc()
+	r.SetHelp("pqed_requests_total", "Completed requests by route and outcome.")
+	h := r.HistogramVec("pqed_phase_seconds", []string{"phase"}, 0.5, 2)
+	h.With("build").Observe(0.25)
+	h.With("build").Observe(1)
+	r.SetHelp("pqed_phase_seconds", "Per-request phase durations.")
+	esc := r.CounterVec("esc_total", "q")
+	esc.With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE esc_total counter",
+		`esc_total{q="a\"b\\c\nd"} 1`,
+		"# HELP pqed_phase_seconds Per-request phase durations.",
+		"# TYPE pqed_phase_seconds histogram",
+		`pqed_phase_seconds_bucket{phase="build",le="0.5"} 1`,
+		`pqed_phase_seconds_bucket{phase="build",le="2"} 2`,
+		`pqed_phase_seconds_bucket{phase="build",le="+Inf"} 2`,
+		`pqed_phase_seconds_sum{phase="build"} 1.25`,
+		`pqed_phase_seconds_count{phase="build"} 2`,
+		"# HELP pqed_requests_total Completed requests by route and outcome.",
+		"# TYPE pqed_requests_total counter",
+		`pqed_requests_total{outcome="200",route="estimate"} 7`,
+		`pqed_requests_total{outcome="504",route="estimate"} 1`,
+		`pqed_requests_total{outcome="200",route="stream"} 3`,
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Fatalf("labeled Prometheus snapshot mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestLabeledVecBasics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "route")
+	if v.With("a") != v.With("a") {
+		t.Fatal("counter child not cached per label tuple")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("distinct label tuples share a child")
+	}
+	if r.CounterVec("req_total", "ignored") != v {
+		t.Fatal("vec not cached by name")
+	}
+	// Wrong arity degrades to padded/truncated values, not corruption.
+	v.With("a", "extra").Inc()
+	v.With().Inc()
+	snap := r.Snapshot()
+	if got := len(snap.LabeledCounters["req_total"].Series); got != 3 {
+		t.Fatalf("series = %d, want 3 (a, b, empty)", got)
+	}
+	h := r.HistogramVec("lat_seconds", []string{"phase"}, 1)
+	if h.With("x") != h.With("x") {
+		t.Fatal("histogram child not cached per label tuple")
+	}
+	h.With("x").Observe(0.5)
+	if got := h.With("x").Count(); got != 1 {
+		t.Fatalf("histogram child count = %d, want 1", got)
 	}
 }
 

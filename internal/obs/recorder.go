@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RequestRecord is one request's post-hoc story: identity, routing
+// decision, phase breakdown, and outcome. The flight recorder keeps the
+// last N of these in memory so "why was request X slow?" is answerable
+// without re-running it.
+type RequestRecord struct {
+	ID          string             `json:"id"`
+	Route       string             `json:"route"`
+	Database    string             `json:"database,omitempty"`
+	Version     uint64             `json:"version,omitempty"`
+	QueryHash   string             `json:"query_hash,omitempty"`
+	Strategy    string             `json:"strategy,omitempty"` // Result.Method
+	Reason      string             `json:"reason,omitempty"`   // Result.Reason
+	Build       string             `json:"build,omitempty"`    // "cached", "incremental" or "full"
+	Outcome     int                `json:"outcome"`            // HTTP status
+	Err         string             `json:"error,omitempty"`    // shed/error cause
+	Trials      int64              `json:"trials,omitempty"`
+	TrialsSaved int64              `json:"trials_saved,omitempty"`
+	Start       time.Time          `json:"start"`
+	Wall        float64            `json:"wall_seconds"`
+	Phases      map[string]float64 `json:"phases,omitempty"` // phase → seconds
+
+	seq uint64 // completion order, assigned under the recorder lock
+}
+
+// Inflight is a handle to a request the recorder is tracking but that
+// has not completed. All methods are nil-safe, so a disabled recorder
+// costs callers a pointer test.
+type Inflight struct {
+	fr *FlightRecorder
+	mu sync.Mutex
+	r  RequestRecord
+}
+
+// Update mutates the in-flight record under its lock. No-op on nil.
+func (f *Inflight) Update(fn func(*RequestRecord)) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	fn(&f.r)
+	f.mu.Unlock()
+}
+
+// Complete finalizes the record with its outcome and wall time and
+// moves it from the in-flight view into the completed rings. No-op on
+// nil; completing twice is a no-op after the first (the SSE shutdown
+// path relies on a separate once-guard in serve, but the recorder is
+// defensive anyway).
+func (f *Inflight) Complete(outcome int, wall time.Duration) {
+	if f == nil || f.fr == nil {
+		return
+	}
+	f.mu.Lock()
+	f.r.Outcome = outcome
+	f.r.Wall = wall.Seconds()
+	rec := f.r
+	fr := f.fr
+	f.fr = nil
+	f.mu.Unlock()
+	fr.complete(f, rec)
+}
+
+// FlightRecorder is a bounded in-memory ring of completed request
+// records plus a live set of in-flight ones. Completions take one short
+// mutex-guarded append; there is no per-trial or per-phase locking.
+// Error outcomes (status ≥ 400: sheds, deadlines, conflicts) land in a
+// reserved sub-ring so a flood of fast 200s cannot evict the requests
+// an operator actually needs to see.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	ok       []RequestRecord // ring of 2xx/3xx completions
+	okNext   int
+	okFull   bool
+	err      []RequestRecord // reserved ring of ≥400 completions
+	errNext  int
+	errFull  bool
+	inflight map[*Inflight]struct{}
+	seq      uint64
+	total    uint64
+	dropped  uint64
+}
+
+// NewFlightRecorder returns a recorder keeping roughly n completed
+// records: n main slots for successes plus a reserved error sub-ring of
+// max(n/4, 4) slots. n < 4 is raised to 4.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 4 {
+		n = 4
+	}
+	errN := n / 4
+	if errN < 4 {
+		errN = 4
+	}
+	return &FlightRecorder{
+		ok:       make([]RequestRecord, n),
+		err:      make([]RequestRecord, errN),
+		inflight: make(map[*Inflight]struct{}),
+	}
+}
+
+// Begin registers an in-flight request and returns its handle. A nil
+// recorder returns a nil (no-op) handle.
+func (fr *FlightRecorder) Begin(id, route string, start time.Time) *Inflight {
+	if fr == nil {
+		return nil
+	}
+	f := &Inflight{fr: fr, r: RequestRecord{ID: id, Route: route, Start: start}}
+	fr.mu.Lock()
+	fr.inflight[f] = struct{}{}
+	fr.mu.Unlock()
+	return f
+}
+
+func (fr *FlightRecorder) complete(f *Inflight, rec RequestRecord) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	delete(fr.inflight, f)
+	fr.seq++
+	rec.seq = fr.seq
+	fr.total++
+	if rec.Outcome >= 400 {
+		if fr.errFull {
+			fr.dropped++
+		}
+		fr.err[fr.errNext] = rec
+		fr.errNext++
+		if fr.errNext == len(fr.err) {
+			fr.errNext, fr.errFull = 0, true
+		}
+		return
+	}
+	if fr.okFull {
+		fr.dropped++
+	}
+	fr.ok[fr.okNext] = rec
+	fr.okNext++
+	if fr.okNext == len(fr.ok) {
+		fr.okNext, fr.okFull = 0, true
+	}
+}
+
+// RecorderSnapshot is the /debug/requests document.
+type RecorderSnapshot struct {
+	Inflight []RequestRecord `json:"inflight"`
+	// Completed merges both rings, newest completion first.
+	Completed      []RequestRecord `json:"completed"`
+	TotalCompleted uint64          `json:"total_completed"`
+	Dropped        uint64          `json:"dropped"`
+}
+
+// Snapshot copies the recorder's current state: the live in-flight
+// records (Wall = elapsed so far) and all retained completions merged
+// newest-first. Zero-value snapshot on a nil recorder.
+func (fr *FlightRecorder) Snapshot(now time.Time) RecorderSnapshot {
+	var s RecorderSnapshot
+	if fr == nil {
+		return s
+	}
+	fr.mu.Lock()
+	for f := range fr.inflight {
+		f.mu.Lock()
+		r := f.r
+		f.mu.Unlock()
+		r.Wall = now.Sub(r.Start).Seconds()
+		s.Inflight = append(s.Inflight, r)
+	}
+	collect := func(ring []RequestRecord, next int, full bool) {
+		n := next
+		if full {
+			n = len(ring)
+		}
+		for i := 0; i < n; i++ {
+			s.Completed = append(s.Completed, ring[i])
+		}
+	}
+	collect(fr.ok, fr.okNext, fr.okFull)
+	collect(fr.err, fr.errNext, fr.errFull)
+	s.TotalCompleted = fr.total
+	s.Dropped = fr.dropped
+	fr.mu.Unlock()
+	sort.Slice(s.Inflight, func(i, j int) bool { return s.Inflight[i].Start.Before(s.Inflight[j].Start) })
+	sort.Slice(s.Completed, func(i, j int) bool { return s.Completed[i].seq > s.Completed[j].seq })
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s RecorderSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as a fixed-width human table: the
+// in-flight section first, then completions newest-first.
+func (s RecorderSnapshot) WriteText(w io.Writer) error {
+	const header = "%-18s %-9s %-4s %-10s %-12s %9s %9s %9s %9s %9s  %s\n"
+	const row = "%-18s %-9s %-4s %-10s %-12s %9.1f %9.1f %9.1f %9.1f %9.1f  %s\n"
+	ms := func(r RequestRecord, p string) float64 { return r.Phases[p] * 1000 }
+	writeRows := func(title string, recs []RequestRecord, live bool) error {
+		if _, err := fmt.Fprintf(w, "%s (%d)\n", title, len(recs)); err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, header, "ID", "ROUTE", "CODE", "STRATEGY", "BUILD", "WALL_MS", "QUEUE_MS", "BUILD_MS", "SAMPLE_MS", "SER_MS", "NOTE"); err != nil {
+			return err
+		}
+		for _, r := range recs {
+			code := fmt.Sprintf("%d", r.Outcome)
+			if live {
+				code = "..."
+			}
+			note := r.Err
+			if note == "" && r.Trials > 0 {
+				note = fmt.Sprintf("trials=%d", r.Trials)
+				if r.TrialsSaved > 0 {
+					note += fmt.Sprintf(" saved=%d", r.TrialsSaved)
+				}
+			}
+			if _, err := fmt.Fprintf(w, row,
+				r.ID, r.Route, code, r.Strategy, r.Build,
+				r.Wall*1000, ms(r, "queue"), ms(r, "build"), ms(r, "sample"), ms(r, "serialize"),
+				strings.TrimSpace(note)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeRows("in-flight", s.Inflight, true); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := writeRows("completed", s.Completed, false); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\ntotal_completed %d  dropped %d\n", s.TotalCompleted, s.Dropped)
+	return err
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhasesAccounting(t *testing.T) {
+	ph := NewPhases()
+	ph.Add(PhaseQueue, 10*time.Millisecond)
+	ph.Add(PhaseBuild, 20*time.Millisecond)
+	ph.Add(PhaseBuild, 5*time.Millisecond)
+	ph.Add(PhaseSample, 40*time.Millisecond)
+	ph.Add(PhaseSerialize, time.Millisecond)
+	if got := ph.Duration(PhaseBuild); got != 25*time.Millisecond {
+		t.Fatalf("build = %v, want 25ms", got)
+	}
+	if got := ph.Total(); got != 76*time.Millisecond {
+		t.Fatalf("total = %v, want 76ms", got)
+	}
+	secs := ph.Seconds()
+	if len(secs) != int(NumPhases) {
+		t.Fatalf("Seconds has %d phases, want %d", len(secs), NumPhases)
+	}
+	if secs["queue"] != 0.01 {
+		t.Fatalf("queue seconds = %g, want 0.01", secs["queue"])
+	}
+	// Nil and out-of-range are silent no-ops.
+	var nilPh *Phases
+	nilPh.Add(PhaseQueue, time.Second)
+	if nilPh.Total() != 0 || nilPh.Seconds() != nil {
+		t.Fatal("nil Phases returned data")
+	}
+	ph.Add(Phase(99), time.Second)
+	if ph.Total() != 76*time.Millisecond {
+		t.Fatal("out-of-range phase accrued")
+	}
+	if Phase(99).String() != "unknown" {
+		t.Fatal("out-of-range phase name")
+	}
+}
+
+func TestScopePhasesAndRequestID(t *testing.T) {
+	tr := NewTracer()
+	ph := NewPhases()
+	sc := NewScope(tr, nil, nil).WithPhases(ph).WithRequestID("req-42")
+	if sc.PhasesSink() != ph {
+		t.Fatal("phase sink not attached")
+	}
+	if sc.RequestID() != "req-42" {
+		t.Fatal("request ID not attached")
+	}
+	// Derived scopes inherit both.
+	child, sp := sc.Span("pqe.ur_estimate")
+	if child.PhasesSink() != ph || child.RequestID() != "req-42" {
+		t.Fatal("derived scope lost phases/request ID")
+	}
+	child.AddPhase(PhaseBuild, time.Millisecond)
+	sp.End()
+	if ph.Duration(PhaseBuild) != time.Millisecond {
+		t.Fatal("AddPhase via scope did not accrue")
+	}
+	// Root spans carry the request ID as an attribute; children don't
+	// repeat it.
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	attrs := roots[0].Attrs()
+	if len(attrs) != 1 || attrs[0].Key != "request_id" || attrs[0].Value != "req-42" {
+		t.Fatalf("root attrs = %v, want request_id=req-42", attrs)
+	}
+	// Nil scope stays nil through the With* chain.
+	var nilSc *Scope
+	if nilSc.WithPhases(ph) != nil || nilSc.WithRequestID("x") != nil {
+		t.Fatal("nil scope produced a live scope")
+	}
+	nilSc.AddPhase(PhaseQueue, time.Second)
+	if nilSc.PhasesSink() != nil || nilSc.RequestID() != "" {
+		t.Fatal("nil scope returned data")
+	}
+}
+
+func TestFlightRecorderEvictionOrder(t *testing.T) {
+	fr := NewFlightRecorder(4) // 4 main slots + 4 reserved error slots
+	complete := func(id string, outcome int) {
+		f := fr.Begin(id, "estimate", time.Unix(0, 0))
+		f.Complete(outcome, time.Millisecond)
+	}
+	// Two errors early, then a flood of successes.
+	complete("e1", 429)
+	complete("e2", 504)
+	for i := 0; i < 10; i++ {
+		complete(fmt.Sprintf("ok%d", i), 200)
+	}
+	s := fr.Snapshot(time.Unix(1, 0))
+	if len(s.Inflight) != 0 {
+		t.Fatalf("inflight = %d, want 0", len(s.Inflight))
+	}
+	// Main ring keeps the newest 4 successes; the error sub-ring still
+	// holds both errors — the flood of 200s cannot evict them.
+	var ids []string
+	for _, r := range s.Completed {
+		ids = append(ids, r.ID)
+	}
+	want := []string{"ok9", "ok8", "ok7", "ok6", "e2", "e1"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Fatalf("completed order = %v, want %v", ids, want)
+	}
+	if s.TotalCompleted != 12 || s.Dropped != 6 {
+		t.Fatalf("total = %d dropped = %d, want 12 and 6", s.TotalCompleted, s.Dropped)
+	}
+	// Errors evict only among themselves, oldest first.
+	for i := 0; i < 5; i++ {
+		complete(fmt.Sprintf("err%d", i), 504)
+	}
+	s = fr.Snapshot(time.Unix(1, 0))
+	var errs []string
+	for _, r := range s.Completed {
+		if r.Outcome >= 400 {
+			errs = append(errs, r.ID)
+		}
+	}
+	want = []string{"err4", "err3", "err2", "err1"}
+	if strings.Join(errs, ",") != strings.Join(want, ",") {
+		t.Fatalf("error ring = %v, want %v", errs, want)
+	}
+}
+
+func TestFlightRecorderInflightView(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	start := time.Unix(100, 0)
+	f := fr.Begin("live-1", "stream", start)
+	f.Update(func(r *RequestRecord) {
+		r.Database = "default"
+		r.Strategy = "fpras_path"
+		r.Trials = 17
+		r.Phases = map[string]float64{"queue": 0.001}
+	})
+	s := fr.Snapshot(start.Add(2 * time.Second))
+	if len(s.Inflight) != 1 || len(s.Completed) != 0 {
+		t.Fatalf("inflight/completed = %d/%d, want 1/0", len(s.Inflight), len(s.Completed))
+	}
+	r := s.Inflight[0]
+	if r.ID != "live-1" || r.Strategy != "fpras_path" || r.Trials != 17 {
+		t.Fatalf("inflight record = %+v", r)
+	}
+	if r.Wall != 2.0 {
+		t.Fatalf("inflight wall = %g, want 2 (elapsed so far)", r.Wall)
+	}
+	f.Complete(200, 2500*time.Millisecond)
+	s = fr.Snapshot(start.Add(3 * time.Second))
+	if len(s.Inflight) != 0 || len(s.Completed) != 1 {
+		t.Fatalf("after complete: inflight/completed = %d/%d", len(s.Inflight), len(s.Completed))
+	}
+	if got := s.Completed[0].Wall; got != 2.5 {
+		t.Fatalf("completed wall = %g, want 2.5", got)
+	}
+	// Double-complete is a defensive no-op.
+	f.Complete(500, time.Second)
+	if got := len(fr.Snapshot(start).Completed); got != 1 {
+		t.Fatalf("double complete duplicated the record: %d", got)
+	}
+	// Nil recorder and nil handle are silent.
+	var nilFr *FlightRecorder
+	nf := nilFr.Begin("x", "estimate", start)
+	nf.Update(func(*RequestRecord) { t.Fatal("nil inflight ran update") })
+	nf.Complete(200, 0)
+	if snap := nilFr.Snapshot(start); len(snap.Inflight)+len(snap.Completed) != 0 {
+		t.Fatal("nil recorder returned records")
+	}
+}
+
+func TestFlightRecorderRendering(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	f := fr.Begin("abc123", "estimate", time.Unix(0, 0))
+	f.Update(func(r *RequestRecord) {
+		r.Strategy = "exact_dnnf"
+		r.Phases = map[string]float64{"queue": 0.001, "build": 0.002, "sample": 0.003, "serialize": 0.0005}
+	})
+	f.Complete(200, 7*time.Millisecond)
+	fr.Begin("shed-1", "estimate", time.Unix(5, 0)).Complete(429, time.Millisecond)
+	s := fr.Snapshot(time.Unix(10, 0))
+
+	var js strings.Builder
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"abc123"`, `"exact_dnnf"`, `"outcome": 429`, `"total_completed": 2`} {
+		if !strings.Contains(js.String(), needle) {
+			t.Fatalf("JSON missing %s:\n%s", needle, js.String())
+		}
+	}
+
+	var txt strings.Builder
+	if err := s.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"in-flight (0)", "completed (2)", "abc123", "shed-1", "429", "total_completed 2"} {
+		if !strings.Contains(txt.String(), needle) {
+			t.Fatalf("text table missing %q:\n%s", needle, txt.String())
+		}
+	}
+}
+
+func TestFlightRecorderConcurrency(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := fr.Begin(fmt.Sprintf("w%d-%d", w, i), "estimate", time.Unix(0, 0))
+				f.Update(func(r *RequestRecord) { r.Trials = int64(i) })
+				outcome := 200
+				if i%7 == 0 {
+					outcome = 429
+				}
+				f.Complete(outcome, time.Millisecond)
+				_ = fr.Snapshot(time.Unix(1, 0))
+			}
+		}()
+	}
+	wg.Wait()
+	s := fr.Snapshot(time.Unix(1, 0))
+	if s.TotalCompleted != 1600 {
+		t.Fatalf("total = %d, want 1600", s.TotalCompleted)
+	}
+	for i := 1; i < len(s.Completed); i++ {
+		if s.Completed[i-1].seq < s.Completed[i].seq {
+			t.Fatal("completed not newest-first")
+		}
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg, time.Hour) // ticker won't fire; Start collects once
+	rc.Start()
+	defer rc.Stop()
+	if g := reg.Gauge("go_goroutines").Value(); g < 1 {
+		t.Fatalf("go_goroutines = %g, want ≥ 1", g)
+	}
+	if g := reg.Gauge("go_memory_total_bytes").Value(); g <= 0 {
+		t.Fatalf("go_memory_total_bytes = %g, want > 0", g)
+	}
+	// Quantile gauges exist (they may be zero on an idle runtime).
+	snap := reg.Snapshot()
+	for _, name := range []string{"go_gc_pause_seconds_p50", "go_gc_pause_seconds_p99", "go_sched_latency_seconds_p50", "go_sched_latency_seconds_p99"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %s missing from snapshot", name)
+		}
+	}
+	rc.Stop()
+	rc.Stop() // idempotent
+	var nilRc *RuntimeCollector
+	nilRc.Start()
+	nilRc.Collect()
+	nilRc.Stop()
+	if NewRuntimeCollector(nil, time.Second) != nil {
+		t.Fatal("collector over a nil registry should be nil")
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"pqe/internal/splitmix"
+)
+
+// runtimeGauges maps runtime/metrics sample names onto registry gauge
+// names. Kinds are checked at read time (KindBad samples are skipped)
+// so the list degrades gracefully across Go releases.
+var runtimeGauges = []struct {
+	sample string
+	gauge  string
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Live goroutines."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of live heap objects."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime."},
+}
+
+// runtimeHists maps runtime/metrics histogram samples onto p50/p99
+// gauges (full runtime histograms are too wide to export usefully).
+var runtimeHists = []struct {
+	sample string
+	gauge  string
+	help   string
+}{
+	{"/gc/pauses:seconds", "go_gc_pause_seconds", "GC stop-the-world pause quantiles."},
+	{"/sched/latencies:seconds", "go_sched_latency_seconds", "Goroutine scheduling latency quantiles."},
+}
+
+// RuntimeCollector polls runtime/metrics (GC pauses, heap, goroutines,
+// scheduler latency) into a Registry on a jittered ticker so /metrics
+// scrapes carry runtime health next to the service counters. The jitter
+// comes from a fixed splitmix stream — never wall-clock randomness —
+// so the collector cannot perturb any seeded computation (it touches no
+// engine state at all; it only reads runtime counters).
+type RuntimeCollector struct {
+	reg      *Registry
+	interval time.Duration
+	samples  []metrics.Sample
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// runtimeJitterSalt derives the ticker-jitter stream.
+const runtimeJitterSalt = 0x9fb21c651e98df25
+
+// NewRuntimeCollector returns a collector writing into reg every
+// interval (±25% jitter). It does not start polling until Start. A nil
+// registry yields a nil (no-op) collector; interval ≤ 0 defaults to 10s.
+func NewRuntimeCollector(reg *Registry, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	rc := &RuntimeCollector{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, g := range runtimeGauges {
+		rc.samples = append(rc.samples, metrics.Sample{Name: g.sample})
+		reg.SetHelp(g.gauge, g.help)
+	}
+	for _, h := range runtimeHists {
+		rc.samples = append(rc.samples, metrics.Sample{Name: h.sample})
+		reg.SetHelp(h.gauge+"_p50", h.help)
+		reg.SetHelp(h.gauge+"_p99", h.help)
+	}
+	return rc
+}
+
+// Collect reads the runtime metrics once into the registry. Exposed so
+// tests and smoke runs can force a fresh reading. No-op on nil.
+func (rc *RuntimeCollector) Collect() {
+	if rc == nil {
+		return
+	}
+	metrics.Read(rc.samples)
+	for i, g := range runtimeGauges {
+		s := rc.samples[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			rc.reg.Gauge(g.gauge).Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			rc.reg.Gauge(g.gauge).Set(s.Value.Float64())
+		}
+	}
+	for i, h := range runtimeHists {
+		s := rc.samples[len(runtimeGauges)+i]
+		if s.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		fh := s.Value.Float64Histogram()
+		rc.reg.Gauge(h.gauge + "_p50").Set(histQuantile(fh, 0.50))
+		rc.reg.Gauge(h.gauge + "_p99").Set(histQuantile(fh, 0.99))
+	}
+}
+
+// histQuantile extracts an approximate quantile from a runtime
+// Float64Histogram, using each bucket's upper bound (lower for the
+// +Inf overflow bucket).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i+1] is bucket i's upper bound.
+			if i+1 < len(h.Buckets) && !isInf(h.Buckets[i+1]) {
+				return h.Buckets[i+1]
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }
+
+// Start collects once immediately, then polls on a jittered ticker
+// until Stop. No-op on nil.
+func (rc *RuntimeCollector) Start() {
+	if rc == nil {
+		return
+	}
+	rc.Collect()
+	go rc.loop()
+}
+
+func (rc *RuntimeCollector) loop() {
+	defer close(rc.done)
+	// Jitter each period to 75%–125% of the nominal interval so a fleet
+	// of pqed processes doesn't scrape the runtime in lockstep. The
+	// stream seed is fixed: deterministic, and unrelated to any request
+	// seed.
+	str := splitmix.Derive(0, runtimeJitterSalt, 0)
+	timer := time.NewTimer(rc.jittered(&str))
+	defer timer.Stop()
+	for {
+		select {
+		case <-rc.stop:
+			return
+		case <-timer.C:
+			rc.Collect()
+			timer.Reset(rc.jittered(&str))
+		}
+	}
+}
+
+func (rc *RuntimeCollector) jittered(str *splitmix.Stream) time.Duration {
+	f := 0.75 + 0.5*str.Float64()
+	return time.Duration(float64(rc.interval) * f)
+}
+
+// Stop halts the poller (idempotent; safe before Start — the next
+// Start's loop exits immediately). No-op on nil.
+func (rc *RuntimeCollector) Stop() {
+	if rc == nil {
+		return
+	}
+	rc.stopOnce.Do(func() { close(rc.stop) })
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // Budget is a weighted FIFO admission semaphore over scheduler slots.
@@ -15,10 +16,47 @@ import (
 //
 // All methods are safe for concurrent use.
 type Budget struct {
-	mu      sync.Mutex
-	cap     int
-	used    int
-	waiters []*budgetWaiter // FIFO; nil entries are abandoned slots
+	mu       sync.Mutex
+	cap      int
+	used     int
+	waiters  []*budgetWaiter // FIFO; nil entries are abandoned slots
+	observer func(BudgetEvent)
+}
+
+// BudgetEvent describes one admission decision: a request (identified
+// by the caller's tag, typically the request ID) was admitted, queued,
+// or shed, with the semaphore's state at that moment. Events let the
+// service layer attribute queue-wait to requests without the budget
+// knowing anything about HTTP.
+type BudgetEvent struct {
+	Tag      string        // caller's correlation tag ("" when untagged)
+	Kind     string        // "admitted", "queued" or "shed"
+	Tokens   int           // clamped token count requested
+	Waited   time.Duration // queue time (0 for immediate admits and fresh queues)
+	InUse    int           // tokens in use after the decision
+	Capacity int
+	Waiting  int // live queued waiters after the decision
+}
+
+// SetObserver installs fn to receive admission events. The observer is
+// called outside the budget lock and must be safe for concurrent use;
+// nil removes it.
+func (b *Budget) SetObserver(fn func(BudgetEvent)) {
+	b.mu.Lock()
+	b.observer = fn
+	b.mu.Unlock()
+}
+
+// eventLocked builds an event from state the caller already holds the
+// lock for.
+func (b *Budget) eventLocked(kind, tag string, n int, waited time.Duration) BudgetEvent {
+	k := 0
+	for _, w := range b.waiters {
+		if w != nil {
+			k++
+		}
+	}
+	return BudgetEvent{Tag: tag, Kind: kind, Tokens: n, Waited: waited, InUse: b.used, Capacity: b.cap, Waiting: k}
 }
 
 type budgetWaiter struct {
@@ -89,20 +127,41 @@ func (b *Budget) TryAcquire(n int) int {
 // granted count; the caller must Release exactly that count. On
 // cancellation it returns 0 and ctx.Err(), and no tokens are held.
 func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
+	return b.AcquireTagged(ctx, n, "")
+}
+
+// AcquireTagged is Acquire with a correlation tag threaded into the
+// admission observer's events, so queue decisions are attributable to
+// the request that made them.
+func (b *Budget) AcquireTagged(ctx context.Context, n int, tag string) (int, error) {
 	n = b.clamp(n)
 	b.mu.Lock()
+	obs := b.observer
 	if !b.queuedLocked() && b.used+n <= b.cap {
 		b.used += n
+		ev := b.eventLocked("admitted", tag, n, 0)
 		b.mu.Unlock()
+		if obs != nil {
+			obs(ev)
+		}
 		return n, nil
 	}
 	if ctx != nil && ctx.Err() != nil {
+		ev := b.eventLocked("shed", tag, n, 0)
 		b.mu.Unlock()
+		if obs != nil {
+			obs(ev)
+		}
 		return 0, ctx.Err()
 	}
 	w := &budgetWaiter{n: n, ready: make(chan struct{})}
 	b.waiters = append(b.waiters, w)
+	ev := b.eventLocked("queued", tag, n, 0)
 	b.mu.Unlock()
+	if obs != nil {
+		obs(ev)
+	}
+	start := time.Now()
 
 	var done <-chan struct{}
 	if ctx != nil {
@@ -110,6 +169,12 @@ func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
 	}
 	select {
 	case <-w.ready:
+		if obs != nil {
+			b.mu.Lock()
+			ev := b.eventLocked("admitted", tag, n, time.Since(start))
+			b.mu.Unlock()
+			obs(ev)
+		}
 		return n, nil
 	case <-done:
 		b.mu.Lock()
@@ -119,7 +184,11 @@ func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
 			// back rather than racing the caller's error path.
 			b.used -= w.n
 			b.grantLocked()
+			ev := b.eventLocked("shed", tag, n, time.Since(start))
 			b.mu.Unlock()
+			if obs != nil {
+				obs(ev)
+			}
 			return 0, ctx.Err()
 		default:
 		}
@@ -131,7 +200,11 @@ func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
 		}
 		// Abandoning the head may unblock the next waiter.
 		b.grantLocked()
+		ev = b.eventLocked("shed", tag, n, time.Since(start))
 		b.mu.Unlock()
+		if obs != nil {
+			obs(ev)
+		}
 		return 0, ctx.Err()
 	}
 }

@@ -207,3 +207,101 @@ func TestBudgetStress(t *testing.T) {
 		t.Error("no acquisition ever succeeded")
 	}
 }
+
+func TestBudgetObserverEvents(t *testing.T) {
+	b := NewBudget(2)
+	var mu sync.Mutex
+	var events []BudgetEvent
+	b.SetObserver(func(ev BudgetEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	// Immediate admit: one "admitted" event with zero wait.
+	n, err := b.AcquireTagged(context.Background(), 2, "req-a")
+	if err != nil || n != 2 {
+		t.Fatalf("AcquireTagged = (%d, %v)", n, err)
+	}
+	mu.Lock()
+	if len(events) != 1 || events[0].Kind != "admitted" || events[0].Tag != "req-a" ||
+		events[0].Waited != 0 || events[0].InUse != 2 || events[0].Capacity != 2 {
+		t.Fatalf("immediate admit events = %+v", events)
+	}
+	mu.Unlock()
+
+	// Full budget: the next caller queues, then admits once released.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, err := b.AcquireTagged(context.Background(), 1, "req-b")
+		if err != nil || n != 1 {
+			t.Errorf("queued AcquireTagged = (%d, %v)", n, err)
+			return
+		}
+		b.Release(1)
+	}()
+	for b.Waiting() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Release(2)
+	<-done
+	mu.Lock()
+	kinds := make(map[string]int)
+	var admittedWait time.Duration
+	for _, ev := range events {
+		if ev.Tag == "req-b" {
+			kinds[ev.Kind]++
+			if ev.Kind == "admitted" {
+				admittedWait = ev.Waited
+			}
+		}
+	}
+	mu.Unlock()
+	if kinds["queued"] != 1 || kinds["admitted"] != 1 || kinds["shed"] != 0 {
+		t.Fatalf("queued-request event kinds = %v, want one queued + one admitted", kinds)
+	}
+	if admittedWait <= 0 {
+		t.Fatalf("admitted-after-queue Waited = %v, want > 0", admittedWait)
+	}
+
+	// Cancellation while queued: a "shed" event.
+	n, _ = b.AcquireTagged(context.Background(), 2, "req-c")
+	if n != 2 {
+		t.Fatal("setup acquire failed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	shedDone := make(chan struct{})
+	go func() {
+		defer close(shedDone)
+		if n, err := b.AcquireTagged(ctx, 1, "req-d"); err == nil {
+			t.Errorf("cancelled acquire succeeded with %d tokens", n)
+		}
+	}()
+	for b.Waiting() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	<-shedDone
+	b.Release(2)
+	mu.Lock()
+	shed := 0
+	for _, ev := range events {
+		if ev.Tag == "req-d" && ev.Kind == "shed" {
+			shed++
+		}
+	}
+	mu.Unlock()
+	if shed != 1 {
+		t.Fatalf("shed events for cancelled waiter = %d, want 1", shed)
+	}
+
+	// Removing the observer silences events.
+	b.SetObserver(nil)
+	before := len(events)
+	b.Acquire(context.Background(), 1)
+	b.Release(1)
+	if len(events) != before {
+		t.Fatal("events after observer removal")
+	}
+}

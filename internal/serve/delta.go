@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"math/big"
 	"net/http"
+	"time"
 
 	"pqe"
+	"pqe/internal/obs"
 )
 
 // deltaRequest is the body of POST /v1/delta.
@@ -40,21 +42,24 @@ type deltaResponse struct {
 // the optimistic version, applies atomically, and retires every cached
 // session of the database (their keys embed the old version).
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	tk := s.track(w, r, "delta")
+	tk.ensureID(0) // deltas carry no seed; ID from the zero stream
 	s.reg.Counter("pqed_deltas_total").Inc()
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		tk.fail(http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req deltaRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		tk.fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Database == "" {
 		req.Database = "default"
 	}
+	tk.db = req.Database
 	if len(req.Ops) == 0 {
-		writeError(w, http.StatusBadRequest, "empty delta")
+		tk.fail(http.StatusBadRequest, "empty delta")
 		return
 	}
 	delta := pqe.NewDelta()
@@ -62,12 +67,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		var prob *big.Rat
 		if op.Op == "insert" || op.Op == "reweight" {
 			if op.Prob == "" {
-				writeError(w, http.StatusBadRequest, "op %d: %s needs a prob", i, op.Op)
+				tk.fail(http.StatusBadRequest, "op %d: %s needs a prob", i, op.Op)
 				return
 			}
 			prob = new(big.Rat)
 			if _, ok := prob.SetString(op.Prob); !ok {
-				writeError(w, http.StatusBadRequest, "op %d: bad prob %q", i, op.Prob)
+				tk.fail(http.StatusBadRequest, "op %d: bad prob %q", i, op.Prob)
 				return
 			}
 		}
@@ -79,7 +84,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		case "reweight":
 			delta.Reweight(op.Relation, prob, op.Args...)
 		default:
-			writeError(w, http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
+			tk.fail(http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
 			return
 		}
 	}
@@ -88,26 +93,40 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	ent := s.dbs[req.Database]
 	s.mu.Unlock()
 	if ent == nil {
-		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		tk.fail(http.StatusNotFound, "unknown database %q", req.Database)
 		return
 	}
 
+	// Waiting for in-flight estimates (readers) to release the database
+	// is this route's queue phase.
+	lockT0 := time.Now()
 	ent.mu.Lock()
+	tk.phases.Add(obs.PhaseQueue, time.Since(lockT0))
 	if req.BaseVersion != nil && *req.BaseVersion != ent.db.Version() {
 		cur := ent.db.Version()
 		ent.mu.Unlock()
 		s.reg.Counter("pqed_delta_conflicts_total").Inc()
+		tk.version = cur
+		tk.errMsg = "stale base_version"
+		t0 := time.Now()
 		writeJSON(w, http.StatusConflict, errorResponse{
 			Error:   "stale base_version",
 			Version: cur,
 		})
+		tk.phases.Add(obs.PhaseSerialize, time.Since(t0))
+		tk.finish(http.StatusConflict)
 		return
 	}
+	applyT0 := time.Now()
 	sum, err := ent.db.ApplyDelta(delta)
 	version := ent.db.Version()
+	// Applying the delta rebuilds automaton parts incrementally — the
+	// write-side analogue of the build phase.
+	tk.phases.Add(obs.PhaseBuild, time.Since(applyT0))
 	ent.mu.Unlock()
+	tk.version = version
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "delta rejected: %v", err)
+		tk.fail(http.StatusBadRequest, "delta rejected: %v", err)
 		return
 	}
 	// Sessions for the pre-delta version can never be hit again (the
@@ -115,6 +134,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.sessions.evictDatabase(req.Database, s.reg)
 	s.mu.Unlock()
+	t0 := time.Now()
 	writeJSON(w, http.StatusOK, deltaResponse{
 		Database:  req.Database,
 		Version:   version,
@@ -122,4 +142,6 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		Deletes:   sum.Deletes,
 		Reweights: sum.Reweights,
 	})
+	tk.phases.Add(obs.PhaseSerialize, time.Since(t0))
+	tk.finish(http.StatusOK)
 }

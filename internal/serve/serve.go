@@ -19,7 +19,16 @@
 //	                           check (409 on stale base_version)
 //	GET  /v1/databases         the served databases and their versions
 //	GET  /metrics              pqed_* service metrics + engine metrics
+//	GET  /debug/requests       flight recorder: in-flight and recent
+//	                           requests (JSON, or ?format=text)
 //	GET  /snapshot.json, /trace.json, /debug/pprof/*  (obs debug)
+//
+// Observability: every request carries a correlation ID (the client's
+// X-Request-Id, or one derived deterministically from the request seed),
+// echoed in the response header, stamped on every access-log line and
+// recorded in the flight recorder together with the chosen strategy,
+// database version, outcome and a per-phase time breakdown
+// (queue/build/sample/serialize, exported as pqed_phase_seconds).
 //
 // Determinism: the service inherits the engines' invariant that a
 // seeded estimate is a pure function of (query, database, seed) — the
@@ -31,7 +40,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"log/slog"
 	"math/big"
 	"net/http"
 	"sort"
@@ -58,6 +67,16 @@ type Config struct {
 	// DefaultTimeout bounds a request that does not set timeout_ms.
 	// Default 30s.
 	DefaultTimeout time.Duration
+	// Logger receives structured access-log and scheduler events. Nil
+	// discards them (a no-op handler; instrumentation never nil-checks).
+	Logger *slog.Logger
+	// FlightRecorderSize bounds the flight recorder's ring of retained
+	// completed requests. Default 256.
+	FlightRecorderSize int
+	// RuntimeInterval is the runtime-health poll period (goroutines, GC,
+	// heap, scheduler latency → /metrics). Default 10s; negative
+	// disables the collector.
+	RuntimeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +92,15 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(nopLogHandler{})
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
+	}
+	if c.RuntimeInterval == 0 {
+		c.RuntimeInterval = 10 * time.Second
+	}
 	return c
 }
 
@@ -83,7 +111,16 @@ type Server struct {
 	budget *sched.Budget
 	reg    *obs.Registry  // pqed_* service metrics
 	tel    *pqe.Telemetry // engine-side telemetry (construction stages)
+	log    *slog.Logger
+	fr     *obs.FlightRecorder
+	rc     *obs.RuntimeCollector
 	mux    *http.ServeMux
+
+	// Outcome-labeled request accounting, written once per request by
+	// track.finish.
+	reqTotal  *obs.CounterVec   // pqed_requests_total{route,outcome}
+	phaseHist *obs.HistogramVec // pqed_phase_seconds{phase,route,outcome}
+	reqSeq    atomic.Uint64     // request-ID derivation index
 
 	mu       sync.Mutex
 	dbs      map[string]*dbEntry
@@ -112,27 +149,60 @@ func NewServer(cfg Config) *Server {
 		budget:   sched.NewBudget(cfg.Budget),
 		reg:      obs.NewRegistry(),
 		tel:      pqe.NewTelemetry(),
+		log:      cfg.Logger,
+		fr:       obs.NewFlightRecorder(cfg.FlightRecorderSize),
 		dbs:      make(map[string]*dbEntry),
 		sessions: newSessionLRU(cfg.MaxSessions),
 	}
 	// Touch every pqed_* family now so the full set appears in /metrics
 	// from the first scrape (a counter that never fires still exports 0).
 	for _, name := range []string{
-		"pqed_requests_total", "pqed_requests_shed_total", "pqed_deadlines_total",
+		"pqed_requests_shed_total", "pqed_deadlines_total",
 		"pqed_session_hits_total", "pqed_session_misses_total", "pqed_session_evictions_total",
 		"pqed_deltas_total", "pqed_delta_conflicts_total",
 	} {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge("pqed_inflight")
+	s.reg.Gauge("pqed_budget_in_use")
+	s.reg.Gauge("pqed_budget_waiting")
 	s.reg.Histogram("pqed_queue_wait_seconds")
 	s.reg.Histogram("pqed_request_seconds")
+	s.reqTotal = s.reg.CounterVec("pqed_requests_total", "route", "outcome")
+	s.phaseHist = s.reg.HistogramVec("pqed_phase_seconds", []string{"phase", "route", "outcome"})
+	s.reg.SetHelp("pqed_requests_total", "Completed requests by route and HTTP outcome.")
+	s.reg.SetHelp("pqed_phase_seconds", "Per-request time by phase (queue, build, sample, serialize).")
+	s.reg.SetHelp("pqed_requests_shed_total", "Requests shed with 429 because the worker budget stayed saturated past the queue wait.")
+	s.reg.SetHelp("pqed_deadlines_total", "Requests that exceeded their deadline mid-computation (504).")
+
+	// Scheduler admission events feed the budget gauges and the debug
+	// log, keyed by the waiting request's correlation ID.
+	s.budget.SetObserver(func(ev sched.BudgetEvent) {
+		s.reg.Gauge("pqed_budget_in_use").Set(float64(ev.InUse))
+		s.reg.Gauge("pqed_budget_waiting").Set(float64(ev.Waiting))
+		s.log.LogAttrs(context.Background(), slog.LevelDebug, "budget",
+			slog.String("event", ev.Kind),
+			slog.String("request_id", ev.Tag),
+			slog.Int("tokens", ev.Tokens),
+			slog.Int("in_use", ev.InUse),
+			slog.Int("capacity", ev.Capacity),
+			slog.Int("waiting", ev.Waiting),
+			slog.Float64("waited_ms", float64(ev.Waited)/float64(time.Millisecond)),
+		)
+	})
+
+	if cfg.RuntimeInterval > 0 {
+		s.rc = obs.NewRuntimeCollector(s.reg, cfg.RuntimeInterval)
+		s.rc.Start()
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/estimate/stream", s.handleEstimateStream)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/databases", s.handleDatabases)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.Handle("/", s.tel.DebugHandler()) // snapshot.json, trace.json, pprof
 	return s
 }
@@ -150,10 +220,12 @@ func (s *Server) AddDatabase(name string, db *pqe.Database) {
 // endpoints) for mounting on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain stops admitting new work (503) and waits until every in-flight
-// request has finished or ctx expires.
+// Drain stops admitting new work (503), stops the runtime-health
+// collector, and waits until every in-flight request has finished or
+// ctx expires.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.rc.Stop() // nil-safe; idempotent
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -173,6 +245,9 @@ func (s *Server) Budget() *sched.Budget { return s.budget }
 
 // Registry exposes the pqed_* metrics registry for tests.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Recorder exposes the flight recorder for tests.
+func (s *Server) Recorder() *obs.FlightRecorder { return s.fr }
 
 // estimateRequest is the body of /v1/estimate and /v1/estimate/stream.
 type estimateRequest struct {
@@ -223,45 +298,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
 // admit performs the shared request prologue: drain check, body decode,
 // query parse, database lookup, budget admission, deadline setup. On
 // success it returns a prepared call; the caller must invoke
 // call.release() when done. On failure it has already written the
-// response and returns nil.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) *call {
-	s.reg.Counter("pqed_requests_total").Inc()
+// response — and finished tk with the failure outcome — and returns
+// nil.
+func (s *Server) admit(tk *track, r *http.Request) *call {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		tk.ensureID(0)
+		tk.fail(http.StatusServiceUnavailable, "server is draining")
 		return nil
 	}
 	var req estimateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		tk.ensureID(0)
+		tk.fail(http.StatusBadRequest, "bad request body: %v", err)
 		return nil
 	}
+	// The correlation ID derives from the request seed once the body is
+	// known; earlier failures above fall back to the zero stream.
+	tk.ensureID(req.Options.Seed)
+	tk.qhash = queryHash(req.Query)
 	q, err := pqe.ParseQuery(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		tk.fail(http.StatusBadRequest, "bad query: %v", err)
 		return nil
 	}
 	if req.Database == "" {
 		req.Database = "default"
 	}
+	tk.db = req.Database
 	s.mu.Lock()
 	ent := s.dbs[req.Database]
 	s.mu.Unlock()
 	if ent == nil {
-		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		tk.fail(http.StatusNotFound, "unknown database %q", req.Database)
 		return nil
 	}
 	switch req.Options.Mode {
 	case "", "probability", "estimate", "ur":
 	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Options.Mode)
+		tk.fail(http.StatusBadRequest, "unknown mode %q", req.Options.Mode)
 		return nil
 	}
 
@@ -271,21 +349,22 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) *call {
 	s.reg.Gauge("pqed_inflight").Add(1)
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), s.cfg.QueueWait)
 	t0 := time.Now()
-	tokens, err := s.budget.Acquire(waitCtx, req.Options.MaxProcs)
+	tokens, err := s.budget.AcquireTagged(waitCtx, req.Options.MaxProcs, tk.id)
 	cancelWait()
 	wait := time.Since(t0)
 	s.reg.Histogram("pqed_queue_wait_seconds").Observe(wait.Seconds())
+	tk.phases.Add(obs.PhaseQueue, wait)
 	if err != nil {
 		s.reg.Gauge("pqed_inflight").Add(-1)
 		s.inflight.Done()
 		if r.Context().Err() != nil {
 			// Client went away while queued; nothing to say to it.
-			writeError(w, http.StatusRequestTimeout, "client cancelled while queued")
+			tk.fail(http.StatusRequestTimeout, "client cancelled while queued")
 			return nil
 		}
 		s.reg.Counter("pqed_requests_shed_total").Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueueWait)))
-		writeError(w, http.StatusTooManyRequests,
+		tk.w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueueWait)))
+		tk.fail(http.StatusTooManyRequests,
 			"budget saturated: %d/%d workers in use, %d queued",
 			s.budget.InUse(), s.budget.Capacity(), s.budget.Waiting())
 		return nil
@@ -296,7 +375,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) *call {
 		timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	return &call{s: s, req: req, q: q, ent: ent, tokens: tokens, ctx: ctx, cancel: cancel, start: t0}
+	return &call{s: s, tk: tk, req: req, q: q, ent: ent, tokens: tokens, ctx: ctx, cancel: cancel, start: t0}
 }
 
 func retryAfterSeconds(wait time.Duration) int {
@@ -310,6 +389,7 @@ func retryAfterSeconds(wait time.Duration) int {
 // call is one admitted estimate request.
 type call struct {
 	s      *Server
+	tk     *track
 	req    estimateRequest
 	q      *pqe.Query
 	ent    *dbEntry
@@ -345,6 +425,7 @@ func (c *call) options(tel *pqe.Telemetry) *pqe.Options {
 		ForceFPRAS: o.ForceFPRAS,
 		Ctx:        c.ctx,
 		Telemetry:  tel,
+		RequestID:  c.tk.id,
 	}
 }
 
@@ -355,10 +436,14 @@ func (c *call) options(tel *pqe.Telemetry) *pqe.Options {
 // HTTP status in the int.
 func (c *call) run(onTrial func(pqe.TrialUpdate)) (estimateResponse, int, error) {
 	s := c.s
+	tk := c.tk
 	// The read lock spans session lookup and the counting call: a delta
 	// (writer) can neither mutate fact storage under a running sampler
-	// nor bump the version between lookup and estimate.
+	// nor bump the version between lookup and estimate. Waiting for it
+	// (behind an in-flight delta) is queue time.
+	lockT0 := time.Now()
 	c.ent.mu.RLock()
+	tk.phases.Add(obs.PhaseQueue, time.Since(lockT0))
 	defer c.ent.mu.RUnlock()
 	version := c.ent.db.Version()
 	sess, hit := s.sessionFor(c.req, c.q, c.ent, version)
@@ -367,6 +452,8 @@ func (c *call) run(onTrial func(pqe.TrialUpdate)) (estimateResponse, int, error)
 	} else {
 		s.reg.Counter("pqed_session_misses_total").Inc()
 	}
+	tk.version = version
+	tk.cache = cacheLabel(hit)
 
 	var trials atomic.Int64
 	tel := pqe.NewTelemetry()
@@ -381,8 +468,13 @@ func (c *call) run(onTrial func(pqe.TrialUpdate)) (estimateResponse, int, error)
 	// The per-session mutex serializes concurrent identical requests —
 	// an Estimator is not safe for concurrent use. Each request then
 	// runs the same seeded, deterministic call, so concurrent identical
-	// requests return bit-identical estimates.
+	// requests return bit-identical estimates. Waiting behind an
+	// identical in-flight request is queue time too.
+	lockT0 = time.Now()
 	sess.mu.Lock()
+	tk.phases.Add(obs.PhaseQueue, time.Since(lockT0))
+	statsBefore := sess.est.BuildStats()
+	callT0 := time.Now()
 	resp := estimateResponse{Database: c.ent.name, Version: version, Cache: cacheLabel(hit)}
 	var err error
 	switch c.req.Options.Mode {
@@ -406,13 +498,52 @@ func (c *call) run(onTrial func(pqe.TrialUpdate)) (estimateResponse, int, error)
 			resp.Reason = res.Reason
 		}
 	}
+	callDur := time.Since(callT0)
+	statsAfter := sess.est.BuildStats()
 	sess.mu.Unlock()
+
+	// Split the engine call into build (automaton construction, accrued
+	// into the per-request telemetry by the engine) and sample
+	// (everything else: trials, exact plans, serial scans).
+	build := time.Duration(tel.PhaseSeconds()["build"] * float64(time.Second))
+	if build > callDur {
+		build = callDur
+	}
+	tk.phases.Add(obs.PhaseBuild, build)
+	tk.phases.Add(obs.PhaseSample, callDur-build)
+	tk.build = classifyBuild(statsBefore, statsAfter)
+	tk.method = resp.Method
+	tk.reason = resp.Reason
+	tk.trials = trials.Load()
+	tk.saved = tel.CounterValue("router_trials_saved_total")
+
 	resp.Trials = trials.Load()
 	resp.ElapsedMS = float64(time.Since(c.start)) / float64(time.Millisecond)
 	if err != nil {
 		return resp, errStatus(c, err), err
 	}
 	return resp, http.StatusOK, nil
+}
+
+// classifyBuild labels what session construction this call paid for,
+// from the BuildStats delta around it: nothing ran ("cached"), an
+// ApplyDelta-maintained automaton was patched ("incremental"), or a
+// stage was built from scratch ("full"). The counters are per-session
+// but the session registry is shared, so under concurrent load on
+// other sessions the label is best-effort.
+func classifyBuild(before, after pqe.BuildStats) string {
+	switch {
+	case after.IncrementalUR > before.IncrementalUR ||
+		after.IncrementalPath > before.IncrementalPath:
+		return "incremental"
+	case after.Decompositions > before.Decompositions ||
+		after.URReductions > before.URReductions ||
+		after.PathAutomata > before.PathAutomata ||
+		after.Weightings > before.Weightings:
+		return "full"
+	default:
+		return "cached"
+	}
 }
 
 func cacheLabel(hit bool) string {
@@ -439,20 +570,26 @@ func errStatus(c *call, err error) int {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	c := s.admit(w, r)
+	tk := s.track(w, r, "estimate")
+	c := s.admit(tk, r)
 	if c == nil {
 		return
 	}
 	defer c.release()
 	resp, status, err := c.run(nil)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		tk.fail(status, "%v", err)
 		return
 	}
+	t0 := time.Now()
 	writeJSON(w, status, resp)
+	tk.phases.Add(obs.PhaseSerialize, time.Since(t0))
+	tk.finish(status)
 }
 
 func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	tk := s.track(w, r, "databases")
+	tk.ensureID(0)
 	type dbInfo struct {
 		Name    string `json:"name"`
 		Version uint64 `json:"version"`
@@ -467,7 +604,10 @@ func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	t0 := time.Now()
 	writeJSON(w, http.StatusOK, map[string]any{"databases": infos})
+	tk.phases.Add(obs.PhaseSerialize, time.Since(t0))
+	tk.finish(http.StatusOK)
 }
 
 // handleMetrics writes the combined exposition: the pqed_* service

@@ -6,8 +6,10 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"pqe"
+	"pqe/internal/obs"
 )
 
 // trialEvent is the payload of one SSE "trial" event: an anytime
@@ -36,24 +38,28 @@ func finiteOrNil(v float64) *float64 {
 // sseWriter serializes Server-Sent Events onto a response. Trial
 // callbacks fire concurrently from scheduler workers, so every emit is
 // mutex-guarded; flushes happen per event so clients see estimates as
-// they converge.
+// they converge. When phases is non-nil, time spent marshaling and
+// writing events accrues to the serialize phase.
 type sseWriter struct {
-	mu sync.Mutex
-	w  http.ResponseWriter
-	fl http.Flusher
+	mu     sync.Mutex
+	w      http.ResponseWriter
+	fl     http.Flusher
+	phases *obs.Phases
 }
 
 func (s *sseWriter) emit(event string, payload any) {
+	t0 := time.Now()
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, data)
 	if s.fl != nil {
 		s.fl.Flush()
 	}
+	s.mu.Unlock()
+	s.phases.Add(obs.PhaseSerialize, time.Since(t0))
 }
 
 // handleEstimateStream runs the same computation as handleEstimate but
@@ -62,8 +68,16 @@ func (s *sseWriter) emit(event string, payload any) {
 // final estimate is bit-identical to the one-shot endpoint's for the
 // same request body: the telemetry feed observes the computation
 // without perturbing it.
+//
+// A client that disconnects mid-stream cancels the request context;
+// the engine stops within a trial batch, run returns context.Canceled,
+// and the request finishes with outcome 408 — recorded exactly once
+// (the access log, pqed_requests_total{route="stream",outcome="408"}
+// and the flight recorder all go through track.finish's once-guard),
+// even though the terminal "error" event can no longer be delivered.
 func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
-	c := s.admit(w, r)
+	tk := s.track(w, r, "stream")
+	c := s.admit(tk, r)
 	if c == nil {
 		return
 	}
@@ -74,7 +88,7 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
-	out := &sseWriter{w: w, fl: fl}
+	out := &sseWriter{w: w, fl: fl, phases: tk.phases}
 	if fl != nil {
 		fl.Flush()
 	}
@@ -91,8 +105,15 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if err != nil {
+		// The SSE response is already committed as 200; the semantic
+		// outcome (408 on disconnect, 504 on deadline, …) still reaches
+		// the access log, the labeled counter and the flight recorder
+		// through finish.
 		out.emit("error", map[string]any{"error": err.Error(), "status": status})
+		tk.errMsg = err.Error()
+		tk.finish(status)
 		return
 	}
 	out.emit("result", resp)
+	tk.finish(status)
 }

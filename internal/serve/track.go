@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pqe/internal/obs"
+	"pqe/internal/splitmix"
+)
+
+// nopLogHandler discards every record; it is the slog handler behind a
+// nil Config.Logger so instrumentation code never nil-checks the
+// logger.
+type nopLogHandler struct{}
+
+func (nopLogHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopLogHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopLogHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopLogHandler{} }
+func (nopLogHandler) WithGroup(string) slog.Handler             { return nopLogHandler{} }
+
+// reqIDSalt derives request-ID streams from request seeds — a fixed
+// site constant like splitmix.TopSamplerSalt, disjoint from every
+// engine sampling site.
+const reqIDSalt = 0xa24baed4963ee407
+
+// track is the per-request observability record: it owns the request's
+// correlation ID, phase accumulator and flight-recorder handle, and
+// funnels the terminal accounting — the outcome-labeled counter, the
+// phase histogram, the access-log line, the recorder completion —
+// through a CAS-guarded finish so every request is recorded exactly
+// once no matter how many paths race to end it (the SSE disconnect
+// fix).
+type track struct {
+	s      *Server
+	w      http.ResponseWriter
+	route  string
+	start  time.Time
+	phases *obs.Phases
+
+	id string
+	fl *obs.Inflight
+
+	// Filled in as the request progresses; read by finish.
+	db      string
+	version uint64
+	qhash   string
+	method  string
+	reason  string
+	cache   string
+	build   string
+	trials  int64
+	saved   int64
+	errMsg  string
+
+	done atomic.Bool
+}
+
+// track starts per-request observability for one handler invocation.
+// When the client supplied X-Request-Id it is adopted (and echoed)
+// immediately; otherwise the ID is bound later by ensureID, once the
+// request seed is known.
+func (s *Server) track(w http.ResponseWriter, r *http.Request, route string) *track {
+	tk := &track{s: s, w: w, route: route, start: time.Now(), phases: obs.NewPhases()}
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		tk.id = sanitizeID(id)
+		tk.bind()
+	}
+	return tk
+}
+
+// sanitizeID bounds a client-supplied correlation ID: printable, no
+// whitespace beyond interior spaces, at most 128 bytes.
+func sanitizeID(id string) string {
+	if len(id) > 128 {
+		id = id[:128]
+	}
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return '_'
+		}
+		return r
+	}, id)
+}
+
+// ensureID binds a correlation ID when the client did not supply one:
+// 16 hex digits drawn from a splitmix stream derived from the request
+// seed and a process-local sequence number — never from wall-clock
+// randomness, so ID generation cannot perturb any seeded computation.
+func (tk *track) ensureID(seed int64) {
+	if tk.id != "" {
+		return
+	}
+	str := splitmix.Derive(seed, reqIDSalt, int(tk.s.reqSeq.Add(1)))
+	tk.id = fmt.Sprintf("%016x", str.Uint64())
+	tk.bind()
+}
+
+// bind publishes the ID: the response header (before any write) and
+// the flight recorder's in-flight view.
+func (tk *track) bind() {
+	tk.w.Header().Set("X-Request-Id", tk.id)
+	tk.fl = tk.s.fr.Begin(tk.id, tk.route, tk.start)
+}
+
+// fail writes an error response and finishes the request with that
+// outcome. format/args build the client-visible (and logged) cause.
+func (tk *track) fail(status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	tk.errMsg = msg
+	t0 := time.Now()
+	writeJSON(tk.w, status, errorResponse{Error: msg})
+	tk.phases.Add(obs.PhaseSerialize, time.Since(t0))
+	tk.finish(status)
+}
+
+// finish records the request's terminal accounting exactly once:
+// outcome-labeled request counter, per-phase histogram observations,
+// the flight-recorder completion, and the access-log line. Later calls
+// are no-ops, so racing completion paths (one-shot write vs SSE
+// disconnect vs deadline) cannot double count.
+func (tk *track) finish(status int) {
+	if !tk.done.CompareAndSwap(false, true) {
+		return
+	}
+	s := tk.s
+	wall := time.Since(tk.start)
+	outcome := strconv.Itoa(status)
+	s.reqTotal.With(tk.route, outcome).Inc()
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if d := tk.phases.Duration(p); d > 0 {
+			s.phaseHist.With(p.String(), tk.route, outcome).Observe(d.Seconds())
+		}
+	}
+	tk.fl.Update(func(r *obs.RequestRecord) {
+		r.Database = tk.db
+		r.Version = tk.version
+		r.QueryHash = tk.qhash
+		r.Strategy = tk.method
+		r.Reason = tk.reason
+		r.Build = tk.build
+		r.Trials = tk.trials
+		r.TrialsSaved = tk.saved
+		r.Err = tk.errMsg
+		r.Phases = tk.phases.Seconds()
+	})
+	tk.fl.Complete(status, wall)
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.String("request_id", tk.id),
+		slog.String("route", tk.route),
+		slog.Int("status", status),
+		slog.String("db", tk.db),
+		slog.Uint64("version", tk.version),
+		slog.String("query_hash", tk.qhash),
+		slog.String("strategy", tk.method),
+		slog.String("reason", tk.reason),
+		slog.String("cache", tk.cache),
+		slog.String("build", tk.build),
+		slog.Int64("trials", tk.trials),
+		slog.Int64("trials_saved", tk.saved),
+		slog.Float64("wall_ms", float64(wall)/float64(time.Millisecond)),
+		slog.Float64("queue_ms", phaseMS(tk.phases, obs.PhaseQueue)),
+		slog.Float64("build_ms", phaseMS(tk.phases, obs.PhaseBuild)),
+		slog.Float64("sample_ms", phaseMS(tk.phases, obs.PhaseSample)),
+		slog.Float64("serialize_ms", phaseMS(tk.phases, obs.PhaseSerialize)),
+		slog.String("error", tk.errMsg),
+	)
+}
+
+func phaseMS(ph *obs.Phases, p obs.Phase) float64 {
+	return float64(ph.Duration(p)) / float64(time.Millisecond)
+}
+
+// queryHash fingerprints the query text for logs and the flight
+// recorder — stable across processes, short enough for a table column.
+func queryHash(query string) string {
+	h := fnv.New64a()
+	h.Write([]byte(query))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// handleDebugRequests serves the flight recorder: in-flight requests
+// plus the retained completions, as JSON by default or a fixed-width
+// text table with ?format=text (or an Accept preferring text/plain).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	snap := s.fr.Snapshot(time.Now())
+	wantText := r.URL.Query().Get("format") == "text" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain")
+	if wantText {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w)
+}

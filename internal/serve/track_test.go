@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pqe/internal/obs"
+)
+
+// syncBuf is a goroutine-safe log sink for capturing slog output.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// accessLines parses the captured JSON log and returns the access-log
+// records ("request" messages) as decoded maps.
+func (b *syncBuf) accessLines(t *testing.T) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", sc.Text(), err)
+		}
+		if m["msg"] == "request" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func newLoggedServer(t testing.TB, cfg Config, dbSize int) (*Server, string, *syncBuf) {
+	t.Helper()
+	buf := &syncBuf{}
+	cfg.Logger = slog.New(slog.NewJSONHandler(buf, nil))
+	s, ts := newTestServer(t, cfg, dbSize)
+	return s, ts.URL, buf
+}
+
+// TestRequestIDEchoed: a client-supplied X-Request-Id is adopted — it
+// comes back in the response header, stamps the access-log line, and
+// identifies the request in the flight recorder.
+func TestRequestIDEchoed(t *testing.T) {
+	s, base, buf := newLoggedServer(t, Config{Budget: 2}, 4)
+	req, err := http.NewRequest("POST", base+"/v1/estimate",
+		strings.NewReader(estimateBody(7, 0.5, 3, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "client-chosen-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chosen-42" {
+		t.Errorf("echoed X-Request-Id = %q, want client-chosen-42", got)
+	}
+	lines := buf.accessLines(t)
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1: %s", len(lines), buf.String())
+	}
+	if lines[0]["request_id"] != "client-chosen-42" {
+		t.Errorf("access log request_id = %v", lines[0]["request_id"])
+	}
+	if lines[0]["route"] != "estimate" || lines[0]["status"] != float64(200) {
+		t.Errorf("access log route/status = %v/%v", lines[0]["route"], lines[0]["status"])
+	}
+	snap := s.Recorder().Snapshot(time.Now())
+	if len(snap.Completed) != 1 || snap.Completed[0].ID != "client-chosen-42" {
+		t.Errorf("recorder completed = %+v, want the client ID", snap.Completed)
+	}
+}
+
+// TestRequestIDGenerated: without a client header the server derives a
+// 16-hex-digit ID from the request's seed stream; concurrent-free
+// repeats get distinct IDs (the derivation index advances).
+func TestRequestIDGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 2}, 4)
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		resp, _ := post(t, ts.URL+"/v1/estimate", estimateBody(7, 0.5, 3, ""))
+		id := resp.Header.Get("X-Request-Id")
+		if !hex16.MatchString(id) {
+			t.Fatalf("generated ID %q, want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate generated ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestAccessLogOutcomes: every terminal path — success and failure —
+// produces exactly one access-log line and one outcome-labeled count.
+func TestAccessLogOutcomes(t *testing.T) {
+	s, base, buf := newLoggedServer(t, Config{Budget: 2}, 4)
+	estimateOK(t, base, estimateBody(7, 0.5, 3, ""))
+	if resp, _ := post(t, base+"/v1/estimate", `{"query":"R1(x,y)","database":"nope"}`); resp.StatusCode != 404 {
+		t.Fatalf("unknown db: status %d, want 404", resp.StatusCode)
+	}
+	lines := buf.accessLines(t)
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2: %s", len(lines), buf.String())
+	}
+	byStatus := map[float64]map[string]any{}
+	for _, l := range lines {
+		byStatus[l["status"].(float64)] = l
+	}
+	ok := byStatus[200]
+	if ok == nil || ok["strategy"] == "" || ok["db"] != "default" || ok["request_id"] == "" {
+		t.Errorf("200 line underpopulated: %v", ok)
+	}
+	bad := byStatus[404]
+	if bad == nil || bad["error"] == "" {
+		t.Errorf("404 line underpopulated: %v", bad)
+	}
+	if got := s.reqTotal.With("estimate", "200").Value(); got != 1 {
+		t.Errorf(`requests_total{estimate,200} = %d, want 1`, got)
+	}
+	if got := s.reqTotal.With("estimate", "404").Value(); got != 1 {
+		t.Errorf(`requests_total{estimate,404} = %d, want 1`, got)
+	}
+}
+
+// TestPhaseSumWithinWall: the per-request phase breakdown recorded in
+// the flight recorder accounts for real time — each request's phase
+// sum is positive (build and sample both accrued on a cold session)
+// and never exceeds its wall time.
+func TestPhaseSumWithinWall(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 2}, 4)
+	estimateOK(t, ts.URL, estimateBody(7, 0.3, 5, ""))
+	resp, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap obs.RecorderSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var rec *obs.RequestRecord
+	for i := range snap.Completed {
+		if snap.Completed[i].Route == "estimate" {
+			rec = &snap.Completed[i]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no estimate record in %+v", snap.Completed)
+	}
+	var sum float64
+	for _, v := range rec.Phases {
+		if v < 0 {
+			t.Errorf("negative phase time: %v", rec.Phases)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		t.Errorf("phase sum %v, want > 0 (phases %v)", sum, rec.Phases)
+	}
+	// The phases partition work done inside the request, so their sum is
+	// bounded by wall time (small slack for clock granularity).
+	if sum > rec.Wall+0.005 {
+		t.Errorf("phase sum %.6fs exceeds wall %.6fs (phases %v)", sum, rec.Wall, rec.Phases)
+	}
+	if rec.Phases["build"] <= 0 || rec.Phases["sample"] <= 0 {
+		t.Errorf("cold estimate should accrue build and sample time: %v", rec.Phases)
+	}
+	if rec.Build != "full" {
+		t.Errorf("cold estimate build = %q, want full", rec.Build)
+	}
+	if rec.Strategy == "" || rec.Version == 0 || rec.QueryHash == "" {
+		t.Errorf("record underpopulated: %+v", rec)
+	}
+}
+
+// TestDebugRequestsText: ?format=text renders the fixed-width table.
+func TestDebugRequestsText(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 2}, 4)
+	estimateOK(t, ts.URL, estimateBody(7, 0.5, 3, ""))
+	resp, err := http.Get(ts.URL + "/debug/requests?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, needle := range []string{"ID", "ROUTE", "CODE", "WALL_MS", "total_completed 1"} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("text table missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+// TestStreamDisconnect408Once is the regression test for double-counted
+// stream disconnects: a client dropping an SSE stream mid-computation
+// records outcome 408 exactly once — one access-log line, one
+// pqed_requests_total{route="stream",outcome="408"} increment, one
+// flight-recorder completion.
+func TestStreamDisconnect408Once(t *testing.T) {
+	s, base, buf := newLoggedServer(t, Config{Budget: 4}, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/estimate/stream",
+		strings.NewReader(estimateBody(7, 0.2, 5, ""))) // ~1s+ workload
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read until the first trial event proves sampling started, then
+	// drop the connection.
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: trial") {
+			break
+		}
+	}
+	cancel()
+	resp.Body.Close()
+
+	counter := s.reqTotal.With("stream", "408")
+	deadline := time.Now().Add(10 * time.Second)
+	for counter.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream 408 never recorded; log:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give any erroneous second accounting path time to fire.
+	time.Sleep(50 * time.Millisecond)
+	if got := counter.Value(); got != 1 {
+		t.Errorf(`requests_total{stream,408} = %d, want exactly 1`, got)
+	}
+	var streamLines int
+	for _, l := range buf.accessLines(t) {
+		if l["route"] == "stream" {
+			streamLines++
+			if l["status"] != float64(408) {
+				t.Errorf("stream access line status = %v, want 408", l["status"])
+			}
+		}
+	}
+	if streamLines != 1 {
+		t.Errorf("stream access-log lines = %d, want exactly 1", streamLines)
+	}
+	snap := s.Recorder().Snapshot(time.Now())
+	var completions int
+	for _, r := range snap.Completed {
+		if r.Route == "stream" {
+			completions++
+			if r.Outcome != 408 {
+				t.Errorf("recorder outcome = %d, want 408", r.Outcome)
+			}
+		}
+	}
+	if completions != 1 {
+		t.Errorf("recorder stream completions = %d, want exactly 1", completions)
+	}
+	if len(snap.Inflight) != 0 {
+		t.Errorf("recorder still shows in-flight: %+v", snap.Inflight)
+	}
+}
+
+// TestObservabilityRaces hammers the observability surfaces from many
+// goroutines at once — estimates, /metrics scrapes, /debug/requests
+// scrapes (both formats), debug trace endpoints, and engine-telemetry
+// Reset — and relies on the race detector for the verdict.
+func TestObservabilityRaces(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 4}, 4)
+	get := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var wg sync.WaitGroup
+	const rounds = 8
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				post(t, ts.URL+"/v1/estimate", estimateBody(int64(i*rounds+j), 0.5, 3, ""))
+			}
+		}(i)
+	}
+	for _, path := range []string{"/metrics", "/debug/requests", "/debug/requests?format=text", "/snapshot.json"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				get(path)
+			}
+		}(path)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < rounds; j++ {
+			s.tel.Reset()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	// Sanity beyond the race detector: every estimate completed and was
+	// recorded with an outcome.
+	if got := s.reqTotal.With("estimate", "200").Value(); got != 32 {
+		t.Errorf(`requests_total{estimate,200} = %d, want 32`, got)
+	}
+	snap := s.Recorder().Snapshot(time.Now())
+	if snap.TotalCompleted != 32 {
+		t.Errorf("recorder TotalCompleted = %d, want 32", snap.TotalCompleted)
+	}
+}

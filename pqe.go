@@ -243,6 +243,11 @@ type Options struct {
 	// options (see NewTelemetry). Collection does not change results:
 	// seeded runs stay bit-identical with or without it.
 	Telemetry *Telemetry
+	// RequestID is an optional correlation ID stamped on the root spans
+	// of this evaluation's trace (service callers thread their
+	// X-Request-Id here). Purely observational: it never influences
+	// results. Ignored when Telemetry is nil.
+	RequestID string
 }
 
 func (o *Options) core() core.Options {
@@ -261,7 +266,7 @@ func (o *Options) core() core.Options {
 		MaxProcs:   o.MaxProcs,
 		Parallel:   o.Parallel,
 		Workers:    o.Workers,
-		Obs:        o.Telemetry.scope(),
+		Obs:        o.Telemetry.scope().WithRequestID(o.RequestID),
 		Ctx:        o.Ctx,
 	}
 }

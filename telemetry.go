@@ -28,6 +28,7 @@ type Telemetry struct {
 	tracer *obs.Tracer
 	reg    *obs.Registry
 	conv   *obs.Convergence
+	phases *obs.Phases
 }
 
 // NewTelemetry returns an empty telemetry collector with all three
@@ -37,6 +38,7 @@ func NewTelemetry() *Telemetry {
 		tracer: obs.NewTracer(),
 		reg:    obs.NewRegistry(),
 		conv:   obs.NewConvergence(),
+		phases: obs.NewPhases(),
 	}
 }
 
@@ -45,7 +47,28 @@ func (t *Telemetry) scope() *obs.Scope {
 	if t == nil {
 		return nil
 	}
-	return obs.NewScope(t.tracer, t.reg, t.conv)
+	return obs.NewScope(t.tracer, t.reg, t.conv).WithPhases(t.phases)
+}
+
+// PhaseSeconds returns the per-phase time the pipeline accrued into
+// this collector (currently the "build" phase: automaton construction
+// triggered by evaluations carrying this Telemetry). Service callers
+// attach one collector per request and read the build share of the
+// call back out of it. Nil map on a nil collector.
+func (t *Telemetry) PhaseSeconds() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	return t.phases.Seconds()
+}
+
+// CounterValue returns the current value of a registry counter (e.g.
+// "router_trials_saved_total"), 0 when absent or on a nil collector.
+func (t *Telemetry) CounterValue(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.reg.Counter(name).Value()
 }
 
 // CaptureAllocs enables heap-allocation deltas on every span. Off by
