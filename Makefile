@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak serve-smoke loc clean
+.PHONY: all build vet lint test test-short race bench bench-json bench-compare delta-soak experiments experiments-md fuzz testkit soak serve-smoke shard-smoke bench-shard loc clean
 
 all: build vet lint test
 
@@ -90,6 +90,22 @@ testkit:
 SERVE_SMOKE_OUT ?= /tmp/pqed-metrics.prom
 serve-smoke:
 	$(GO) run ./cmd/pqed -smoke -smoke-out $(SERVE_SMOKE_OUT)
+
+# Coordinator/worker sharding smoke: the shard protocol package plus
+# the distributed-vs-local differential lane (bit-identity at worker
+# counts 1/2/4 including a mid-suite worker kill), under -race.
+shard-smoke:
+	$(GO) test -race -run 'TestDifferentialShard' -short ./internal/testkit/
+	$(GO) test -race ./internal/shard/
+
+# Regenerate the committed multi-process sharding benchmark: real
+# worker subprocesses at 2 and 4 workers, sharded rows gated
+# bit-identical to the in-process baseline.
+bench-shard:
+	$(GO) run ./cmd/pqebench -json -maxprocs 4 \
+		-json-out /tmp/BENCH_countnfta.json -json-nfa-out /tmp/BENCH_countnfa.json \
+		-json-churn-out /tmp/BENCH_churn.json -json-router-out /tmp/BENCH_router.json \
+		-json-shard-out BENCH_shard.json
 
 # The nightly-CI workload, locally: 10x case budget on a chosen seed.
 soak:

@@ -5,6 +5,8 @@
 //
 //	pqe -query "R(x,y), S(y,z)" -db data.pdb [-eps 0.1] [-delta 0.1] [-seed 1]
 //	    [-strategy auto] [-fpras] [-exact] [-debug-addr :8080] [-trace-json trace.json]
+//	    [-workers-addr host1:9731,host2:9731]
+//	pqe -shard-listen :9731            # run as a shard worker process
 //
 // The database file has one fact per line: "R(a, b) : 3/4" (fractions
 // or exact decimals; omitted probability means 1). By default
@@ -22,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 
 	"pqe"
+	"pqe/internal/flagcheck"
 )
 
 func main() {
@@ -50,13 +54,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ur        = fs.Bool("ur", false, "compute uniform reliability (subinstance count) instead of probability")
 		explain   = fs.Bool("explain", false, "print the evaluation plan instead of evaluating")
 		sample    = fs.Int("sample", 0, "also draw N worlds conditioned on the query holding")
-		maxprocs  = fs.Int("maxprocs", runtime.NumCPU(), "workers of the counting engines' unified scheduler (1 = sequential; same answer either way)")
-		workers   = fs.Int("workers", 0, "deprecated alias for -maxprocs")
-		debugAddr = fs.String("debug-addr", "", "serve live telemetry on this address (/metrics, /trace.json, /debug/pprof/)")
-		traceJSON = fs.String("trace-json", "", "write the stage trace, convergence records and metrics to this file on exit")
+		trials      = fs.Int("trials", 5, "independent FPRAS estimates to take the median of")
+		maxprocs    = fs.Int("maxprocs", runtime.NumCPU(), "workers of the counting engines' unified scheduler (1 = sequential; same answer either way)")
+		workers     = fs.Int("workers", 0, "deprecated alias for -maxprocs")
+		workersAddr = fs.String("workers-addr", "", "comma-separated shard worker addresses to distribute FPRAS trials across (bit-identical to a local run)")
+		shardListen = fs.String("shard-listen", "", "run as a shard worker: serve trial ranges on this address (e.g. :9731) instead of evaluating")
+		debugAddr   = fs.String("debug-addr", "", "serve live telemetry on this address (/metrics, /trace.json, /debug/pprof/)")
+		traceJSON   = fs.String("trace-json", "", "write the stage trace, convergence records and metrics to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Reject out-of-range numerics instead of silently clamping: a
+	// mistyped -trials 0 should fail loudly, not quietly run 5 trials.
+	if err := flagcheck.Positive("trials", *trials); err != nil {
+		return err
+	}
+	if err := flagcheck.Positive("maxprocs", *maxprocs); err != nil {
+		return err
+	}
+	if err := flagcheck.NonNegative("workers", *workers); err != nil {
+		return err
+	}
+
+	if *shardListen != "" {
+		l, err := net.Listen("tcp", *shardListen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "shard worker on %s\n", l.Addr())
+		var tel *pqe.Telemetry
+		if *debugAddr != "" {
+			tel = pqe.NewTelemetry()
+			bound, err := tel.ServeDebug(*debugAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "debug server on http://%s/\n", bound)
+		}
+		return pqe.ServeShardWorker(l, *maxprocs, tel)
 	}
 	if *queryStr == "" || *dbPath == "" {
 		fs.Usage()
@@ -115,7 +151,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *fpras {
 		strat = "force-nfta"
 	}
-	opts := &pqe.Options{Epsilon: *eps, Delta: *delta, Seed: *seed, Strategy: strat, MaxProcs: procs, Telemetry: tel}
+	opts := &pqe.Options{Epsilon: *eps, Delta: *delta, Seed: *seed, Trials: *trials, Strategy: strat, MaxProcs: procs, Telemetry: tel}
+	if *workersAddr != "" {
+		addrs, err := flagcheck.NonEmptyList("workers-addr", *workersAddr)
+		if err != nil {
+			return err
+		}
+		pool, err := pqe.NewShardPool(addrs...)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		fmt.Fprintf(stderr, "sharding trials across %d workers\n", pool.Workers())
+		opts.Shards = pool
+	}
 	// One session for every mode: the decomposition and the automata are
 	// built once and shared by the probability estimate and each
 	// sampled world.

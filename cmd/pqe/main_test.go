@@ -1,10 +1,15 @@
 package main
 
 import (
+	"errors"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pqe"
+	"pqe/internal/flagcheck"
 )
 
 func writeDB(t *testing.T, content string) string {
@@ -155,5 +160,71 @@ func TestRunSampleWorlds(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "R1(a,b)") {
 		t.Errorf("world missing forced fact:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadNumericFlags(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\n")
+	base := []string{"-query", "R1(x,y)", "-db", db}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"trials", append([]string{"-trials", "0"}, base...)},
+		{"trials", append([]string{"-trials", "-3"}, base...)},
+		{"maxprocs", append([]string{"-maxprocs", "0"}, base...)},
+		{"maxprocs", append([]string{"-maxprocs", "-1"}, base...)},
+		{"workers", append([]string{"-workers", "-2"}, base...)},
+	}
+	for _, c := range cases {
+		var out, errOut strings.Builder
+		err := run(c.args, &out, &errOut)
+		var fe *flagcheck.Error
+		if !errors.As(err, &fe) {
+			t.Errorf("%v: run = %v, want *flagcheck.Error", c.args[:2], err)
+			continue
+		}
+		if fe.Flag != c.name {
+			t.Errorf("%v: rejected flag %q, want %q", c.args[:2], fe.Flag, c.name)
+		}
+	}
+}
+
+func TestRunRejectsBadWorkersAddr(t *testing.T) {
+	db := writeDB(t, "R1(a,b) : 1/2\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "R1(x,y)", "-db", db, "-workers-addr", "a:1,,b:2"}, &out, &errOut)
+	var fe *flagcheck.Error
+	if !errors.As(err, &fe) || fe.Flag != "workers-addr" {
+		t.Errorf("run = %v, want *flagcheck.Error for -workers-addr", err)
+	}
+}
+
+// TestRunSharded drives the two-terminal workflow in-process: a shard
+// worker via pqe.ServeShardWorker plus a -workers-addr run, and checks
+// the printed estimate matches the local run byte for byte.
+func TestRunSharded(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go pqe.ServeShardWorker(l, 2, nil)
+
+	db := writeDB(t, "R1(a,b) : 1/2\nR1(a,c) : 1/3\nR2(b,d) : 2/3\nR2(c,d) : 1/2\nR3(d,e) : 3/4\n")
+	args := []string{"-query", "R1(x1,x2), R2(x2,x3), R3(x3,x4)", "-db", db,
+		"-eps", "0.2", "-seed", "7", "-strategy", "force-nfta"}
+	var local, sharded, errOut strings.Builder
+	if err := run(args, &local, &errOut); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if err := run(append(args, "-workers-addr", l.Addr().String()), &sharded, &errOut); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if local.String() != sharded.String() {
+		t.Errorf("sharded output differs:\nlocal:\n%s\nsharded:\n%s", local.String(), sharded.String())
+	}
+	if !strings.Contains(local.String(), "Pr(Q)") {
+		t.Errorf("missing estimate: %s", local.String())
 	}
 }

@@ -9,7 +9,7 @@
 //	pqebench -markdown        # GitHub-flavored markdown (EXPERIMENTS.md)
 //	pqebench -eps 0.05 -seed 7 -quick
 //	pqebench -maxprocs 8      # counting-engine scheduler workers
-//	pqebench -json            # engine micro-benchmarks -> BENCH_countnfta.json + BENCH_countnfa.json + BENCH_churn.json + BENCH_router.json
+//	pqebench -json            # engine micro-benchmarks -> BENCH_countnfta.json + BENCH_countnfa.json + BENCH_churn.json + BENCH_router.json + BENCH_shard.json
 //	pqebench -compare old.json new.json   # per-row ns/allocs deltas + geomean
 package main
 
@@ -22,10 +22,12 @@ import (
 	"strings"
 
 	"pqe/internal/experiments"
+	"pqe/internal/flagcheck"
 	"pqe/internal/obs"
 )
 
 func main() {
+	maybeShardWorker()
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pqebench:", err)
 		os.Exit(2)
@@ -50,9 +52,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonNFAPath    = fs.String("json-nfa-out", "BENCH_countnfa.json", "output path for the string-engine suite under -json")
 		jsonChurnPath  = fs.String("json-churn-out", "BENCH_churn.json", "output path for the fact-churn (incremental vs rebuild) suite under -json")
 		jsonRouterPath = fs.String("json-router-out", "BENCH_router.json", "output path for the routed-vs-forced-FPRAS mixed workload under -json")
+		jsonShardPath  = fs.String("json-shard-out", "BENCH_shard.json", "output path for the multi-process trial-sharding suite under -json")
+		shardWorkers   = fs.Int("shard-workers", 2, "base worker-process count of the shard suite (it runs at N and 2N)")
 		debugAddr      = fs.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while the suite runs (CPU profiles carry the engines' pqe_engine/pqe_stage labels)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Out-of-range numerics fail loudly instead of silently clamping.
+	if err := flagcheck.NonNegative("maxprocs", *maxprocs); err != nil {
+		return err
+	}
+	if err := flagcheck.Positive("workers", *workers); err != nil {
+		return err
+	}
+	if err := flagcheck.Positive("shard-workers", *shardWorkers); err != nil {
 		return err
 	}
 
@@ -86,7 +100,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := runJSONBenchChurn(*jsonChurnPath, *eps, *seed, procs, stdout); err != nil {
 			return err
 		}
-		return runJSONBenchRouter(*jsonRouterPath, *eps, *seed, procs, stdout)
+		if err := runJSONBenchRouter(*jsonRouterPath, *eps, *seed, procs, stdout); err != nil {
+			return err
+		}
+		return runJSONBenchShard(*jsonShardPath, *eps, *seed, *shardWorkers, stdout)
 	}
 
 	opts := experiments.Opts{Epsilon: *eps, Seed: *seed, Quick: *quick, Workers: procs}

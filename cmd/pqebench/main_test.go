@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pqe/internal/flagcheck"
 )
 
 func TestRunSingleExperimentText(t *testing.T) {
@@ -42,9 +45,11 @@ func TestRunJSONBench(t *testing.T) {
 	nfaPath := filepath.Join(dir, "bench_nfa.json")
 	churnPath := filepath.Join(dir, "bench_churn.json")
 	routerPath := filepath.Join(dir, "bench_router.json")
+	shardPath := filepath.Join(dir, "bench_shard.json")
 	var out, errOut strings.Builder
 	if err := run([]string{"-json", "-json-out", path, "-json-nfa-out", nfaPath,
-		"-json-churn-out", churnPath, "-json-router-out", routerPath, "-workers", "2"}, &out, &errOut); err != nil {
+		"-json-churn-out", churnPath, "-json-router-out", routerPath,
+		"-json-shard-out", shardPath, "-workers", "2"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -197,6 +202,84 @@ func TestRunJSONBench(t *testing.T) {
 		}
 		if routed > forced {
 			t.Errorf("%s executed %d trials, forced schedule only %d", key, routed, forced)
+		}
+	}
+
+	data, err = os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf shardBenchFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if sf.Suite != "shard" {
+		t.Errorf("suite = %q", sf.Suite)
+	}
+	// 2 workloads × (in-process baseline + worker counts 2 and 4).
+	if len(sf.Results) != 6 {
+		t.Fatalf("got %d shard results, want 6", len(sf.Results))
+	}
+	// The distributed contract, gated on the committed artifact itself:
+	// every sharded row reproduces its workload's in-process baseline
+	// estimate bit for bit.
+	baselineBits := map[string]uint64{}
+	for _, r := range sf.Results {
+		if r.Workers == 0 {
+			baselineBits[r.Name] = r.EstimateBits
+		}
+	}
+	for _, r := range sf.Results {
+		if r.Ops <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s@w%d: implausible measurement %+v", r.Name, r.Workers, r)
+		}
+		if r.Workers == 0 {
+			if r.TrialsPerOp != 0 {
+				t.Errorf("%s: baseline row reports dispatched trials: %+v", r.Name, r)
+			}
+			continue
+		}
+		if r.TrialsPerOp != int64(sf.Trials) {
+			t.Errorf("%s@w%d: dispatched %d trials per op, want %d", r.Name, r.Workers, r.TrialsPerOp, sf.Trials)
+		}
+		base, ok := baselineBits[r.Name]
+		if !ok {
+			t.Errorf("%s@w%d has no baseline row", r.Name, r.Workers)
+			continue
+		}
+		if r.EstimateBits != base {
+			t.Errorf("%s@w%d: estimate bits %#x != baseline %#x: not bit-identical",
+				r.Name, r.Workers, r.EstimateBits, base)
+		}
+	}
+}
+
+// TestMain lets a re-executed test binary serve as a shard worker
+// subprocess for the shard suite (see shardproc.go).
+func TestMain(m *testing.M) {
+	maybeShardWorker()
+	os.Exit(m.Run())
+}
+
+func TestRunRejectsBadNumericFlags(t *testing.T) {
+	for _, c := range []struct {
+		flag string
+		args []string
+	}{
+		{"maxprocs", []string{"-maxprocs", "-1"}},
+		{"workers", []string{"-workers", "0"}},
+		{"shard-workers", []string{"-shard-workers", "0"}},
+		{"shard-workers", []string{"-shard-workers", "-2"}},
+	} {
+		var out, errOut strings.Builder
+		err := run(append(c.args, "-exp", "A1", "-quick"), &out, &errOut)
+		var fe *flagcheck.Error
+		if !errors.As(err, &fe) {
+			t.Errorf("%v: run = %v, want *flagcheck.Error", c.args, err)
+			continue
+		}
+		if fe.Flag != c.flag {
+			t.Errorf("%v: rejected flag %q, want %q", c.args, fe.Flag, c.flag)
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"pqe/internal/shard"
+)
+
+// workerEnv marks a re-executed pqebench (or its test binary) as a
+// shard worker process: it listens on loopback, prints the bound
+// address, serves trial ranges, and exits when its stdin closes. This
+// is how the shard suite gets genuinely separate worker processes
+// without a second binary.
+const workerEnv = "PQEBENCH_SHARD_WORKER"
+
+// workerAddrPrefix is the stdout line the parent scans for.
+const workerAddrPrefix = "SHARD_WORKER_ADDR "
+
+// maybeShardWorker turns the process into a shard worker when the env
+// var is set. It never returns in that case. Called from both main()
+// and TestMain, so the re-exec works for the installed binary and for
+// `go test` alike.
+func maybeShardWorker() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqebench shard worker:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s%s\n", workerAddrPrefix, l.Addr())
+	srv := shard.NewServer(shard.ServerConfig{MaxProcs: 2})
+	go func() {
+		// The parent holds our stdin pipe; EOF means it is done with us
+		// (or died), either way we exit rather than linger.
+		io.Copy(io.Discard, os.Stdin)
+		srv.Close()
+	}()
+	srv.Serve(l)
+	os.Exit(0)
+}
+
+// workerProc is one spawned worker subprocess.
+type workerProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	addr  string
+}
+
+// spawnWorkers re-executes this binary n times in worker mode and
+// waits for each to report its listen address. stop closes their
+// stdins and reaps them.
+func spawnWorkers(n int) (addrs []string, stop func(), err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*workerProc
+	stop = func() {
+		for _, p := range procs {
+			p.stdin.Close()
+		}
+		for _, p := range procs {
+			p.cmd.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		p, err := spawnWorker(exe)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		procs = append(procs, p)
+		addrs = append(addrs, p.addr)
+	}
+	return addrs, stop, nil
+}
+
+func spawnWorker(exe string) (*workerProc, error) {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, workerAddrPrefix) {
+				addrc <- strings.TrimPrefix(line, workerAddrPrefix)
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+		close(addrc)
+	}()
+	select {
+	case addr, ok := <-addrc:
+		if !ok || addr == "" {
+			stdin.Close()
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("shard worker exited before reporting an address")
+		}
+		return &workerProc{cmd: cmd, stdin: stdin, addr: addr}, nil
+	case <-time.After(10 * time.Second):
+		stdin.Close()
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("shard worker did not report an address within 10s")
+	}
+}

@@ -9,7 +9,7 @@
 //	pqed -addr :8080 -db data.pdb [-db name=other.pdb ...]
 //	     [-budget N] [-max-sessions N] [-queue-wait 2s] [-timeout 30s]
 //	     [-drain-timeout 10s] [-log-format text|json]
-//	     [-flight-recorder-size N]
+//	     [-flight-recorder-size N] [-shard-workers host1:9731,host2:9731]
 //	pqed -smoke [-smoke-out metrics.prom]
 //
 // Databases are the same one-fact-per-line files cmd/pqe reads; a bare
@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"pqe"
+	"pqe/internal/flagcheck"
 	"pqe/internal/serve"
 )
 
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		recorderSize = fs.Int("flight-recorder-size", 256, "completed requests retained for /debug/requests")
 		smoke        = fs.Bool("smoke", false, "run the in-process smoke workload and exit")
 		smokeOut     = fs.String("smoke-out", "", "write the smoke /metrics scrape to this file (default stdout)")
+		shardWorkers = fs.String("shard-workers", "", "comma-separated shard worker addresses (pqe -shard-listen) to distribute FPRAS trials across")
 	)
 	fs.Var(&dbs, "db", "database file to serve: 'path' (as \"default\") or 'name=path'; repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +95,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 
+	var pool *pqe.ShardPool
+	if *shardWorkers != "" {
+		addrs, err := flagcheck.NonEmptyList("shard-workers", *shardWorkers)
+		if err != nil {
+			return err
+		}
+		if pool, err = pqe.NewShardPool(addrs...); err != nil {
+			return err
+		}
+		defer pool.Close()
+		fmt.Fprintf(stderr, "sharding trials across %d workers\n", pool.Workers())
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Budget:             *budget,
 		MaxSessions:        *maxSessions,
@@ -100,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DefaultTimeout:     *timeout,
 		Logger:             logger,
 		FlightRecorderSize: *recorderSize,
+		Shards:             pool,
 	})
 	if len(dbs) == 0 {
 		if !*smoke {

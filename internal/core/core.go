@@ -95,6 +95,12 @@ type Options struct {
 	// interruptible — a deadline that expires mid-build is reported at
 	// the next check. Nil means no deadline (the previous behaviour).
 	Ctx context.Context
+	// Shard, when non-nil, distributes the FPRAS counting phases across
+	// worker processes (internal/shard.Pool). Construction, routing and
+	// post-counting scaling stay on the coordinator; the trial schedule
+	// is partitioned into contiguous ranges whose merged upper median is
+	// bit-identical to the local run at any worker count.
+	Shard Sharder
 }
 
 // ctxErr surfaces a cancelled call's context error (nil Ctx never

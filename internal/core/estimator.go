@@ -559,7 +559,14 @@ func (e *Estimator) PathEstimate(opts Options) (efloat.E, error) {
 		return efloat.Zero, err
 	}
 	proj := e.proj()
-	c := nfa.Count(m, proj.Size(), opts.nfaOptions(sc))
+	var c efloat.E
+	if opts.Shard != nil {
+		if c, err = e.shardCount(sc, opts, ShardModePath, proj.Size(), m.NumStates()); err != nil {
+			return efloat.Zero, err
+		}
+	} else {
+		c = nfa.Count(m, proj.Size(), opts.nfaOptions(sc))
+	}
 	if err := opts.ctxErr(); err != nil {
 		return efloat.Zero, err // the counting loop bailed early; its value is garbage
 	}
@@ -582,7 +589,14 @@ func (e *Estimator) UREstimate(opts Options) (efloat.E, error) {
 	if err != nil {
 		return efloat.Zero, err
 	}
-	c := count.Trees(red.Auto, red.TreeSize, opts.countOptions(sc))
+	var c efloat.E
+	if opts.Shard != nil {
+		if c, err = e.shardCount(sc, opts, ShardModeUR, red.TreeSize, red.Auto.NumStates()); err != nil {
+			return efloat.Zero, err
+		}
+	} else {
+		c = count.Trees(red.Auto, red.TreeSize, opts.countOptions(sc))
+	}
 	if err := opts.ctxErr(); err != nil {
 		return efloat.Zero, err // the counting loop bailed early; its value is garbage
 	}
@@ -606,7 +620,14 @@ func (e *Estimator) PQEEstimate(opts Options) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c := count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions(sc))
+	var c efloat.E
+	if opts.Shard != nil {
+		if c, err = e.shardCount(sc, opts, ShardModePQE, weighted.TreeSize, weighted.Auto.NumStates()); err != nil {
+			return 0, err
+		}
+	} else {
+		c = count.Trees(weighted.Auto, weighted.TreeSize, opts.countOptions(sc))
+	}
 	if err := opts.ctxErr(); err != nil {
 		return 0, err // the counting loop bailed early; its value is garbage
 	}
@@ -630,7 +651,14 @@ func (e *Estimator) PathPQEEstimate(opts Options) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c := nfa.Count(red.Auto, red.WordSize, opts.nfaOptions(sc))
+	var c efloat.E
+	if opts.Shard != nil {
+		if c, err = e.shardCount(sc, opts, ShardModePathPQE, red.WordSize, red.Auto.NumStates()); err != nil {
+			return 0, err
+		}
+	} else {
+		c = nfa.Count(red.Auto, red.WordSize, opts.nfaOptions(sc))
+	}
 	if err := opts.ctxErr(); err != nil {
 		return 0, err // the counting loop bailed early; its value is garbage
 	}

@@ -49,7 +49,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -336,8 +335,7 @@ func Trees(a *nfta.NFTA, n int, opts Options) efloat.E {
 	if len(results) == 0 {
 		return efloat.Zero // cancelled before any batch ran; caller discards
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
-	return results[len(results)/2]
+	return efloat.UpperMedian(results)
 }
 
 // flushRegistry folds the per-call effort counters into the unified

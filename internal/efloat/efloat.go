@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sort"
 )
 
 // E is a non-negative extended-range float: mant × 2^exp with
@@ -251,6 +252,33 @@ func (x E) String() string {
 	return fmt.Sprintf("%.6ge%+03d", m10, int64(e10))
 }
 
+// Bits returns the exact wire representation of x: the IEEE-754 bit
+// pattern of the mantissa and the binary exponent. Together with
+// FromBits it round-trips every E losslessly, which JSON float
+// encoding does not guarantee.
+func (x E) Bits() (mant uint64, exp int64) {
+	return math.Float64bits(x.mant), x.exp
+}
+
+// FromBits reconstructs an E from the representation returned by Bits.
+// It rejects encodings that violate the normalization invariant (zero
+// is {0, 0}; any other mantissa must lie in [1, 2)) so a corrupted or
+// hostile wire value can never produce an E that compares or multiplies
+// incorrectly.
+func FromBits(mant uint64, exp int64) (E, error) {
+	m := math.Float64frombits(mant)
+	if m == 0 {
+		if mant != 0 || exp != 0 {
+			return Zero, fmt.Errorf("efloat: denormalized zero encoding {%#x, %d}", mant, exp)
+		}
+		return Zero, nil
+	}
+	if math.IsNaN(m) || m < 1 || m >= 2 {
+		return Zero, fmt.Errorf("efloat: mantissa %v out of [1, 2)", m)
+	}
+	return E{mant: m, exp: exp}, nil
+}
+
 // Sum returns the sum of the given values.
 func Sum(xs ...E) E {
 	total := Zero
@@ -266,4 +294,16 @@ func Max(x, y E) E {
 		return y
 	}
 	return x
+}
+
+// UpperMedian sorts xs in place and returns the upper median
+// xs[len(xs)/2]. Every estimator merge — in-process and sharded — goes
+// through this one function, so a trial multiset always reduces to the
+// same E no matter where its trials ran. It panics on an empty slice.
+func UpperMedian(xs []E) E {
+	if len(xs) == 0 {
+		panic("efloat: upper median of no values")
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Less(xs[j]) })
+	return xs[len(xs)/2]
 }

@@ -282,3 +282,72 @@ func TestQuickMulDivInverse(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBitsRoundTrip(t *testing.T) {
+	vals := []E{Zero, One, FromFloat(0.5), FromFloat(3.25), FromFloat(1e300).Mul(FromFloat(1e300)), Pow2(-5000)}
+	for _, v := range vals {
+		mant, exp := v.Bits()
+		got, err := FromBits(mant, exp)
+		if err != nil {
+			t.Fatalf("FromBits(Bits(%v)): %v", v, err)
+		}
+		gm, ge := got.Bits()
+		if gm != mant || ge != exp {
+			t.Errorf("Bits round trip for %v: got {%#x,%d}, want {%#x,%d}", v, gm, ge, mant, exp)
+		}
+	}
+}
+
+func TestFromBitsRejectsDenormal(t *testing.T) {
+	bad := []struct {
+		mant uint64
+		exp  int64
+	}{
+		{math.Float64bits(0.5), 3},  // mantissa below [1,2)
+		{math.Float64bits(2.0), 0},  // mantissa at 2
+		{math.Float64bits(-1.5), 0}, // negative mantissa
+		{math.Float64bits(math.NaN()), 0},
+		{0, 7},                   // zero mantissa with nonzero exponent
+		{math.Float64bits(1), 1}, // {1,1} is fine — sanity-check below
+	}
+	for i, b := range bad[:len(bad)-1] {
+		if _, err := FromBits(b.mant, b.exp); err == nil {
+			t.Errorf("case %d: FromBits(%#x, %d) accepted a denormalized encoding", i, b.mant, b.exp)
+		}
+	}
+	if _, err := FromBits(math.Float64bits(1), 1); err != nil {
+		t.Errorf("FromBits rejected a valid encoding: %v", err)
+	}
+}
+
+func TestUpperMedian(t *testing.T) {
+	mk := func(fs ...float64) []E {
+		out := make([]E, len(fs))
+		for i, f := range fs {
+			out[i] = FromFloat(f)
+		}
+		return out
+	}
+	cases := []struct {
+		in   []E
+		want float64
+	}{
+		{mk(3), 3},
+		{mk(3, 1), 3},
+		{mk(5, 1, 3), 3},
+		{mk(4, 2, 1, 3), 3},
+		{mk(2, 2, 9, 1, 2), 2},
+	}
+	for _, c := range cases {
+		n := len(c.in)
+		if got := UpperMedian(c.in).Float(); !almostEqual(got, c.want) {
+			t.Errorf("UpperMedian of %d values = %v, want %v", n, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("UpperMedian(nil) did not panic")
+		}
+	}()
+	UpperMedian(nil)
+}

@@ -1,0 +1,52 @@
+// Package flagcheck validates command-line flag values with typed
+// errors. The CLIs historically clamped out-of-range numeric flags to
+// their defaults, which silently masked typos like -trials 0; callers
+// now reject them up front and report which flag was wrong.
+package flagcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error describes one rejected flag value.
+type Error struct {
+	Flag   string // flag name without the leading dash
+	Value  string // the value as given
+	Reason string // why it was rejected
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("flag -%s: invalid value %q: %s", e.Flag, e.Value, e.Reason)
+}
+
+// Positive rejects values < 1.
+func Positive(name string, v int) error {
+	if v < 1 {
+		return &Error{Flag: name, Value: fmt.Sprint(v), Reason: "must be a positive integer"}
+	}
+	return nil
+}
+
+// NonNegative rejects values < 0 (zero commonly means "use default").
+func NonNegative(name string, v int) error {
+	if v < 0 {
+		return &Error{Flag: name, Value: fmt.Sprint(v), Reason: "must be zero or a positive integer"}
+	}
+	return nil
+}
+
+// NonEmptyList splits a comma-separated flag value, trims whitespace,
+// and rejects empty entries — "a,,b" is a typo, not two addresses.
+func NonEmptyList(name, v string) ([]string, error) {
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, &Error{Flag: name, Value: v, Reason: "entries must be non-empty"}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package flagcheck
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPositive(t *testing.T) {
+	if err := Positive("trials", 1); err != nil {
+		t.Errorf("Positive(1): %v", err)
+	}
+	for _, v := range []int{0, -1, -100} {
+		err := Positive("trials", v)
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("Positive(%d) = %v, want *Error", v, err)
+		}
+		if fe.Flag != "trials" {
+			t.Errorf("Positive(%d).Flag = %q", v, fe.Flag)
+		}
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	for _, v := range []int{0, 1, 64} {
+		if err := NonNegative("maxprocs", v); err != nil {
+			t.Errorf("NonNegative(%d): %v", v, err)
+		}
+	}
+	var fe *Error
+	if err := NonNegative("maxprocs", -2); !errors.As(err, &fe) {
+		t.Fatalf("NonNegative(-2) = %v, want *Error", err)
+	}
+	if fe.Value != "-2" {
+		t.Errorf("Value = %q, want \"-2\"", fe.Value)
+	}
+}
+
+func TestNonEmptyList(t *testing.T) {
+	got, err := NonEmptyList("workers-addr", "a:1, b:2 ,c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a:1", "b:2", "c:3"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NonEmptyList = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "a,,b", ",a", "a,"} {
+		var fe *Error
+		if _, err := NonEmptyList("workers-addr", bad); !errors.As(err, &fe) {
+			t.Errorf("NonEmptyList(%q) = %v, want *Error", bad, err)
+		}
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	e := &Error{Flag: "trials", Value: "0", Reason: "must be a positive integer"}
+	if got := e.Error(); got != `flag -trials: invalid value "0": must be a positive integer` {
+		t.Errorf("Error() = %q", got)
+	}
+}

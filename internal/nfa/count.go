@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -294,8 +293,7 @@ func Count(m *NFA, n int, opts CountOptions) efloat.E {
 	if len(results) == 0 {
 		return efloat.Zero // cancelled before any batch ran; caller discards
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Less(results[j]) })
-	return results[len(results)/2]
+	return efloat.UpperMedian(results)
 }
 
 // flushRegistry folds the per-call effort counters into the unified

@@ -320,6 +320,41 @@ func (w *Worker) Sum(n int, fn func(w *Worker, start, end int) int) int {
 	return int(total)
 }
 
+// Range is a half-open contiguous index range [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices the range covers.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition cuts [lo, hi) into at most k contiguous ranges of
+// near-equal length (the first (hi−lo) mod k ranges are one longer).
+// Empty ranges are never emitted, so fewer than k come back when the
+// span is shorter than k. A pure function of its arguments — the shard
+// coordinator relies on that to keep batch boundaries deterministic.
+func Partition(lo, hi, k int) []Range {
+	n := hi - lo
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Range, 0, k)
+	base, extra := n/k, n%k
+	start := lo
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, Range{Lo: start, Hi: start + size})
+		start += size
+	}
+	return out
+}
+
 // Resolve maps the engines' knobs to a worker count: MaxProcs wins when
 // positive; otherwise the deprecated Workers/Parallel pair maps to the
 // concurrency it used to buy (Workers goroutines inside a trial,

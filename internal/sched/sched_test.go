@@ -158,3 +158,49 @@ func TestResolve(t *testing.T) {
 		}
 	}
 }
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi, k int
+		want      []Range
+	}{
+		{0, 10, 2, []Range{{0, 5}, {5, 10}}},
+		{0, 10, 3, []Range{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 8, 2, []Range{{3, 6}, {6, 8}}},
+		{0, 2, 5, []Range{{0, 1}, {1, 2}}}, // more workers than trials: no empty ranges
+		{0, 1, 1, []Range{{0, 1}}},
+		{5, 5, 3, nil}, // empty schedule
+		{0, 4, 0, nil}, // no workers
+	} {
+		got := Partition(tc.lo, tc.hi, tc.k)
+		if len(got) != len(tc.want) {
+			t.Errorf("Partition(%d,%d,%d) = %v, want %v", tc.lo, tc.hi, tc.k, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Partition(%d,%d,%d)[%d] = %v, want %v", tc.lo, tc.hi, tc.k, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// Partition must tile [lo, hi) exactly: contiguous, non-empty, in order.
+func TestPartitionTiles(t *testing.T) {
+	for lo := 0; lo < 4; lo++ {
+		for hi := lo; hi < lo+20; hi++ {
+			for k := 1; k <= 6; k++ {
+				next := lo
+				for _, r := range Partition(lo, hi, k) {
+					if r.Lo != next || r.Len() <= 0 {
+						t.Fatalf("Partition(%d,%d,%d) broken at %v", lo, hi, k, r)
+					}
+					next = r.Hi
+				}
+				if next != hi {
+					t.Fatalf("Partition(%d,%d,%d) covers [%d,%d), want [%d,%d)", lo, hi, k, lo, next, lo, hi)
+				}
+			}
+		}
+	}
+}

@@ -31,7 +31,11 @@
 // results at every MaxProcs setting.
 package seqstop
 
-import "math"
+import (
+	"math"
+
+	"pqe/internal/efloat"
+)
 
 // DefaultDelta is the failure-probability target used when a caller
 // enables anytime stopping without choosing δ. It roughly matches the
@@ -125,6 +129,17 @@ func (p Plan) Stop(log2Estimates []float64) bool {
 		return false
 	}
 	return Spread(log2Estimates) <= p.Band
+}
+
+// Log2 maps one trial estimate to the log₂ value the spread
+// certificate inspects, encoding a zero estimate as -Inf. Both engines
+// and the shard coordinator share this mapping, so the anytime schedule
+// sees identical inputs wherever the trials ran.
+func Log2(e efloat.E) float64 {
+	if e.IsZero() {
+		return math.Inf(-1)
+	}
+	return e.Log2()
 }
 
 // Spread returns max − min over the log₂ estimates, treating the

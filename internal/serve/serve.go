@@ -77,6 +77,10 @@ type Config struct {
 	// heap, scheduler latency → /metrics). Default 10s; negative
 	// disables the collector.
 	RuntimeInterval time.Duration
+	// Shards, when non-nil, distributes every request's FPRAS counting
+	// phases across the pool's worker processes. Results stay
+	// bit-identical to local evaluation.
+	Shards *pqe.ShardPool
 }
 
 func (c Config) withDefaults() Config {
@@ -426,6 +430,7 @@ func (c *call) options(tel *pqe.Telemetry) *pqe.Options {
 		Ctx:        c.ctx,
 		Telemetry:  tel,
 		RequestID:  c.tk.id,
+		Shards:     c.s.cfg.Shards,
 	}
 }
 

@@ -268,3 +268,41 @@ func TestConfigDeltaAccounting(t *testing.T) {
 		t.Errorf("binomial(5,3) = %d", binomial(5, 3))
 	}
 }
+
+// TestDifferentialShard cross-checks distributed evaluation against
+// local on the same randomized case stream: each applicable engine is
+// run with and without a shard pool at worker counts 1, 2 and 4, and
+// must produce bit-identical results. The 4-worker pass kills a worker
+// halfway through the suite, so the second half additionally proves
+// range reassignment does not perturb a single bit. The name keeps it
+// on the CI and nightly -run 'TestDifferential|TestMetamorphic' lanes.
+func TestDifferentialShard(t *testing.T) {
+	cases := suiteCases(t)
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := Defaults()
+			h, err := NewShardHarness(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			for n, i := range cases {
+				if workers == 4 && n == len(cases)/2 {
+					h.KillWorker(0)
+				}
+				c := NewCase(*flagSeed, i)
+				cfg.Obs = caseScope()
+				if err := RunShardDifferential(c, cfg, h); err != nil {
+					fail(t, c, err, cfg.Obs, func(cand *Case) bool {
+						return RunShardDifferential(cand, cfg, h) != nil
+					})
+				}
+			}
+			if workers == 4 {
+				if st := h.Stats(); st.Reassigned == 0 {
+					t.Errorf("killed a worker but no range was reassigned: %+v", st)
+				}
+			}
+		})
+	}
+}

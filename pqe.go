@@ -248,13 +248,19 @@ type Options struct {
 	// X-Request-Id here). Purely observational: it never influences
 	// results. Ignored when Telemetry is nil.
 	RequestID string
+	// Shards, when non-nil, distributes the FPRAS counting phases
+	// across the pool's worker processes (see NewShardPool). Routing,
+	// automaton construction and post-counting scaling stay local; only
+	// the embarrassingly parallel trial schedule is farmed out. Results
+	// are bit-identical to the in-process run for a fixed Seed.
+	Shards *ShardPool
 }
 
 func (o *Options) core() core.Options {
 	if o == nil {
 		return core.Options{}
 	}
-	return core.Options{
+	c := core.Options{
 		Epsilon:    o.Epsilon,
 		Trials:     o.Trials,
 		Samples:    o.Samples,
@@ -269,6 +275,10 @@ func (o *Options) core() core.Options {
 		Obs:        o.Telemetry.scope().WithRequestID(o.RequestID),
 		Ctx:        o.Ctx,
 	}
+	if o.Shards != nil {
+		c.Shard = o.Shards.p
+	}
+	return c
 }
 
 // Result reports a probability and how it was computed.
